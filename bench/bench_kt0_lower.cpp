@@ -1,0 +1,187 @@
+// Experiments T8/T9 (KT0 message lower bound): any algorithm — even Monte
+// Carlo — that solves GC on the hard distribution H with probability >= 4/5
+// sends Ω(m) messages.
+//
+// Reproduces the three measurable faces of the bound:
+//   (a) the construction itself: |S_G| and the Ω(m) packing of
+//       edge-disjoint "squares" the proof charges messages against;
+//   (b) the message footprint of our (correct) GC algorithm on draws from
+//       H — it pays Θ(n^2) >= Ω(m), consistent with the bound;
+//   (c) the contrapositive, empirically: a budget-B prober's error rate on
+//       H stays far above 1/5 until its probe budget approaches the number
+//       of links, then collapses — the error cliff is the lower bound seen
+//       from the algorithm side.
+#include <cstdio>
+#include <set>
+
+#include "bench_util.hpp"
+#include "core/gc.hpp"
+#include "graph/verify.hpp"
+#include "lowerbound/frugal_adversary.hpp"
+#include "lowerbound/kt0_hard.hpp"
+#include "lowerbound/port_network.hpp"
+
+using namespace ccq;
+
+int main() {
+  std::printf("T8/T9 — KT0 hard distribution: squares, correct-algorithm "
+              "footprint, frugal error cliff\n");
+
+  bench::Table construction{"Construction H(n, m)",
+                            {"n", "m", "|S_G|", "disjoint_squares",
+                             "squares/m", "base_components"}};
+  for (std::uint32_t n : {32u, 64u, 128u}) {
+    const std::size_t m = static_cast<std::size_t>(n) * n / 8;
+    const Kt0HardInstance hard{n, m};
+    const auto squares = hard.edge_disjoint_squares();
+    construction.row({bench::fmt(n), bench::fmt(m), bench::fmt(hard.sg_size()),
+                      bench::fmt(squares.size()),
+                      bench::fmt_double(1.0 * squares.size() / m, 3),
+                      bench::fmt(2u)});
+    bench::expect(squares.size() * 10 >= m,
+                  "square packing must be Ω(m)");
+  }
+  construction.print();
+
+  bench::Table footprint{
+      "Messages of the (correct) GC algorithm on draws from H",
+      {"n", "m", "instance", "gc_messages", "messages/m", "answer_ok"}};
+  for (std::uint32_t n : {64u, 128u}) {
+    const std::size_t m = static_cast<std::size_t>(n) * n / 8;
+    const Kt0HardInstance hard{n, m};
+    Rng rng{n};
+    for (int which = 0; which < 2; ++which) {
+      const bool base = which == 0;
+      const auto graph =
+          base ? hard.base() : hard.sample(rng).graph;
+      // (re-draw until we get a swap member for the second row)
+      Graph instance = graph;
+      bool truth = base ? false : true;
+      if (!base) {
+        auto draw = hard.sample(rng);
+        while (draw.is_base) draw = hard.sample(rng);
+        instance = draw.graph;
+        truth = draw.connected;
+      }
+      CliqueEngine engine{{.n = n}};
+      Rng gc_rng{n + which};
+      const auto gc = gc_spanning_forest(engine, instance, gc_rng);
+      const bool ok = gc.connected == truth &&
+                      verify_spanning_forest(instance, gc.forest).ok;
+      footprint.row({bench::fmt(n), bench::fmt(m),
+                     base ? "G (disconnected)" : "swap (connected)",
+                     bench::fmt(engine.metrics().messages),
+                     bench::fmt_double(1.0 * engine.metrics().messages / m, 2),
+                     ok ? "yes" : "NO"});
+      bench::expect(ok, "GC must answer correctly on H draws");
+      bench::expect(engine.metrics().messages >= m,
+                    "a correct algorithm's footprint respects the Ω(m) bound");
+    }
+  }
+  footprint.print();
+
+  bench::Table cliff{"Frugal prober: error on H vs probe budget (n=32, "
+                     "m=128, links=496)",
+                     {"budget_B", "error_rate", "correct_enough(>=4/5)"}};
+  {
+    const Kt0HardInstance hard{32, 128};
+    Rng rng{5};
+    for (std::uint64_t budget : {0ull, 32ull, 128ull, 496ull, 1984ull,
+                                 4960ull}) {
+      const double err = frugal_error_rate(hard, budget, 4000, rng);
+      cliff.row({bench::fmt(budget), bench::fmt_double(err, 4),
+                 err <= 0.2 ? "yes" : "no"});
+    }
+    const double tiny = frugal_error_rate(hard, 16, 4000, rng);
+    bench::expect(tiny > 0.2,
+                  "o(m)-message probing must err with constant probability");
+  }
+  cliff.print();
+
+  // The proof's core, executed: a deterministic port-level protocol that
+  // avoids a square's four links produces bit-identical transcripts on the
+  // disconnected G and the connected swap instance.
+  bench::Table indist{"Port-level indistinguishability (n=16, m=36, "
+                      "5-round flooding)",
+                      {"square (ui,vi)", "crossed", "avoids_square",
+                       "transcripts_identical"}};
+  {
+    const Kt0HardInstance hard{16, 36};
+    const auto canonical = PortNetwork::canonical(16);
+    auto port_between = [&](VertexId a, VertexId b) {
+      for (std::uint32_t p = 0; p < 15; ++p)
+        if (canonical.peer(a, p) == b) return p;
+      return 0u;
+    };
+    auto avoiding = [&](const Edge& eu, const Edge& ev) {
+      std::set<std::pair<VertexId, std::uint32_t>> avoid{
+          {eu.u, port_between(eu.u, eu.v)},
+          {eu.v, port_between(eu.v, eu.u)},
+          {ev.u, port_between(ev.u, ev.v)},
+          {ev.v, port_between(ev.v, ev.u)}};
+      return [avoid](const PortView& view,
+                     std::uint32_t round) {
+        std::map<std::uint32_t, std::uint64_t> out;
+        std::uint64_t token = view.self + 1;
+        if (round > 0)
+          for (std::uint32_t p = 0; p < view.input_bits->size(); ++p) {
+            const auto got = (*view.received)[round - 1][p];
+            if (got != kNoMessage) token = std::max(token, got);
+          }
+        for (std::uint32_t p = 0; p < view.input_bits->size(); ++p)
+          if ((*view.input_bits)[p] && !avoid.contains({view.self, p}))
+            out[p] = token;
+        return out;
+      };
+    };
+    for (std::size_t ui : {0u, 5u}) {
+      for (bool crossed : {false, true}) {
+        const std::size_t vi = ui + 1;
+        const auto r = port_indistinguishability(
+            hard, ui, vi, crossed,
+            avoiding(hard.u_edges()[ui], hard.v_edges()[vi]), 5);
+        char label[32];
+        std::snprintf(label, sizeof(label), "(%zu,%zu)", ui, vi);
+        indist.row({label, crossed ? "yes" : "no",
+                    r.touched_square ? "NO" : "yes",
+                    r.transcripts_identical ? "yes" : "NO"});
+        bench::expect(!r.touched_square && r.transcripts_identical,
+                      "square-avoiding protocols must be blind to the swap");
+      }
+    }
+  }
+  bench::Table flood{"Correct deterministic port protocol (distinct-token "
+                     "flood)",
+                     {"n", "m", "instance", "answer", "messages",
+                      "messages/m"}};
+  {
+    const Kt0HardInstance hard{16, 36};
+    const auto net = PortNetwork::canonical(16);
+    {
+      const auto r = port_flood_gc(net, net.port_inputs(hard.base()));
+      flood.row({"16", "36", "G (disconnected)",
+                 r.connected ? "NO" : "disconnected",
+                 bench::fmt(r.messages),
+                 bench::fmt_double(1.0 * r.messages / hard.m(), 1)});
+      bench::expect(!r.connected, "flood must reject the base graph");
+      bench::expect(r.messages >= hard.m(),
+                    "a correct port protocol pays >= m messages");
+    }
+    Rng rng{7};
+    auto draw = hard.sample(rng);
+    while (draw.is_base) draw = hard.sample(rng);
+    const auto r = port_flood_gc(net, net.port_inputs(draw.graph));
+    flood.row({"16", "36", "swap (connected)",
+               r.connected ? "connected" : "NO", bench::fmt(r.messages),
+               bench::fmt_double(1.0 * r.messages / hard.m(), 1)});
+    bench::expect(r.connected, "flood must accept swap instances");
+  }
+  flood.print();
+  std::printf("\nShape check: the error stays ~1/2 while B = o(n^2) and only "
+              "crosses the 1/5\ncorrectness threshold once the probes cover "
+              "a constant fraction of all links —\nthe Theorem 9 trade-off. "
+              "The transcript table is the proof's Lemma, executed:\n"
+              "avoid the square and the two inputs are literally the same "
+              "execution.\n");
+  return 0;
+}

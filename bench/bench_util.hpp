@@ -1,0 +1,64 @@
+// Shared helpers for the experiment-reproduction benchmarks.
+//
+// Every bench binary regenerates one "table" of the paper's evaluation
+// (here: the measurable content of its theorems — see DESIGN.md's
+// experiment index) and prints aligned rows so `for b in build/bench/*; do
+// $b; done` yields a readable report. Self-checks in the benches abort
+// loudly (nonzero exit) if a reproduced quantity violates the theorem it
+// is supposed to exhibit, so the bench run doubles as an acceptance test.
+#pragma once
+
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+#include <vector>
+
+namespace ccq::bench {
+
+class Table {
+ public:
+  explicit Table(std::string title, std::vector<std::string> columns)
+      : title_(std::move(title)), columns_(std::move(columns)) {}
+
+  void row(const std::vector<std::string>& cells) { rows_.push_back(cells); }
+
+  void print() const {
+    std::printf("\n=== %s ===\n", title_.c_str());
+    std::vector<std::size_t> width(columns_.size());
+    for (std::size_t c = 0; c < columns_.size(); ++c)
+      width[c] = columns_[c].size();
+    for (const auto& r : rows_)
+      for (std::size_t c = 0; c < r.size() && c < width.size(); ++c)
+        width[c] = std::max(width[c], r[c].size());
+    auto print_row = [&](const std::vector<std::string>& cells) {
+      for (std::size_t c = 0; c < cells.size() && c < width.size(); ++c)
+        std::printf("%-*s  ", static_cast<int>(width[c]), cells[c].c_str());
+      std::printf("\n");
+    };
+    print_row(columns_);
+    for (const auto& r : rows_) print_row(r);
+  }
+
+ private:
+  std::string title_;
+  std::vector<std::string> columns_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+inline std::string fmt(std::uint64_t v) { return std::to_string(v); }
+inline std::string fmt(std::size_t v, int) { return std::to_string(v); }
+inline std::string fmt_double(double v, int precision = 3) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.*f", precision, v);
+  return buf;
+}
+
+/// Loud self-check: the bench run doubles as an acceptance test.
+inline void expect(bool condition, const char* what) {
+  if (!condition) {
+    std::fprintf(stderr, "BENCH SELF-CHECK FAILED: %s\n", what);
+    std::exit(1);
+  }
+}
+
+}  // namespace ccq::bench

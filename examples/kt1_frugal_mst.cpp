@@ -1,0 +1,85 @@
+// Message-frugal MST in the KT1 model (Theorem 13): when communication —
+// not time — is the scarce resource, the Borůvka-with-sketches algorithm
+// computes the MST with O(n polylog n) messages instead of Θ(n^2).
+//
+// This example contrasts the two regimes on the same input and prints the
+// message budgets side by side, plus the clock-coding curiosity (O(n)
+// messages, astronomically many rounds) on a small instance.
+//
+//   ./examples/kt1_frugal_mst [n] [seed]
+#include <cstdio>
+#include <cstdlib>
+
+#include "core/exact_mst.hpp"
+#include "graph/generators.hpp"
+#include "graph/sequential.hpp"
+#include "kt1/boruvka_sketch_mst.hpp"
+#include "kt1/clock_coding.hpp"
+
+int run_example(int argc, char** argv) {
+  const std::uint32_t n = argc > 1 ? std::atoi(argv[1]) : 512;
+  const std::uint64_t seed = argc > 2 ? std::atoll(argv[2]) : 11;
+  ccq::Rng rng{seed};
+
+  const auto g = ccq::random_weights(ccq::random_connected(n, 4 * n, rng),
+                                     std::uint64_t{1} << 26, rng);
+  const auto reference_weight = ccq::total_weight(ccq::kruskal_msf(g));
+  std::printf("input: n=%u, m=%zu\n\n", n, g.num_edges());
+
+  // Regime 1: optimize rounds (EXACT-MST) — Θ(n^2) messages.
+  {
+    ccq::CliqueEngine engine{{.n = n}};
+    ccq::Rng r{seed + 1};
+    const auto result =
+        ccq::exact_mst(engine, ccq::CliqueWeights::from_graph(g), r);
+    std::printf("EXACT-MST (Theorem 7, round-optimal):\n");
+    std::printf("  weight %s, %s, messages/n^2 = %.3f\n",
+                ccq::total_weight(result.mst) == reference_weight ? "ok"
+                                                                  : "WRONG",
+                engine.metrics().to_string().c_str(),
+                1.0 * engine.metrics().messages / n / n);
+  }
+
+  // Regime 2: optimize messages (Theorem 13) — O(n polylog n) messages.
+  {
+    ccq::CliqueEngine engine{{.n = n}};
+    ccq::Rng r{seed + 2};
+    const auto result = ccq::boruvka_sketch_mst(engine, g, r);
+    std::printf("\nBorůvka-sketch MST (Theorem 13, message-frugal):\n");
+    std::printf("  weight %s, %s, messages/n = %.1f\n",
+                ccq::total_weight(result.mst) == reference_weight ? "ok"
+                                                                  : "WRONG",
+                engine.metrics().to_string().c_str(),
+                1.0 * engine.metrics().messages / n);
+  }
+
+  // Regime 3: optimize messages at any time cost — clock coding (n <= 64).
+  {
+    const std::uint32_t tiny = 32;
+    ccq::Rng r{seed + 3};
+    const auto small = ccq::random_connected(tiny, tiny, r);
+    ccq::CliqueEngine engine{{.n = tiny}};
+    const auto result = ccq::clock_coding_gc(engine, small);
+    std::printf("\nClock coding (Section 4, n=%u for scale):\n", tiny);
+    std::printf("  connected=%s with %llu one-bit messages — but %llu "
+                "(mostly silent) rounds\n",
+                result.connected ? "yes" : "no",
+                static_cast<unsigned long long>(result.messages),
+                static_cast<unsigned long long>(result.virtual_rounds));
+  }
+  std::printf("\nTakeaway: the same problem admits a Θ(n^2)-message "
+              "O(logloglog n)-round solution,\nan O(n polylog n)-message "
+              "O(polylog n)-round solution, and an O(n)-message\n"
+              "2^Θ(n)-round curiosity — the paper's KT0/KT1 lower bounds "
+              "show the first two\nare near-optimal in their regimes.\n");
+  return 0;
+}
+
+int main(int argc, char** argv) {
+  try {
+    return run_example(argc, argv);
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "error: %s\n", e.what());
+    return 1;
+  }
+}

@@ -1,0 +1,83 @@
+// Auditing message lower bounds on live executions.
+//
+// Demonstrates the library's instrumentation: the KT0 hard distribution
+// (Section 3) with the frugal prober's error cliff, and the KT1 G_{i,j}
+// family (Section 4 / Figure 1) with a per-partition message audit attached
+// to a real GC run via the engine's message observer.
+//
+//   ./examples/lowerbound_audit [i]
+#include <cstdio>
+#include <cstdlib>
+
+#include "core/gc.hpp"
+#include "lowerbound/frugal_adversary.hpp"
+#include "lowerbound/kt0_hard.hpp"
+#include "lowerbound/kt1_family.hpp"
+
+int run_example(int argc, char** argv) {
+  const std::uint32_t i = argc > 1 ? std::atoi(argv[1]) : 12;
+
+  // --- KT0: the hard distribution and the cost of being cheap.
+  {
+    const std::uint32_t n = 32;
+    const std::size_t m = 128;
+    const ccq::Kt0HardInstance hard{n, m};
+    std::printf("KT0 hard distribution H(n=%u, m=%zu): |S_G| = %zu swap "
+                "instances,\n%zu edge-disjoint 'squares' (the Ω(m) packing "
+                "of Theorem 8)\n\n",
+                n, m, hard.sg_size(), hard.edge_disjoint_squares().size());
+    ccq::Rng rng{1};
+    std::printf("frugal prober error on H vs probe budget:\n");
+    for (std::uint64_t budget : {8ull, 64ull, 512ull, 4096ull}) {
+      const double err = ccq::frugal_error_rate(hard, budget, 2000, rng);
+      std::printf("  B=%5llu probes -> error %.3f %s\n",
+                  static_cast<unsigned long long>(budget), err,
+                  err > 0.2 ? "(fails the 4/5-correctness bar)" : "");
+    }
+  }
+
+  // --- KT1: partition audit on the Figure 1 family.
+  {
+    const ccq::Kt1Family family{i};
+    std::printf("\nKT1 family (Figure 1), i=%u (n=%u): auditing GC on "
+                "G_{i,0} and G_{i,i+1}\n", i, family.n());
+    std::vector<std::uint64_t> crossings(i + 1, 0);
+    std::uint64_t messages = 0;
+    for (std::uint32_t j : {0u, i + 1}) {
+      ccq::Rng rng{j + 5};
+      ccq::CliqueEngine engine{{.n = family.n()}};
+      ccq::PartitionAudit audit{family};
+      engine.set_observer([&](ccq::VertexId s, ccq::VertexId d) {
+        audit.on_message(s, d);
+      });
+      const auto result =
+          ccq::gc_spanning_forest(engine, family.instance(j), rng);
+      std::printf("  G_{i,%u}: %s, %llu messages\n", j,
+                  result.connected ? "connected" : "disconnected",
+                  static_cast<unsigned long long>(engine.metrics().messages));
+      for (std::uint32_t p = 1; p <= i; ++p)
+        crossings[p] += audit.crossings(p);
+      messages += engine.metrics().messages;
+    }
+    std::uint32_t crossed = 0;
+    for (std::uint32_t p = 1; p <= i; ++p)
+      if (crossings[p] > 0) ++crossed;
+    std::printf("  partitions P_j crossed across both runs: %u of %u "
+                "(Theorem 10 requires all)\n", crossed, i);
+    std::printf("  => any correct algorithm needs >= %u messages on one of "
+                "the two inputs;\n     ours used %llu (it is Θ(n^2) — "
+                "Theorem 13 closes that gap).\n",
+                (family.n() - 2) / 4,
+                static_cast<unsigned long long>(messages));
+  }
+  return 0;
+}
+
+int main(int argc, char** argv) {
+  try {
+    return run_example(argc, argv);
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "error: %s\n", e.what());
+    return 1;
+  }
+}

@@ -1,0 +1,22 @@
+#!/usr/bin/env bash
+# Regenerate every artifact of the reproduction from scratch:
+# build, run the full test suite, and run every experiment bench
+# (each self-checks its theorem; nonzero exit = reproduction failure).
+# Outputs land in test_output.txt and bench_output.txt at the repo root.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+cmake -B build -G Ninja
+cmake --build build
+ctest --test-dir build --output-on-failure -j"$(nproc)" 2>&1 | tee test_output.txt
+
+{
+  for b in build/bench/*; do
+    echo
+    echo "##### $(basename "$b")"
+    "$b"
+  done
+} 2>&1 | tee bench_output.txt
+
+echo
+echo "Reproduction complete: all tests and all experiment self-checks passed."

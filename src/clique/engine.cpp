@@ -1,0 +1,114 @@
+#include "clique/engine.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace ccq {
+
+std::uint32_t wide_bandwidth_messages_per_link(std::uint32_t n) {
+  const auto log_n = static_cast<std::uint32_t>(
+      std::max(1.0, std::ceil(std::log2(std::max<std::uint32_t>(n, 2)))));
+  // O(log^5 n) bits per link / O(log n) bits per message = Θ(log^4 n).
+  return std::max<std::uint32_t>(1, log_n * log_n * log_n * log_n);
+}
+
+Outbox::Outbox(VertexId src, std::uint32_t n, std::uint32_t budget)
+    : src_(src), n_(n), budget_(budget), used_(n, 0) {}
+
+void Outbox::send(VertexId dst, const Message& m) {
+  if (dst >= n_)
+    throw ProtocolError("Outbox::send: destination out of range");
+  if (dst == src_)
+    throw ProtocolError("Outbox::send: self-send has no link in the clique");
+  if (used_[dst] >= budget_)
+    throw ProtocolError(
+        "Outbox::send: per-link bandwidth budget exceeded for this round");
+  ++used_[dst];
+  Message copy = m;
+  copy.src = src_;
+  copy.dst = dst;
+  messages_.push_back(copy);
+}
+
+CliqueEngine::CliqueEngine(const EngineConfig& config)
+    : config_(config), ids_resolved_(config.knowledge == Knowledge::KT1) {
+  if (config.n == 0) throw InvalidArgument("CliqueEngine: n must be positive");
+  if (config.messages_per_link == 0)
+    throw InvalidArgument("CliqueEngine: zero bandwidth");
+}
+
+void CliqueEngine::require_id_knowledge(const char* who) const {
+  if (!ids_resolved_)
+    throw ProtocolError(std::string(who) +
+                        ": needs neighbour IDs — run resolve_ids_kt0 first "
+                        "in the KT0 model");
+}
+
+std::vector<std::vector<Message>> CliqueEngine::round(
+    const std::function<void(VertexId, Outbox&)>& send) {
+  std::vector<VertexId> all(config_.n);
+  for (VertexId v = 0; v < config_.n; ++v) all[v] = v;
+  return round_of(all, send);
+}
+
+std::vector<std::vector<Message>> CliqueEngine::round_of(
+    const std::vector<VertexId>& senders,
+    const std::function<void(VertexId, Outbox&)>& send) {
+  std::vector<std::vector<Message>> inbox(config_.n);
+  std::uint64_t message_count = 0;
+  std::uint64_t word_count = 0;
+  std::vector<bool> seen(config_.n, false);
+  for (VertexId u : senders) {
+    if (u >= config_.n) throw ProtocolError("round_of: sender out of range");
+    if (seen[u])
+      throw ProtocolError(
+          "round_of: duplicate sender would double its per-link budget");
+    seen[u] = true;
+    Outbox out{u, config_.n, config_.messages_per_link};
+    send(u, out);
+    message_count += out.messages_.size();
+    for (const Message& m : out.messages_) {
+      word_count += m.count;
+      if (observer_) observer_(m.src, m.dst);
+      inbox[m.dst].push_back(m);
+    }
+  }
+  ++metrics_.rounds;
+  metrics_.messages += message_count;
+  metrics_.words += word_count;
+  metrics_.max_messages_in_round =
+      std::max(metrics_.max_messages_in_round, message_count);
+  return inbox;
+}
+
+void CliqueEngine::skip_silent_rounds(std::uint64_t k) {
+  metrics_.rounds += k;
+}
+
+void CliqueEngine::set_observer(
+    std::function<void(VertexId, VertexId)> observer) {
+  observer_ = std::move(observer);
+}
+
+void CliqueEngine::charge_verified_round(std::uint64_t messages,
+                                         std::uint64_t words) {
+  ++metrics_.rounds;
+  metrics_.messages += messages;
+  metrics_.words += words;
+  metrics_.max_messages_in_round =
+      std::max(metrics_.max_messages_in_round, messages);
+}
+
+void CliqueEngine::observe(VertexId src, VertexId dst) {
+  if (observer_) observer_(src, dst);
+}
+
+void CliqueEngine::absorb_virtual(const Metrics& sub) {
+  metrics_.rounds += sub.rounds;
+  metrics_.messages += sub.messages;
+  metrics_.words += sub.words;
+  metrics_.max_messages_in_round =
+      std::max(metrics_.max_messages_in_round, sub.max_messages_in_round);
+}
+
+}  // namespace ccq

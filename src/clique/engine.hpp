@@ -1,0 +1,150 @@
+// The Congested Clique execution engine.
+//
+// Model (paper, Section 1.2): n nodes, complete network, synchronous
+// rounds; in each round every node may send a (possibly different) message
+// of O(log n) bits to each of its n-1 neighbours. Two knowledge variants:
+// KT1 (nodes know their neighbours' IDs a priori) and KT0 (nodes know only
+// their own ID and their numbered ports).
+//
+// The engine executes algorithms written in SPMD style: each round, a
+// send callback is invoked once per node to fill that node's outbox from
+// the node's pre-round state, then all messages are delivered
+// simultaneously. The engine *enforces* the model:
+//
+//   - at most `messages_per_link` messages per ordered link per round
+//     (default 1, the standard model; set Θ(log^4 n) for the paper's
+//     O(log^5 n)-bit-bandwidth variants),
+//   - sends to out-of-range nodes or to self are rejected,
+//   - violations throw ProtocolError — so a green test suite certifies
+//     that every claimed round schedule is feasible.
+//
+// Rounds, messages and words are counted exactly (clique/metrics). The
+// engine also supports:
+//
+//   - virtual time: skip_silent_rounds(k) advances the round counter by k
+//     rounds in O(1) work, used by the KT1 clock-coding algorithm whose
+//     round count is super-polynomial but almost always silent;
+//   - message observers: a callback invoked per delivered message, used by
+//     the lower-bound experiments to audit which vertex-partitions a
+//     protocol's messages cross (Section 4 of the paper).
+//
+// Fixed-schedule fast paths (all-to-all broadcast and friends) live in
+// comm/primitives; they deliver data without materializing n^2 Message
+// objects but are charged through the same counters and are
+// bandwidth-valid by construction (each such schedule uses each ordered
+// link at most once per round).
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "clique/message.hpp"
+#include "clique/metrics.hpp"
+#include "graph/graph.hpp"
+
+namespace ccq {
+
+enum class Knowledge { KT0, KT1 };
+
+struct EngineConfig {
+  std::uint32_t n{0};
+  /// Per-ordered-link, per-round message budget. 1 models the standard
+  /// O(log n)-bit links; ceil(log2(n))^4 models the O(log^5 n)-bit links of
+  /// the constant-round variants in Theorems 4 and 7.
+  std::uint32_t messages_per_link{1};
+  Knowledge knowledge{Knowledge::KT1};
+};
+
+/// Budget for the wide-bandwidth variant: one O(log^5 n)-bit link carries
+/// Θ(log^4 n) messages of O(log n) bits each.
+std::uint32_t wide_bandwidth_messages_per_link(std::uint32_t n);
+
+/// Per-node outbox for one round. Enforces per-destination budget eagerly.
+class Outbox {
+ public:
+  /// Send `m` to `dst` (tag/payload taken from m; src/dst overwritten).
+  void send(VertexId dst, const Message& m);
+
+  std::size_t size() const { return messages_.size(); }
+
+ private:
+  friend class CliqueEngine;
+  Outbox(VertexId src, std::uint32_t n, std::uint32_t budget);
+
+  VertexId src_;
+  std::uint32_t n_;
+  std::uint32_t budget_;
+  std::vector<Message> messages_;
+  std::vector<std::uint16_t> used_;  // per-destination count this round
+};
+
+class CliqueEngine {
+ public:
+  explicit CliqueEngine(const EngineConfig& config);
+
+  std::uint32_t n() const { return config_.n; }
+  Knowledge knowledge() const { return config_.knowledge; }
+  std::uint32_t messages_per_link() const { return config_.messages_per_link; }
+
+  /// KT0/KT1 discipline: algorithms that address peers by ID (i.e. all of
+  /// Section 2's algorithms) must hold ID knowledge — native in KT1, or
+  /// acquired in KT0 by the one-round all-to-all ID broadcast (resolve_ids_kt0 in
+  /// comm/primitives, which calls mark_ids_resolved). Throws ProtocolError
+  /// if a KT0 engine is used without resolution — this is what makes the
+  /// Θ(n^2)-message KT0 bootstrap of Section 2 unavoidable in code, not
+  /// just in prose.
+  void require_id_knowledge(const char* who) const;
+  void mark_ids_resolved() { ids_resolved_ = true; }
+  bool ids_resolved() const { return ids_resolved_; }
+
+  /// Execute one synchronous round: `send` is called once per node (in id
+  /// order; it must only read that node's own state) to fill the node's
+  /// outbox; all messages are then delivered at once. Returns per-receiver
+  /// inboxes, ordered by (sender, submission order) for determinism.
+  std::vector<std::vector<Message>> round(
+      const std::function<void(VertexId, Outbox&)>& send);
+
+  /// Run a round in which only the listed nodes send (others stay silent).
+  std::vector<std::vector<Message>> round_of(
+      const std::vector<VertexId>& senders,
+      const std::function<void(VertexId, Outbox&)>& send);
+
+  /// Advance the round counter by `k` silent rounds in O(1) work (virtual
+  /// time). No messages move.
+  void skip_silent_rounds(std::uint64_t k);
+
+  const Metrics& metrics() const { return metrics_; }
+  MetricsScope scope() const { return MetricsScope{metrics_}; }
+
+  /// Install an observer invoked as (src, dst) for every delivered message,
+  /// including those moved by the comm fast paths. Pass nullptr to clear.
+  void set_observer(std::function<void(VertexId, VertexId)> observer);
+
+  /// --- Fast-path accounting (used by comm/primitives only) ---
+  /// Charge one round that moved `messages` messages totaling `words`
+  /// payload words under a schedule that is bandwidth-valid by
+  /// construction. `per_message_observer_pairs` lists (src,dst) pairs for
+  /// the observer when one is installed (may be empty to skip auditing for
+  /// schedules whose pairs the caller reports via observe()).
+  void charge_verified_round(std::uint64_t messages, std::uint64_t words);
+
+  /// Report a (src,dst) message to the observer (fast paths call this once
+  /// per logical message when an observer is installed).
+  void observe(VertexId src, VertexId dst);
+
+  /// Absorb the metrics of a virtual sub-instance (e.g. the 2n-node double-
+  /// cover embedding of the bipartiteness reduction) into this engine's
+  /// counters, 1:1.
+  void absorb_virtual(const Metrics& sub);
+
+  bool has_observer() const { return static_cast<bool>(observer_); }
+
+ private:
+  EngineConfig config_;
+  Metrics metrics_;
+  bool ids_resolved_{false};
+  std::function<void(VertexId, VertexId)> observer_;
+};
+
+}  // namespace ccq

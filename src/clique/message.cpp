@@ -1,0 +1,36 @@
+#include "clique/message.hpp"
+
+namespace ccq {
+
+Message make_message(std::uint32_t tag, std::span<const std::uint64_t> words) {
+  check(words.size() <= kMaxWords, "make_message: payload too large");
+  Message m;
+  m.tag = tag;
+  m.count = static_cast<std::uint8_t>(words.size());
+  for (std::size_t i = 0; i < words.size(); ++i) m.words[i] = words[i];
+  return m;
+}
+
+Message msg1(std::uint32_t tag, std::uint64_t a) {
+  const std::uint64_t w[] = {a};
+  return make_message(tag, w);
+}
+
+Message msg2(std::uint32_t tag, std::uint64_t a, std::uint64_t b) {
+  const std::uint64_t w[] = {a, b};
+  return make_message(tag, w);
+}
+
+Message msg3(std::uint32_t tag, std::uint64_t a, std::uint64_t b,
+             std::uint64_t c) {
+  const std::uint64_t w[] = {a, b, c};
+  return make_message(tag, w);
+}
+
+Message msg4(std::uint32_t tag, std::uint64_t a, std::uint64_t b,
+             std::uint64_t c, std::uint64_t d) {
+  const std::uint64_t w[] = {a, b, c, d};
+  return make_message(tag, w);
+}
+
+}  // namespace ccq

@@ -1,0 +1,59 @@
+// Messages of the Congested Clique model.
+//
+// The model (paper, Section 1.2) allows each node to send one message of
+// O(log n) bits along each of its n-1 links per round. We represent one
+// such message as a tag plus up to kMaxWords machine words, where a "word"
+// stands for one O(log n)-bit quantity (a vertex id, a weight, a hash/field
+// element — all of value poly(n), hence O(log n) bits in the model's
+// accounting). Larger payloads (e.g. the O(log^4 n)-bit sketches) must be
+// split into multiple messages across rounds or links; comm/primitives
+// provides the splitting helpers and the engine enforces the per-link
+// budget every round.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <span>
+
+#include "graph/graph.hpp"
+#include "util/error.hpp"
+
+namespace ccq {
+
+/// Maximum words per message. Four words comfortably hold one weighted edge
+/// (u, v, w) plus routing metadata, matching the paper's convention that a
+/// constant number of O(log n)-bit fields form one message.
+inline constexpr std::size_t kMaxWords = 4;
+
+/// One Congested Clique message. `tag` is an algorithm-defined
+/// discriminator (it models the constant number of "message type" bits that
+/// any real protocol reserves); the words are the O(log n)-bit payload.
+struct Message {
+  VertexId src{0};
+  VertexId dst{0};
+  std::uint32_t tag{0};
+  std::uint8_t count{0};
+  std::array<std::uint64_t, kMaxWords> words{};
+
+  std::span<const std::uint64_t> payload() const {
+    return {words.data(), count};
+  }
+
+  std::uint64_t word(std::size_t i) const {
+    check(i < count, "Message::word: index out of range");
+    return words[i];
+  }
+};
+
+/// Build a message (src/dst filled in by the Outbox / engine).
+Message make_message(std::uint32_t tag, std::span<const std::uint64_t> words);
+
+inline Message msg0(std::uint32_t tag) { return make_message(tag, {}); }
+Message msg1(std::uint32_t tag, std::uint64_t a);
+Message msg2(std::uint32_t tag, std::uint64_t a, std::uint64_t b);
+Message msg3(std::uint32_t tag, std::uint64_t a, std::uint64_t b,
+             std::uint64_t c);
+Message msg4(std::uint32_t tag, std::uint64_t a, std::uint64_t b,
+             std::uint64_t c, std::uint64_t d);
+
+}  // namespace ccq

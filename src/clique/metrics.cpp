@@ -1,0 +1,13 @@
+#include "clique/metrics.hpp"
+
+#include <sstream>
+
+namespace ccq {
+
+std::string Metrics::to_string() const {
+  std::ostringstream out;
+  out << "rounds=" << rounds << " messages=" << messages << " words=" << words;
+  return out.str();
+}
+
+}  // namespace ccq

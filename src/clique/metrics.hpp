@@ -1,0 +1,44 @@
+// Round / message / word accounting for the Congested Clique engine.
+//
+// The paper's two complexity measures (Section 1.2) are rounds and
+// messages. We additionally track payload words so the wide-bandwidth
+// variants (Theorems 4 and 7 with O(log^5 n)-bit links) can be compared on
+// total information moved. Metrics are monotone counters; Scope captures a
+// delta over a region of an algorithm (e.g. "messages of Phase 2 only").
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+namespace ccq {
+
+struct Metrics {
+  std::uint64_t rounds{0};
+  std::uint64_t messages{0};
+  std::uint64_t words{0};
+  std::uint64_t max_messages_in_round{0};
+
+  /// Counter delta between two snapshots. max_messages_in_round is not
+  /// recoverable from snapshots (a peak inside the window cannot be told
+  /// apart from one before it), so the delta reports 0 for it.
+  Metrics operator-(const Metrics& base) const {
+    return Metrics{rounds - base.rounds, messages - base.messages,
+                   words - base.words, 0};
+  }
+
+  std::string to_string() const;
+};
+
+/// Captures a metrics window: construct at region entry, call delta() at
+/// exit.
+class MetricsScope {
+ public:
+  explicit MetricsScope(const Metrics& live) : live_(live), base_(live) {}
+  Metrics delta() const { return live_ - base_; }
+
+ private:
+  const Metrics& live_;
+  Metrics base_;
+};
+
+}  // namespace ccq

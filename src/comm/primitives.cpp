@@ -1,0 +1,134 @@
+#include "comm/primitives.hpp"
+
+#include <algorithm>
+
+#include "util/error.hpp"
+
+namespace ccq {
+
+namespace {
+
+/// Rounds needed to push `words` payload words over one link given the
+/// engine's per-link message budget (kMaxWords words per message).
+std::uint64_t rounds_for_words(const CliqueEngine& engine,
+                               std::uint64_t words) {
+  const std::uint64_t messages = (words + kMaxWords - 1) / kMaxWords;
+  const std::uint64_t rounds =
+      (messages + engine.messages_per_link() - 1) / engine.messages_per_link();
+  return std::max<std::uint64_t>(rounds, 1);
+}
+
+void observe_to_all(CliqueEngine& engine, VertexId src,
+                    std::uint64_t copies_per_link) {
+  if (!engine.has_observer()) return;
+  for (VertexId v = 0; v < engine.n(); ++v) {
+    if (v == src) continue;
+    for (std::uint64_t c = 0; c < copies_per_link; ++c) engine.observe(src, v);
+  }
+}
+
+}  // namespace
+
+std::uint64_t broadcast_from(CliqueEngine& engine, VertexId src,
+                             const std::vector<std::uint64_t>& words) {
+  check(src < engine.n(), "broadcast_from: src out of range");
+  if (engine.n() == 1) return 0;
+  const std::uint64_t n_minus_1 = engine.n() - 1;
+  const std::uint64_t msgs_per_link =
+      std::max<std::uint64_t>(1, (words.size() + kMaxWords - 1) / kMaxWords);
+  const std::uint64_t rounds = rounds_for_words(engine, words.size());
+  // Each of the `rounds` rounds, src sends one batch to every other node.
+  const std::uint64_t per_round_msgs =
+      (msgs_per_link + rounds - 1) / rounds * n_minus_1;
+  std::uint64_t remaining_msgs = msgs_per_link * n_minus_1;
+  std::uint64_t remaining_words = words.size() * n_minus_1;
+  for (std::uint64_t r = 0; r < rounds; ++r) {
+    const std::uint64_t m = std::min(per_round_msgs, remaining_msgs);
+    const std::uint64_t w =
+        r + 1 == rounds ? remaining_words
+                        : std::min<std::uint64_t>(m * kMaxWords,
+                                                  remaining_words);
+    engine.charge_verified_round(m, w);
+    remaining_msgs -= m;
+    remaining_words -= w;
+  }
+  observe_to_all(engine, src, msgs_per_link);
+  return rounds;
+}
+
+std::uint64_t broadcast_all(CliqueEngine& engine,
+                            const std::vector<VertexId>& senders,
+                            const std::vector<std::vector<std::uint64_t>>&
+                                value_of_sender) {
+  check(senders.size() == value_of_sender.size(),
+        "broadcast_all: senders/values size mismatch");
+  if (engine.n() == 1 || senders.empty()) return 0;
+  std::size_t max_len = 0;
+  for (const auto& v : value_of_sender) max_len = std::max(max_len, v.size());
+  const std::uint64_t rounds = rounds_for_words(engine, max_len);
+  const std::uint64_t n_minus_1 = engine.n() - 1;
+  std::uint64_t total_msgs = 0;
+  std::uint64_t total_words = 0;
+  for (std::size_t i = 0; i < senders.size(); ++i) {
+    check(senders[i] < engine.n(), "broadcast_all: sender out of range");
+    const std::uint64_t msgs =
+        std::max<std::uint64_t>(1, (value_of_sender[i].size() + kMaxWords - 1) /
+                                       kMaxWords);
+    total_msgs += msgs * n_minus_1;
+    total_words += value_of_sender[i].size() * n_minus_1;
+    observe_to_all(engine, senders[i], msgs);
+  }
+  // Spread the charge evenly over the rounds (the schedule sends batch r of
+  // every sender in round r).
+  for (std::uint64_t r = 0; r < rounds; ++r) {
+    const std::uint64_t m = total_msgs / rounds + (r < total_msgs % rounds);
+    const std::uint64_t w = total_words / rounds + (r < total_words % rounds);
+    engine.charge_verified_round(m, w);
+  }
+  return rounds;
+}
+
+std::uint64_t spray_broadcast(CliqueEngine& engine, VertexId owner,
+                              const std::vector<std::vector<std::uint64_t>>&
+                                  items) {
+  check(owner < engine.n(), "spray_broadcast: owner out of range");
+  check(items.size() <= engine.n() - 1,
+        "spray_broadcast: more items than helper nodes");
+  for (const auto& item : items)
+    check(item.size() <= kMaxWords, "spray_broadcast: item too large");
+  if (items.empty()) return 0;
+  // Round 1: owner -> helpers (distinct links, 1 message each).
+  std::uint64_t words_out = 0;
+  for (const auto& item : items) words_out += item.size();
+  engine.charge_verified_round(items.size(), words_out);
+  if (engine.has_observer()) {
+    VertexId helper = 0;
+    for (std::size_t i = 0; i < items.size(); ++i, ++helper) {
+      if (helper == owner) ++helper;
+      engine.observe(owner, helper);
+    }
+  }
+  // Round 2: each helper broadcasts its item to all n-1 others.
+  const std::uint64_t n_minus_1 = engine.n() - 1;
+  engine.charge_verified_round(items.size() * n_minus_1,
+                               words_out * n_minus_1);
+  if (engine.has_observer()) {
+    VertexId helper = 0;
+    for (std::size_t i = 0; i < items.size(); ++i, ++helper) {
+      if (helper == owner) ++helper;
+      observe_to_all(engine, helper, 1);
+    }
+  }
+  return 2;
+}
+
+void resolve_ids_kt0(CliqueEngine& engine) {
+  engine.mark_ids_resolved();
+  if (engine.n() == 1) return;
+  const std::uint64_t n = engine.n();
+  engine.charge_verified_round(n * (n - 1), n * (n - 1));
+  if (engine.has_observer())
+    for (VertexId u = 0; u < n; ++u) observe_to_all(engine, u, 1);
+}
+
+}  // namespace ccq

@@ -1,0 +1,49 @@
+// Fixed-schedule communication primitives.
+//
+// These are the standard Congested Clique building blocks the paper
+// composes: one-to-all broadcast, all-to-all broadcast of one value per
+// node, and "spray" dissemination (v* sends each element of a list to a
+// distinct node, which rebroadcasts it — Step 4 of Algorithm 2). Each
+// primitive uses every ordered link at most `messages_per_link` times per
+// round by construction, so it bypasses per-message Outbox materialization
+// and charges the engine through charge_verified_round; the accounting is
+// identical to executing the schedule message-by-message (tests pin this).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "clique/engine.hpp"
+
+namespace ccq {
+
+/// Node `src` sends the same `words` payload to every other node. Takes
+/// ceil(words / kMaxWords) / messages_per_link rounds (at least 1); every
+/// receiver ends up knowing `words`. Returns the number of rounds used.
+std::uint64_t broadcast_from(CliqueEngine& engine, VertexId src,
+                             const std::vector<std::uint64_t>& words);
+
+/// Every node u in `senders` broadcasts its own value[u] list; all lists
+/// must have the same length. After the call every node knows every list.
+/// Rounds: ceil(len / kMaxWords / messages_per_link), at least 1.
+std::uint64_t broadcast_all(CliqueEngine& engine,
+                            const std::vector<VertexId>& senders,
+                            const std::vector<std::vector<std::uint64_t>>&
+                                value_of_sender);
+
+/// Step-4-of-SKETCHANDSPAN dissemination: `owner` holds `items` (at most
+/// n-1 of them, each <= kMaxWords words). Owner sends item i to helper
+/// node i (skipping owner itself), each helper rebroadcasts its item; after
+/// 2 rounds every node knows all items. Returns rounds used (2, or more if
+/// items exceed one word-batch).
+std::uint64_t spray_broadcast(CliqueEngine& engine, VertexId owner,
+                              const std::vector<std::vector<std::uint64_t>>&
+                                  items);
+
+/// KT0 bootstrap: every node announces its ID to all others so that port
+/// numbers can be mapped to IDs; after this the KT0 and KT1 models coincide
+/// (paper, Section 2 opening remark). Costs exactly 1 round and n(n-1)
+/// messages.
+void resolve_ids_kt0(CliqueEngine& engine);
+
+}  // namespace ccq

@@ -1,0 +1,30 @@
+#include "comm/shared_random.hpp"
+
+#include <algorithm>
+
+#include "comm/primitives.hpp"
+
+namespace ccq {
+
+std::vector<std::uint64_t> shared_random_words(CliqueEngine& engine,
+                                               std::size_t count, Rng& rng) {
+  std::vector<std::uint64_t> words;
+  words.reserve(count);
+  const std::uint32_t n = engine.n();
+  std::size_t produced = 0;
+  while (produced < count) {
+    const std::size_t wave = std::min<std::size_t>(count - produced, n);
+    std::vector<VertexId> senders(wave);
+    std::vector<std::vector<std::uint64_t>> values(wave);
+    for (std::size_t i = 0; i < wave; ++i) {
+      senders[i] = static_cast<VertexId>(i);
+      values[i] = {rng.next()};  // the designated node's locally drawn word
+      words.push_back(values[i][0]);
+    }
+    broadcast_all(engine, senders, values);
+    produced += wave;
+  }
+  return words;
+}
+
+}  // namespace ccq

@@ -1,0 +1,26 @@
+// The shared-randomness protocol of Theorem 1.
+//
+// The sketch construction requires all nodes to evaluate the *same* hash
+// functions, i.e. to share Θ(log^2 n) mutually independent random bits
+// (Section 2.1). The paper's protocol: designate Θ(log n) nodes, each
+// generates ⌈log n⌉ random bits and broadcasts them; O(1) rounds total. We
+// generalize to `count` 64-bit words: node i (i < count, wrapping in waves
+// when count > n) draws word i and broadcasts it via broadcast_all — every
+// node then assembles the identical seed vector.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "clique/engine.hpp"
+#include "util/random.hpp"
+
+namespace ccq {
+
+/// Generate `count` shared random words; after the call every node knows
+/// them. Communication: ceil(count/n) broadcast_all waves (1 round and
+/// up to n(n-1) messages each for count <= n).
+std::vector<std::uint64_t> shared_random_words(CliqueEngine& engine,
+                                               std::size_t count, Rng& rng);
+
+}  // namespace ccq

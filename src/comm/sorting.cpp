@@ -1,0 +1,121 @@
+#include "comm/sorting.hpp"
+
+#include <algorithm>
+
+#include "comm/primitives.hpp"
+#include "comm/routing.hpp"
+#include "util/error.hpp"
+
+namespace ccq {
+
+namespace {
+constexpr std::uint32_t kTagSample = 0x5301;
+constexpr std::uint32_t kTagKey = 0x5302;
+constexpr std::uint32_t kTagRank = 0x5303;
+}  // namespace
+
+std::vector<std::vector<std::uint64_t>> distributed_sort_ranks(
+    CliqueEngine& engine,
+    const std::vector<std::vector<std::uint64_t>>& keys_per_node, Rng& rng) {
+  const std::uint32_t n = engine.n();
+  check(keys_per_node.size() == n,
+        "distributed_sort_ranks: one key list per node required");
+  std::uint64_t total = 0;
+  for (const auto& keys : keys_per_node) total += keys.size();
+  std::vector<std::vector<std::uint64_t>> ranks(n);
+  for (VertexId v = 0; v < n; ++v)
+    ranks[v].assign(keys_per_node[v].size(), 0);
+  if (total == 0) return ranks;
+
+  // --- 1. Sample keys to the coordinator. ---
+  const VertexId coordinator = 0;
+  const double sample_rate =
+      total <= 4ull * n ? 1.0
+                        : static_cast<double>(4ull * n) /
+                              static_cast<double>(total);
+  std::vector<Packet> sample;
+  for (VertexId v = 0; v < n; ++v)
+    for (std::uint64_t key : keys_per_node[v])
+      if (rng.next_bool(sample_rate))
+        sample.push_back({v, coordinator, msg1(kTagSample, key)});
+  auto sample_inbox = route_packets(engine, sample);
+  std::vector<std::uint64_t> sampled;
+  sampled.reserve(sample_inbox[coordinator].size());
+  for (const auto& m : sample_inbox[coordinator]) sampled.push_back(m.word(0));
+  std::sort(sampled.begin(), sampled.end());
+
+  // --- 2. Pick and disseminate n-1 splitters (spray broadcast). ---
+  std::vector<std::uint64_t> splitters;
+  if (!sampled.empty()) {
+    for (std::uint32_t i = 1; i < n; ++i) {
+      const std::size_t idx =
+          std::min<std::size_t>(sampled.size() - 1,
+                                (static_cast<std::size_t>(i) * sampled.size()) /
+                                    n);
+      splitters.push_back(sampled[idx]);
+    }
+  }
+  std::vector<std::vector<std::uint64_t>> splitter_items;
+  for (std::size_t i = 0; i < splitters.size(); ++i)
+    splitter_items.push_back({static_cast<std::uint64_t>(i), splitters[i]});
+  spray_broadcast(engine, coordinator, splitter_items);
+
+  // --- 3. Route every key to its bucket owner. ---
+  auto bucket_of = [&](std::uint64_t key) -> VertexId {
+    const auto it =
+        std::upper_bound(splitters.begin(), splitters.end(), key);
+    return static_cast<VertexId>(it - splitters.begin());
+  };
+  std::vector<Packet> key_packets;
+  key_packets.reserve(total);
+  for (VertexId v = 0; v < n; ++v)
+    for (std::size_t i = 0; i < keys_per_node[v].size(); ++i) {
+      const std::uint64_t key = keys_per_node[v][i];
+      key_packets.push_back(
+          {v, bucket_of(key), msg3(kTagKey, key, v, i)});
+    }
+  auto bucket_inbox = route_packets(engine, key_packets);
+
+  // --- 4. Local sort per bucket; broadcast bucket sizes; rank; reply. ---
+  struct Item {
+    std::uint64_t key;
+    VertexId owner;
+    std::uint64_t position;
+  };
+  std::vector<std::vector<Item>> buckets(n);
+  for (VertexId b = 0; b < n; ++b) {
+    buckets[b].reserve(bucket_inbox[b].size());
+    for (const auto& m : bucket_inbox[b])
+      buckets[b].push_back(
+          {m.word(0), static_cast<VertexId>(m.word(1)), m.word(2)});
+    std::sort(buckets[b].begin(), buckets[b].end(),
+              [](const Item& a, const Item& c) {
+                return std::tie(a.key, a.owner, a.position) <
+                       std::tie(c.key, c.owner, c.position);
+              });
+  }
+  std::vector<VertexId> all_nodes(n);
+  std::vector<std::vector<std::uint64_t>> sizes(n);
+  for (VertexId v = 0; v < n; ++v) {
+    all_nodes[v] = v;
+    sizes[v] = {static_cast<std::uint64_t>(buckets[v].size())};
+  }
+  broadcast_all(engine, all_nodes, sizes);
+  std::vector<std::uint64_t> prefix(n + 1, 0);
+  for (VertexId b = 0; b < n; ++b)
+    prefix[b + 1] = prefix[b] + buckets[b].size();
+  std::vector<Packet> rank_packets;
+  rank_packets.reserve(total);
+  for (VertexId b = 0; b < n; ++b)
+    for (std::size_t i = 0; i < buckets[b].size(); ++i) {
+      const Item& item = buckets[b][i];
+      rank_packets.push_back(
+          {b, item.owner, msg2(kTagRank, item.position, prefix[b] + i)});
+    }
+  auto rank_inbox = route_packets(engine, rank_packets);
+  for (VertexId v = 0; v < n; ++v)
+    for (const auto& m : rank_inbox[v]) ranks[v][m.word(0)] = m.word(1);
+  return ranks;
+}
+
+}  // namespace ccq

@@ -1,0 +1,27 @@
+#include "convert/k_machine.hpp"
+
+#include "util/error.hpp"
+
+namespace ccq {
+
+KMachineEstimate k_machine_cost(const Metrics& clique_cost, std::uint32_t k) {
+  check(k >= 2, "k_machine_cost: need at least two machines");
+  KMachineEstimate out;
+  out.k = k;
+  const std::uint64_t pairs = static_cast<std::uint64_t>(k) * k;
+  out.message_term = (clique_cost.messages + pairs - 1) / pairs;
+  out.time_term = clique_cost.rounds;
+  out.total = out.message_term + out.time_term;
+  return out;
+}
+
+bool mapreduce_moderate(const Metrics& clique_cost, std::uint32_t n,
+                        double slack) {
+  check(n >= 1 && slack > 0, "mapreduce_moderate: bad parameters");
+  if (clique_cost.rounds == 0) return true;
+  const double per_round = static_cast<double>(clique_cost.messages) /
+                           static_cast<double>(clique_cost.rounds);
+  return per_round <= static_cast<double>(n) * n / slack;
+}
+
+}  // namespace ccq

@@ -1,0 +1,50 @@
+#include "core/bipartiteness.hpp"
+
+#include "core/gc.hpp"
+#include "util/error.hpp"
+
+namespace ccq {
+
+Graph bipartite_double_cover(const Graph& g) {
+  const std::uint32_t n = g.num_vertices();
+  Graph d{2 * n};
+  for (const auto& e : g.edges()) {
+    d.add_edge(e.u, e.v + n);
+    d.add_edge(e.u + n, e.v);
+  }
+  return d;
+}
+
+BipartitenessResult gc_bipartiteness(CliqueEngine& engine, const Graph& g,
+                                     Rng& rng) {
+  const std::uint32_t n = g.num_vertices();
+  check(engine.n() == n, "gc_bipartiteness: engine/input size mismatch");
+  BipartitenessResult result;
+
+  // Components of G.
+  const auto gc = gc_spanning_forest(engine, g, rng);
+  result.monte_carlo_ok = gc.monte_carlo_ok;
+  result.components =
+      n - static_cast<std::uint32_t>(gc.forest.size());
+
+  // Components of the double cover, on a 2n-node virtual engine (each
+  // physical node hosts its two copies; costs are absorbed 1:1, a constant-
+  // factor model of the embedding).
+  const Graph cover = bipartite_double_cover(g);
+  CliqueEngine virtual_engine{
+      {.n = 2 * n, .messages_per_link = engine.messages_per_link(),
+       .knowledge = engine.knowledge()}};
+  const auto cover_gc = gc_spanning_forest(virtual_engine, cover, rng);
+  if (!cover_gc.monte_carlo_ok) result.monte_carlo_ok = false;
+  result.double_cover_components =
+      2 * n - static_cast<std::uint32_t>(cover_gc.forest.size());
+  // The virtual instance's traffic is real traffic between the hosting
+  // machines (up to the constant-factor doubling of copies per link).
+  engine.absorb_virtual(virtual_engine.metrics());
+
+  result.bipartite =
+      result.double_cover_components == 2 * result.components;
+  return result;
+}
+
+}  // namespace ccq

@@ -1,0 +1,37 @@
+// Bipartiteness in O(log log log n) rounds (Remark 5), via the Ahn–Guha–
+// McGregor reduction: the bipartite double cover D(G) duplicates every
+// vertex v into (v, v') and replaces each edge {u,v} by {u, v'} and
+// {u', v}. Every bipartite component of G lifts to two components of D(G)
+// and every non-bipartite component to one, so
+//
+//     G is bipartite  <=>  #components(D(G)) = 2 * #components(G).
+//
+// Both component counts come from the paper's GC algorithm. The double
+// cover has 2n vertices; each physical machine simulates its two copies
+// (the standard embedding), which we model by running the GC instance on a
+// 2n-node engine and absorbing its round/message counts — a constant-
+// factor accounting, documented in DESIGN.md.
+#pragma once
+
+#include <cstdint>
+
+#include "clique/engine.hpp"
+#include "graph/graph.hpp"
+#include "util/random.hpp"
+
+namespace ccq {
+
+/// The bipartite double cover D(G) on 2n vertices (copy of v is v + n).
+Graph bipartite_double_cover(const Graph& g);
+
+struct BipartitenessResult {
+  bool bipartite{false};
+  bool monte_carlo_ok{true};
+  std::uint32_t components{0};
+  std::uint32_t double_cover_components{0};
+};
+
+BipartitenessResult gc_bipartiteness(CliqueEngine& engine, const Graph& g,
+                                     Rng& rng);
+
+}  // namespace ccq

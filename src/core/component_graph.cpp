@@ -1,0 +1,89 @@
+#include "core/component_graph.hpp"
+
+#include <algorithm>
+#include <set>
+#include <unordered_map>
+
+#include "util/error.hpp"
+
+namespace ccq {
+
+std::vector<ComponentPair> ComponentGraph::incident_pairs(
+    VertexId leader) const {
+  std::vector<ComponentPair> out;
+  for (const auto& [pair, edge] : witness)
+    if (pair.first == leader || pair.second == leader) out.push_back(pair);
+  return out;
+}
+
+namespace {
+
+ComponentGraph build_impl(CliqueEngine& engine,
+                          const std::vector<WeightedEdge>& edges,
+                          std::uint32_t n,
+                          const std::vector<VertexId>& leader_of) {
+  check(leader_of.size() == n, "build_component_graph: bad labelling");
+  ComponentGraph out;
+  {
+    std::set<VertexId> leader_set(leader_of.begin(), leader_of.end());
+    out.leaders.assign(leader_set.begin(), leader_set.end());
+  }
+  // Per-node lightest incident edge into each foreign component — the
+  // content of the single round of messages (node -> foreign leader).
+  // message_pairs counts exactly the messages the round carries.
+  std::vector<std::unordered_map<VertexId, WeightedEdge>> lightest(n);
+  for (const auto& e : edges) {
+    const VertexId cu = leader_of[e.u];
+    const VertexId cv = leader_of[e.v];
+    if (cu == cv) continue;
+    auto consider = [&](VertexId node, VertexId foreign_leader) {
+      auto& row = lightest[node];
+      const auto it = row.find(foreign_leader);
+      if (it == row.end() || e.key() < it->second.key())
+        row.insert_or_assign(foreign_leader, e);
+    };
+    consider(e.u, cv);
+    consider(e.v, cu);
+  }
+  std::uint64_t message_count = 0;
+  for (VertexId u = 0; u < n; ++u) {
+    for (const auto& [foreign_leader, edge] : lightest[u]) {
+      // u can never be another component's leader, so every entry is a
+      // real message u -> foreign_leader.
+      ++message_count;
+      engine.observe(u, foreign_leader);
+      const auto key = component_pair(leader_of[u], foreign_leader);
+      const auto it = out.witness.find(key);
+      if (it == out.witness.end() || edge.key() < it->second.key())
+        out.witness.insert_or_assign(key, edge);
+    }
+  }
+  // One round: every node sends at most one message per distinct foreign
+  // leader (distinct destinations); each message carries (u, v, w).
+  engine.charge_verified_round(message_count, message_count * 3);
+  std::set<VertexId> active;
+  for (const auto& [pair, edge] : out.witness) {
+    active.insert(pair.first);
+    active.insert(pair.second);
+  }
+  out.active_leaders.assign(active.begin(), active.end());
+  return out;
+}
+
+}  // namespace
+
+ComponentGraph build_component_graph(CliqueEngine& engine, const Graph& g,
+                                     const std::vector<VertexId>& leader_of) {
+  std::vector<WeightedEdge> edges;
+  edges.reserve(g.num_edges());
+  for (const auto& e : g.edges()) edges.emplace_back(e.u, e.v, 1);
+  return build_impl(engine, edges, g.num_vertices(), leader_of);
+}
+
+ComponentGraph build_component_graph_weighted(
+    CliqueEngine& engine, const std::vector<WeightedEdge>& edges,
+    std::uint32_t n, const std::vector<VertexId>& leader_of) {
+  return build_impl(engine, edges, n, leader_of);
+}
+
+}  // namespace ccq

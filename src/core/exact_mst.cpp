@@ -1,0 +1,103 @@
+#include "core/exact_mst.hpp"
+
+#include <limits>
+
+#include "core/component_graph.hpp"
+#include "core/kkt.hpp"
+#include "core/sq_mst.hpp"
+#include "graph/union_find.hpp"
+#include "util/error.hpp"
+
+namespace ccq {
+
+namespace {
+
+ExactMstResult run(CliqueEngine& engine, const CliqueWeights& weights,
+                   Rng& rng, std::uint32_t phases) {
+  const std::uint32_t n = weights.n();
+  check(engine.n() == n, "exact_mst: engine/input size mismatch");
+  engine.require_id_knowledge("exact_mst");
+  ExactMstResult result;
+
+  // --- Step 1: CC-MST preprocessing (phases == 0 in the wide variant).
+  std::vector<VertexId> leader_of(n);
+  for (VertexId v = 0; v < n; ++v) leader_of[v] = v;
+  if (phases > 0) {
+    const LotkerState state = cc_mst_phases(engine, weights, phases);
+    result.lotker_phases = state.phases_run;
+    // Keep the finite-weight selections (infinite "padding" edges appear
+    // only when the finite part of the input is disconnected; discarding
+    // them turns the output into a minimum spanning forest, as in
+    // REDUCECOMPONENTS).
+    UnionFind uf{n};
+    for (const auto& e : state.tree_edges)
+      if (e.w != kInfiniteWeight) {
+        result.mst.push_back(e);
+        uf.unite(e.u, e.v);
+      }
+    std::vector<VertexId> min_of(n, std::numeric_limits<VertexId>::max());
+    for (VertexId v = 0; v < n; ++v) {
+      const auto root = uf.find(v);
+      min_of[root] = std::min(min_of[root], v);
+    }
+    for (VertexId v = 0; v < n; ++v) leader_of[v] = min_of[uf.find(v)];
+  }
+
+  // --- Step 2: weighted component graph G1. The MST subproblems run in
+  // the *contracted* space (endpoints are component leaders) — running them
+  // on raw witness endpoints would miss cycles among components. The
+  // witness map converts accepted contracted edges back to edges of G.
+  const auto g1 = build_component_graph_weighted(
+      engine, weights.finite_edges(), n, leader_of);
+  std::vector<WeightedEdge> g1_edges;  // leader-space edges
+  g1_edges.reserve(g1.witness.size());
+  for (const auto& [pair, witness] : g1.witness)
+    g1_edges.emplace_back(pair.first, pair.second, witness.w);
+  result.g1_vertices = g1.leaders.size();
+  result.g1_edges = g1_edges.size();
+  if (g1_edges.empty()) return result;  // already spanning
+
+  // --- Step 3: KKT sampling (local coin flips at edge owners).
+  const auto sampled = kkt_sample(g1_edges, kkt_probability(n), rng);
+  result.sampled_edges = sampled.size();
+
+  // --- Step 4: F = SQ-MST(H).
+  const auto f = sq_mst(engine, n, sampled, rng);
+  if (!f.monte_carlo_ok) result.monte_carlo_ok = false;
+
+  // --- Step 5: F-light filter (local at every node: all know F).
+  const auto light = f_light_subset(n, f.mst, g1_edges);
+  result.f_light_edges = light.size();
+
+  // --- Step 6: T2 = SQ-MST(E_l).
+  const auto t2 = sq_mst(engine, n, light, rng);
+  if (!t2.monte_carlo_ok) result.monte_carlo_ok = false;
+
+  // --- Step 7: T1 ∪ T2, with contracted edges mapped back to witnesses.
+  for (const auto& e : t2.mst) {
+    const auto it = g1.witness.find(component_pair(e.u, e.v));
+    check(it != g1.witness.end(), "exact_mst: accepted edge without witness");
+    result.mst.push_back(it->second);
+  }
+  return result;
+}
+
+}  // namespace
+
+ExactMstResult exact_mst(CliqueEngine& engine, const CliqueWeights& weights,
+                         Rng& rng, std::uint32_t phase_override) {
+  const std::uint32_t phases = phase_override > 0
+                                   ? phase_override
+                                   : reduce_components_phases(weights.n());
+  return run(engine, weights, rng, phases);
+}
+
+ExactMstResult exact_mst_wide(CliqueEngine& engine,
+                              const CliqueWeights& weights, Rng& rng) {
+  check(engine.messages_per_link() >=
+            wide_bandwidth_messages_per_link(engine.n()),
+        "exact_mst_wide: engine not configured with wide links");
+  return run(engine, weights, rng, 0);
+}
+
+}  // namespace ccq

@@ -1,0 +1,63 @@
+// The paper's GC algorithm (Theorem 4): REDUCECOMPONENTS followed by
+// SKETCHANDSPAN. Runs in O(log log log n) rounds w.h.p. (the CC-MST
+// preprocessing dominates; everything else is O(1) rounds) and Θ(n^2)
+// messages; with O(log^5 n)-bit links (EngineConfig::messages_per_link =
+// wide_bandwidth_messages_per_link(n)) the preprocessing is unnecessary and
+// the whole algorithm takes O(1) rounds — gc_spanning_forest_wide skips
+// Phase 1 accordingly.
+//
+// Output contract (Section 2): a maximal spanning forest of the input
+// graph, known to every node.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "clique/engine.hpp"
+#include "graph/graph.hpp"
+#include "util/random.hpp"
+
+namespace ccq {
+
+struct GcResult {
+  std::vector<Edge> forest;     // maximal spanning forest of G (w.h.p.)
+  bool connected{false};        // forest has n-1 edges
+  bool monte_carlo_ok{true};    // false if sketch sampling stalled
+  std::uint32_t lotker_phases{0};
+  std::uint32_t unfinished_trees_after_phase1{0};
+};
+
+/// Full GC algorithm (Phases 1 + 2). `phase_override` forces the CC-MST
+/// phase count (ablation); `copies_override` forces the sketch copy count.
+GcResult gc_spanning_forest(CliqueEngine& engine, const Graph& g, Rng& rng,
+                            std::uint32_t phase_override = 0,
+                            std::uint32_t copies_override = 0);
+
+/// Wide-bandwidth variant (Theorem 4, second part): with O(log^5 n)-bit
+/// links Phase 1 is skipped entirely — every vertex is its own component
+/// and all n sketch collections fit through the wider links in O(1) rounds.
+/// The engine must be configured with the wide budget.
+GcResult gc_spanning_forest_wide(CliqueEngine& engine, const Graph& g,
+                                 Rng& rng);
+
+/// KT0 variant: bootstrap ID knowledge with the one-round n(n-1)-message
+/// broadcast (Section 2's opening remark: given the Θ(n^2) message budget,
+/// KT0 and KT1 coincide), then run the standard algorithm.
+GcResult gc_spanning_forest_kt0(CliqueEngine& engine, const Graph& g,
+                                Rng& rng);
+
+/// Connectivity *verification* with the early exit of Section 2.2: report
+/// "disconnected" as soon as some finished tree (a component with no
+/// outgoing edges) fails to span the graph — often before Phase 2, and
+/// sometimes before the preprocessing completes. Costs one extra
+/// BUILDCOMPONENTGRAPH round per CC-MST phase.
+struct GcVerifyResult {
+  bool connected{false};
+  bool early_exit{false};    // decided without running Phase 2
+  std::uint32_t phases_run{0};
+  bool monte_carlo_ok{true};
+};
+GcVerifyResult gc_verify_connectivity(CliqueEngine& engine, const Graph& g,
+                                      Rng& rng);
+
+}  // namespace ccq

@@ -1,0 +1,40 @@
+#include "core/k_edge_connectivity.hpp"
+
+#include <set>
+
+#include "core/gc.hpp"
+#include "graph/sequential.hpp"
+#include "util/error.hpp"
+
+namespace ccq {
+
+KEdgeConnectivityResult gc_k_edge_connectivity(CliqueEngine& engine,
+                                               const Graph& g,
+                                               std::uint32_t k, Rng& rng) {
+  check(k >= 1, "gc_k_edge_connectivity: k must be positive");
+  const std::uint32_t n = g.num_vertices();
+  check(engine.n() == n, "gc_k_edge_connectivity: size mismatch");
+  KEdgeConnectivityResult result;
+
+  Graph remaining = g;
+  std::set<Edge> certificate;
+  for (std::uint32_t i = 0; i < k; ++i) {
+    const auto gc = gc_spanning_forest(engine, remaining, rng);
+    if (!gc.monte_carlo_ok) result.monte_carlo_ok = false;
+    if (gc.forest.empty()) break;  // remaining graph has no edges left
+    const std::set<Edge> forest_set(gc.forest.begin(), gc.forest.end());
+    certificate.insert(forest_set.begin(), forest_set.end());
+    // Peel F_i off locally (every node knows the forest).
+    Graph next{n};
+    for (const auto& e : remaining.edges())
+      if (!forest_set.contains(e)) next.add_edge(e.u, e.v);
+    remaining = std::move(next);
+  }
+  result.certificate.assign(certificate.begin(), certificate.end());
+  const Graph cert_graph = Graph::from_edges(n, result.certificate);
+  result.certificate_min_cut = global_min_cut(cert_graph);
+  result.k_edge_connected = result.certificate_min_cut >= k;
+  return result;
+}
+
+}  // namespace ccq

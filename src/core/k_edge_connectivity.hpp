@@ -1,0 +1,31 @@
+// k-edge-connectivity in O(k log log log n) rounds (Remark 5), via the
+// Ahn–Guha–McGregor sparse certificate: let F_1 be a maximal spanning
+// forest of G and F_i a maximal spanning forest of G minus F_1,...,F_{i-1}.
+// Then C_k = F_1 ∪ ... ∪ F_k is a k-edge-connectivity certificate:
+// G is k-edge-connected iff C_k is. Each forest is one run of the paper's
+// GC algorithm (everyone knows each F_i afterwards, so peeling it off is a
+// local operation); the final check on the ≤ k(n-1)-edge certificate is a
+// local computation at v*.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "clique/engine.hpp"
+#include "graph/graph.hpp"
+#include "util/random.hpp"
+
+namespace ccq {
+
+struct KEdgeConnectivityResult {
+  bool k_edge_connected{false};
+  bool monte_carlo_ok{true};
+  std::vector<Edge> certificate;  // F_1 ∪ ... ∪ F_k
+  std::uint64_t certificate_min_cut{0};
+};
+
+KEdgeConnectivityResult gc_k_edge_connectivity(CliqueEngine& engine,
+                                               const Graph& g,
+                                               std::uint32_t k, Rng& rng);
+
+}  // namespace ccq

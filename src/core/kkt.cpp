@@ -1,0 +1,31 @@
+#include "core/kkt.hpp"
+
+#include <cmath>
+
+#include "graph/sequential.hpp"
+
+namespace ccq {
+
+double kkt_probability(std::uint32_t n) {
+  return 1.0 / std::sqrt(static_cast<double>(std::max<std::uint32_t>(n, 1)));
+}
+
+std::vector<WeightedEdge> kkt_sample(const std::vector<WeightedEdge>& edges,
+                                     double p, Rng& rng) {
+  std::vector<WeightedEdge> out;
+  for (const auto& e : edges)
+    if (rng.next_bool(p)) out.push_back(e);
+  return out;
+}
+
+std::vector<WeightedEdge> f_light_subset(
+    std::uint32_t n, const std::vector<WeightedEdge>& forest,
+    const std::vector<WeightedEdge>& edges) {
+  const auto light = f_light_edges(n, forest, edges);
+  std::vector<WeightedEdge> out;
+  for (std::size_t i = 0; i < edges.size(); ++i)
+    if (light[i]) out.push_back(edges[i]);
+  return out;
+}
+
+}  // namespace ccq

@@ -1,0 +1,36 @@
+// KKT sampling (Karger–Klein–Tarjan [18]; paper Section 2.3.1, Lemma 6).
+//
+// Include every edge independently with probability p; let F be the
+// minimum spanning forest of the sample. Then w.h.p. at most n/p edges of
+// the original graph are F-light, and no F-heavy edge can belong to the
+// MST. With p = 1/sqrt(n), both the sample and the F-light survivor set
+// have O(n^{3/2}) edges — the size budget SQ-MST needs.
+//
+// The coin flips are local to each edge's owner (the smaller-ID endpoint
+// leader) and therefore cost no communication; the F-light classification
+// is likewise a local computation once every node knows F.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "graph/graph.hpp"
+#include "util/random.hpp"
+
+namespace ccq {
+
+/// The paper's choice p = 1 / sqrt(n).
+double kkt_probability(std::uint32_t n);
+
+/// Sample each edge independently with probability p.
+std::vector<WeightedEdge> kkt_sample(const std::vector<WeightedEdge>& edges,
+                                     double p, Rng& rng);
+
+/// Edges of `edges` that are F-light with respect to `forest`
+/// (Definition 1: weight no larger than the heaviest edge on the forest
+/// path between the endpoints; edges joining distinct trees are light).
+std::vector<WeightedEdge> f_light_subset(
+    std::uint32_t n, const std::vector<WeightedEdge>& forest,
+    const std::vector<WeightedEdge>& edges);
+
+}  // namespace ccq

@@ -1,0 +1,37 @@
+// Algorithm 1: REDUCECOMPONENTS (Phase 1 of the GC algorithm).
+//
+// Input: an arbitrary graph G embedded in the clique. The algorithm lifts G
+// to a weighted clique (unit weights on real edges, infinity on non-edges),
+// runs CC-MST for ceil(log log log n) + 3 phases, discards the
+// infinite-weight edges that CC-MST may have selected, and builds the
+// component graph of the surviving forest T1. By Lemma 3, every
+// *unfinished* tree of T1 (one whose component still has outgoing edges in
+// G) has size >= log^4 n, so at most O(n / log^4 n) unfinished trees remain
+// — few enough that Phase 2 can ship all their sketches to one node in
+// O(1) rounds.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "clique/engine.hpp"
+#include "core/component_graph.hpp"
+#include "graph/graph.hpp"
+#include "lotker/cc_mst.hpp"
+
+namespace ccq {
+
+struct ReduceComponentsResult {
+  std::vector<Edge> forest;            // T1 (infinite edges discarded)
+  std::vector<VertexId> leader_of;     // component labelling induced by T1
+  ComponentGraph component_graph;      // G1
+  std::uint32_t lotker_phases{0};
+};
+
+/// Run REDUCECOMPONENTS with the default phase count
+/// (ceil(log log log n) + 3); `phase_override` > 0 forces a specific phase
+/// count (used by the ablation bench).
+ReduceComponentsResult reduce_components(CliqueEngine& engine, const Graph& g,
+                                         std::uint32_t phase_override = 0);
+
+}  // namespace ccq

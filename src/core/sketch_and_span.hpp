@@ -1,0 +1,48 @@
+// Algorithm 2: SKETCHANDSPAN (Phase 2 of the GC algorithm).
+//
+// Input: the component graph G1 produced by REDUCECOMPONENTS (vertices are
+// component leaders; every leader knows its incident component-graph edges
+// and one witness edge of G per adjacency). Steps:
+//
+//   0. the Theorem 1 shared-randomness protocol distributes the seed words
+//      for c·log n independent linear sketch families (O(1) rounds);
+//   1. every non-isolated leader sketches its component-graph neighbourhood
+//      in all families;
+//   2. the sketches are routed to v* (the minimum-ID node) — total volume
+//      O(|V1| log n) sketches = O(n log n) bits, one Lenzen routing call;
+//   3. v* locally runs sketch Borůvka to compute a maximal spanning forest
+//      T2 of G1;
+//   4. v* spray-broadcasts T2 (send edge i to node i, nodes rebroadcast) so
+//      every node knows T2;
+//   5. the component-tree edges of T2 are mapped back to real edges of G:
+//      the smaller-ID leader of each T2 edge sends its witness to v*, which
+//      spray-broadcasts the witness list T2'.
+//
+// Output: the real-edge forest T2' connecting the Phase 1 components.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "clique/engine.hpp"
+#include "core/component_graph.hpp"
+#include "graph/graph.hpp"
+#include "util/random.hpp"
+
+namespace ccq {
+
+struct SketchAndSpanResult {
+  std::vector<Edge> component_forest;  // T2: edges between leader ids
+  std::vector<Edge> real_forest;       // T2': witness edges in G
+  bool monte_carlo_ok{true};           // false if a sketch sampler stalled
+  std::uint32_t boruvka_rounds{0};
+  std::uint32_t sketch_copies{0};
+};
+
+/// `copies_override` > 0 forces the number of independent sketch copies
+/// (the t = Θ(log n) knob; used by the ablation bench).
+SketchAndSpanResult sketch_and_span(CliqueEngine& engine,
+                                    const ComponentGraph& g1, Rng& rng,
+                                    std::uint32_t copies_override = 0);
+
+}  // namespace ccq

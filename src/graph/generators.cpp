@@ -1,0 +1,222 @@
+#include "graph/generators.hpp"
+
+#include <algorithm>
+#include <bit>
+#include <numeric>
+
+#include "util/error.hpp"
+
+namespace ccq {
+
+Graph gnp(std::uint32_t n, double p, Rng& rng) {
+  Graph g{n};
+  for (VertexId u = 0; u < n; ++u)
+    for (VertexId v = u + 1; v < n; ++v)
+      if (rng.next_bool(p)) g.add_edge(u, v);
+  return g;
+}
+
+namespace {
+
+/// Uniform random spanning tree edges over the complete graph on `ids`
+/// (Aldous–Broder: random walk, keep first-entry edges).
+std::vector<Edge> random_tree(const std::vector<VertexId>& ids, Rng& rng) {
+  std::vector<Edge> tree;
+  if (ids.size() <= 1) return tree;
+  std::vector<bool> visited(ids.size(), false);
+  std::size_t current = rng.next_below(ids.size());
+  visited[current] = true;
+  std::size_t remaining = ids.size() - 1;
+  while (remaining > 0) {
+    std::size_t next = rng.next_below(ids.size());
+    if (next == current) continue;
+    if (!visited[next]) {
+      visited[next] = true;
+      tree.emplace_back(ids[current], ids[next]);
+      --remaining;
+    }
+    current = next;
+  }
+  return tree;
+}
+
+/// Add `extra` distinct random edges among `ids` to g (best effort: gives up
+/// after enough rejections when the subgraph saturates).
+void add_random_edges(Graph& g, const std::vector<VertexId>& ids,
+                      std::size_t extra, Rng& rng) {
+  if (ids.size() < 2) return;
+  const std::size_t max_possible = ids.size() * (ids.size() - 1) / 2;
+  std::size_t attempts = 0;
+  std::size_t added = 0;
+  while (added < extra && attempts < 20 * max_possible + 100) {
+    ++attempts;
+    const VertexId a = ids[rng.next_below(ids.size())];
+    const VertexId b = ids[rng.next_below(ids.size())];
+    if (a == b) continue;
+    if (g.add_edge(a, b)) ++added;
+  }
+}
+
+}  // namespace
+
+Graph random_connected(std::uint32_t n, std::size_t extra_edges, Rng& rng) {
+  Graph g{n};
+  std::vector<VertexId> ids(n);
+  std::iota(ids.begin(), ids.end(), 0);
+  for (const auto& e : random_tree(ids, rng)) g.add_edge(e.u, e.v);
+  add_random_edges(g, ids, extra_edges, rng);
+  return g;
+}
+
+Graph random_components(std::uint32_t n, std::uint32_t k,
+                        std::size_t extra_edges, Rng& rng) {
+  check(k >= 1 && k <= n, "random_components: need 1 <= k <= n");
+  Graph g{n};
+  // Random balanced partition: shuffle vertices, slice into k near-equal
+  // chunks so components are not identifiable from vertex ids.
+  std::vector<VertexId> perm(n);
+  std::iota(perm.begin(), perm.end(), 0);
+  for (std::uint32_t i = n; i > 1; --i)
+    std::swap(perm[i - 1], perm[rng.next_below(i)]);
+  std::size_t start = 0;
+  for (std::uint32_t c = 0; c < k; ++c) {
+    const std::size_t len = n / k + (c < n % k ? 1 : 0);
+    std::vector<VertexId> ids(perm.begin() + start, perm.begin() + start + len);
+    start += len;
+    for (const auto& e : random_tree(ids, rng)) g.add_edge(e.u, e.v);
+    add_random_edges(g, ids, extra_edges / k, rng);
+  }
+  return g;
+}
+
+Graph circulant(std::uint32_t n, const std::vector<std::uint32_t>& offsets) {
+  Graph g{n};
+  for (std::uint32_t d : offsets) {
+    check(d >= 1 && d < n, "circulant: offset out of range");
+    for (VertexId i = 0; i < n; ++i) {
+      const VertexId j = static_cast<VertexId>((i + d) % n);
+      if (i != j) g.add_edge(i, j);
+    }
+  }
+  return g;
+}
+
+Graph random_bipartite_connected(std::uint32_t n, std::size_t extra_edges,
+                                 Rng& rng) {
+  check(n >= 2, "random_bipartite_connected: need n >= 2");
+  const std::uint32_t left = n / 2;
+  Graph g{n};
+  // Random bipartite spanning tree: attach each vertex (in random order past
+  // the first) to a random already-attached vertex on the other side.
+  std::vector<VertexId> attached_left;
+  std::vector<VertexId> attached_right;
+  attached_left.push_back(0);
+  std::vector<VertexId> rest;
+  for (VertexId v = 1; v < n; ++v) rest.push_back(v);
+  for (std::uint32_t i = static_cast<std::uint32_t>(rest.size()); i > 1; --i)
+    std::swap(rest[i - 1], rest[rng.next_below(i)]);
+  // Ensure the right side gets populated first so every left vertex has an
+  // available partner.
+  std::stable_partition(rest.begin(), rest.end(),
+                        [&](VertexId v) { return v >= left; });
+  for (VertexId v : rest) {
+    const bool v_is_left = v < left;
+    auto& partners = v_is_left ? attached_right : attached_left;
+    check(!partners.empty(), "random_bipartite_connected: internal");
+    const VertexId p = partners[rng.next_below(partners.size())];
+    g.add_edge(v, p);
+    (v_is_left ? attached_left : attached_right).push_back(v);
+  }
+  // Extra bipartite edges.
+  std::size_t added = 0;
+  std::size_t attempts = 0;
+  while (added < extra_edges && attempts < 20 * extra_edges + 100) {
+    ++attempts;
+    if (left == 0 || left == n) break;
+    const VertexId a = static_cast<VertexId>(rng.next_below(left));
+    const VertexId b =
+        static_cast<VertexId>(left + rng.next_below(n - left));
+    if (g.add_edge(a, b)) ++added;
+  }
+  return g;
+}
+
+Graph odd_cycle(std::uint32_t n) {
+  check(n >= 3 && n % 2 == 1, "odd_cycle: need odd n >= 3");
+  Graph g{n};
+  for (VertexId i = 0; i < n; ++i)
+    g.add_edge(i, static_cast<VertexId>((i + 1) % n));
+  return g;
+}
+
+WeightedGraph random_weights(const Graph& g, Weight weight_range, Rng& rng) {
+  const std::size_t m = g.num_edges();
+  check(weight_range >= m, "random_weights: range too small for distinctness");
+  // Distinct weights: sample m distinct values from [1, weight_range] by
+  // taking a random permutation of ranks and spreading them over the range.
+  std::vector<std::size_t> rank(m);
+  std::iota(rank.begin(), rank.end(), 0);
+  for (std::size_t i = m; i > 1; --i)
+    std::swap(rank[i - 1], rank[rng.next_below(i)]);
+  WeightedGraph wg{g.num_vertices()};
+  const Weight stride = m == 0 ? 1 : weight_range / m;
+  for (std::size_t i = 0; i < m; ++i) {
+    const auto& e = g.edges()[i];
+    const Weight w = 1 + rank[i] * stride + rng.next_below(stride);
+    wg.add_edge(e.u, e.v, w);
+  }
+  return wg;
+}
+
+WeightedGraph random_weighted_clique(std::uint32_t n, Rng& rng) {
+  Graph complete{n};
+  for (VertexId u = 0; u < n; ++u)
+    for (VertexId v = u + 1; v < n; ++v) complete.add_edge(u, v);
+  const auto m = static_cast<Weight>(complete.num_edges());
+  return random_weights(complete, m * 4 + 4, rng);
+}
+
+WeightedGraph tournament_weighted_clique(std::uint32_t n) {
+  check(n >= 2 && (n & (n - 1)) == 0,
+        "tournament_weighted_clique: n must be a power of two");
+  WeightedGraph g{n};
+  const Weight block = static_cast<Weight>(n) * n;
+  for (VertexId x = 0; x < n; ++x) {
+    for (VertexId y = x + 1; y < n; ++y) {
+      const auto diff = static_cast<std::uint32_t>(x ^ y);
+      const auto level =
+          static_cast<Weight>(std::bit_width(diff) - 1);  // highest set bit
+      g.add_edge(x, y, level * block + edge_index(x, y, n));
+    }
+  }
+  return g;
+}
+
+PlantedMst planted_mst_clique(std::uint32_t n, Rng& rng) {
+  check(n >= 2, "planted_mst_clique: need n >= 2");
+  std::vector<VertexId> ids(n);
+  std::iota(ids.begin(), ids.end(), 0);
+  const auto tree = random_tree(ids, rng);
+  WeightedGraph g{n};
+  PlantedMst out{WeightedGraph{n}, {}};
+  // Tree edges get the n-1 smallest distinct weights.
+  std::vector<std::size_t> rank(tree.size());
+  std::iota(rank.begin(), rank.end(), 0);
+  for (std::size_t i = rank.size(); i > 1; --i)
+    std::swap(rank[i - 1], rank[rng.next_below(i)]);
+  for (std::size_t i = 0; i < tree.size(); ++i) {
+    const Weight w = 1 + rank[i];
+    g.add_edge(tree[i].u, tree[i].v, w);
+    out.mst_edges.emplace_back(tree[i].u, tree[i].v, w);
+  }
+  // Every other clique edge gets a distinct heavier weight.
+  Weight next = n + 1;
+  for (VertexId u = 0; u < n; ++u)
+    for (VertexId v = u + 1; v < n; ++v)
+      if (!g.edge_weight(u, v).has_value()) g.add_edge(u, v, next++);
+  out.graph = std::move(g);
+  std::sort(out.mst_edges.begin(), out.mst_edges.end(), weight_less);
+  return out;
+}
+
+}  // namespace ccq

@@ -1,0 +1,76 @@
+// Synthetic workload generators.
+//
+// The paper has no dataset: inputs are adversarial families (Section 3, 4)
+// or arbitrary graphs embedded in the clique. These generators provide the
+// synthetic equivalents the benchmarks sweep over: Erdős–Rényi graphs,
+// random connected graphs, controlled multi-component graphs, circulants
+// (the building block of the KT0 lower-bound instances), bipartite and
+// odd-cycle inputs for the Remark 5 extensions, and random weighted cliques
+// with distinct weights for MST.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "graph/graph.hpp"
+#include "util/random.hpp"
+
+namespace ccq {
+
+/// Erdős–Rényi G(n, p).
+Graph gnp(std::uint32_t n, double p, Rng& rng);
+
+/// A connected graph: uniform random spanning tree (via random walk /
+/// Aldous-Broder on the complete graph) plus `extra_edges` additional
+/// distinct random edges.
+Graph random_connected(std::uint32_t n, std::size_t extra_edges, Rng& rng);
+
+/// A graph with exactly `k` connected components, each itself a random
+/// connected graph of near-equal size, with `extra_edges` extra edges
+/// scattered inside components.
+Graph random_components(std::uint32_t n, std::uint32_t k,
+                        std::size_t extra_edges, Rng& rng);
+
+/// Circulant graph on vertices 0..n-1 with the given offsets: i is adjacent
+/// to (i ± d) mod n for each offset d. Connected whenever gcd(n, offsets...)
+/// = 1; 2-connected for any nonempty offset set when n >= 3 and offsets
+/// include 1. This is the biconnected near-regular block of the Section 3
+/// construction.
+Graph circulant(std::uint32_t n, const std::vector<std::uint32_t>& offsets);
+
+/// Random connected bipartite graph with parts of size n/2 (rounded), the
+/// positive instance for the Remark 5 bipartiteness extension.
+Graph random_bipartite_connected(std::uint32_t n, std::size_t extra_edges,
+                                 Rng& rng);
+
+/// Odd cycle C_n (n odd required): the canonical non-bipartite input.
+Graph odd_cycle(std::uint32_t n);
+
+/// Assign distinct random weights (a random permutation of 1..m scaled into
+/// [1, weight_range]) to the edges of a graph. Distinctness makes the MST
+/// unique without relying on the tie-breaking key.
+WeightedGraph random_weights(const Graph& g, Weight weight_range, Rng& rng);
+
+/// A complete weighted graph on n vertices with distinct random weights:
+/// the canonical input to CC-MST / EXACT-MST (the paper's MST problem takes
+/// an edge-weighted clique).
+WeightedGraph random_weighted_clique(std::uint32_t n, Rng& rng);
+
+/// The Borůvka worst case: a "tournament" weighted clique (n a power of
+/// two) where the weight of {x,y} grows with the highest bit in which x and
+/// y differ. Every component's lightest outgoing edge leads to its sibling
+/// block, so plain Borůvka merges in pairs — exactly log2(n) phases — while
+/// quota-based schemes (Lotker et al.) still square their cluster sizes.
+/// The input behind the log n vs log log n separation in bench_mst.
+WeightedGraph tournament_weighted_clique(std::uint32_t n);
+
+/// A weighted graph whose MST is forced to be a known random spanning tree:
+/// tree edges get weights in [1, n), non-tree edges get weights >= n. Useful
+/// for MST verification with a known certificate.
+struct PlantedMst {
+  WeightedGraph graph;
+  std::vector<WeightedEdge> mst_edges;  // the planted (unique) MST
+};
+PlantedMst planted_mst_clique(std::uint32_t n, Rng& rng);
+
+}  // namespace ccq

@@ -1,0 +1,108 @@
+#include "graph/graph.hpp"
+
+#include <algorithm>
+
+#include "util/error.hpp"
+
+namespace ccq {
+
+std::uint64_t edge_index(VertexId x, VertexId y, std::uint32_t n) {
+  if (x > y) std::swap(x, y);
+  check(x < y && y < n, "edge_index: need x < y < n");
+  return static_cast<std::uint64_t>(x) * n + y;
+}
+
+Edge edge_from_index(std::uint64_t index, std::uint32_t n) {
+  check(n > 0, "edge_from_index: empty graph");
+  const auto x = static_cast<VertexId>(index / n);
+  const auto y = static_cast<VertexId>(index % n);
+  check(x < y, "edge_from_index: not a canonical edge index");
+  return Edge{x, y};
+}
+
+int incidence_sign(VertexId v, Edge e) {
+  if (v == e.u) return 1;
+  if (v == e.v) return -1;
+  return 0;
+}
+
+Graph::Graph(std::uint32_t n) : n_(n), adj_(n) {}
+
+bool Graph::add_edge(VertexId u, VertexId v) {
+  if (u == v) throw InvalidArgument("Graph::add_edge: self-loop");
+  if (u >= n_ || v >= n_)
+    throw InvalidArgument("Graph::add_edge: vertex out of range");
+  if (has_edge(u, v)) return false;
+  adj_[u].push_back(v);
+  adj_[v].push_back(u);
+  edges_.emplace_back(u, v);
+  return true;
+}
+
+bool Graph::has_edge(VertexId u, VertexId v) const {
+  if (u >= n_ || v >= n_) return false;
+  const auto& shorter = adj_[u].size() <= adj_[v].size() ? adj_[u] : adj_[v];
+  const VertexId target = adj_[u].size() <= adj_[v].size() ? v : u;
+  return std::find(shorter.begin(), shorter.end(), target) != shorter.end();
+}
+
+const std::vector<VertexId>& Graph::neighbors(VertexId v) const {
+  check(v < n_, "Graph::neighbors: vertex out of range");
+  return adj_[v];
+}
+
+Graph Graph::from_edges(std::uint32_t n, const std::vector<Edge>& edges) {
+  Graph g{n};
+  for (const auto& e : edges) g.add_edge(e.u, e.v);
+  return g;
+}
+
+WeightedGraph::WeightedGraph(std::uint32_t n) : n_(n), adj_(n) {}
+
+bool WeightedGraph::add_edge(VertexId u, VertexId v, Weight w) {
+  if (u == v) throw InvalidArgument("WeightedGraph::add_edge: self-loop");
+  if (u >= n_ || v >= n_)
+    throw InvalidArgument("WeightedGraph::add_edge: vertex out of range");
+  if (edge_weight(u, v).has_value()) return false;
+  adj_[u].push_back({v, w});
+  adj_[v].push_back({u, w});
+  edges_.emplace_back(u, v, w);
+  return true;
+}
+
+std::optional<Weight> WeightedGraph::edge_weight(VertexId u, VertexId v) const {
+  if (u >= n_ || v >= n_) return std::nullopt;
+  const bool u_shorter = adj_[u].size() <= adj_[v].size();
+  const auto& list = u_shorter ? adj_[u] : adj_[v];
+  const VertexId target = u_shorter ? v : u;
+  for (const auto& nb : list)
+    if (nb.to == target) return nb.w;
+  return std::nullopt;
+}
+
+const std::vector<WeightedGraph::Neighbor>& WeightedGraph::neighbors(
+    VertexId v) const {
+  check(v < n_, "WeightedGraph::neighbors: vertex out of range");
+  return adj_[v];
+}
+
+Graph WeightedGraph::unweighted() const {
+  Graph g{n_};
+  for (const auto& e : edges_) g.add_edge(e.u, e.v);
+  return g;
+}
+
+WeightedGraph WeightedGraph::from_edges(
+    std::uint32_t n, const std::vector<WeightedEdge>& edges) {
+  WeightedGraph g{n};
+  for (const auto& e : edges) g.add_edge(e.u, e.v, e.w);
+  return g;
+}
+
+Weight total_weight(const std::vector<WeightedEdge>& edges) {
+  Weight sum = 0;
+  for (const auto& e : edges) sum += e.w;
+  return sum;
+}
+
+}  // namespace ccq

@@ -1,0 +1,138 @@
+// Core graph types shared by the whole library.
+//
+// Graphs in the Congested Clique are spanning subgraphs of the n-node
+// machine network (Section 1.2 of the paper), so vertices are always
+// 0..n-1 and edges are pairs over that range. Weighted inputs carry
+// integer weights representable in O(log n) bits; ties are broken by the
+// lexicographic key (w, min(u,v), max(u,v)) so that the MST is unique,
+// the standard perturbation argument.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <tuple>
+#include <vector>
+
+namespace ccq {
+
+using VertexId = std::uint32_t;
+using Weight = std::uint64_t;
+
+/// Sentinel weight for "no edge" in clique-completion contexts (the weight-∞
+/// padding edges of Algorithm 1 / REDUCECOMPONENTS).
+inline constexpr Weight kInfiniteWeight = ~Weight{0};
+
+/// An undirected edge; canonical form has u < v.
+struct Edge {
+  VertexId u{0};
+  VertexId v{0};
+
+  Edge() = default;
+  Edge(VertexId a, VertexId b) : u(a < b ? a : b), v(a < b ? b : a) {}
+
+  friend bool operator==(const Edge&, const Edge&) = default;
+  friend auto operator<=>(const Edge&, const Edge&) = default;
+};
+
+/// An undirected weighted edge; canonical form has u < v.
+struct WeightedEdge {
+  VertexId u{0};
+  VertexId v{0};
+  Weight w{0};
+
+  WeightedEdge() = default;
+  WeightedEdge(VertexId a, VertexId b, Weight weight)
+      : u(a < b ? a : b), v(a < b ? b : a), w(weight) {}
+
+  Edge edge() const { return Edge{u, v}; }
+
+  /// Total order used for all MST tie-breaking across the library.
+  std::tuple<Weight, VertexId, VertexId> key() const { return {w, u, v}; }
+
+  friend bool operator==(const WeightedEdge&, const WeightedEdge&) = default;
+};
+
+/// Strict-weak order by the canonical (weight, u, v) key.
+inline bool weight_less(const WeightedEdge& a, const WeightedEdge& b) {
+  return a.key() < b.key();
+}
+
+/// Index of edge {x,y} (x<y) in the flattened universe [0, n^2) used by the
+/// incidence vectors a_v of Section 2.1. Using x*n+y rather than the exact
+/// (n choose 2) packing costs a constant factor in universe size, which the
+/// l0-samplers absorb, and keeps decoding trivial.
+std::uint64_t edge_index(VertexId x, VertexId y, std::uint32_t n);
+
+/// Inverse of edge_index.
+Edge edge_from_index(std::uint64_t index, std::uint32_t n);
+
+/// Sign of edge {x,y} in node v's incidence vector a_v (paper, Section 2.1):
+/// +1 if v == x < y, -1 if x < y == v, 0 if v is not an endpoint.
+int incidence_sign(VertexId v, Edge e);
+
+/// A simple undirected graph on vertices 0..n-1, stored as adjacency lists
+/// plus an edge list. Parallel edges and self-loops are rejected.
+class Graph {
+ public:
+  explicit Graph(std::uint32_t n = 0);
+
+  std::uint32_t num_vertices() const { return n_; }
+  std::size_t num_edges() const { return edges_.size(); }
+
+  /// Add edge {u,v}. Throws InvalidArgument on self-loops / out-of-range;
+  /// duplicate insertions are ignored (idempotent) and reported via the
+  /// return value.
+  bool add_edge(VertexId u, VertexId v);
+
+  bool has_edge(VertexId u, VertexId v) const;
+
+  const std::vector<VertexId>& neighbors(VertexId v) const;
+  const std::vector<Edge>& edges() const { return edges_; }
+  std::size_t degree(VertexId v) const { return adj_[v].size(); }
+
+  static Graph from_edges(std::uint32_t n, const std::vector<Edge>& edges);
+
+ private:
+  std::uint32_t n_;
+  std::vector<std::vector<VertexId>> adj_;
+  std::vector<Edge> edges_;
+};
+
+/// A weighted undirected graph; same storage discipline as Graph.
+class WeightedGraph {
+ public:
+  explicit WeightedGraph(std::uint32_t n = 0);
+
+  struct Neighbor {
+    VertexId to;
+    Weight w;
+  };
+
+  std::uint32_t num_vertices() const { return n_; }
+  std::size_t num_edges() const { return edges_.size(); }
+
+  bool add_edge(VertexId u, VertexId v, Weight w);
+
+  /// Weight of edge {u,v} if present.
+  std::optional<Weight> edge_weight(VertexId u, VertexId v) const;
+
+  const std::vector<Neighbor>& neighbors(VertexId v) const;
+  const std::vector<WeightedEdge>& edges() const { return edges_; }
+  std::size_t degree(VertexId v) const { return adj_[v].size(); }
+
+  /// Forget weights.
+  Graph unweighted() const;
+
+  static WeightedGraph from_edges(std::uint32_t n,
+                                  const std::vector<WeightedEdge>& edges);
+
+ private:
+  std::uint32_t n_;
+  std::vector<std::vector<Neighbor>> adj_;
+  std::vector<WeightedEdge> edges_;
+};
+
+/// Sum of edge weights; the canonical scalar for comparing spanning trees.
+Weight total_weight(const std::vector<WeightedEdge>& edges);
+
+}  // namespace ccq

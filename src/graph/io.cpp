@@ -1,0 +1,80 @@
+#include "graph/io.hpp"
+
+#include <functional>
+#include <istream>
+#include <sstream>
+
+namespace ccq {
+
+std::string to_dot(const Graph& g,
+                   const std::function<std::string(VertexId)>* label_of) {
+  std::ostringstream out;
+  out << "graph G {\n";
+  auto name = [&](VertexId v) {
+    return label_of ? (*label_of)(v) : std::to_string(v);
+  };
+  for (VertexId v = 0; v < g.num_vertices(); ++v)
+    out << "  \"" << name(v) << "\";\n";
+  for (const auto& e : g.edges())
+    out << "  \"" << name(e.u) << "\" -- \"" << name(e.v) << "\";\n";
+  out << "}\n";
+  return out.str();
+}
+
+std::string to_edge_list(const Graph& g) {
+  std::ostringstream out;
+  out << g.num_vertices() << ' ' << g.num_edges() << '\n';
+  for (const auto& e : g.edges()) out << e.u << ' ' << e.v << '\n';
+  return out.str();
+}
+
+std::string to_edge_list(const WeightedGraph& g) {
+  std::ostringstream out;
+  out << g.num_vertices() << ' ' << g.num_edges() << '\n';
+  for (const auto& e : g.edges())
+    out << e.u << ' ' << e.v << ' ' << e.w << '\n';
+  return out.str();
+}
+
+namespace {
+
+template <typename G, typename AddEdge>
+std::optional<G> parse(std::istream& in, AddEdge add_edge) {
+  std::uint64_t n = 0;
+  std::uint64_t m = 0;
+  if (!(in >> n >> m)) return std::nullopt;
+  if (n > (std::uint64_t{1} << 31)) return std::nullopt;
+  G g{static_cast<std::uint32_t>(n)};
+  for (std::uint64_t i = 0; i < m; ++i)
+    if (!add_edge(in, g)) return std::nullopt;
+  return g;
+}
+
+}  // namespace
+
+std::optional<Graph> graph_from_edge_list(std::istream& in) {
+  return parse<Graph>(in, [](std::istream& s, Graph& g) {
+    std::uint64_t u = 0;
+    std::uint64_t v = 0;
+    if (!(s >> u >> v)) return false;
+    if (u >= g.num_vertices() || v >= g.num_vertices() || u == v)
+      return false;
+    g.add_edge(static_cast<VertexId>(u), static_cast<VertexId>(v));
+    return true;
+  });
+}
+
+std::optional<WeightedGraph> weighted_graph_from_edge_list(std::istream& in) {
+  return parse<WeightedGraph>(in, [](std::istream& s, WeightedGraph& g) {
+    std::uint64_t u = 0;
+    std::uint64_t v = 0;
+    Weight w = 0;
+    if (!(s >> u >> v >> w)) return false;
+    if (u >= g.num_vertices() || v >= g.num_vertices() || u == v)
+      return false;
+    g.add_edge(static_cast<VertexId>(u), static_cast<VertexId>(v), w);
+    return true;
+  });
+}
+
+}  // namespace ccq

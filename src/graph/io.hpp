@@ -1,0 +1,35 @@
+// Plain-text graph import/export.
+//
+// Used by the examples and benchmarks to dump instances (e.g. the Figure 1
+// family as Graphviz DOT) and to round-trip graphs through the simple
+// whitespace edge-list format `n m` + one `u v [w]` line per edge — enough
+// for a downstream user to feed their own inputs to the example binaries.
+#pragma once
+
+#include <functional>
+#include <iosfwd>
+#include <optional>
+#include <string>
+
+#include "graph/graph.hpp"
+
+namespace ccq {
+
+/// Graphviz DOT (undirected). `label_of` may rename vertices (e.g. u_k/v_k
+/// for Figure 1); nullptr uses the numeric id.
+std::string to_dot(const Graph& g,
+                   const std::function<std::string(VertexId)>* label_of =
+                       nullptr);
+
+/// `n m` header followed by `u v` lines.
+std::string to_edge_list(const Graph& g);
+
+/// `n m` header followed by `u v w` lines.
+std::string to_edge_list(const WeightedGraph& g);
+
+/// Parse the edge-list format; returns nullopt on malformed input
+/// (non-numeric tokens, bad counts, out-of-range endpoints, self-loops).
+std::optional<Graph> graph_from_edge_list(std::istream& in);
+std::optional<WeightedGraph> weighted_graph_from_edge_list(std::istream& in);
+
+}  // namespace ccq

@@ -1,0 +1,347 @@
+#include "graph/sequential.hpp"
+
+#include <algorithm>
+#include <limits>
+#include <queue>
+
+#include "graph/union_find.hpp"
+#include "util/error.hpp"
+
+namespace ccq {
+
+std::vector<VertexId> connected_components(const Graph& g) {
+  const std::uint32_t n = g.num_vertices();
+  std::vector<VertexId> label(n, std::numeric_limits<VertexId>::max());
+  std::vector<VertexId> stack;
+  for (VertexId s = 0; s < n; ++s) {
+    if (label[s] != std::numeric_limits<VertexId>::max()) continue;
+    label[s] = s;
+    stack.push_back(s);
+    while (!stack.empty()) {
+      const VertexId v = stack.back();
+      stack.pop_back();
+      for (VertexId w : g.neighbors(v)) {
+        if (label[w] == std::numeric_limits<VertexId>::max()) {
+          label[w] = s;
+          stack.push_back(w);
+        }
+      }
+    }
+  }
+  return label;
+}
+
+std::uint32_t num_components(const Graph& g) {
+  const auto label = connected_components(g);
+  std::uint32_t count = 0;
+  for (VertexId v = 0; v < g.num_vertices(); ++v)
+    if (label[v] == v) ++count;
+  return count;
+}
+
+bool is_connected(const Graph& g) {
+  return g.num_vertices() <= 1 || num_components(g) == 1;
+}
+
+std::vector<Edge> spanning_forest(const Graph& g) {
+  const std::uint32_t n = g.num_vertices();
+  std::vector<Edge> forest;
+  std::vector<bool> seen(n, false);
+  std::vector<VertexId> stack;
+  for (VertexId s = 0; s < n; ++s) {
+    if (seen[s]) continue;
+    seen[s] = true;
+    stack.push_back(s);
+    while (!stack.empty()) {
+      const VertexId v = stack.back();
+      stack.pop_back();
+      for (VertexId w : g.neighbors(v)) {
+        if (!seen[w]) {
+          seen[w] = true;
+          forest.emplace_back(v, w);
+          stack.push_back(w);
+        }
+      }
+    }
+  }
+  return forest;
+}
+
+std::vector<WeightedEdge> kruskal_msf(const WeightedGraph& g) {
+  std::vector<WeightedEdge> sorted = g.edges();
+  std::sort(sorted.begin(), sorted.end(), weight_less);
+  UnionFind uf{g.num_vertices()};
+  std::vector<WeightedEdge> out;
+  for (const auto& e : sorted)
+    if (uf.unite(e.u, e.v)) out.push_back(e);
+  return out;
+}
+
+std::vector<WeightedEdge> boruvka_msf(const WeightedGraph& g) {
+  const std::uint32_t n = g.num_vertices();
+  UnionFind uf{n};
+  std::vector<WeightedEdge> out;
+  bool progressed = true;
+  while (progressed) {
+    progressed = false;
+    // Minimum outgoing edge per component, by the canonical key.
+    std::vector<std::optional<WeightedEdge>> best(n);
+    for (const auto& e : g.edges()) {
+      const auto cu = uf.find(e.u);
+      const auto cv = uf.find(e.v);
+      if (cu == cv) continue;
+      for (std::size_t c : {cu, cv})
+        if (!best[c] || weight_less(e, *best[c])) best[c] = e;
+    }
+    for (VertexId c = 0; c < n; ++c) {
+      if (!best[c]) continue;
+      if (uf.unite(best[c]->u, best[c]->v)) {
+        out.push_back(*best[c]);
+        progressed = true;
+      }
+    }
+  }
+  std::sort(out.begin(), out.end(),
+            [](const WeightedEdge& a, const WeightedEdge& b) {
+              return a.key() < b.key();
+            });
+  return out;
+}
+
+std::vector<WeightedEdge> prim_mst(const WeightedGraph& g) {
+  const std::uint32_t n = g.num_vertices();
+  if (n == 0) return {};
+  using Item = std::pair<std::tuple<Weight, VertexId, VertexId>, WeightedEdge>;
+  auto cmp = [](const Item& a, const Item& b) { return a.first > b.first; };
+  std::priority_queue<Item, std::vector<Item>, decltype(cmp)> pq(cmp);
+  std::vector<bool> in_tree(n, false);
+  std::vector<WeightedEdge> out;
+  auto add_vertex = [&](VertexId v) {
+    in_tree[v] = true;
+    for (const auto& nb : g.neighbors(v)) {
+      if (!in_tree[nb.to]) {
+        WeightedEdge e{v, nb.to, nb.w};
+        pq.push({e.key(), e});
+      }
+    }
+  };
+  add_vertex(0);
+  while (!pq.empty()) {
+    const auto [key, e] = pq.top();
+    pq.pop();
+    const VertexId next = in_tree[e.u] ? e.v : e.u;
+    if (in_tree[e.u] && in_tree[e.v]) continue;
+    out.push_back(e);
+    add_vertex(next);
+  }
+  check(out.size() + 1 == n, "prim_mst: graph must be connected");
+  std::sort(out.begin(), out.end(), weight_less);
+  return out;
+}
+
+bool is_bipartite(const Graph& g) {
+  const std::uint32_t n = g.num_vertices();
+  std::vector<int> color(n, -1);
+  std::vector<VertexId> stack;
+  for (VertexId s = 0; s < n; ++s) {
+    if (color[s] != -1) continue;
+    color[s] = 0;
+    stack.push_back(s);
+    while (!stack.empty()) {
+      const VertexId v = stack.back();
+      stack.pop_back();
+      for (VertexId w : g.neighbors(v)) {
+        if (color[w] == -1) {
+          color[w] = 1 - color[v];
+          stack.push_back(w);
+        } else if (color[w] == color[v]) {
+          return false;
+        }
+      }
+    }
+  }
+  return true;
+}
+
+std::uint64_t global_min_cut(const Graph& g) {
+  const std::uint32_t n = g.num_vertices();
+  if (n <= 1) return 0;
+  if (!is_connected(g)) return 0;
+  // Stoer–Wagner with unit capacities on a dense adjacency matrix.
+  std::vector<std::vector<std::uint64_t>> w(n, std::vector<std::uint64_t>(n, 0));
+  for (const auto& e : g.edges()) {
+    w[e.u][e.v] += 1;
+    w[e.v][e.u] += 1;
+  }
+  std::vector<VertexId> vertices(n);
+  for (VertexId i = 0; i < n; ++i) vertices[i] = i;
+  std::uint64_t best = std::numeric_limits<std::uint64_t>::max();
+  while (vertices.size() > 1) {
+    // Maximum-adjacency ordering; the connectivity of the last vertex added
+    // is the cut-of-the-phase (cut separating it from the rest).
+    std::vector<std::uint64_t> conn(vertices.size(), 0);
+    std::vector<bool> added(vertices.size(), false);
+    std::vector<std::size_t> order;
+    order.reserve(vertices.size());
+    for (std::size_t step = 0; step < vertices.size(); ++step) {
+      std::size_t pick = vertices.size();
+      for (std::size_t i = 0; i < vertices.size(); ++i)
+        if (!added[i] && (pick == vertices.size() || conn[i] > conn[pick]))
+          pick = i;
+      added[pick] = true;
+      order.push_back(pick);
+      if (step + 1 == vertices.size()) best = std::min(best, conn[pick]);
+      for (std::size_t i = 0; i < vertices.size(); ++i)
+        if (!added[i]) conn[i] += w[vertices[pick]][vertices[i]];
+    }
+    // Merge the last vertex of the ordering into the second-to-last.
+    const std::size_t prev = order[order.size() - 2];
+    const std::size_t last = order[order.size() - 1];
+    const VertexId a = vertices[prev];
+    const VertexId b = vertices[last];
+    for (std::size_t i = 0; i < vertices.size(); ++i) {
+      const VertexId c = vertices[i];
+      if (c == a || c == b) continue;
+      w[a][c] += w[b][c];
+      w[c][a] = w[a][c];
+    }
+    vertices.erase(vertices.begin() + static_cast<std::ptrdiff_t>(last));
+  }
+  return best;
+}
+
+bool is_k_edge_connected(const Graph& g, std::uint32_t k) {
+  if (g.num_vertices() <= 1) return true;
+  return global_min_cut(g) >= k;
+}
+
+namespace {
+
+/// Binary-lifting structure for path-maximum queries in a forest, ordered by
+/// the canonical (w, u, v) key so results are consistent with the unique MSF.
+class ForestPathMax {
+ public:
+  ForestPathMax(std::uint32_t n, const std::vector<WeightedEdge>& forest)
+      : n_(n),
+        parent_(n, kNone),
+        depth_(n, 0),
+        root_(n, kNone),
+        adj_(n) {
+    for (const auto& e : forest) {
+      adj_[e.u].push_back({e.v, e});
+      adj_[e.v].push_back({e.u, e});
+    }
+    // Root every tree with iterative BFS.
+    std::vector<VertexId> queue;
+    std::vector<WeightedEdge> parent_edge(n);
+    for (VertexId s = 0; s < n; ++s) {
+      if (root_[s] != kNone) continue;
+      root_[s] = s;
+      queue.push_back(s);
+      std::size_t head = queue.size() - 1;
+      while (head < queue.size()) {
+        const VertexId v = queue[head++];
+        for (const auto& [to, e] : adj_[v]) {
+          if (root_[to] != kNone) continue;
+          root_[to] = s;
+          parent_[to] = v;
+          parent_edge[to] = e;
+          depth_[to] = depth_[v] + 1;
+          queue.push_back(to);
+        }
+      }
+    }
+    levels_ = 1;
+    while ((std::uint32_t{1} << levels_) < std::max<std::uint32_t>(n, 2))
+      ++levels_;
+    up_.assign(levels_, std::vector<VertexId>(n, kNone));
+    up_max_.assign(levels_, std::vector<WeightedEdge>(n));
+    for (VertexId v = 0; v < n; ++v) {
+      up_[0][v] = parent_[v];
+      if (parent_[v] != kNone) up_max_[0][v] = parent_edge[v];
+    }
+    for (std::uint32_t k = 1; k < levels_; ++k) {
+      for (VertexId v = 0; v < n; ++v) {
+        const VertexId mid = up_[k - 1][v];
+        if (mid == kNone) continue;
+        up_[k][v] = up_[k - 1][mid];
+        up_max_[k][v] = up_max_[k - 1][v];
+        if (up_[k][v] != kNone &&
+            weight_less(up_max_[k][v], up_max_[k - 1][mid]))
+          up_max_[k][v] = up_max_[k - 1][mid];
+      }
+    }
+  }
+
+  bool same_tree(VertexId u, VertexId v) const { return root_[u] == root_[v]; }
+
+  /// Max-key edge on the u..v path (u, v in the same tree, u != v).
+  WeightedEdge path_max(VertexId u, VertexId v) const {
+    check(same_tree(u, v) && u != v, "path_max: bad query");
+    std::optional<WeightedEdge> best;
+    auto lift = [&](VertexId& x, std::uint32_t dist) {
+      for (std::uint32_t k = 0; dist != 0; ++k, dist >>= 1) {
+        if (dist & 1) {
+          consider(best, up_max_[k][x]);
+          x = up_[k][x];
+        }
+      }
+    };
+    VertexId a = u;
+    VertexId b = v;
+    if (depth_[a] < depth_[b]) std::swap(a, b);
+    lift(a, depth_[a] - depth_[b]);
+    if (a != b) {
+      for (std::uint32_t k = levels_; k-- > 0;) {
+        if (up_[k][a] != up_[k][b]) {
+          consider(best, up_max_[k][a]);
+          consider(best, up_max_[k][b]);
+          a = up_[k][a];
+          b = up_[k][b];
+        }
+      }
+      consider(best, up_max_[0][a]);
+      consider(best, up_max_[0][b]);
+    }
+    check(best.has_value(), "path_max: internal");
+    return *best;
+  }
+
+ private:
+  static constexpr VertexId kNone = std::numeric_limits<VertexId>::max();
+
+  static void consider(std::optional<WeightedEdge>& best,
+                       const WeightedEdge& e) {
+    if (!best || weight_less(*best, e)) best = e;
+  }
+
+  std::uint32_t n_;
+  std::uint32_t levels_{0};
+  std::vector<VertexId> parent_;
+  std::vector<std::uint32_t> depth_;
+  std::vector<VertexId> root_;
+  std::vector<std::vector<std::pair<VertexId, WeightedEdge>>> adj_;
+  std::vector<std::vector<VertexId>> up_;
+  std::vector<std::vector<WeightedEdge>> up_max_;
+};
+
+}  // namespace
+
+std::vector<bool> f_light_edges(std::uint32_t n,
+                                const std::vector<WeightedEdge>& forest,
+                                const std::vector<WeightedEdge>& edges) {
+  ForestPathMax pm{n, forest};
+  std::vector<bool> light(edges.size(), true);
+  for (std::size_t i = 0; i < edges.size(); ++i) {
+    const auto& e = edges[i];
+    if (e.u == e.v) continue;
+    if (!pm.same_tree(e.u, e.v)) continue;  // wtF = infinity => light
+    const WeightedEdge heaviest = pm.path_max(e.u, e.v);
+    // F-heavy iff strictly heavier (by the canonical key) than every path
+    // alternative; the forest's own edges compare equal and stay light.
+    light[i] = !(heaviest.key() < e.key());
+  }
+  return light;
+}
+
+}  // namespace ccq

@@ -1,0 +1,60 @@
+// Sequential (single-machine) baselines.
+//
+// Every distributed algorithm in this reproduction is validated against a
+// classical sequential counterpart: connectivity against BFS/DSU, MST
+// against Kruskal (and cross-checked against Borůvka and Prim),
+// bipartiteness against 2-coloring, k-edge-connectivity against a
+// Stoer–Wagner global minimum cut. These also serve as the "local
+// computation" steps that leaders perform inside the distributed
+// algorithms, which the Congested Clique model does not charge for.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "graph/graph.hpp"
+
+namespace ccq {
+
+/// Component label (smallest vertex id in the component) for every vertex.
+std::vector<VertexId> connected_components(const Graph& g);
+
+/// Number of connected components.
+std::uint32_t num_components(const Graph& g);
+
+bool is_connected(const Graph& g);
+
+/// A maximal spanning forest (one spanning tree per component), found by BFS.
+std::vector<Edge> spanning_forest(const Graph& g);
+
+/// Kruskal's algorithm; returns the unique minimum spanning forest under the
+/// library-wide (w, u, v) tie-breaking order, sorted by that order.
+std::vector<WeightedEdge> kruskal_msf(const WeightedGraph& g);
+
+/// Borůvka's algorithm; must agree with Kruskal edge-for-edge.
+std::vector<WeightedEdge> boruvka_msf(const WeightedGraph& g);
+
+/// Prim's algorithm from vertex 0 (requires a connected graph); must agree
+/// with Kruskal edge-for-edge.
+std::vector<WeightedEdge> prim_mst(const WeightedGraph& g);
+
+/// Two-colorability test.
+bool is_bipartite(const Graph& g);
+
+/// Global minimum edge cut via Stoer–Wagner (unit capacities). Returns the
+/// cut size; 0 for disconnected graphs. O(n^3) — verification use only.
+std::uint64_t global_min_cut(const Graph& g);
+
+/// Edge connectivity is >= k?
+bool is_k_edge_connected(const Graph& g, std::uint32_t k);
+
+/// Classification of edges against a forest F (Definition 1 / KKT):
+/// an edge {u,v} is F-light iff wt(u,v) <= max weight on the u..v path in F
+/// (edges joining distinct F-components are F-light by the wtF = ∞
+/// convention). Forest edges themselves are F-light. Uses binary-lifting
+/// path maxima; O((n + m) log n).
+std::vector<bool> f_light_edges(std::uint32_t n,
+                                const std::vector<WeightedEdge>& forest,
+                                const std::vector<WeightedEdge>& edges);
+
+}  // namespace ccq

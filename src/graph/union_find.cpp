@@ -1,0 +1,45 @@
+#include "graph/union_find.hpp"
+
+#include "util/error.hpp"
+
+namespace ccq {
+
+UnionFind::UnionFind(std::size_t n) { reset(n); }
+
+void UnionFind::reset(std::size_t n) {
+  parent_.resize(n);
+  size_.assign(n, 1);
+  components_ = n;
+  for (std::size_t i = 0; i < n; ++i) parent_[i] = i;
+}
+
+std::size_t UnionFind::find(std::size_t x) {
+  check(x < parent_.size(), "UnionFind::find: out of range");
+  std::size_t root = x;
+  while (parent_[root] != root) root = parent_[root];
+  while (parent_[x] != root) {
+    const std::size_t next = parent_[x];
+    parent_[x] = root;
+    x = next;
+  }
+  return root;
+}
+
+bool UnionFind::unite(std::size_t a, std::size_t b) {
+  std::size_t ra = find(a);
+  std::size_t rb = find(b);
+  if (ra == rb) return false;
+  if (size_[ra] < size_[rb]) std::swap(ra, rb);
+  parent_[rb] = ra;
+  size_[ra] += size_[rb];
+  --components_;
+  return true;
+}
+
+std::vector<std::size_t> UnionFind::labels() {
+  std::vector<std::size_t> out(parent_.size());
+  for (std::size_t i = 0; i < parent_.size(); ++i) out[i] = find(i);
+  return out;
+}
+
+}  // namespace ccq

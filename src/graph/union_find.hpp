@@ -1,0 +1,40 @@
+// Disjoint-set union with path compression and union by size.
+//
+// Used pervasively: sequential Kruskal/Borůvka baselines, component
+// bookkeeping in the Lotker phases, forest verification, and the local
+// computations leaders perform inside the distributed algorithms (those
+// local computations are free in the Congested Clique model).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+namespace ccq {
+
+class UnionFind {
+ public:
+  explicit UnionFind(std::size_t n = 0);
+
+  void reset(std::size_t n);
+
+  std::size_t find(std::size_t x);
+
+  /// Union the sets containing a and b; returns true if they were distinct.
+  bool unite(std::size_t a, std::size_t b);
+
+  bool same(std::size_t a, std::size_t b) { return find(a) == find(b); }
+
+  std::size_t size() const { return parent_.size(); }
+  std::size_t component_size(std::size_t x) { return size_[find(x)]; }
+  std::size_t num_components() const { return components_; }
+
+  /// Representative-of-every-element snapshot (compresses all paths).
+  std::vector<std::size_t> labels();
+
+ private:
+  std::vector<std::size_t> parent_;
+  std::vector<std::size_t> size_;
+  std::size_t components_{0};
+};
+
+}  // namespace ccq

@@ -1,0 +1,48 @@
+#include "graph/verify.hpp"
+
+#include <algorithm>
+
+#include "graph/sequential.hpp"
+#include "graph/union_find.hpp"
+
+namespace ccq {
+
+VerifyResult verify_spanning_forest(const Graph& g,
+                                    const std::vector<Edge>& forest) {
+  UnionFind uf{g.num_vertices()};
+  for (const auto& e : forest) {
+    if (!g.has_edge(e.u, e.v))
+      return VerifyResult::fail("forest edge not present in graph");
+    if (!uf.unite(e.u, e.v))
+      return VerifyResult::fail("forest contains a cycle");
+  }
+  const auto label = connected_components(g);
+  for (const auto& e : g.edges())
+    if (!uf.same(e.u, e.v))
+      return VerifyResult::fail("forest does not span a component");
+  (void)label;
+  return VerifyResult::pass();
+}
+
+VerifyResult verify_msf(const WeightedGraph& g,
+                        const std::vector<WeightedEdge>& tree) {
+  UnionFind uf{g.num_vertices()};
+  for (const auto& e : tree) {
+    const auto w = g.edge_weight(e.u, e.v);
+    if (!w.has_value())
+      return VerifyResult::fail("tree edge not present in graph");
+    if (*w != e.w) return VerifyResult::fail("tree edge weight mismatch");
+    if (!uf.unite(e.u, e.v)) return VerifyResult::fail("tree contains a cycle");
+  }
+  for (const auto& e : g.edges())
+    if (!uf.same(e.u, e.v))
+      return VerifyResult::fail("tree does not span a component");
+  const auto reference = kruskal_msf(g);
+  if (reference.size() != tree.size())
+    return VerifyResult::fail("tree has wrong number of edges");
+  if (total_weight(reference) != total_weight(tree))
+    return VerifyResult::fail("tree weight differs from minimum");
+  return VerifyResult::pass();
+}
+
+}  // namespace ccq

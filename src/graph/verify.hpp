@@ -1,0 +1,38 @@
+// Structural verifiers for the outputs of the distributed algorithms.
+//
+// The distributed GC algorithm must output a *maximal spanning forest*
+// (Section 2: a spanning forest with as many trees as the input graph has
+// components); the MST algorithms must output the unique minimum spanning
+// forest under the library's tie-breaking order. These checks are
+// independent of the algorithms under test (they use only the sequential
+// baselines) and are used by both the gtest suites and the benchmark
+// harness's self-checks.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "graph/graph.hpp"
+
+namespace ccq {
+
+struct VerifyResult {
+  bool ok{true};
+  std::string message;  // first failure description, empty when ok
+
+  static VerifyResult pass() { return {}; }
+  static VerifyResult fail(std::string why) { return {false, std::move(why)}; }
+};
+
+/// Check that `forest` is a maximal spanning forest of `g`: every edge is an
+/// edge of g, the edge set is acyclic, and connectivity classes match g's.
+VerifyResult verify_spanning_forest(const Graph& g,
+                                    const std::vector<Edge>& forest);
+
+/// Check that `tree` is the minimum spanning forest of `g` (acyclic,
+/// subgraph, spanning, and of minimum total weight — compared against
+/// Kruskal). With distinct weights this pins down the exact edge set.
+VerifyResult verify_msf(const WeightedGraph& g,
+                        const std::vector<WeightedEdge>& tree);
+
+}  // namespace ccq

@@ -1,0 +1,49 @@
+#include "hash/kwise.hpp"
+
+#include "util/error.hpp"
+#include "util/field.hpp"
+
+namespace ccq {
+
+KwiseHash::KwiseHash(std::span<const std::uint64_t> coefficient_words) {
+  if (coefficient_words.empty())
+    throw InvalidArgument("KwiseHash: need at least one coefficient");
+  coeffs_.reserve(coefficient_words.size());
+  for (std::uint64_t w : coefficient_words) coeffs_.push_back(field::canon(w));
+}
+
+KwiseHash KwiseHash::random(std::size_t k, Rng& rng) {
+  const auto words = rng.words(k);
+  return KwiseHash{std::span<const std::uint64_t>{words}};
+}
+
+std::uint64_t KwiseHash::operator()(std::uint64_t x) const {
+  // Horner evaluation over GF(2^61-1).
+  const std::uint64_t xc = field::canon(x);
+  std::uint64_t acc = 0;
+  for (auto it = coeffs_.rbegin(); it != coeffs_.rend(); ++it)
+    acc = field::add(field::mul(acc, xc), *it);
+  return acc;
+}
+
+std::uint64_t KwiseHash::eval_mod(std::uint64_t x, std::uint64_t range) const {
+  check(range > 0, "KwiseHash::eval_mod: empty range");
+  return (*this)(x) % range;
+}
+
+std::size_t hash_bundle_words(std::size_t k, std::size_t pairwise_count) {
+  return k + 2 * pairwise_count;
+}
+
+HashBundle HashBundle::from_words(std::span<const std::uint64_t> words,
+                                  std::size_t k, std::size_t pairwise_count) {
+  if (words.size() < hash_bundle_words(k, pairwise_count))
+    throw InvalidArgument("HashBundle::from_words: seed too short");
+  HashBundle bundle{KwiseHash{words.subspan(0, k)}, {}};
+  bundle.g.reserve(pairwise_count);
+  for (std::size_t r = 0; r < pairwise_count; ++r)
+    bundle.g.emplace_back(words.subspan(k + 2 * r, 2));
+  return bundle;
+}
+
+}  // namespace ccq

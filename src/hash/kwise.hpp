@@ -1,0 +1,71 @@
+// k-wise independent hash families (Carter–Wegman polynomials).
+//
+// The Cormode–Firmani l0-sampler used by the paper's sketches (Section 2.1)
+// needs one Θ(log n)-wise independent hash function h : [N] -> [N^3] and
+// Θ(log n) pairwise independent functions g_r : [N] -> [2 log N]. A k-wise
+// independent function over a universe of polynomial size can be built from
+// Θ(k log n) mutually independent random bits [Alon et al.]: we use a
+// degree-(k-1) polynomial with uniform coefficients over GF(2^61 - 1),
+// which is the classical construction.
+//
+// Crucially for the linearity of the sketches, *all* nodes must evaluate
+// the *same* functions; the shared-randomness protocol in comm/shared_random
+// distributes the seed words, and KwiseHash is deterministic in those words.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "util/random.hpp"
+
+namespace ccq {
+
+/// A k-wise independent hash function [universe] -> [0, 2^61-1), realized as
+/// a random polynomial of degree k-1 over GF(2^61-1). Deterministic in its
+/// coefficient words, so two parties holding the same words evaluate the
+/// same function.
+class KwiseHash {
+ public:
+  /// Build from explicit coefficient words (e.g. shared random bits
+  /// distributed by the Theorem 1 protocol). Words are canonicalized into
+  /// the field. `words.size()` is the independence parameter k (must be >=1).
+  explicit KwiseHash(std::span<const std::uint64_t> coefficient_words);
+
+  /// Convenience: draw k fresh coefficients from an RNG.
+  static KwiseHash random(std::size_t k, Rng& rng);
+
+  /// Evaluate the polynomial at x (full field range).
+  std::uint64_t operator()(std::uint64_t x) const;
+
+  /// Evaluate and reduce into [0, range). Composing the field hash with a
+  /// modular reduction costs only an O(k/range) additive bias, negligible
+  /// for range <= N^3 << p.
+  std::uint64_t eval_mod(std::uint64_t x, std::uint64_t range) const;
+
+  std::size_t independence() const { return coeffs_.size(); }
+  std::span<const std::uint64_t> coefficients() const { return coeffs_; }
+
+ private:
+  std::vector<std::uint64_t> coeffs_;  // c_0 + c_1 x + ... + c_{k-1} x^{k-1}
+};
+
+/// Number of 64-bit seed words consumed by a sketch-family hash bundle:
+/// one k-wise function plus `pairwise_count` pairwise functions. Used by the
+/// shared-randomness protocol to size its broadcast.
+std::size_t hash_bundle_words(std::size_t k, std::size_t pairwise_count);
+
+/// The bundle of hash functions a Cormode–Firmani sketch family needs:
+/// one k-wise independent h and a list of pairwise independent g_r.
+/// Deterministic in the shared seed words.
+struct HashBundle {
+  KwiseHash h;
+  std::vector<KwiseHash> g;  // each pairwise (k = 2)
+
+  /// Carve a bundle out of a flat shared seed. Throws InvalidArgument if the
+  /// seed is too short.
+  static HashBundle from_words(std::span<const std::uint64_t> words,
+                               std::size_t k, std::size_t pairwise_count);
+};
+
+}  // namespace ccq

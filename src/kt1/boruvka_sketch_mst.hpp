@@ -1,0 +1,45 @@
+// Theorem 13: MST in the KT1 Congested Clique with O(polylog n) rounds and
+// O(n polylog n) messages — the message-frugal counterpart of EXACT-MST's
+// Θ(n^2) messages. Adapted from the sketch-based algorithms of [26, 2, 17].
+//
+// O(log n) Borůvka phases. In each phase every component finds its
+// minimum-weight outgoing edge (MWOE) w.h.p. by an O(log n)-iteration
+// threshold search:
+//
+//   - the component leader draws the O(log^2 n) random bits of a fresh
+//     sketch family and sends them to its members (one message per member
+//     per seed chunk — point-to-point, never broadcast);
+//   - each member sketches its current neighbourhood (incident edges not
+//     yet deleted this phase) and streams the sketch to its leader over
+//     their single link (O(log^3 n) little messages);
+//   - the leader sums the member sketches — intra-component edges cancel
+//     by linearity — and l0-samples an outgoing edge; its weight w_v goes
+//     back to the members, which delete every incident edge heavier than
+//     w_v. Sampling ~uniformly halves the surviving outgoing edges, so
+//     after O(log n) iterations only the MWOE survives w.h.p.
+//
+// The MWOEs are routed to v*, which merges components, reassigns labels
+// (one message per node), and finally spray-broadcasts the MST. Per phase
+// every node sends O(polylog n) messages, giving O(n polylog n) total —
+// the quantity bench_kt1_mst compares against EXACT-MST's Θ(n^2).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "clique/engine.hpp"
+#include "graph/graph.hpp"
+#include "util/random.hpp"
+
+namespace ccq {
+
+struct BoruvkaSketchResult {
+  std::vector<WeightedEdge> mst;
+  bool monte_carlo_ok{true};
+  std::uint32_t phases{0};
+};
+
+BoruvkaSketchResult boruvka_sketch_mst(CliqueEngine& engine,
+                                       const WeightedGraph& g, Rng& rng);
+
+}  // namespace ccq

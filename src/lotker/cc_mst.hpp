@@ -1,0 +1,111 @@
+// CC-MST: the Lotker et al. [22] O(log log n)-round deterministic MST
+// algorithm for edge-weighted cliques, reimplemented with a per-phase API.
+//
+// The paper (Theorem 2) uses CC-MST as a black box with these guarantees:
+// after phase k the algorithm has computed a node partition F_k into
+// clusters and an MST T(F) of each cluster such that (i) every cluster has
+// size >= 2^(2^(k-1)), (ii) every node knows F_k and T_k, and (iii) the
+// heaviest edge inside a cluster tree is no heavier than any edge leaving
+// the cluster ("locally safe" merges).
+//
+// One phase, with s = current minimum cluster size and m = #clusters
+// (so m*s <= n):
+//
+//   R1  every node u sends, for every other cluster C, the lightest edge
+//       from u into C to C's leader (distinct leaders => one message per
+//       link; skipped in the all-singletons phase where each leader already
+//       knows its incident weights). Leaders now know the lightest
+//       inter-cluster edge to/from every other cluster.
+//   R2  every leader selects its s lightest outgoing edges to s *distinct*
+//       clusters (its "candidates") and hands candidate j to its j-th
+//       cluster member (one message per link).
+//   R3  members forward the candidates to the coordinator v* = node 0;
+//       total candidates <= m*s <= n, one per sender, so v* receives at
+//       most one message per link.
+//   L   v* runs constrained Borůvka on the candidate cluster graph: while
+//       some component of merged clusters contains <= s clusters, it merges
+//       along its lightest outgoing candidate. The classical cut/exchange
+//       argument (Lotker et al., Sec. 3) shows each such edge is a true MST
+//       edge, and every unfinished component grows to > s clusters, hence
+//       to size >= s(s+1) >= s^2 — the doubly-exponential growth.
+//   R4-5 v* disseminates the merge list with a spray broadcast (send edge i
+//       to helper i, helpers rebroadcast); every node updates F/T locally.
+//
+// Five rounds per phase; ceil(log log n) + O(1) phases to a single cluster.
+// Used by the paper both as a full MST algorithm (the O(log log n) baseline
+// our benchmarks compare against) and as the REDUCECOMPONENTS preprocessor
+// run for just ceil(log log log n) + 3 phases.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "clique/engine.hpp"
+#include "graph/graph.hpp"
+#include "util/random.hpp"
+
+namespace ccq {
+
+/// Symmetric weight matrix of an edge-weighted clique. Pairs left unset
+/// carry kInfiniteWeight — the "non-edge" padding weight of Algorithm 1.
+class CliqueWeights {
+ public:
+  explicit CliqueWeights(std::uint32_t n);
+
+  /// Lift a (possibly sparse) weighted graph onto the clique; absent pairs
+  /// become infinite-weight edges.
+  static CliqueWeights from_graph(const WeightedGraph& g);
+
+  /// Lift an unweighted graph: present edges get weight 1, absent pairs
+  /// infinity (exactly Step 1 of REDUCECOMPONENTS).
+  static CliqueWeights unit_from_graph(const Graph& g);
+
+  std::uint32_t n() const { return n_; }
+  Weight at(VertexId u, VertexId v) const;
+  bool finite(VertexId u, VertexId v) const;
+  void set(VertexId u, VertexId v, Weight w);
+  WeightedEdge edge(VertexId u, VertexId v) const;
+
+  /// All finite-weight edges.
+  std::vector<WeightedEdge> finite_edges() const;
+
+ private:
+  std::size_t slot(VertexId u, VertexId v) const;
+
+  std::uint32_t n_;
+  std::vector<std::uint32_t> w_;  // triangular; UINT32_MAX = infinite
+};
+
+/// Partition + forest state after k phases; every node knows all of it
+/// (Theorem 2(ii)).
+struct LotkerState {
+  std::vector<VertexId> cluster_of;     // leader (min member id) per node
+  std::vector<WeightedEdge> tree_edges; // union of the cluster trees
+  std::uint32_t phases_run{0};
+
+  std::uint32_t num_clusters() const;
+  std::uint32_t min_cluster_size() const;
+};
+
+/// Fresh (phase-0) state: every node its own cluster.
+LotkerState cc_mst_initial_state(std::uint32_t n);
+
+/// Advance CC-MST by one phase (5 rounds); returns the number of merge
+/// edges accepted (0 iff a single cluster remains). Exposed so callers can
+/// interleave per-phase checks — the early-exit connectivity verification
+/// of Section 2.2 uses this.
+std::size_t cc_mst_step(CliqueEngine& engine, const CliqueWeights& weights,
+                        LotkerState& state);
+
+/// Run `phases` phases of CC-MST (fewer if a single cluster forms earlier).
+LotkerState cc_mst_phases(CliqueEngine& engine, const CliqueWeights& weights,
+                          std::uint32_t phases);
+
+/// Run to completion (single cluster): the full O(log log n)-round MST.
+LotkerState cc_mst_full(CliqueEngine& engine, const CliqueWeights& weights);
+
+/// Number of phases REDUCECOMPONENTS runs: ceil(log log log n) + 3
+/// (Algorithm 1, Step 2).
+std::uint32_t reduce_components_phases(std::uint32_t n);
+
+}  // namespace ccq

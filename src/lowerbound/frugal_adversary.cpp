@@ -1,0 +1,44 @@
+#include "lowerbound/frugal_adversary.hpp"
+
+namespace ccq {
+
+FrugalDecision frugal_gc_probe(const Kt0HardInstance& hard,
+                               const Graph& instance,
+                               std::uint64_t probe_budget, Rng& rng) {
+  const std::uint32_t n = hard.n();
+  FrugalDecision out;
+  // Probe `probe_budget` uniformly random links; each probe costs one
+  // message and reveals whether the probed pair is an input edge.
+  for (std::uint64_t b = 0; b < probe_budget; ++b) {
+    VertexId x = static_cast<VertexId>(rng.next_below(n));
+    VertexId y = static_cast<VertexId>(rng.next_below(n));
+    if (x == y) continue;  // self-probe learns nothing, costs nothing
+    ++out.messages_used;
+    const bool in_instance = instance.has_edge(x, y);
+    const bool in_base = hard.base().has_edge(x, y);
+    if (in_instance != in_base) {
+      // The probe contradicts G: under H, the instance must be a (connected)
+      // swap member of S_G.
+      out.declared_connected = true;
+      return out;
+    }
+  }
+  // No contradiction: guess the heaviest atom of H, the disconnected G.
+  out.declared_connected = false;
+  return out;
+}
+
+double frugal_error_rate(const Kt0HardInstance& hard,
+                         std::uint64_t probe_budget, std::uint32_t trials,
+                         Rng& rng) {
+  std::uint32_t errors = 0;
+  for (std::uint32_t t = 0; t < trials; ++t) {
+    const auto draw = hard.sample(rng);
+    const auto decision =
+        frugal_gc_probe(hard, draw.graph, probe_budget, rng);
+    if (decision.declared_connected != draw.connected) ++errors;
+  }
+  return static_cast<double>(errors) / trials;
+}
+
+}  // namespace ccq

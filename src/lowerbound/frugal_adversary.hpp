@@ -1,0 +1,39 @@
+// An illustrative message-frugal GC heuristic for Theorem 9.
+//
+// Theorem 9 says any Monte Carlo algorithm that is correct with probability
+// >= 4/5 on the hard distribution H must send Ω(m) messages. This module
+// demonstrates the contrapositive empirically: a budget-B algorithm that
+// probes B uniformly random links (learning, per probed pair, whether it is
+// an input edge — the most a KT0 message over that link can reveal) and
+// outputs the Bayes-optimal decision under H: declare "disconnected"
+// (i.e. guess the base graph G) unless a probe contradicts G. Its error on
+// swapped instances is the probability that all four links of the swap's
+// square escape the probe set, which stays bounded away from 0 until
+// B = Ω(n^2) = Ω(m · (n^2/m)) — the benchmark sweeps B and plots the error
+// cliff, the empirical face of the Ω(m) bound.
+#pragma once
+
+#include <cstdint>
+
+#include "graph/graph.hpp"
+#include "lowerbound/kt0_hard.hpp"
+#include "util/random.hpp"
+
+namespace ccq {
+
+struct FrugalDecision {
+  bool declared_connected{false};
+  std::uint64_t messages_used{0};
+};
+
+/// Run the budget-B prober on one instance drawn from H.
+FrugalDecision frugal_gc_probe(const Kt0HardInstance& hard,
+                               const Graph& instance,
+                               std::uint64_t probe_budget, Rng& rng);
+
+/// Empirical error rate of the prober over `trials` draws from H.
+double frugal_error_rate(const Kt0HardInstance& hard,
+                         std::uint64_t probe_budget, std::uint32_t trials,
+                         Rng& rng);
+
+}  // namespace ccq

@@ -1,0 +1,100 @@
+#include "lowerbound/kt0_hard.hpp"
+
+#include <set>
+
+#include "util/error.hpp"
+
+namespace ccq {
+
+std::array<Edge, 4> Kt0Square::links(bool crossed) const {
+  const VertexId u1 = uu.u;
+  const VertexId u2 = uu.v;
+  const VertexId v1 = crossed ? vv.v : vv.u;
+  const VertexId v2 = crossed ? vv.u : vv.v;
+  return {Edge{u1, u2}, Edge{u1, v1}, Edge{v1, v2}, Edge{u2, v2}};
+}
+
+std::size_t Kt0HardInstance::max_edges(std::uint32_t n) {
+  const std::size_t half = n / 2;
+  return half * (half - 1);  // both blocks at full density
+}
+
+Kt0HardInstance::Kt0HardInstance(std::uint32_t n, std::size_t m)
+    : n_(n), base_(n) {
+  check(n >= 6 && n % 2 == 0, "Kt0HardInstance: need even n >= 6");
+  check(m >= n && m <= max_edges(n),
+        "Kt0HardInstance: need n <= m <= (n/2)(n/2-1)");
+  const std::uint32_t half = n / 2;
+  // Vertices: u_j = j, v_j = half + j. Offset rounds k = 1, 2, ... add the
+  // circulant edges of both blocks; within a round U and V are interleaved
+  // so a partial final round (the paper's "leftover" edges) stays balanced
+  // across the blocks.
+  std::size_t placed = 0;
+  for (std::uint32_t k = 1; placed < m && k < half; ++k) {
+    for (std::uint32_t j = 0; j < half && placed < m; ++j) {
+      const VertexId a = j;
+      const VertexId b = (j + k) % half;
+      if (a != b && base_.add_edge(a, b)) {
+        u_edges_.emplace_back(a, b);
+        ++placed;
+      }
+      if (placed >= m) break;
+      const VertexId c = half + j;
+      const VertexId d = half + (j + k) % half;
+      if (c != d && base_.add_edge(c, d)) {
+        v_edges_.emplace_back(c, d);
+        ++placed;
+      }
+    }
+  }
+  check(placed == m, "Kt0HardInstance: could not place m edges");
+}
+
+Graph Kt0HardInstance::swap_instance(std::size_t ui, std::size_t vi,
+                                     bool crossed) const {
+  check(ui < u_edges_.size() && vi < v_edges_.size(),
+        "swap_instance: edge index out of range");
+  const Edge e1 = u_edges_[ui];
+  const Edge e2 = v_edges_[vi];
+  Graph g{n_};
+  for (const auto& e : base_.edges())
+    if (e != e1 && e != e2) g.add_edge(e.u, e.v);
+  const VertexId v_first = crossed ? e2.v : e2.u;
+  const VertexId v_second = crossed ? e2.u : e2.v;
+  g.add_edge(e1.u, v_first);
+  g.add_edge(e1.v, v_second);
+  return g;
+}
+
+Kt0HardInstance::Draw Kt0HardInstance::sample(Rng& rng) const {
+  if (rng.next_bool(0.5)) return {base_, false, true};
+  const std::size_t ui = rng.next_below(u_edges_.size());
+  const std::size_t vi = rng.next_below(v_edges_.size());
+  const bool crossed = rng.next_bool(0.5);
+  return {swap_instance(ui, vi, crossed), true, false};
+}
+
+std::vector<Kt0Square> Kt0HardInstance::edge_disjoint_squares() const {
+  // Greedy packing: pair U and V edges in order, accepting a square only if
+  // none of its four links was used by an accepted square (either variant's
+  // cross links counted, conservatively).
+  std::vector<Kt0Square> out;
+  std::set<Edge> used;
+  std::size_t vi = 0;
+  for (std::size_t ui = 0; ui < u_edges_.size() && vi < v_edges_.size();
+       ++ui) {
+    const Kt0Square square{u_edges_[ui], v_edges_[vi]};
+    bool clean = true;
+    for (bool crossed : {false, true})
+      for (const Edge& link : square.links(crossed))
+        if (used.contains(link)) clean = false;
+    if (!clean) continue;
+    for (bool crossed : {false, true})
+      for (const Edge& link : square.links(crossed)) used.insert(link);
+    out.push_back(square);
+    ++vi;
+  }
+  return out;
+}
+
+}  // namespace ccq

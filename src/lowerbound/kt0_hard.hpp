@@ -1,0 +1,77 @@
+// Section 3: the hard input distribution H for the KT0 message lower bound.
+//
+// For even n and n <= m <= (n/2)(n/2 - 1), the base graph G = G_U ∪ G_V
+// consists of two disjoint near-regular biconnected circulant-style blocks
+// on n/2 vertices each: offset-1 edges first (the two cycles), then
+// offset-2, and so on, with the leftover edges of the final offset placed
+// in U first — exactly the paper's construction. G is disconnected.
+//
+// S_G is the set of "swap" instances: pick e1 = (u1,u2) ∈ G_U and
+// e2 = (v1,v2) ∈ G_V and replace them by a matching pair of cross edges —
+// either (u1,v1),(u2,v2) or (u1,v2),(u2,v1). Because both blocks are
+// 2-edge-connected, every member of S_G is *connected*. The distribution H
+// puts probability 1/2 on G and spreads 1/2 uniformly over S_G. A correct
+// algorithm must distinguish G from every member of S_G, and in KT0 the
+// only way to notice a swap is to touch one of the four links of its
+// "square" — hence Ω(m) messages (Theorems 8 and 9).
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <vector>
+
+#include "graph/graph.hpp"
+#include "util/random.hpp"
+
+namespace ccq {
+
+struct Kt0Square {
+  Edge uu;  // (u1, u2) ∈ G_U
+  Edge vv;  // (v1, v2) ∈ G_V
+  /// The four communication links whose silence makes G and the swapped
+  /// instance indistinguishable: (u1,u2), (u1,v1), (v1,v2), (u2,v2).
+  std::array<Edge, 4> links(bool crossed) const;
+};
+
+class Kt0HardInstance {
+ public:
+  /// Build the base graph. Requires even n >= 6 and n <= m <= max_edges(n).
+  Kt0HardInstance(std::uint32_t n, std::size_t m);
+
+  static std::size_t max_edges(std::uint32_t n);
+
+  std::uint32_t n() const { return n_; }
+  std::size_t m() const { return u_edges_.size() + v_edges_.size(); }
+
+  /// The (disconnected) base graph G = G_U ∪ G_V.
+  const Graph& base() const { return base_; }
+  const std::vector<Edge>& u_edges() const { return u_edges_; }
+  const std::vector<Edge>& v_edges() const { return v_edges_; }
+
+  /// |S_G| = 2 * |E(G_U)| * |E(G_V)|.
+  std::size_t sg_size() const { return 2 * u_edges_.size() * v_edges_.size(); }
+
+  /// One member of S_G: swap u_edges[ui] and v_edges[vi]; `crossed` selects
+  /// between the two matching variants. Always connected.
+  Graph swap_instance(std::size_t ui, std::size_t vi, bool crossed) const;
+
+  /// A draw from the hard distribution H.
+  struct Draw {
+    Graph graph;
+    bool connected;   // ground truth
+    bool is_base;     // true iff the draw is G itself
+  };
+  Draw sample(Rng& rng) const;
+
+  /// A maximal greedy family of squares whose 4-link sets are pairwise
+  /// disjoint — the Ω(m) packing in the proof of Theorem 8.
+  std::vector<Kt0Square> edge_disjoint_squares() const;
+
+ private:
+  std::uint32_t n_;
+  Graph base_;
+  std::vector<Edge> u_edges_;
+  std::vector<Edge> v_edges_;
+};
+
+}  // namespace ccq

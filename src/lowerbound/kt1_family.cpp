@@ -1,0 +1,69 @@
+#include "lowerbound/kt1_family.hpp"
+
+#include "util/error.hpp"
+
+namespace ccq {
+
+Kt1Family::Kt1Family(std::uint32_t i) : i_(i) {
+  check(i >= 1, "Kt1Family: need i >= 1");
+}
+
+VertexId Kt1Family::u(std::uint32_t k) const {
+  check(k <= i_, "Kt1Family::u: index out of range");
+  return k;
+}
+
+VertexId Kt1Family::v(std::uint32_t k) const {
+  check(k <= i_, "Kt1Family::v: index out of range");
+  return i_ + 1 + k;
+}
+
+Graph Kt1Family::instance(std::uint32_t j) const {
+  check(j <= i_ + 1, "Kt1Family::instance: j out of range");
+  Graph g{n()};
+  g.add_edge(u(0), v(0));
+  for (std::uint32_t k = 1; k <= i_; ++k) g.add_edge(v(0), u(k));
+  for (std::uint32_t k = 1; k <= i_; ++k) {
+    const bool deleted = (j == i_ + 1) || (j >= 1 && j <= i_ && k == j);
+    if (!deleted) g.add_edge(u(k), v(k));
+  }
+  return g;
+}
+
+std::uint32_t Kt1Family::expected_components(std::uint32_t j) const {
+  if (j == 0) return 1;
+  if (j <= i_) return 2;
+  return i_ + 1;
+}
+
+PartitionAudit::PartitionAudit(const Kt1Family& family)
+    : i_(family.i()),
+      pair_of_(family.n(), 0),
+      crossings_(family.i() + 1, 0) {
+  for (std::uint32_t j = 1; j <= i_; ++j) {
+    pair_of_[family.u(j)] = j;
+    pair_of_[family.v(j)] = j;
+  }
+}
+
+void PartitionAudit::on_message(VertexId src, VertexId dst) {
+  ++total_;
+  const std::uint32_t a = pair_of_[src];
+  const std::uint32_t b = pair_of_[dst];
+  if (a != 0 && a != b) ++crossings_[a];
+  if (b != 0 && b != a) ++crossings_[b];
+}
+
+std::uint64_t PartitionAudit::crossings(std::uint32_t j) const {
+  check(j >= 1 && j <= i_, "PartitionAudit::crossings: j out of range");
+  return crossings_[j];
+}
+
+std::uint32_t PartitionAudit::partitions_crossed() const {
+  std::uint32_t count = 0;
+  for (std::uint32_t j = 1; j <= i_; ++j)
+    if (crossings_[j] > 0) ++count;
+  return count;
+}
+
+}  // namespace ccq

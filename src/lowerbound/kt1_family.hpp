@@ -1,0 +1,66 @@
+// Section 4.1: the forest family {G_{i,j}} behind the KT1 Ω(n) message
+// lower bound (Figure 1), plus the partition-crossing audit the proof of
+// Theorem 10 reasons about.
+//
+// G_{i,0} has n = 2i + 2 nodes u_0..u_i, v_0..v_i and edges
+//   (u_0, v_0), (v_0, u_k) for k = 1..i, and (u_k, v_k) for k = 1..i.
+// G_{i,j} (1 <= j <= i) deletes edge (u_j, v_j) — two components.
+// G_{i,i+1} deletes all of them — i + 1 components.
+//
+// The proof partitions the nodes as P_j = {u_j, v_j} vs the rest and shows
+// every P_j must be crossed by a message on G_{i,0} or on G_{i,i+1}; since
+// one message crosses at most two partitions, some execution sends Ω(i)
+// messages. PartitionAudit counts the crossings of every P_j from the
+// engine's message observer, so the benchmark can exhibit the Ω(n) floor
+// on real algorithm executions.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "clique/engine.hpp"
+#include "graph/graph.hpp"
+
+namespace ccq {
+
+class Kt1Family {
+ public:
+  explicit Kt1Family(std::uint32_t i);
+
+  std::uint32_t i() const { return i_; }
+  std::uint32_t n() const { return 2 * i_ + 2; }
+
+  VertexId u(std::uint32_t k) const;          // k in [0, i]
+  VertexId v(std::uint32_t k) const;          // k in [0, i]
+
+  /// G_{i,j} for j in [0, i+1].
+  Graph instance(std::uint32_t j) const;
+
+  /// Number of connected components of G_{i,j} (1 for j=0, 2 for middle j,
+  /// i+1 for j=i+1).
+  std::uint32_t expected_components(std::uint32_t j) const;
+
+ private:
+  std::uint32_t i_;
+};
+
+/// Counts, for every j in [1, i], the messages crossing the partition
+/// P_j = {u_j, v_j} vs the rest. Attach via CliqueEngine::set_observer.
+class PartitionAudit {
+ public:
+  explicit PartitionAudit(const Kt1Family& family);
+
+  void on_message(VertexId src, VertexId dst);
+
+  std::uint64_t crossings(std::uint32_t j) const;  // j in [1, i]
+  std::uint32_t partitions_crossed() const;        // #j with crossings > 0
+  std::uint64_t total_messages() const { return total_; }
+
+ private:
+  std::uint32_t i_;
+  std::vector<std::uint32_t> pair_of_;  // node -> j (0 = not in any P_j)
+  std::vector<std::uint64_t> crossings_;
+  std::uint64_t total_{0};
+};
+
+}  // namespace ccq

@@ -1,0 +1,198 @@
+#include "lowerbound/port_network.hpp"
+
+#include <algorithm>
+#include <unordered_set>
+
+#include "util/error.hpp"
+
+namespace ccq {
+
+PortNetwork::PortNetwork(std::uint32_t n) : n_(n), peer_(n) {
+  check(n >= 2, "PortNetwork: need n >= 2");
+}
+
+PortNetwork PortNetwork::canonical(std::uint32_t n) {
+  PortNetwork net{n};
+  for (VertexId u = 0; u < n; ++u) {
+    net.peer_[u].reserve(n - 1);
+    for (VertexId v = 0; v < n; ++v)
+      if (v != u) net.peer_[u].push_back(v);
+  }
+  return net;
+}
+
+VertexId PortNetwork::peer(VertexId u, std::uint32_t port) const {
+  check(u < n_ && port < n_ - 1, "PortNetwork::peer: out of range");
+  return peer_[u][port];
+}
+
+std::uint32_t PortNetwork::port_to(VertexId u, VertexId v) const {
+  const auto& row = peer_[u];
+  const auto it = std::find(row.begin(), row.end(), v);
+  check(it != row.end(), "PortNetwork: no port from u to v");
+  return static_cast<std::uint32_t>(it - row.begin());
+}
+
+std::uint32_t PortNetwork::reverse_port(VertexId u, std::uint32_t port) const {
+  return port_to(peer(u, port), u);
+}
+
+void PortNetwork::swap_links(VertexId a, VertexId b, VertexId c,
+                             VertexId d) {
+  // Links a-b and c-d become a-c and b-d: the port that led from a to b now
+  // leads to c, and symmetrically on all four nodes.
+  check(a != c && a != d && b != c && b != d,
+        "PortNetwork::swap_links: links must be disjoint");
+  const std::uint32_t pa = port_to(a, b);
+  const std::uint32_t pb = port_to(b, a);
+  const std::uint32_t pc = port_to(c, d);
+  const std::uint32_t pd = port_to(d, c);
+  peer_[a][pa] = c;
+  peer_[c][pc] = a;
+  peer_[b][pb] = d;
+  peer_[d][pd] = b;
+}
+
+std::vector<std::vector<bool>> PortNetwork::port_inputs(const Graph& g) const {
+  check(g.num_vertices() == n_, "PortNetwork::port_inputs: size mismatch");
+  std::vector<std::vector<bool>> bits(n_, std::vector<bool>(n_ - 1, false));
+  for (VertexId u = 0; u < n_; ++u)
+    for (std::uint32_t p = 0; p < n_ - 1; ++p)
+      bits[u][p] = g.has_edge(u, peer_[u][p]);
+  return bits;
+}
+
+std::vector<PortSend> run_port_protocol(
+    const PortNetwork& net, const std::vector<std::vector<bool>>& bits,
+    const PortProtocol& protocol, std::uint32_t rounds) {
+  const std::uint32_t n = net.n();
+  check(bits.size() == n, "run_port_protocol: one bit vector per node");
+  // received[u][r][p]
+  std::vector<std::vector<std::vector<std::uint64_t>>> received(
+      n, std::vector<std::vector<std::uint64_t>>(
+             rounds, std::vector<std::uint64_t>(n - 1, kNoMessage)));
+  std::vector<PortSend> transcript;
+  for (std::uint32_t r = 0; r < rounds; ++r) {
+    // Collect all sends from pre-round state, then deliver simultaneously.
+    std::vector<PortSend> this_round;
+    for (VertexId u = 0; u < n; ++u) {
+      PortView view{u, &bits[u], &received[u]};
+      const auto out = protocol(view, r);
+      for (const auto& [port, payload] : out) {
+        check(port < n - 1, "run_port_protocol: port out of range");
+        check(payload != kNoMessage,
+              "run_port_protocol: payload collides with the silence marker");
+        this_round.push_back({r, u, port, payload});
+      }
+    }
+    for (const auto& send : this_round) {
+      const VertexId to = net.peer(send.node, send.port);
+      const std::uint32_t back = net.reverse_port(send.node, send.port);
+      received[to][send.round][back] = send.payload;
+      transcript.push_back(send);
+    }
+  }
+  return transcript;
+}
+
+std::vector<PortSend> run_port_protocol(const PortNetwork& net,
+                                        const Graph& input,
+                                        const PortProtocol& protocol,
+                                        std::uint32_t rounds) {
+  return run_port_protocol(net, net.port_inputs(input), protocol, rounds);
+}
+
+IndistinguishabilityResult port_indistinguishability(
+    const Kt0HardInstance& hard, std::size_t u_edge_index,
+    std::size_t v_edge_index, bool crossed, const PortProtocol& protocol,
+    std::uint32_t rounds) {
+  const auto n = hard.n();
+  const Kt0Square square{hard.u_edges().at(u_edge_index),
+                         hard.v_edges().at(v_edge_index)};
+  // Wiring A: canonical, input G. Wiring B: the two square edges' far ends
+  // swapped, same input bits — the swap instance seen through KT0 ports.
+  const PortNetwork net_a = PortNetwork::canonical(n);
+  PortNetwork net_b = PortNetwork::canonical(n);
+  // Rewire so wiring B realizes the swap instance while every node's
+  // port-local input bits stay exactly those of the base graph: the port
+  // u1->u2 now leads to v1 (or v2 when crossed), etc.
+  if (crossed)
+    net_b.swap_links(square.uu.u, square.uu.v, square.vv.v, square.vv.u);
+  else
+    net_b.swap_links(square.uu.u, square.uu.v, square.vv.u, square.vv.v);
+  IndistinguishabilityResult out;
+  // Both executions use the *same* port-local input bits (computed under
+  // the canonical wiring from G). Under wiring B those identical bits
+  // realize the connected swap instance — the crux of the proof.
+  const auto bits = net_a.port_inputs(hard.base());
+  const auto ta = run_port_protocol(net_a, bits, protocol, rounds);
+  const auto tb = run_port_protocol(net_b, bits, protocol, rounds);
+  out.transcripts_identical = ta == tb;
+  out.transcript_length = ta.size();
+  // Did the protocol touch one of the four square links (in either run)?
+  const auto links = square.links(crossed);
+  auto touches = [&](const PortNetwork& net,
+                     const std::vector<PortSend>& transcript) {
+    for (const auto& send : transcript) {
+      const VertexId to = net.peer(send.node, send.port);
+      const Edge link{send.node, to};
+      for (const auto& l : links)
+        if (l == link) return true;
+      // The base graph's own square edges count too (links(false) vs
+      // links(true) share (u1,u2) and (v1,v2)).
+      if (link == square.uu || link == square.vv) return true;
+    }
+    return false;
+  };
+  out.touched_square = touches(net_a, ta) || touches(net_b, tb);
+  return out;
+}
+
+PortFloodResult port_flood_gc(const PortNetwork& net,
+                              const std::vector<std::vector<bool>>& bits) {
+  const std::uint32_t n = net.n();
+  check(bits.size() == n, "port_flood_gc: one bit vector per node");
+  // Per-node token list (arrival-ordered so the protocol is deterministic)
+  // with a hashed membership index, and a per-port cursor into the list
+  // (round-robin forwarding).
+  std::vector<std::vector<std::uint64_t>> tokens(n);
+  std::vector<std::unordered_set<std::uint64_t>> seen(n);
+  std::vector<std::vector<std::size_t>> cursor(n,
+                                               std::vector<std::size_t>(n - 1,
+                                                                        0));
+  for (VertexId v = 0; v < n; ++v) {
+    tokens[v] = {v};
+    seen[v].insert(v);
+  }
+  PortFloodResult out;
+  // Run to quiescence: a round is silent exactly when every port has
+  // forwarded its node's whole set, at which point no future round can move
+  // anything — every component has flooded fully. (Each port forwards at
+  // most n tokens, so at most n^2-ish rounds; real inputs quiesce in
+  // O(diameter + degree).)
+  for (;;) {
+    struct Delivery {
+      VertexId to;
+      std::uint64_t token;
+    };
+    std::vector<Delivery> deliveries;
+    for (VertexId v = 0; v < n; ++v) {
+      for (std::uint32_t p = 0; p < n - 1; ++p) {
+        if (!bits[v][p]) continue;  // only input edges carry the flood
+        if (cursor[v][p] >= tokens[v].size()) continue;  // all forwarded
+        const std::uint64_t token = tokens[v][cursor[v][p]];
+        ++cursor[v][p];
+        deliveries.push_back({net.peer(v, p), token});
+        ++out.messages;
+      }
+    }
+    if (deliveries.empty()) break;
+    for (const auto& d : deliveries)
+      if (seen[d.to].insert(d.token).second) tokens[d.to].push_back(d.token);
+  }
+  out.tokens_at_decider = tokens[0].size();
+  out.connected = tokens[0].size() == n;
+  return out;
+}
+
+}  // namespace ccq

@@ -1,0 +1,142 @@
+// Port-level KT0 execution — the indistinguishability engine behind
+// Theorem 8 (and Korach–Moran–Zaks before it).
+//
+// In the KT0 model a node does not know who sits at the other end of a
+// link: it sees numbered ports, an input bit per port ("is this link an
+// input edge?"), and whatever arrives. The lower-bound proof's key move is
+// that two different *wirings* (which physical node each port leads to)
+// with the same port-local inputs are indistinguishable until a message
+// crosses a link whose far end differs.
+//
+// PortNetwork makes that executable: a wiring is an involution on (node,
+// port) pairs; a deterministic protocol is a callback seeing only
+// port-local state (its node's input bits, received messages per port,
+// round number — never IDs of peers); run_protocol produces the full
+// transcript (every (node, port, payload, round) send). The Theorem 8
+// demonstration wires the base graph G and a swap instance G' so that all
+// port-local inputs coincide, and checks transcripts are *identical* for
+// any protocol that never touches the four square links — hence any
+// correct algorithm must touch Ω(m) links across the square packing.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <vector>
+
+#include "graph/graph.hpp"
+#include "lowerbound/kt0_hard.hpp"
+
+namespace ccq {
+
+/// A KT0 port wiring: node u's port p leads to peer(u, p). Ports are
+/// 0..n-2. The wiring is symmetric: peer(peer(u,p)) == (u,p').
+class PortNetwork {
+ public:
+  /// The canonical wiring: node u's ports enumerate the other nodes in
+  /// increasing ID order. (What a KT1 node could reconstruct; a KT0 node
+  /// cannot tell it apart from any other wiring with equal inputs.)
+  static PortNetwork canonical(std::uint32_t n);
+
+  std::uint32_t n() const { return n_; }
+  std::uint32_t ports() const { return n_ - 1; }
+
+  VertexId peer(VertexId u, std::uint32_t port) const;
+  std::uint32_t reverse_port(VertexId u, std::uint32_t port) const;
+
+  /// Swap the far ends of two existing links a-b and c-d so the wiring
+  /// connects a-c and b-d instead (via the ports that used to carry a-b and
+  /// c-d). This is exactly the Section 3 edge swap seen from the ports'
+  /// perspective; the `crossed` variant is swap_links(a, b, d, c).
+  void swap_links(VertexId a, VertexId b, VertexId c, VertexId d);
+
+  /// Port-local input for graph g under this wiring: bit p of node u is set
+  /// iff {u, peer(u,p)} is an edge of g.
+  std::vector<std::vector<bool>> port_inputs(const Graph& g) const;
+
+ private:
+  PortNetwork(std::uint32_t n);
+  std::uint32_t port_to(VertexId u, VertexId v) const;
+
+  std::uint32_t n_;
+  std::vector<std::vector<VertexId>> peer_;  // [u][port] -> node
+};
+
+/// One transmitted message in a port-level execution.
+struct PortSend {
+  std::uint32_t round;
+  VertexId node;       // sender
+  std::uint32_t port;  // sender's port
+  std::uint64_t payload;
+
+  friend bool operator==(const PortSend&, const PortSend&) = default;
+};
+
+/// What a deterministic KT0 protocol sees at one node: its port count, its
+/// input bits, and everything received so far (per round, per port;
+/// kNoMessage = silence). It returns the messages to send this round
+/// (port -> payload). IDs of peers are deliberately absent.
+struct PortView {
+  VertexId self;  // a node knows its own ID in KT0
+  const std::vector<bool>* input_bits;
+  // received[r][p] = payload arrived on port p in round r (or kNoMessage).
+  const std::vector<std::vector<std::uint64_t>>* received;
+};
+
+inline constexpr std::uint64_t kNoMessage = ~std::uint64_t{0};
+
+using PortProtocol =
+    std::function<std::map<std::uint32_t, std::uint64_t>(const PortView&,
+                                                         std::uint32_t round)>;
+
+/// Run `rounds` rounds of a deterministic protocol over the wiring with
+/// explicit per-port input bits (the bits, not a graph, are what a KT0 node
+/// actually holds — the same bits over two wirings realize two different
+/// graphs, which is the crux of Theorem 8). Returns the ordered transcript.
+std::vector<PortSend> run_port_protocol(
+    const PortNetwork& net, const std::vector<std::vector<bool>>& port_bits,
+    const PortProtocol& protocol, std::uint32_t rounds);
+
+/// Convenience: derive the bits from a graph under this wiring, then run.
+std::vector<PortSend> run_port_protocol(const PortNetwork& net,
+                                        const Graph& input,
+                                        const PortProtocol& protocol,
+                                        std::uint32_t rounds);
+
+/// The Theorem 8 experiment: build the swap instance of `hard` for the
+/// square (u_edge_index, v_edge_index, crossed) as a *rewiring* (so all
+/// port-local inputs equal the base graph's), run the protocol on both, and
+/// report whether the transcripts are identical and whether the protocol
+/// ever touched one of the four square links.
+struct IndistinguishabilityResult {
+  bool transcripts_identical{false};
+  bool touched_square{false};
+  std::size_t transcript_length{0};
+};
+
+IndistinguishabilityResult port_indistinguishability(
+    const Kt0HardInstance& hard, std::size_t u_edge_index,
+    std::size_t v_edge_index, bool crossed, const PortProtocol& protocol,
+    std::uint32_t rounds);
+
+/// The other side of Theorem 8: a *correct* deterministic KT0 connectivity
+/// protocol. Distinct-token flooding: every node holds the set of node IDs
+/// it has heard of (initially its own); each round it forwards, over every
+/// input-edge port, one token its neighbour may not have seen (round-robin
+/// through its set), until quiescence; node 0 then decides
+/// `connected <=> |tokens at node 0| == n`. Deliberately message-heavy
+/// (every port eventually carries its node's whole set): the point is
+/// correctness in the strict port model — being correct on the hard
+/// distribution, it necessarily sends over the square edges, the cost
+/// Theorem 8 proves unavoidable.
+struct PortFloodResult {
+  bool connected{false};
+  std::uint64_t messages{0};
+  std::size_t tokens_at_decider{0};
+};
+
+PortFloodResult port_flood_gc(const PortNetwork& net,
+                              const std::vector<std::vector<bool>>&
+                                  port_bits);
+
+}  // namespace ccq

@@ -1,0 +1,159 @@
+#include "sketch/graph_sketch.hpp"
+
+#include <algorithm>
+#include <bit>
+#include <unordered_map>
+
+#include "graph/union_find.hpp"
+#include "util/error.hpp"
+
+namespace ccq {
+
+std::uint32_t default_sketch_copies(std::uint32_t n) {
+  const auto log_n = static_cast<std::uint32_t>(
+      std::bit_width(std::max<std::uint32_t>(n, 2) - 1));
+  // log2(n) Borůvka rounds, doubled for sampler-failure retries, plus slack.
+  return 2 * log_n + 8;
+}
+
+SketchSpace::SketchSpace(std::uint32_t n, std::uint32_t copies,
+                         std::span<const std::uint64_t> seed_words,
+                         std::uint32_t buckets)
+    : n_(n),
+      params_(SketchParams::cormode_firmani(
+          static_cast<std::uint64_t>(n) * std::max<std::uint32_t>(n, 2),
+          buckets)) {
+  check(copies > 0, "SketchSpace: need at least one copy");
+  const std::size_t per_family = sketch_seed_words(params_);
+  if (seed_words.size() < per_family * copies)
+    throw InvalidArgument("SketchSpace: seed too short");
+  families_.reserve(copies);
+  for (std::uint32_t j = 0; j < copies; ++j)
+    families_.emplace_back(params_,
+                           seed_words.subspan(j * per_family, per_family));
+}
+
+std::size_t SketchSpace::seed_words_needed(std::uint32_t n,
+                                           std::uint32_t copies,
+                                           std::uint32_t buckets) {
+  const auto params = SketchParams::cormode_firmani(
+      static_cast<std::uint64_t>(n) * std::max<std::uint32_t>(n, 2), buckets);
+  return sketch_seed_words(params) * copies;
+}
+
+const SketchFamily& SketchSpace::family(std::uint32_t j) const {
+  check(j < families_.size(), "SketchSpace::family: index out of range");
+  return families_[j];
+}
+
+std::vector<L0Sketch> SketchSpace::sketch_vertex(
+    VertexId v, std::span<const Edge> incident) const {
+  std::vector<L0Sketch> out = zero();
+  for (const Edge& e : incident) {
+    const int sign = incidence_sign(v, e);
+    check(sign != 0, "sketch_vertex: edge not incident on v");
+    const std::uint64_t idx = edge_index(e.u, e.v, n_);
+    for (auto& sketch : out) sketch.update(idx, sign);
+  }
+  return out;
+}
+
+std::vector<L0Sketch> SketchSpace::zero() const {
+  std::vector<L0Sketch> out;
+  out.reserve(families_.size());
+  for (const auto& family : families_) out.emplace_back(family);
+  return out;
+}
+
+SketchForestResult sketch_spanning_forest(
+    const SketchSpace& space, const std::vector<VertexId>& vertices,
+    const std::vector<VertexId>& component_of,
+    std::vector<std::vector<L0Sketch>> per_vertex) {
+  check(vertices.size() == per_vertex.size(),
+        "sketch_spanning_forest: vertices/sketches size mismatch");
+  SketchForestResult result;
+  if (vertices.empty()) return result;
+  const std::uint32_t t = space.copies();
+
+  // Dense position index for the participating supervertices.
+  std::unordered_map<VertexId, std::size_t> position;
+  position.reserve(vertices.size());
+  for (std::size_t i = 0; i < vertices.size(); ++i) {
+    check(position.emplace(vertices[i], i).second,
+          "sketch_spanning_forest: duplicate supervertex");
+    check(per_vertex[i].size() == t,
+          "sketch_spanning_forest: wrong sketch count for a vertex");
+  }
+  auto supervertex_position = [&](VertexId original) -> std::size_t {
+    check(original < component_of.size(),
+          "sketch_spanning_forest: vertex outside component map");
+    const auto it = position.find(component_of[original]);
+    check(it != position.end(),
+          "sketch_spanning_forest: sampled edge touches unknown supervertex");
+    return it->second;
+  };
+
+  UnionFind uf{vertices.size()};
+  // Per-root state: accumulated sketches and next fresh family index.
+  std::vector<std::vector<L0Sketch>> acc = std::move(per_vertex);
+  std::vector<std::uint32_t> cursor(vertices.size(), 0);
+  std::vector<bool> done(vertices.size(), false);  // no outgoing edges
+
+  bool progress = true;
+  while (progress) {
+    progress = false;
+    ++result.boruvka_rounds;
+    // Each live root samples one outgoing edge with a fresh sketch.
+    std::vector<Edge> candidates;
+    std::vector<std::size_t> roots;
+    for (std::size_t i = 0; i < vertices.size(); ++i)
+      if (uf.find(i) == i && !done[i]) roots.push_back(i);
+    bool any_live = false;
+    for (std::size_t root : roots) {
+      if (cursor[root] >= t) {
+        result.ran_out_of_sketches = true;
+        continue;
+      }
+      const L0Sketch& sketch = acc[root][cursor[root]];
+      ++cursor[root];
+      if (sketch.appears_zero()) {
+        done[root] = true;  // isolated supervertex / finished component
+        continue;
+      }
+      any_live = true;
+      const auto sample = sketch.sample();
+      if (!sample) continue;  // sampler failure; retry next round
+      const Edge e = edge_from_index(sample->index, space.n());
+      candidates.push_back(e);
+    }
+    for (const Edge& e : candidates) {
+      const std::size_t pu = supervertex_position(e.u);
+      const std::size_t pv = supervertex_position(e.v);
+      const std::size_t ru = uf.find(pu);
+      const std::size_t rv = uf.find(pv);
+      if (ru == rv) continue;  // stale (already merged this round)
+      // Merge sketch state into the surviving root.
+      uf.unite(ru, rv);
+      const std::size_t keep = uf.find(ru);
+      const std::size_t drop = keep == ru ? rv : ru;
+      for (std::uint32_t j = 0; j < t; ++j) acc[keep][j] += acc[drop][j];
+      cursor[keep] = std::max(cursor[keep], cursor[drop]);
+      done[keep] = false;
+      acc[drop].clear();
+      result.forest.push_back(e);
+      progress = true;
+    }
+    if (!progress && any_live) {
+      // Sampler failures only; keep going while fresh sketches remain.
+      bool fresh_left = false;
+      for (std::size_t root : roots)
+        if (uf.find(root) == root && !done[root] &&
+            cursor[uf.find(root)] < t)
+          fresh_left = true;
+      progress = fresh_left;
+    }
+  }
+  return result;
+}
+
+}  // namespace ccq

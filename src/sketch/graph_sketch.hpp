@@ -1,0 +1,88 @@
+// Graph sketches: linear sketches of vertex incidence vectors, and the
+// local spanning-forest computation a coordinator performs on them.
+//
+// Per Section 2.1, each vertex v of an n-vertex graph is represented by the
+// incidence vector a_v ∈ {-1,0,1}^(n^2) (coordinate edge_index({x,y}),
+// sign +1 if v = x < y and -1 if x < y = v). For any vertex set S,
+// Σ_{v∈S} a_v is supported exactly on the cut (S, V \ S) — intra-component
+// edges cancel by linearity. Sampling from the summed sketch therefore
+// yields an outgoing edge of the component, which drives Borůvka-style
+// connectivity: that is SKETCHANDSPAN's Step 3 and the per-guardian local
+// computation in SQ-MST.
+//
+// A SketchSpace bundles t = Θ(log n) independent families over the same
+// universe; each Borůvka round consumes one fresh family index per
+// component (reusing a sampled sketch would condition the randomness, so
+// the algorithms — like the paper — budget Θ(log n) independent copies).
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "graph/graph.hpp"
+#include "sketch/l0_sketch.hpp"
+
+namespace ccq {
+
+/// Default number of independent sketch copies: enough for log2(n) Borůvka
+/// rounds plus retry headroom for sampler failures.
+std::uint32_t default_sketch_copies(std::uint32_t n);
+
+class SketchSpace {
+ public:
+  /// t independent families over universe n^2, deterministically derived
+  /// from `seed_words` (all nodes holding the same words build identical
+  /// spaces — the linearity requirement). `buckets` selects the detector
+  /// layout (1 = lean per-level detectors; >1 = the Cormode–Firmani
+  /// multi-bucket tables, larger but with higher per-copy success).
+  SketchSpace(std::uint32_t n, std::uint32_t copies,
+              std::span<const std::uint64_t> seed_words,
+              std::uint32_t buckets = 1);
+
+  static std::size_t seed_words_needed(std::uint32_t n, std::uint32_t copies,
+                                       std::uint32_t buckets = 1);
+
+  std::uint32_t n() const { return n_; }
+  std::uint32_t copies() const { return static_cast<std::uint32_t>(families_.size()); }
+  const SketchFamily& family(std::uint32_t j) const;
+  const SketchParams& params() const { return params_; }
+
+  /// Words per serialized sketch (each of the t copies).
+  std::size_t sketch_words() const { return L0Sketch::word_size(params_); }
+
+  /// Sketch vertex v's incidence vector restricted to the given incident
+  /// edges, in every family; returns t sketches.
+  std::vector<L0Sketch> sketch_vertex(VertexId v,
+                                      std::span<const Edge> incident) const;
+
+  /// t zero sketches (for accumulation).
+  std::vector<L0Sketch> zero() const;
+
+ private:
+  std::uint32_t n_;
+  SketchParams params_;
+  std::vector<SketchFamily> families_;
+};
+
+/// Result of the coordinator-local sketch Borůvka.
+struct SketchForestResult {
+  std::vector<Edge> forest;      // edges of a spanning forest (w.h.p. maximal)
+  bool ran_out_of_sketches{false};  // true if some component stalled
+  std::uint32_t boruvka_rounds{0};
+};
+
+/// Compute (locally, no communication) a maximal spanning forest of the
+/// graph underlying the sketches. `vertices` lists the participating
+/// (super-)vertex ids; `component_of` maps every original vertex id in
+/// [0,n) to its supervertex id (identity when sketching plain vertices);
+/// `per_vertex[i]` holds the t sketches of vertices[i]. Succeeds w.h.p.;
+/// on sampler exhaustion returns the partial forest with
+/// ran_out_of_sketches = true (a Monte Carlo failure the caller may
+/// surface, mirroring the paper's w.h.p. guarantee).
+SketchForestResult sketch_spanning_forest(
+    const SketchSpace& space, const std::vector<VertexId>& vertices,
+    const std::vector<VertexId>& component_of,
+    std::vector<std::vector<L0Sketch>> per_vertex);
+
+}  // namespace ccq

@@ -1,0 +1,213 @@
+#include "sketch/l0_sketch.hpp"
+
+#include <bit>
+#include <cmath>
+
+#include "util/error.hpp"
+#include "util/field.hpp"
+
+namespace ccq {
+
+namespace {
+
+std::uint64_t zigzag_encode(std::int64_t v) {
+  return (static_cast<std::uint64_t>(v) << 1) ^
+         static_cast<std::uint64_t>(v >> 63);
+}
+
+std::int64_t zigzag_decode(std::uint64_t v) {
+  return static_cast<std::int64_t>(v >> 1) ^
+         -static_cast<std::int64_t>(v & 1);
+}
+
+}  // namespace
+
+SketchParams SketchParams::for_universe(std::uint64_t universe) {
+  check(universe > 0, "SketchParams: empty universe");
+  const auto bits = static_cast<std::uint32_t>(std::bit_width(universe));
+  return SketchParams{universe, bits + 2, 1};
+}
+
+SketchParams SketchParams::cormode_firmani(std::uint64_t universe,
+                                           std::uint32_t buckets) {
+  check(buckets >= 1, "SketchParams: need at least one bucket");
+  SketchParams params = for_universe(universe);
+  params.buckets = buckets;
+  return params;
+}
+
+std::size_t sketch_hash_independence(std::uint64_t universe) {
+  // Θ(log n) independence; universe is poly(n), so bit_width(universe) is a
+  // fine stand-in with a floor that keeps small test instances honest.
+  return std::max<std::size_t>(8, std::bit_width(universe));
+}
+
+std::size_t sketch_seed_words(const SketchParams& params) {
+  // h needs k words; one pairwise (2-word) g_r per level supplies the
+  // fingerprint bases, and a second per level the bucket hashes (only
+  // consumed in the Cormode–Firmani multi-bucket layout).
+  return sketch_hash_independence(params.universe) + 2 * params.levels +
+         (params.buckets > 1 ? 2 * params.levels : 0);
+}
+
+SketchFamily::SketchFamily(const SketchParams& params,
+                           std::span<const std::uint64_t> seed_words)
+    : params_(params),
+      h_(seed_words.subspan(
+          0, std::min(seed_words.size(),
+                      sketch_hash_independence(params.universe)))) {
+  if (seed_words.size() < sketch_seed_words(params))
+    throw InvalidArgument("SketchFamily: seed too short");
+  const std::size_t k = sketch_hash_independence(params.universe);
+  z_.reserve(params.levels);
+  std::uint64_t id = 0x6b7d1a2c9e4f3b01ULL;
+  for (std::uint64_t w : seed_words) id = mix64(id ^ w);
+  family_id_ = id;
+  for (std::uint32_t level = 0; level < params.levels; ++level) {
+    const KwiseHash g{seed_words.subspan(k + 2 * level, 2)};
+    // A nonzero base; g's evaluation at a fixed point is uniform in the
+    // field, so the adjustment is negligible bias.
+    std::uint64_t base = field::canon(g(level + 1));
+    if (base == 0) base = 1;
+    z_.push_back(base);
+  }
+  if (params.buckets > 1) {
+    bucket_g_.reserve(params.levels);
+    for (std::uint32_t level = 0; level < params.levels; ++level)
+      bucket_g_.emplace_back(
+          seed_words.subspan(k + 2 * params.levels + 2 * level, 2));
+  }
+}
+
+std::uint32_t SketchFamily::bucket_of(std::uint32_t level,
+                                      std::uint64_t i) const {
+  if (params_.buckets <= 1) return 0;
+  check(level < params_.levels, "SketchFamily::bucket_of: bad level");
+  return static_cast<std::uint32_t>(
+      bucket_g_[level].eval_mod(i, params_.buckets));
+}
+
+std::uint32_t SketchFamily::level_of(std::uint64_t i) const {
+  check(i < params_.universe, "SketchFamily::level_of: out of universe");
+  const std::uint64_t hv = h_(i);
+  const auto tz = static_cast<std::uint32_t>(
+      hv == 0 ? 64 : std::countr_zero(hv));
+  return std::min(tz, params_.levels - 1);
+}
+
+std::uint64_t SketchFamily::z_of(std::uint32_t level) const {
+  check(level < params_.levels, "SketchFamily::z_of: bad level");
+  return z_[level];
+}
+
+std::uint64_t SketchFamily::fingerprint(std::uint32_t level,
+                                        std::uint64_t i) const {
+  return field::pow(z_of(level), i + 1);
+}
+
+L0Sketch::L0Sketch(const SketchFamily& family)
+    : family_(&family),
+      cells_(static_cast<std::size_t>(family.params().levels) *
+             family.params().buckets) {}
+
+void L0Sketch::update(std::uint64_t i, int c) {
+  check(c == 1 || c == -1, "L0Sketch::update: sign must be +-1");
+  const std::uint32_t top = family_->level_of(i);
+  const std::uint32_t buckets = family_->params().buckets;
+  for (std::uint32_t level = 0; level <= top; ++level) {
+    Cell& cell = cells_[static_cast<std::size_t>(level) * buckets +
+                        family_->bucket_of(level, i)];
+    cell.phi += c;
+    cell.iota += c * static_cast<std::int64_t>(i);
+    const std::uint64_t f = family_->fingerprint(level, i);
+    cell.tau = c > 0 ? field::add(cell.tau, f) : field::sub(cell.tau, f);
+  }
+}
+
+L0Sketch& L0Sketch::operator+=(const L0Sketch& other) {
+  check(family_->family_id() == other.family_->family_id(),
+        "L0Sketch::+=: sketches from different families are not addable");
+  for (std::size_t level = 0; level < cells_.size(); ++level) {
+    cells_[level].phi += other.cells_[level].phi;
+    cells_[level].iota += other.cells_[level].iota;
+    cells_[level].tau =
+        field::add(cells_[level].tau, other.cells_[level].tau);
+  }
+  return *this;
+}
+
+L0Sketch L0Sketch::negated() const {
+  L0Sketch out{*family_};
+  for (std::size_t level = 0; level < cells_.size(); ++level) {
+    out.cells_[level].phi = -cells_[level].phi;
+    out.cells_[level].iota = -cells_[level].iota;
+    out.cells_[level].tau = field::neg(cells_[level].tau);
+  }
+  return out;
+}
+
+std::optional<L0Sample> L0Sketch::sample() const {
+  // Scan from the sparsest level down; within a level, scan its buckets.
+  // The first exactly-1-sparse detector yields the sample.
+  const std::uint32_t buckets = family_->params().buckets;
+  for (std::uint32_t level = family_->params().levels; level-- > 0;) {
+    for (std::uint32_t b = 0; b < buckets; ++b) {
+      const Cell& cell =
+          cells_[static_cast<std::size_t>(level) * buckets + b];
+      if (cell.phi != 1 && cell.phi != -1) continue;
+      const std::int64_t signed_index = cell.iota / cell.phi;
+      if (signed_index < 0 ||
+          cell.iota != cell.phi * signed_index ||
+          static_cast<std::uint64_t>(signed_index) >=
+              family_->params().universe)
+        continue;
+      const auto index = static_cast<std::uint64_t>(signed_index);
+      // The surviving coordinate must genuinely belong to this detector.
+      if (family_->level_of(index) < level) continue;
+      if (family_->bucket_of(level, index) != b) continue;
+      // Fingerprint test: τ must equal φ · z^index.
+      const std::uint64_t expect_mag = family_->fingerprint(level, index);
+      const std::uint64_t expect =
+          cell.phi > 0 ? expect_mag : field::neg(expect_mag);
+      if (cell.tau != expect) continue;
+      return L0Sample{index, cell.phi > 0 ? 1 : -1};
+    }
+  }
+  return std::nullopt;
+}
+
+bool L0Sketch::appears_zero() const {
+  for (const Cell& cell : cells_)
+    if (cell.phi != 0 || cell.iota != 0 || cell.tau != 0) return false;
+  return true;
+}
+
+std::vector<std::uint64_t> L0Sketch::to_words() const {
+  std::vector<std::uint64_t> out;
+  out.reserve(cells_.size() * 3);
+  for (const Cell& cell : cells_) {
+    out.push_back(zigzag_encode(cell.phi));
+    out.push_back(zigzag_encode(cell.iota));
+    out.push_back(cell.tau);
+  }
+  return out;
+}
+
+L0Sketch L0Sketch::from_words(const SketchFamily& family,
+                              std::span<const std::uint64_t> words) {
+  if (words.size() != word_size(family.params()))
+    throw InvalidArgument("L0Sketch::from_words: wrong payload size");
+  L0Sketch out{family};
+  for (std::size_t c = 0; c < out.cells_.size(); ++c) {
+    out.cells_[c].phi = zigzag_decode(words[3 * c]);
+    out.cells_[c].iota = zigzag_decode(words[3 * c + 1]);
+    out.cells_[c].tau = words[3 * c + 2];
+  }
+  return out;
+}
+
+std::size_t L0Sketch::word_size(const SketchParams& params) {
+  return static_cast<std::size_t>(params.levels) * params.buckets * 3;
+}
+
+}  // namespace ccq

@@ -1,0 +1,39 @@
+// Error types shared across the library.
+//
+// Following the C++ Core Guidelines (E.2, E.14) we throw exceptions derived
+// from std::logic_error / std::runtime_error for contract and protocol
+// violations. The Congested Clique engine in particular throws
+// ProtocolError whenever an algorithm attempts a round schedule that is
+// infeasible under the model's bandwidth constraint — a green test suite
+// therefore certifies that every claimed round schedule is genuinely valid.
+#pragma once
+
+#include <stdexcept>
+#include <string>
+
+namespace ccq {
+
+/// Thrown when an algorithm violates the Congested Clique model contract
+/// (e.g. exceeding the per-link-per-round bandwidth budget, sending to an
+/// out-of-range node, or reading KT1-only knowledge in KT0 mode).
+class ProtocolError : public std::logic_error {
+ public:
+  explicit ProtocolError(const std::string& what) : std::logic_error(what) {}
+};
+
+/// Thrown on invalid arguments to library entry points (bad graph sizes,
+/// mismatched sketch universes, ...).
+class InvalidArgument : public std::invalid_argument {
+ public:
+  explicit InvalidArgument(const std::string& what)
+      : std::invalid_argument(what) {}
+};
+
+/// Internal-consistency check that is always on (unlike assert, which
+/// vanishes in release builds). Use for invariants whose violation would
+/// silently corrupt results of the reproduction.
+inline void check(bool condition, const char* message) {
+  if (!condition) throw std::logic_error(message);
+}
+
+}  // namespace ccq

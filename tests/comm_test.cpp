@@ -1,0 +1,248 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <map>
+#include <set>
+
+#include "comm/primitives.hpp"
+#include "comm/routing.hpp"
+#include "comm/shared_random.hpp"
+#include "comm/sorting.hpp"
+
+namespace ccq {
+namespace {
+
+TEST(Primitives, BroadcastFromCharges) {
+  CliqueEngine engine{{.n = 8}};
+  const std::vector<std::uint64_t> words{1, 2, 3, 4, 5};  // 2 messages/link
+  const auto rounds = broadcast_from(engine, 0, words);
+  EXPECT_EQ(rounds, 2u);
+  EXPECT_EQ(engine.metrics().rounds, 2u);
+  EXPECT_EQ(engine.metrics().messages, 2u * 7);
+  EXPECT_EQ(engine.metrics().words, 5u * 7);
+}
+
+TEST(Primitives, BroadcastAllCharges) {
+  CliqueEngine engine{{.n = 5}};
+  std::vector<VertexId> senders{0, 2, 4};
+  std::vector<std::vector<std::uint64_t>> values{{1}, {2}, {3}};
+  const auto rounds = broadcast_all(engine, senders, values);
+  EXPECT_EQ(rounds, 1u);
+  EXPECT_EQ(engine.metrics().messages, 3u * 4);
+  EXPECT_EQ(engine.metrics().words, 3u * 4);
+}
+
+TEST(Primitives, SprayBroadcastTwoRounds) {
+  CliqueEngine engine{{.n = 6}};
+  std::vector<std::vector<std::uint64_t>> items{{1, 2}, {3, 4}, {5, 6}};
+  const auto rounds = spray_broadcast(engine, 2, items);
+  EXPECT_EQ(rounds, 2u);
+  EXPECT_EQ(engine.metrics().rounds, 2u);
+  // Round 1: 3 messages owner->helpers; round 2: 3 helpers broadcast to 5.
+  EXPECT_EQ(engine.metrics().messages, 3u + 3u * 5);
+}
+
+TEST(Primitives, SprayBroadcastLimits) {
+  CliqueEngine engine{{.n = 3}};
+  std::vector<std::vector<std::uint64_t>> too_many(3, {1});
+  EXPECT_THROW(spray_broadcast(engine, 0, too_many), std::logic_error);
+  std::vector<std::vector<std::uint64_t>> too_big{{1, 2, 3, 4, 5}};
+  EXPECT_THROW(spray_broadcast(engine, 0, too_big), std::logic_error);
+}
+
+TEST(Primitives, ResolveIdsKt0CostsOneFullRound) {
+  CliqueEngine engine{{.n = 10, .knowledge = Knowledge::KT0}};
+  resolve_ids_kt0(engine);
+  EXPECT_EQ(engine.metrics().rounds, 1u);
+  EXPECT_EQ(engine.metrics().messages, 90u);
+}
+
+TEST(Coloring, ProperOnRandomMultigraphs) {
+  Rng rng{5};
+  for (int trial = 0; trial < 20; ++trial) {
+    const std::uint32_t left = 1 + rng.next_below(12);
+    const std::uint32_t right = 1 + rng.next_below(12);
+    std::vector<std::pair<std::uint32_t, std::uint32_t>> edges;
+    const std::size_t m = rng.next_below(200);
+    for (std::size_t i = 0; i < m; ++i)
+      edges.emplace_back(rng.next_below(left), rng.next_below(right));
+    const auto color = bipartite_edge_coloring(edges, left, right);
+    ASSERT_EQ(color.size(), edges.size());
+    // Properness: within a color no shared left or right endpoint.
+    std::map<std::pair<std::uint32_t, std::uint32_t>, int> used;  // (color, v)
+    for (std::size_t i = 0; i < edges.size(); ++i) {
+      EXPECT_EQ((++used[{color[i], edges[i].first}]), 1);
+      EXPECT_EQ((++used[{color[i], edges[i].second + left}]), 1);
+    }
+    // Color count within a constant factor of the max degree.
+    std::map<std::uint32_t, std::size_t> degl, degr;
+    for (const auto& [a, b] : edges) {
+      ++degl[a];
+      ++degr[b];
+    }
+    std::size_t delta = 1;
+    for (const auto& [v, d] : degl) delta = std::max(delta, d);
+    for (const auto& [v, d] : degr) delta = std::max(delta, d);
+    if (!edges.empty()) {
+      // The regularized Euler halving uses exactly bit_ceil(delta) < 2*delta
+      // colors.
+      const std::uint32_t colors =
+          1 + *std::max_element(color.begin(), color.end());
+      EXPECT_LE(colors, 2 * delta);
+    }
+  }
+}
+
+TEST(Routing, DeliversEverythingExactlyOnce) {
+  Rng rng{7};
+  CliqueEngine engine{{.n = 16}};
+  std::vector<Packet> packets;
+  std::multiset<std::tuple<VertexId, VertexId, std::uint64_t>> expect;
+  for (int i = 0; i < 300; ++i) {
+    const auto s = static_cast<VertexId>(rng.next_below(16));
+    const auto d = static_cast<VertexId>(rng.next_below(16));
+    packets.push_back({s, d, msg1(1, static_cast<std::uint64_t>(i))});
+    expect.insert({s, d, static_cast<std::uint64_t>(i)});
+  }
+  const auto inbox = route_packets(engine, packets);
+  std::multiset<std::tuple<VertexId, VertexId, std::uint64_t>> got;
+  for (VertexId v = 0; v < 16; ++v)
+    for (const auto& m : inbox[v]) got.insert({m.src, m.dst, m.word(0)});
+  EXPECT_EQ(got, expect);
+}
+
+TEST(Routing, LocalPacketsAreFree) {
+  CliqueEngine engine{{.n = 4}};
+  std::vector<Packet> packets{{2, 2, msg1(0, 9)}};
+  const auto inbox = route_packets(engine, packets);
+  EXPECT_EQ(inbox[2].size(), 1u);
+  EXPECT_EQ(engine.metrics().messages, 0u);
+  EXPECT_EQ(engine.metrics().rounds, 0u);
+}
+
+TEST(Routing, TwoMessagesChargedPerRelayedPacket) {
+  CliqueEngine engine{{.n = 8}};
+  std::vector<Packet> packets;
+  for (int i = 0; i < 5; ++i) packets.push_back({0, 7, msg1(0, 1)});
+  RouteStats stats;
+  route_packets(engine, packets, &stats);
+  EXPECT_EQ(engine.metrics().messages, 10u);
+  EXPECT_EQ(stats.max_send_load, 5u);
+  EXPECT_EQ(stats.max_recv_load, 5u);
+}
+
+TEST(Routing, ConstantRoundsWhenLoadAtMostN) {
+  // Every node sends n-1 packets (one per destination): Lenzen's O(1)
+  // regime; rounds must not grow with n.
+  for (std::uint32_t n : {8u, 16u, 32u}) {
+    CliqueEngine engine{{.n = n}};
+    std::vector<Packet> packets;
+    for (VertexId s = 0; s < n; ++s)
+      for (VertexId d = 0; d < n; ++d)
+        if (s != d) packets.push_back({s, d, msg1(0, 1)});
+    RouteStats stats;
+    route_packets(engine, packets, &stats);
+    EXPECT_LE(stats.rounds, 8u) << "n=" << n;
+  }
+}
+
+TEST(Routing, RoundsScaleWithOverload) {
+  // One receiver swallowing k*n packets needs Θ(k) rounds.
+  CliqueEngine engine{{.n = 8}};
+  std::vector<Packet> packets;
+  for (int i = 0; i < 8 * 10; ++i)
+    packets.push_back(
+        {static_cast<VertexId>(i % 7 + 1), 0, msg1(0, 1)});
+  RouteStats stats;
+  route_packets(engine, packets, &stats);
+  EXPECT_GE(stats.rounds, 10u);
+  EXPECT_LE(stats.rounds, 40u);
+}
+
+TEST(Routing, HeavyOverloadFinishesWithLinearWaves) {
+  // Regression: a coordinator absorbing L >> n packets must be scheduled in
+  // O(L/n) waves without the coloring pass blowing up (this once padded the
+  // multigraph to side * bit_ceil(L) edges and effectively hung).
+  const std::uint32_t n = 32;
+  const std::uint64_t load = 64ull * n;  // L = 64n
+  CliqueEngine engine{{.n = n}};
+  std::vector<Packet> packets;
+  for (std::uint64_t i = 0; i < load; ++i)
+    packets.push_back(
+        {static_cast<VertexId>(1 + i % (n - 1)), 0, msg1(0, i)});
+  RouteStats stats;
+  const auto inbox = route_packets(engine, packets, &stats);
+  EXPECT_EQ(inbox[0].size(), load);
+  // O(1 + L/n): about 2 rounds per wave of n packets, within a small factor.
+  EXPECT_LE(stats.rounds, 2 * (load / (n - 1)) + 16);
+  EXPECT_GE(stats.rounds, load / n);
+}
+
+TEST(Routing, ObserverSeesTwoHops) {
+  CliqueEngine engine{{.n = 4}};
+  std::uint64_t count = 0;
+  engine.set_observer([&](VertexId, VertexId) { ++count; });
+  std::vector<Packet> packets{{0, 3, msg1(0, 1)}, {1, 2, msg1(0, 2)}};
+  route_packets(engine, packets);
+  EXPECT_EQ(count, 4u);
+}
+
+class SortSizes : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(SortSizes, RanksMatchStdSort) {
+  Rng rng{101 + GetParam()};
+  const std::uint32_t n = 12;
+  std::vector<std::vector<std::uint64_t>> keys(n);
+  std::vector<std::uint64_t> all;
+  for (std::size_t i = 0; i < GetParam(); ++i) {
+    const auto owner = static_cast<VertexId>(rng.next_below(n));
+    const std::uint64_t key = rng.next_below(1 << 20);
+    keys[owner].push_back(key);
+    all.push_back(key);
+  }
+  CliqueEngine engine{{.n = n}};
+  const auto ranks = distributed_sort_ranks(engine, keys, rng);
+  // Every rank is used exactly once, and ranks are monotone in key value.
+  std::vector<std::pair<std::uint64_t, std::uint64_t>> rank_key;
+  for (VertexId v = 0; v < n; ++v)
+    for (std::size_t i = 0; i < keys[v].size(); ++i)
+      rank_key.push_back({ranks[v][i], keys[v][i]});
+  std::sort(rank_key.begin(), rank_key.end());
+  for (std::size_t i = 0; i < rank_key.size(); ++i)
+    EXPECT_EQ(rank_key[i].first, i);
+  for (std::size_t i = 1; i < rank_key.size(); ++i)
+    EXPECT_LE(rank_key[i - 1].second, rank_key[i].second);
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, SortSizes,
+                         ::testing::Values(0, 1, 2, 7, 50, 333, 1000));
+
+TEST(Sorting, HandlesDuplicateKeys) {
+  Rng rng{55};
+  const std::uint32_t n = 6;
+  std::vector<std::vector<std::uint64_t>> keys(n);
+  for (VertexId v = 0; v < n; ++v) keys[v] = {42, 42, 42};
+  CliqueEngine engine{{.n = n}};
+  const auto ranks = distributed_sort_ranks(engine, keys, rng);
+  std::set<std::uint64_t> seen;
+  for (VertexId v = 0; v < n; ++v)
+    for (auto r : ranks[v]) seen.insert(r);
+  EXPECT_EQ(seen.size(), 18u);  // all distinct ranks 0..17
+  EXPECT_EQ(*seen.rbegin(), 17u);
+}
+
+TEST(SharedRandom, LengthAndDeterminism) {
+  Rng rng1{9};
+  Rng rng2{9};
+  CliqueEngine e1{{.n = 8}};
+  CliqueEngine e2{{.n = 8}};
+  const auto w1 = shared_random_words(e1, 20, rng1);
+  const auto w2 = shared_random_words(e2, 20, rng2);
+  EXPECT_EQ(w1.size(), 20u);
+  EXPECT_EQ(w1, w2);
+  // 20 words from 8 nodes: 3 waves of broadcast_all.
+  EXPECT_EQ(e1.metrics().rounds, 3u);
+}
+
+}  // namespace
+}  // namespace ccq

@@ -1,0 +1,68 @@
+#include <gtest/gtest.h>
+
+#include "convert/k_machine.hpp"
+
+namespace ccq {
+namespace {
+
+Metrics cost(std::uint64_t rounds, std::uint64_t messages) {
+  Metrics m;
+  m.rounds = rounds;
+  m.messages = messages;
+  return m;
+}
+
+TEST(KMachine, MessageTermScalesInverseQuadratically) {
+  const auto m = cost(10, 1'000'000);
+  const auto k2 = k_machine_cost(m, 2);
+  const auto k4 = k_machine_cost(m, 4);
+  const auto k8 = k_machine_cost(m, 8);
+  EXPECT_EQ(k2.message_term, 250'000u);
+  EXPECT_EQ(k4.message_term, 62'500u);
+  EXPECT_EQ(k8.message_term, 15'625u);
+  EXPECT_EQ(k2.time_term, 10u);
+  EXPECT_EQ(k2.total, 250'010u);
+}
+
+TEST(KMachine, CeilingOnMessageTerm) {
+  const auto m = cost(1, 5);
+  EXPECT_EQ(k_machine_cost(m, 2).message_term, 2u);  // ceil(5/4)
+  EXPECT_EQ(k_machine_cost(m, 3).message_term, 1u);  // ceil(5/9)
+}
+
+TEST(KMachine, TimeTermIsFloor) {
+  const auto m = cost(100, 0);
+  const auto e = k_machine_cost(m, 64);
+  EXPECT_EQ(e.total, 100u);
+}
+
+TEST(KMachine, RejectsDegenerateK) {
+  EXPECT_THROW(k_machine_cost(cost(1, 1), 1), std::logic_error);
+  EXPECT_THROW(k_machine_cost(cost(1, 1), 0), std::logic_error);
+}
+
+TEST(KMachine, MessageFrugalWinsAtSmallK) {
+  // The paper's motivating comparison, in the abstract: equal-ish rounds,
+  // n^2 vs n*polylog messages -> at k = 2 the frugal algorithm wins.
+  const std::uint64_t n = 100'000;  // asymptotic regime
+  const auto heavy = cost(10, n * n);
+  const auto frugal = cost(10'000, n * 300);
+  EXPECT_LT(k_machine_cost(frugal, 2).total, k_machine_cost(heavy, 2).total);
+  // With enough machines the time term flips the comparison back.
+  EXPECT_GT(k_machine_cost(frugal, 4096).total,
+            k_machine_cost(heavy, 4096).total);
+}
+
+TEST(MapReduce, ModerateVolumeCheck) {
+  const std::uint32_t n = 1000;
+  // n^2 messages over 10 rounds: n^2/10 per round <= n^2 -> moderate.
+  EXPECT_TRUE(mapreduce_moderate(cost(10, 1'000'000u * 10 / 10), n));
+  // 10*n^2 messages in one round: not moderate.
+  EXPECT_FALSE(mapreduce_moderate(cost(1, 10'000'000), n));
+  // Stricter slack tightens the bar.
+  EXPECT_FALSE(mapreduce_moderate(cost(1, 1'000'000), n, 2.0));
+  EXPECT_TRUE(mapreduce_moderate(cost(0, 0), n));
+}
+
+}  // namespace
+}  // namespace ccq

@@ -1,0 +1,402 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <set>
+
+#include "core/bipartiteness.hpp"
+#include "core/component_graph.hpp"
+#include "core/exact_mst.hpp"
+#include "core/gc.hpp"
+#include "core/k_edge_connectivity.hpp"
+#include "core/kkt.hpp"
+#include "core/reduce_components.hpp"
+#include "core/sketch_and_span.hpp"
+#include "core/sq_mst.hpp"
+#include "graph/generators.hpp"
+#include "graph/sequential.hpp"
+#include "graph/union_find.hpp"
+#include "graph/verify.hpp"
+
+namespace ccq {
+namespace {
+
+TEST(ComponentGraphBuild, MatchesBruteForce) {
+  Rng rng{1};
+  const std::uint32_t n = 40;
+  const auto g = random_components(n, 4, 30, rng);
+  const auto label = connected_components(g);
+  CliqueEngine engine{{.n = n}};
+  const auto cg = build_component_graph(engine, g, label);
+  // Four components, no inter-component edges: everything finished.
+  EXPECT_TRUE(cg.active_leaders.empty());
+  EXPECT_EQ(cg.leaders.size(), 4u);
+  EXPECT_EQ(engine.metrics().rounds, 1u);
+  EXPECT_EQ(engine.metrics().messages, 0u);
+}
+
+TEST(ComponentGraphBuild, DetectsAdjacencies) {
+  // Partition a path 0-1-2-3 into components {0,1} and {2,3}: one
+  // component-graph edge with witness (1,2).
+  Graph g{4};
+  g.add_edge(0, 1);
+  g.add_edge(1, 2);
+  g.add_edge(2, 3);
+  std::vector<VertexId> label{0, 0, 2, 2};
+  CliqueEngine engine{{.n = 4}};
+  const auto cg = build_component_graph(engine, g, label);
+  ASSERT_EQ(cg.witness.size(), 1u);
+  const auto& [pair, witness] = *cg.witness.begin();
+  EXPECT_EQ(pair, component_pair(0, 2));
+  EXPECT_EQ(witness.edge(), (Edge{1, 2}));
+  EXPECT_EQ(cg.active_leaders.size(), 2u);
+}
+
+TEST(ComponentGraphBuild, WeightedPicksLightestWitness) {
+  WeightedGraph g{4};
+  g.add_edge(0, 2, 50);
+  g.add_edge(1, 3, 10);  // lighter inter-component edge
+  g.add_edge(0, 1, 1);
+  g.add_edge(2, 3, 1);
+  std::vector<VertexId> label{0, 0, 2, 2};
+  CliqueEngine engine{{.n = 4}};
+  const auto cg =
+      build_component_graph_weighted(engine, g.edges(), 4, label);
+  ASSERT_EQ(cg.witness.size(), 1u);
+  EXPECT_EQ(cg.witness.begin()->second, (WeightedEdge{1, 3, 10}));
+}
+
+class ReduceSeeds : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(ReduceSeeds, ForestIsValidAndFinite) {
+  Rng rng{GetParam()};
+  const std::uint32_t n = 120;
+  const auto g = random_components(n, 2, 100, rng);
+  CliqueEngine engine{{.n = n}};
+  const auto result = reduce_components(engine, g);
+  // Forest edges are real edges, acyclic; labels consistent with the forest.
+  UnionFind uf{n};
+  for (const auto& e : result.forest) {
+    EXPECT_TRUE(g.has_edge(e.u, e.v));
+    EXPECT_TRUE(uf.unite(e.u, e.v));
+  }
+  for (VertexId v = 0; v < n; ++v) {
+    // The leader is the minimum-id member of v's forest component.
+    EXPECT_EQ(uf.find(result.leader_of[v]), uf.find(v));
+    EXPECT_LE(result.leader_of[v], v);
+  }
+  // Labels never cross true components.
+  const auto truth = connected_components(g);
+  for (VertexId a = 0; a < n; ++a)
+    for (VertexId b = a + 1; b < n; ++b)
+      if (result.leader_of[a] == result.leader_of[b])
+        EXPECT_EQ(truth[a], truth[b]);
+}
+
+TEST_P(ReduceSeeds, UnfinishedTreesShrinkWithPhases) {
+  Rng rng{GetParam() + 10};
+  const std::uint32_t n = 256;
+  const auto g = random_connected(n, 2 * n, rng);
+  std::size_t last = n;
+  for (std::uint32_t phases : {1u, 2u, 3u}) {
+    CliqueEngine engine{{.n = n}};
+    const auto result = reduce_components(engine, g, phases);
+    const auto unfinished = result.component_graph.active_leaders.size();
+    EXPECT_LE(unfinished, last);
+    last = unfinished;
+  }
+  EXPECT_LT(last, n / 8);  // 3 phases: clusters of size >= 6 at least
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, ReduceSeeds, ::testing::Values(1, 2, 3, 5, 8));
+
+class GcCases
+    : public ::testing::TestWithParam<std::tuple<std::uint32_t, std::uint32_t,
+                                                 std::uint64_t>> {};
+
+TEST_P(GcCases, MaximalSpanningForest) {
+  const auto [n, k, seed] = GetParam();
+  Rng rng{seed};
+  const auto g = random_components(n, k, n / 2, rng);
+  CliqueEngine engine{{.n = n}};
+  auto result = gc_spanning_forest(engine, g, rng);
+  EXPECT_TRUE(result.monte_carlo_ok);
+  const auto check = verify_spanning_forest(g, result.forest);
+  EXPECT_TRUE(check.ok) << check.message;
+  EXPECT_EQ(result.forest.size(), n - num_components(g));
+  EXPECT_EQ(result.connected, k == 1);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Grid, GcCases,
+    ::testing::Combine(::testing::Values(16u, 64u, 150u),
+                       ::testing::Values(1u, 2u, 5u),
+                       ::testing::Values(7u, 21u)));
+
+TEST(Gc, ForcedShallowPhasesExerciseSketchPath) {
+  // With only one Lotker phase the component graph is large and Phase 2
+  // must do real sketch work.
+  Rng rng{31};
+  const std::uint32_t n = 200;
+  const auto g = random_connected(n, n, rng);
+  CliqueEngine engine{{.n = n}};
+  auto result = gc_spanning_forest(engine, g, rng, /*phase_override=*/1);
+  EXPECT_TRUE(result.monte_carlo_ok);
+  EXPECT_GT(result.unfinished_trees_after_phase1, 1u);
+  const auto check = verify_spanning_forest(g, result.forest);
+  EXPECT_TRUE(check.ok) << check.message;
+  EXPECT_TRUE(result.connected);
+}
+
+TEST(Gc, WideBandwidthVariant) {
+  Rng rng{33};
+  const std::uint32_t n = 100;
+  const auto g = random_components(n, 3, 70, rng);
+  CliqueEngine engine{
+      {.n = n, .messages_per_link = wide_bandwidth_messages_per_link(n)}};
+  auto result = gc_spanning_forest_wide(engine, g, rng);
+  EXPECT_TRUE(result.monte_carlo_ok);
+  const auto check = verify_spanning_forest(g, result.forest);
+  EXPECT_TRUE(check.ok) << check.message;
+  EXPECT_EQ(result.lotker_phases, 0u);
+  // O(1) rounds: no Lotker phases, just shared randomness + routing +
+  // dissemination.
+  EXPECT_LE(engine.metrics().rounds, 40u);
+}
+
+TEST(Gc, EmptyGraph) {
+  Rng rng{35};
+  const Graph g{12};
+  CliqueEngine engine{{.n = 12}};
+  auto result = gc_spanning_forest(engine, g, rng);
+  EXPECT_TRUE(result.forest.empty());
+  EXPECT_FALSE(result.connected);
+}
+
+TEST(Kkt, SamplingLemmaBound) {
+  // Lemma 6: #F-light edges <= ~ n/p w.h.p. (F = MSF of the sample).
+  Rng rng{41};
+  const std::uint32_t n = 128;
+  const auto g = random_weighted_clique(n, rng);
+  const double p = kkt_probability(n);
+  for (int trial = 0; trial < 5; ++trial) {
+    const auto sampled = kkt_sample(g.edges(), p, rng);
+    const auto f = kruskal_msf(WeightedGraph::from_edges(n, sampled));
+    const auto light = f_light_subset(n, f, g.edges());
+    EXPECT_LE(light.size(), static_cast<std::size_t>(3.0 * n / p));
+    // All MST edges of G must survive the filter.
+    std::set<std::tuple<VertexId, VertexId, Weight>> light_set;
+    for (const auto& e : light) light_set.insert({e.u, e.v, e.w});
+    for (const auto& e : kruskal_msf(g))
+      EXPECT_TRUE(light_set.contains({e.u, e.v, e.w}));
+  }
+}
+
+TEST(Kkt, SampleSizeConcentrates) {
+  Rng rng{43};
+  const std::uint32_t n = 256;
+  const auto g = random_weighted_clique(n, rng);
+  const double p = kkt_probability(n);
+  const auto sampled = kkt_sample(g.edges(), p, rng);
+  const double expect = p * static_cast<double>(g.num_edges());
+  EXPECT_NEAR(static_cast<double>(sampled.size()), expect,
+              5 * std::sqrt(expect));
+}
+
+class SqMstSeeds : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(SqMstSeeds, MatchesKruskal) {
+  Rng rng{GetParam()};
+  const std::uint32_t n = 64;
+  const auto g = random_weights(gnp(n, 0.25, rng), 1 << 20, rng);
+  if (g.num_edges() == 0) return;
+  CliqueEngine engine{{.n = n}};
+  auto result = sq_mst(engine, n, g.edges(), rng);
+  EXPECT_TRUE(result.monte_carlo_ok);
+  const auto check = verify_msf(g, result.mst);
+  EXPECT_TRUE(check.ok) << check.message;
+  EXPECT_EQ(result.mst, kruskal_msf(g));
+}
+
+TEST_P(SqMstSeeds, HandlesDisconnectedInputs) {
+  Rng rng{GetParam() + 77};
+  const std::uint32_t n = 48;
+  const auto base = random_components(n, 3, 30, rng);
+  const auto g = random_weights(base, 1 << 20, rng);
+  CliqueEngine engine{{.n = n}};
+  auto result = sq_mst(engine, n, g.edges(), rng);
+  EXPECT_TRUE(result.monte_carlo_ok);
+  EXPECT_EQ(result.mst, kruskal_msf(g));
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, SqMstSeeds, ::testing::Values(1, 2, 3, 5, 8));
+
+TEST(SqMst, EmptyEdgeSet) {
+  Rng rng{51};
+  CliqueEngine engine{{.n = 8}};
+  auto result = sq_mst(engine, 8, {}, rng);
+  EXPECT_TRUE(result.mst.empty());
+  EXPECT_EQ(result.partitions, 0u);
+}
+
+TEST(SqMst, PartitionCountMatchesEdgeVolume) {
+  Rng rng{53};
+  const std::uint32_t n = 32;
+  const auto g = random_weights(gnp(n, 0.9, rng), 1 << 20, rng);
+  CliqueEngine engine{{.n = n}};
+  auto result = sq_mst(engine, n, g.edges(), rng);
+  EXPECT_EQ(result.partitions,
+            (g.num_edges() + n - 1) / n);
+  EXPECT_EQ(result.mst, kruskal_msf(g));
+}
+
+class ExactMstCases : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(ExactMstCases, MatchesKruskalOnCliques) {
+  Rng rng{GetParam()};
+  for (std::uint32_t n : {16u, 48u, 100u}) {
+    const auto g = random_weighted_clique(n, rng);
+    CliqueEngine engine{{.n = n}};
+    auto result = exact_mst(engine, CliqueWeights::from_graph(g), rng);
+    EXPECT_TRUE(result.monte_carlo_ok);
+    const auto check = verify_msf(g, result.mst);
+    EXPECT_TRUE(check.ok) << "n=" << n << ": " << check.message;
+  }
+}
+
+TEST_P(ExactMstCases, ShallowPreprocessingStillExact) {
+  // Forcing one phase leaves a big component graph: the KKT + SQ-MST main
+  // phase carries the weight and must still be exact.
+  Rng rng{GetParam() + 20};
+  const std::uint32_t n = 80;
+  const auto g = random_weighted_clique(n, rng);
+  CliqueEngine engine{{.n = n}};
+  auto result =
+      exact_mst(engine, CliqueWeights::from_graph(g), rng, /*phases=*/1);
+  EXPECT_TRUE(result.monte_carlo_ok);
+  EXPECT_GT(result.g1_vertices, 4u);
+  const auto check = verify_msf(g, result.mst);
+  EXPECT_TRUE(check.ok) << check.message;
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, ExactMstCases, ::testing::Values(1, 2, 3, 5));
+
+TEST(ExactMst, SparseDisconnectedInput) {
+  Rng rng{61};
+  const std::uint32_t n = 60;
+  const auto base = random_components(n, 2, 50, rng);
+  const auto g = random_weights(base, 1 << 20, rng);
+  CliqueEngine engine{{.n = n}};
+  auto result = exact_mst(engine, CliqueWeights::from_graph(g), rng);
+  EXPECT_TRUE(result.monte_carlo_ok);
+  const auto check = verify_msf(g, result.mst);
+  EXPECT_TRUE(check.ok) << check.message;
+  EXPECT_EQ(result.mst.size(), n - 2u);
+}
+
+TEST(ExactMst, WideBandwidthVariant) {
+  Rng rng{63};
+  const std::uint32_t n = 64;
+  const auto g = random_weighted_clique(n, rng);
+  CliqueEngine engine{
+      {.n = n, .messages_per_link = wide_bandwidth_messages_per_link(n)}};
+  auto result = exact_mst_wide(engine, CliqueWeights::from_graph(g), rng);
+  EXPECT_TRUE(result.monte_carlo_ok);
+  EXPECT_EQ(result.lotker_phases, 0u);
+  const auto check = verify_msf(g, result.mst);
+  EXPECT_TRUE(check.ok) << check.message;
+}
+
+class BipartiteCases : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(BipartiteCases, PositiveAndNegative) {
+  Rng rng{GetParam()};
+  const std::uint32_t n = 60;
+  {
+    const auto g = random_bipartite_connected(n, 40, rng);
+    CliqueEngine engine{{.n = n}};
+    const auto r = gc_bipartiteness(engine, g, rng);
+    EXPECT_TRUE(r.monte_carlo_ok);
+    EXPECT_TRUE(r.bipartite);
+  }
+  {
+    auto g = random_bipartite_connected(n, 40, rng);
+    // Plant an odd cycle: an edge inside the left part.
+    g.add_edge(0, 1);
+    CliqueEngine engine{{.n = n}};
+    const auto r = gc_bipartiteness(engine, g, rng);
+    EXPECT_TRUE(r.monte_carlo_ok);
+    EXPECT_EQ(r.bipartite, is_bipartite(g));
+    EXPECT_FALSE(r.bipartite);
+  }
+}
+
+TEST_P(BipartiteCases, MultiComponentMixtures) {
+  Rng rng{GetParam() + 5};
+  // Two bipartite components: bipartite overall. Adding an odd cycle
+  // component flips the answer.
+  const std::uint32_t n = 30;
+  Graph g{n};
+  for (VertexId v = 0; v + 1 < 10; ++v) g.add_edge(v, v + 1);  // path
+  for (VertexId v = 10; v + 1 < 20; ++v) g.add_edge(v, v + 1);
+  CliqueEngine e1{{.n = n}};
+  EXPECT_TRUE(gc_bipartiteness(e1, g, rng).bipartite);
+  for (VertexId v = 20; v + 1 < 25; ++v) g.add_edge(v, v + 1);
+  g.add_edge(20, 24);  // 5-cycle
+  CliqueEngine e2{{.n = n}};
+  EXPECT_FALSE(gc_bipartiteness(e2, g, rng).bipartite);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, BipartiteCases, ::testing::Values(1, 2, 3));
+
+TEST(DoubleCover, ComponentArithmetic) {
+  // A triangle's double cover is a 6-cycle: 1 component. A 4-cycle's double
+  // cover is two 4-cycles: 2 components.
+  const auto tri_cover = bipartite_double_cover(odd_cycle(3));
+  EXPECT_EQ(num_components(tri_cover), 1u);
+  const auto sq_cover = bipartite_double_cover(circulant(4, {1}));
+  EXPECT_EQ(num_components(sq_cover), 2u);
+}
+
+class KEdgeCases : public ::testing::TestWithParam<std::uint32_t> {};
+
+TEST_P(KEdgeCases, CirculantConnectivity) {
+  // circulant(n, {1..d}) is 2d-edge-connected.
+  Rng rng{71};
+  const std::uint32_t k = GetParam();
+  const auto g = circulant(36, {1, 2});
+  CliqueEngine engine{{.n = 36}};
+  const auto r = gc_k_edge_connectivity(engine, g, k, rng);
+  EXPECT_TRUE(r.monte_carlo_ok);
+  EXPECT_EQ(r.k_edge_connected, k <= 4) << "k=" << k;
+}
+
+INSTANTIATE_TEST_SUITE_P(K, KEdgeCases, ::testing::Values(1, 2, 3, 4, 5));
+
+TEST(KEdge, CertificateIsSparse) {
+  Rng rng{73};
+  const std::uint32_t n = 40;
+  const auto g = circulant(n, {1, 2, 3});
+  CliqueEngine engine{{.n = n}};
+  const auto r = gc_k_edge_connectivity(engine, g, 2, rng);
+  EXPECT_LE(r.certificate.size(), 2u * (n - 1));
+  EXPECT_TRUE(r.k_edge_connected);
+}
+
+TEST(KEdge, BridgeBreaksTwoEdgeConnectivity) {
+  Rng rng{75};
+  Graph g{8};
+  for (VertexId v : {0u, 1u, 2u}) g.add_edge(v, (v + 1) % 3);
+  for (VertexId v : {4u, 5u, 6u}) g.add_edge(v, v == 6 ? 4 : v + 1);
+  g.add_edge(2, 4);  // bridge
+  g.add_edge(3, 0);
+  g.add_edge(3, 1);  // attach vertex 3, keep 7 isolated... connect it:
+  g.add_edge(7, 4);
+  g.add_edge(7, 5);
+  CliqueEngine engine{{.n = 8}};
+  const auto r = gc_k_edge_connectivity(engine, g, 2, rng);
+  EXPECT_FALSE(r.k_edge_connected);
+  EXPECT_EQ(r.certificate_min_cut, 1u);
+}
+
+}  // namespace
+}  // namespace ccq

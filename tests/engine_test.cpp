@@ -1,0 +1,178 @@
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "clique/engine.hpp"
+
+namespace ccq {
+namespace {
+
+TEST(Engine, ConfigValidation) {
+  EXPECT_THROW(CliqueEngine{EngineConfig{.n = 0}}, InvalidArgument);
+  EXPECT_THROW((CliqueEngine{
+                   EngineConfig{.n = 4, .messages_per_link = 0}}),
+               InvalidArgument);
+}
+
+TEST(Engine, RoundDeliversMessages) {
+  CliqueEngine engine{{.n = 4}};
+  auto inbox = engine.round([](VertexId u, Outbox& out) {
+    if (u == 0) out.send(3, msg2(7, 10, 20));
+  });
+  ASSERT_EQ(inbox[3].size(), 1u);
+  EXPECT_EQ(inbox[3][0].src, 0u);
+  EXPECT_EQ(inbox[3][0].dst, 3u);
+  EXPECT_EQ(inbox[3][0].tag, 7u);
+  EXPECT_EQ(inbox[3][0].word(0), 10u);
+  EXPECT_EQ(inbox[3][0].word(1), 20u);
+  EXPECT_TRUE(inbox[0].empty());
+  EXPECT_EQ(engine.metrics().rounds, 1u);
+  EXPECT_EQ(engine.metrics().messages, 1u);
+  EXPECT_EQ(engine.metrics().words, 2u);
+}
+
+TEST(Engine, BandwidthEnforcedPerLink) {
+  CliqueEngine engine{{.n = 3}};
+  EXPECT_THROW(engine.round([](VertexId u, Outbox& out) {
+    if (u == 0) {
+      out.send(1, msg0(1));
+      out.send(1, msg0(2));  // second message on the same link: illegal
+    }
+  }),
+               ProtocolError);
+}
+
+TEST(Engine, WiderBudgetAllowsMore) {
+  CliqueEngine engine{{.n = 3, .messages_per_link = 2}};
+  auto inbox = engine.round([](VertexId u, Outbox& out) {
+    if (u == 0) {
+      out.send(1, msg0(1));
+      out.send(1, msg0(2));
+    }
+  });
+  EXPECT_EQ(inbox[1].size(), 2u);
+}
+
+TEST(Engine, DistinctLinksAreIndependent) {
+  CliqueEngine engine{{.n = 4}};
+  auto inbox = engine.round([](VertexId u, Outbox& out) {
+    // Every node sends to every other node: the full n(n-1) pattern.
+    for (VertexId v = 0; v < 4; ++v)
+      if (v != u) out.send(v, msg1(0, u));
+  });
+  for (VertexId v = 0; v < 4; ++v) EXPECT_EQ(inbox[v].size(), 3u);
+  EXPECT_EQ(engine.metrics().messages, 12u);
+}
+
+TEST(Engine, SelfSendRejected) {
+  CliqueEngine engine{{.n = 2}};
+  EXPECT_THROW(engine.round([](VertexId u, Outbox& out) {
+    if (u == 1) out.send(1, msg0(0));
+  }),
+               ProtocolError);
+}
+
+TEST(Engine, OutOfRangeDestinationRejected) {
+  CliqueEngine engine{{.n = 2}};
+  EXPECT_THROW(engine.round([](VertexId u, Outbox& out) {
+    if (u == 0) out.send(5, msg0(0));
+  }),
+               ProtocolError);
+}
+
+TEST(Engine, RoundOfOnlyListedSendersSend) {
+  CliqueEngine engine{{.n = 5}};
+  int calls = 0;
+  engine.round_of({1, 3}, [&](VertexId u, Outbox& out) {
+    ++calls;
+    out.send(0, msg1(0, u));
+  });
+  EXPECT_EQ(calls, 2);
+  EXPECT_EQ(engine.metrics().messages, 2u);
+}
+
+TEST(Engine, SilentRoundSkipCountsRounds) {
+  CliqueEngine engine{{.n = 2}};
+  engine.skip_silent_rounds(1'000'000'000ull);
+  EXPECT_EQ(engine.metrics().rounds, 1'000'000'000ull);
+  EXPECT_EQ(engine.metrics().messages, 0u);
+}
+
+TEST(Engine, ObserverSeesEveryMessage) {
+  CliqueEngine engine{{.n = 3}};
+  std::vector<std::pair<VertexId, VertexId>> seen;
+  engine.set_observer([&](VertexId s, VertexId d) { seen.push_back({s, d}); });
+  engine.round([](VertexId u, Outbox& out) {
+    if (u == 0) out.send(2, msg0(0));
+    if (u == 1) out.send(0, msg0(0));
+  });
+  ASSERT_EQ(seen.size(), 2u);
+  EXPECT_EQ(seen[0], (std::pair<VertexId, VertexId>{0, 2}));
+  EXPECT_EQ(seen[1], (std::pair<VertexId, VertexId>{1, 0}));
+}
+
+TEST(Engine, ChargeVerifiedRoundAccumulates) {
+  CliqueEngine engine{{.n = 4}};
+  engine.charge_verified_round(10, 30);
+  engine.charge_verified_round(5, 15);
+  EXPECT_EQ(engine.metrics().rounds, 2u);
+  EXPECT_EQ(engine.metrics().messages, 15u);
+  EXPECT_EQ(engine.metrics().words, 45u);
+  EXPECT_EQ(engine.metrics().max_messages_in_round, 10u);
+}
+
+TEST(Engine, AbsorbVirtualAddsCounters) {
+  CliqueEngine engine{{.n = 4}};
+  engine.charge_verified_round(1, 1);
+  Metrics sub;
+  sub.rounds = 7;
+  sub.messages = 100;
+  sub.words = 300;
+  engine.absorb_virtual(sub);
+  EXPECT_EQ(engine.metrics().rounds, 8u);
+  EXPECT_EQ(engine.metrics().messages, 101u);
+  EXPECT_EQ(engine.metrics().words, 301u);
+}
+
+TEST(Engine, MetricsScopeDelta) {
+  CliqueEngine engine{{.n = 4}};
+  engine.charge_verified_round(5, 5);
+  auto scope = engine.scope();
+  engine.charge_verified_round(3, 9);
+  const auto delta = scope.delta();
+  EXPECT_EQ(delta.rounds, 1u);
+  EXPECT_EQ(delta.messages, 3u);
+  EXPECT_EQ(delta.words, 9u);
+}
+
+TEST(Engine, WideBandwidthFormula) {
+  // ceil(log2 n)^4 messages per link for the O(log^5 n)-bit variant.
+  EXPECT_EQ(wide_bandwidth_messages_per_link(256), 8u * 8 * 8 * 8);
+  EXPECT_GE(wide_bandwidth_messages_per_link(2), 1u);
+}
+
+TEST(Engine, Kt0RequiresIdResolution) {
+  CliqueEngine kt0{{.n = 4, .knowledge = Knowledge::KT0}};
+  EXPECT_FALSE(kt0.ids_resolved());
+  EXPECT_THROW(kt0.require_id_knowledge("test"), ProtocolError);
+  kt0.mark_ids_resolved();
+  EXPECT_NO_THROW(kt0.require_id_knowledge("test"));
+}
+
+TEST(Engine, Kt1HasIdKnowledgeNatively) {
+  CliqueEngine kt1{{.n = 4}};
+  EXPECT_TRUE(kt1.ids_resolved());
+  EXPECT_NO_THROW(kt1.require_id_knowledge("test"));
+}
+
+TEST(MessageType, Constructors) {
+  const auto m = msg4(9, 1, 2, 3, 4);
+  EXPECT_EQ(m.count, 4);
+  EXPECT_EQ(m.word(3), 4u);
+  EXPECT_THROW(m.word(4), std::logic_error);
+  const std::vector<std::uint64_t> five(5, 0);
+  EXPECT_THROW(make_message(0, {five.data(), five.size()}), std::logic_error);
+}
+
+}  // namespace
+}  // namespace ccq

@@ -1,0 +1,193 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include <algorithm>
+#include <set>
+
+#include "graph/generators.hpp"
+#include "graph/graph.hpp"
+#include "graph/sequential.hpp"
+#include "graph/union_find.hpp"
+#include "util/error.hpp"
+
+namespace ccq {
+namespace {
+
+TEST(EdgeType, CanonicalOrientation) {
+  const Edge e{5, 2};
+  EXPECT_EQ(e.u, 2u);
+  EXPECT_EQ(e.v, 5u);
+  EXPECT_EQ(e, (Edge{2, 5}));
+}
+
+TEST(WeightedEdgeType, KeyOrdersByWeightThenEndpoints) {
+  const WeightedEdge a{0, 1, 5};
+  const WeightedEdge b{0, 2, 5};
+  const WeightedEdge c{0, 1, 6};
+  EXPECT_TRUE(weight_less(a, b));
+  EXPECT_TRUE(weight_less(b, c));
+  EXPECT_TRUE(weight_less(a, c));
+}
+
+TEST(EdgeIndex, RoundTrip) {
+  const std::uint32_t n = 37;
+  for (VertexId x = 0; x < n; ++x)
+    for (VertexId y = x + 1; y < n; ++y) {
+      const auto idx = edge_index(x, y, n);
+      EXPECT_EQ(edge_from_index(idx, n), (Edge{x, y}));
+    }
+}
+
+TEST(EdgeIndex, DistinctAcrossAllPairs) {
+  const std::uint32_t n = 23;
+  std::set<std::uint64_t> seen;
+  for (VertexId x = 0; x < n; ++x)
+    for (VertexId y = x + 1; y < n; ++y) seen.insert(edge_index(x, y, n));
+  EXPECT_EQ(seen.size(), static_cast<std::size_t>(n) * (n - 1) / 2);
+}
+
+TEST(IncidenceSign, MatchesPaperConvention) {
+  const Edge e{3, 7};
+  EXPECT_EQ(incidence_sign(3, e), 1);   // v = x < y
+  EXPECT_EQ(incidence_sign(7, e), -1);  // x < y = v
+  EXPECT_EQ(incidence_sign(5, e), 0);
+}
+
+TEST(Graph, AddAndQueryEdges) {
+  Graph g{4};
+  EXPECT_TRUE(g.add_edge(0, 1));
+  EXPECT_FALSE(g.add_edge(1, 0));  // duplicate is idempotent
+  EXPECT_TRUE(g.has_edge(0, 1));
+  EXPECT_TRUE(g.has_edge(1, 0));
+  EXPECT_FALSE(g.has_edge(0, 2));
+  EXPECT_EQ(g.num_edges(), 1u);
+  EXPECT_EQ(g.degree(0), 1u);
+}
+
+TEST(Graph, RejectsSelfLoopAndOutOfRange) {
+  Graph g{3};
+  EXPECT_THROW(g.add_edge(1, 1), InvalidArgument);
+  EXPECT_THROW(g.add_edge(0, 3), InvalidArgument);
+}
+
+TEST(WeightedGraphType, WeightLookup) {
+  WeightedGraph g{4};
+  g.add_edge(0, 1, 10);
+  g.add_edge(2, 3, 20);
+  EXPECT_EQ(g.edge_weight(1, 0), std::optional<Weight>{10});
+  EXPECT_EQ(g.edge_weight(0, 2), std::nullopt);
+  EXPECT_EQ(g.unweighted().num_edges(), 2u);
+}
+
+TEST(UnionFindOps, BasicMerging) {
+  UnionFind uf{6};
+  EXPECT_EQ(uf.num_components(), 6u);
+  EXPECT_TRUE(uf.unite(0, 1));
+  EXPECT_TRUE(uf.unite(1, 2));
+  EXPECT_FALSE(uf.unite(0, 2));
+  EXPECT_TRUE(uf.same(0, 2));
+  EXPECT_FALSE(uf.same(0, 3));
+  EXPECT_EQ(uf.num_components(), 4u);
+  EXPECT_EQ(uf.component_size(2), 3u);
+}
+
+TEST(UnionFindOps, LabelsConsistent) {
+  UnionFind uf{5};
+  uf.unite(0, 4);
+  uf.unite(1, 3);
+  auto labels = uf.labels();
+  EXPECT_EQ(labels[0], labels[4]);
+  EXPECT_EQ(labels[1], labels[3]);
+  EXPECT_NE(labels[0], labels[2]);
+}
+
+class GeneratorSeeds : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(GeneratorSeeds, RandomConnectedIsConnected) {
+  Rng rng{GetParam()};
+  for (std::uint32_t n : {2u, 5u, 33u, 128u}) {
+    const auto g = random_connected(n, n / 2, rng);
+    EXPECT_TRUE(is_connected(g)) << "n=" << n;
+    EXPECT_GE(g.num_edges(), n - 1);
+  }
+}
+
+TEST_P(GeneratorSeeds, RandomComponentsHasExactlyK) {
+  Rng rng{GetParam()};
+  for (std::uint32_t k : {1u, 2u, 5u}) {
+    const auto g = random_components(60, k, 30, rng);
+    EXPECT_EQ(num_components(g), k);
+  }
+}
+
+TEST_P(GeneratorSeeds, BipartiteGeneratorProperties) {
+  Rng rng{GetParam()};
+  const auto g = random_bipartite_connected(40, 25, rng);
+  EXPECT_TRUE(is_connected(g));
+  EXPECT_TRUE(is_bipartite(g));
+}
+
+TEST_P(GeneratorSeeds, RandomWeightsAreDistinct) {
+  Rng rng{GetParam()};
+  const auto g = gnp(30, 0.3, rng);
+  const auto wg = random_weights(g, 10 * g.num_edges() + 10, rng);
+  std::set<Weight> weights;
+  for (const auto& e : wg.edges()) weights.insert(e.w);
+  EXPECT_EQ(weights.size(), wg.num_edges());
+}
+
+TEST_P(GeneratorSeeds, PlantedMstIsTheMst) {
+  Rng rng{GetParam()};
+  const auto planted = planted_mst_clique(24, rng);
+  auto reference = kruskal_msf(planted.graph);
+  EXPECT_EQ(reference, planted.mst_edges);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, GeneratorSeeds,
+                         ::testing::Values(1, 2, 3, 5, 8, 13, 21, 34));
+
+TEST(Generators, GnpEdgeCountConcentrates) {
+  Rng rng{99};
+  const std::uint32_t n = 100;
+  const double p = 0.2;
+  const auto g = gnp(n, p, rng);
+  const double expect = p * n * (n - 1) / 2;
+  EXPECT_NEAR(static_cast<double>(g.num_edges()), expect, 4 * std::sqrt(expect));
+}
+
+TEST(Generators, CirculantStructure) {
+  const auto g = circulant(10, {1, 3});
+  EXPECT_EQ(g.num_edges(), 20u);
+  for (VertexId v = 0; v < 10; ++v) EXPECT_EQ(g.degree(v), 4u);
+  EXPECT_TRUE(g.has_edge(0, 1));
+  EXPECT_TRUE(g.has_edge(0, 3));
+  EXPECT_TRUE(g.has_edge(0, 9));
+  EXPECT_TRUE(g.has_edge(0, 7));
+  EXPECT_FALSE(g.has_edge(0, 2));
+  EXPECT_TRUE(is_connected(g));
+}
+
+TEST(Generators, CirculantRejectsBadOffset) {
+  EXPECT_THROW(circulant(10, {0}), std::logic_error);
+  EXPECT_THROW(circulant(10, {10}), std::logic_error);
+}
+
+TEST(Generators, OddCycleIsOddAndNotBipartite) {
+  const auto g = odd_cycle(9);
+  EXPECT_EQ(g.num_edges(), 9u);
+  EXPECT_FALSE(is_bipartite(g));
+  EXPECT_THROW(odd_cycle(8), std::logic_error);
+}
+
+TEST(Generators, WeightedCliqueIsComplete) {
+  Rng rng{7};
+  const auto g = random_weighted_clique(20, rng);
+  EXPECT_EQ(g.num_edges(), 190u);
+  std::set<Weight> weights;
+  for (const auto& e : g.edges()) weights.insert(e.w);
+  EXPECT_EQ(weights.size(), 190u);
+}
+
+}  // namespace
+}  // namespace ccq

@@ -1,0 +1,107 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "hash/kwise.hpp"
+#include "util/error.hpp"
+#include "util/field.hpp"
+
+namespace ccq {
+namespace {
+
+TEST(KwiseHash, DeterministicInCoefficients) {
+  const std::vector<std::uint64_t> words{12, 34, 56, 78};
+  const KwiseHash h1{std::span<const std::uint64_t>{words}};
+  const KwiseHash h2{std::span<const std::uint64_t>{words}};
+  for (std::uint64_t x = 0; x < 100; ++x) EXPECT_EQ(h1(x), h2(x));
+}
+
+TEST(KwiseHash, EmptyCoefficientsRejected) {
+  const std::vector<std::uint64_t> none;
+  EXPECT_THROW(KwiseHash{std::span<const std::uint64_t>{none}},
+               InvalidArgument);
+}
+
+TEST(KwiseHash, ConstantPolynomial) {
+  const std::vector<std::uint64_t> words{99};
+  const KwiseHash h{std::span<const std::uint64_t>{words}};
+  EXPECT_EQ(h(0), 99u);
+  EXPECT_EQ(h(123456), 99u);
+}
+
+TEST(KwiseHash, LinearPolynomialMatchesManualEvaluation) {
+  const std::vector<std::uint64_t> words{5, 3};  // 5 + 3x
+  const KwiseHash h{std::span<const std::uint64_t>{words}};
+  for (std::uint64_t x = 0; x < 50; ++x)
+    EXPECT_EQ(h(x), field::add(5, field::mul(3, x)));
+}
+
+TEST(KwiseHash, OutputsStayInField) {
+  Rng rng{3};
+  const auto h = KwiseHash::random(8, rng);
+  for (std::uint64_t x = 0; x < 500; ++x) EXPECT_LT(h(x), field::kPrime);
+}
+
+TEST(KwiseHash, EvalModRange) {
+  Rng rng{5};
+  const auto h = KwiseHash::random(4, rng);
+  for (std::uint64_t x = 0; x < 500; ++x) EXPECT_LT(h.eval_mod(x, 37), 37u);
+  EXPECT_THROW(h.eval_mod(1, 0), std::logic_error);
+}
+
+TEST(KwiseHash, PairwiseIndependenceSmoke) {
+  // For a random degree-1 polynomial, pairs (h(x), h(y)) should be nearly
+  // uniform over buckets: chi-square-ish check over many functions.
+  Rng rng{7};
+  const int buckets = 4;
+  const int trials = 4000;
+  std::vector<int> counts(buckets * buckets, 0);
+  for (int t = 0; t < trials; ++t) {
+    const auto h = KwiseHash::random(2, rng);
+    const auto a = static_cast<int>(h.eval_mod(10, buckets));
+    const auto b = static_cast<int>(h.eval_mod(20, buckets));
+    ++counts[a * buckets + b];
+  }
+  const double expect = static_cast<double>(trials) / (buckets * buckets);
+  for (int c : counts) EXPECT_NEAR(c, expect, 5 * std::sqrt(expect));
+}
+
+TEST(KwiseHash, DegreeMatchesIndependence) {
+  Rng rng{9};
+  const auto h = KwiseHash::random(12, rng);
+  EXPECT_EQ(h.independence(), 12u);
+  EXPECT_EQ(h.coefficients().size(), 12u);
+}
+
+TEST(HashBundle, CarvesDeterministically) {
+  Rng rng{11};
+  const auto words = rng.words(hash_bundle_words(6, 5));
+  const auto b1 = HashBundle::from_words(words, 6, 5);
+  const auto b2 = HashBundle::from_words(words, 6, 5);
+  EXPECT_EQ(b1.g.size(), 5u);
+  for (std::uint64_t x = 0; x < 50; ++x) {
+    EXPECT_EQ(b1.h(x), b2.h(x));
+    for (std::size_t r = 0; r < 5; ++r) EXPECT_EQ(b1.g[r](x), b2.g[r](x));
+  }
+}
+
+TEST(HashBundle, ShortSeedRejected) {
+  Rng rng{13};
+  const auto words = rng.words(hash_bundle_words(6, 5) - 1);
+  EXPECT_THROW(HashBundle::from_words(words, 6, 5), InvalidArgument);
+}
+
+TEST(HashBundle, DistinctPairwiseFunctions) {
+  Rng rng{17};
+  const auto words = rng.words(hash_bundle_words(4, 3));
+  const auto b = HashBundle::from_words(words, 4, 3);
+  // Different g_r evaluate differently somewhere (overwhelmingly likely).
+  bool differ = false;
+  for (std::uint64_t x = 0; x < 20; ++x)
+    if (b.g[0](x) != b.g[1](x)) differ = true;
+  EXPECT_TRUE(differ);
+}
+
+}  // namespace
+}  // namespace ccq

@@ -1,0 +1,127 @@
+// End-to-end integration checks across the full pipelines.
+#include <gtest/gtest.h>
+#include "core/gc.hpp"
+#include "core/sq_mst.hpp"
+#include "core/exact_mst.hpp"
+#include "core/bipartiteness.hpp"
+#include "core/k_edge_connectivity.hpp"
+#include "kt1/clock_coding.hpp"
+#include "kt1/boruvka_sketch_mst.hpp"
+#include "graph/generators.hpp"
+#include "graph/sequential.hpp"
+#include "graph/verify.hpp"
+#include <iostream>
+
+using namespace ccq;
+
+TEST(Smoke, Gc) {
+  Rng rng{7};
+  for (uint32_t k : {1u, 3u}) {
+    auto g = random_components(200, k, 300, rng);
+    CliqueEngine engine{{.n = 200}};
+    auto r = gc_spanning_forest(engine, g, rng);
+    EXPECT_TRUE(r.monte_carlo_ok);
+    auto v = verify_spanning_forest(g, r.forest);
+    EXPECT_TRUE(v.ok) << v.message;
+    EXPECT_EQ(r.connected, k == 1);
+    std::cout << "GC n=200 k=" << k << " " << engine.metrics().to_string()
+              << " lotker_phases=" << r.lotker_phases
+              << " unfinished=" << r.unfinished_trees_after_phase1 << "\n";
+  }
+}
+
+TEST(Smoke, ExactMst) {
+  Rng rng{11};
+  auto g = random_weighted_clique(128, rng);
+  CliqueEngine engine{{.n = 128}};
+  auto r = exact_mst(engine, CliqueWeights::from_graph(g), rng);
+  EXPECT_TRUE(r.monte_carlo_ok);
+  auto v = verify_msf(g, r.mst);
+  EXPECT_TRUE(v.ok) << v.message;
+  std::cout << "EXACT-MST n=128 " << engine.metrics().to_string()
+            << " g1v=" << r.g1_vertices << " g1e=" << r.g1_edges
+            << " sampled=" << r.sampled_edges << " flight=" << r.f_light_edges
+            << "\n";
+}
+
+TEST(Smoke, Kt1Mst) {
+  Rng rng{13};
+  auto g = random_weights(random_connected(96, 400, rng), 1 << 20, rng);
+  CliqueEngine engine{{.n = 96}};
+  auto r = boruvka_sketch_mst(engine, g, rng);
+  EXPECT_TRUE(r.monte_carlo_ok);
+  auto v = verify_msf(g, r.mst);
+  EXPECT_TRUE(v.ok) << v.message;
+  std::cout << "KT1-MST n=96 " << engine.metrics().to_string() << "\n";
+}
+
+TEST(Smoke, ClockCoding) {
+  Rng rng{17};
+  auto g = random_connected(24, 10, rng);
+  CliqueEngine engine{{.n = 24}};
+  auto r = clock_coding_gc(engine, g);
+  EXPECT_TRUE(r.connected);
+  std::cout << "clock n=24 rounds=" << r.virtual_rounds
+            << " messages=" << r.messages << "\n";
+}
+
+TEST(Smoke, Bipartite) {
+  Rng rng{19};
+  auto g = random_bipartite_connected(80, 60, rng);
+  CliqueEngine engine{{.n = 80}};
+  auto r = gc_bipartiteness(engine, g, rng);
+  EXPECT_TRUE(r.bipartite);
+  auto g2 = odd_cycle(81);
+  CliqueEngine e2{{.n = 81}};
+  auto r2 = gc_bipartiteness(e2, g2, rng);
+  EXPECT_FALSE(r2.bipartite);
+}
+
+TEST(Smoke, KEdge) {
+  Rng rng{23};
+  auto g = circulant(40, {1, 2});
+  CliqueEngine engine{{.n = 40}};
+  auto r = gc_k_edge_connectivity(engine, g, 3, rng);
+  EXPECT_TRUE(r.monte_carlo_ok);
+  EXPECT_TRUE(r.k_edge_connected) << r.certificate_min_cut;
+}
+
+TEST(Probe, SqMstDirect) {
+  Rng rng{31};
+  auto g = random_weights(random_connected(100, 900, rng), 1 << 20, rng);
+  CliqueEngine engine{{.n = 100}};
+  auto r = sq_mst(engine, 100, g.edges(), rng);
+  EXPECT_TRUE(r.monte_carlo_ok);
+  auto v = verify_msf(g, r.mst);
+  EXPECT_TRUE(v.ok) << v.message;
+  std::cout << "SQ-MST n=100 m=" << g.num_edges() << " partitions=" << r.partitions
+            << " " << engine.metrics().to_string() << "\n";
+}
+
+TEST(Probe, ExactMstShallow) {
+  Rng rng{37};
+  for (uint32_t phases : {1u, 2u}) {
+    auto g = random_weighted_clique(96, rng);
+    CliqueEngine engine{{.n = 96}};
+    auto r = exact_mst(engine, CliqueWeights::from_graph(g), rng, phases);
+    EXPECT_TRUE(r.monte_carlo_ok);
+    auto v = verify_msf(g, r.mst);
+    EXPECT_TRUE(v.ok) << v.message;
+    std::cout << "EXACT-MST phases=" << phases << " g1v=" << r.g1_vertices
+              << " g1e=" << r.g1_edges << " sampled=" << r.sampled_edges
+              << " flight=" << r.f_light_edges << " "
+              << engine.metrics().to_string() << "\n";
+  }
+}
+
+TEST(Probe, GcWide) {
+  Rng rng{41};
+  auto g = random_components(150, 2, 200, rng);
+  CliqueEngine engine{{.n = 150, .messages_per_link = wide_bandwidth_messages_per_link(150)}};
+  auto r = gc_spanning_forest_wide(engine, g, rng);
+  EXPECT_TRUE(r.monte_carlo_ok);
+  auto v = verify_spanning_forest(g, r.forest);
+  EXPECT_TRUE(v.ok) << v.message;
+  EXPECT_FALSE(r.connected);
+  std::cout << "GC-wide n=150 " << engine.metrics().to_string() << "\n";
+}

@@ -1,0 +1,74 @@
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "graph/generators.hpp"
+#include "graph/io.hpp"
+#include "lowerbound/kt1_family.hpp"
+
+namespace ccq {
+namespace {
+
+TEST(Io, EdgeListRoundTripUnweighted) {
+  Rng rng{1};
+  const auto g = gnp(20, 0.3, rng);
+  std::istringstream in{to_edge_list(g)};
+  const auto back = graph_from_edge_list(in);
+  ASSERT_TRUE(back.has_value());
+  EXPECT_EQ(back->num_vertices(), g.num_vertices());
+  EXPECT_EQ(back->num_edges(), g.num_edges());
+  for (const auto& e : g.edges()) EXPECT_TRUE(back->has_edge(e.u, e.v));
+}
+
+TEST(Io, EdgeListRoundTripWeighted) {
+  Rng rng{2};
+  const auto g = random_weights(gnp(15, 0.4, rng), 1 << 12, rng);
+  std::istringstream in{to_edge_list(g)};
+  const auto back = weighted_graph_from_edge_list(in);
+  ASSERT_TRUE(back.has_value());
+  EXPECT_EQ(back->num_edges(), g.num_edges());
+  for (const auto& e : g.edges())
+    EXPECT_EQ(back->edge_weight(e.u, e.v), std::optional<Weight>{e.w});
+}
+
+TEST(Io, MalformedInputsRejected) {
+  for (const char* text : {"", "abc", "3", "3 2\n0 1", "3 1\n0 5",
+                           "3 1\n1 1", "3 1\n0 x"}) {
+    std::istringstream in{text};
+    EXPECT_FALSE(graph_from_edge_list(in).has_value()) << text;
+  }
+  std::istringstream missing_weight{"3 1\n0 1"};
+  EXPECT_FALSE(weighted_graph_from_edge_list(missing_weight).has_value());
+}
+
+TEST(Io, EmptyGraph) {
+  std::istringstream in{"4 0\n"};
+  const auto g = graph_from_edge_list(in);
+  ASSERT_TRUE(g.has_value());
+  EXPECT_EQ(g->num_vertices(), 4u);
+  EXPECT_EQ(g->num_edges(), 0u);
+}
+
+TEST(Io, DotOutputContainsAllEdges) {
+  Graph g{3};
+  g.add_edge(0, 1);
+  g.add_edge(1, 2);
+  const auto dot = to_dot(g);
+  EXPECT_NE(dot.find("graph G {"), std::string::npos);
+  EXPECT_NE(dot.find("\"0\" -- \"1\""), std::string::npos);
+  EXPECT_NE(dot.find("\"1\" -- \"2\""), std::string::npos);
+}
+
+TEST(Io, DotCustomLabelsForFigure1) {
+  const Kt1Family family{2};
+  const auto g = family.instance(0);
+  std::function<std::string(VertexId)> name = [&](VertexId v) {
+    return (v <= 2 ? "u" : "v") + std::to_string(v <= 2 ? v : v - 3);
+  };
+  const auto dot = to_dot(g, &name);
+  EXPECT_NE(dot.find("\"u0\" -- \"v0\""), std::string::npos);
+  EXPECT_NE(dot.find("\"u1\" -- \"v1\""), std::string::npos);
+}
+
+}  // namespace
+}  // namespace ccq

@@ -1,0 +1,163 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <map>
+
+#include "graph/generators.hpp"
+#include "graph/sequential.hpp"
+#include "graph/verify.hpp"
+#include "lotker/cc_mst.hpp"
+
+namespace ccq {
+namespace {
+
+TEST(CliqueWeightsType, SetAndGet) {
+  CliqueWeights w{5};
+  EXPECT_FALSE(w.finite(0, 1));
+  EXPECT_EQ(w.at(0, 1), kInfiniteWeight);
+  w.set(0, 1, 42);
+  EXPECT_TRUE(w.finite(1, 0));
+  EXPECT_EQ(w.at(1, 0), 42u);
+  w.set(0, 1, kInfiniteWeight);
+  EXPECT_FALSE(w.finite(0, 1));
+  EXPECT_THROW(w.at(2, 2), std::logic_error);
+}
+
+TEST(CliqueWeightsType, FromGraphRoundTrip) {
+  Rng rng{1};
+  const auto g = random_weights(gnp(20, 0.4, rng), 1 << 16, rng);
+  const auto w = CliqueWeights::from_graph(g);
+  for (const auto& e : g.edges()) EXPECT_EQ(w.at(e.u, e.v), e.w);
+  EXPECT_EQ(w.finite_edges().size(), g.num_edges());
+}
+
+TEST(CliqueWeightsType, UnitFromGraph) {
+  Rng rng{2};
+  const auto g = gnp(15, 0.3, rng);
+  const auto w = CliqueWeights::unit_from_graph(g);
+  for (const auto& e : g.edges()) EXPECT_EQ(w.at(e.u, e.v), 1u);
+  EXPECT_EQ(w.finite_edges().size(), g.num_edges());
+}
+
+class LotkerSeeds : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(LotkerSeeds, FullRunMatchesKruskal) {
+  Rng rng{GetParam()};
+  for (std::uint32_t n : {8u, 33u, 100u}) {
+    const auto g = random_weighted_clique(n, rng);
+    CliqueEngine engine{{.n = n}};
+    const auto state = cc_mst_full(engine, CliqueWeights::from_graph(g));
+    const auto check = verify_msf(g, state.tree_edges);
+    EXPECT_TRUE(check.ok) << "n=" << n << ": " << check.message;
+    EXPECT_EQ(state.num_clusters(), 1u);
+  }
+}
+
+TEST_P(LotkerSeeds, ClusterSizeInvariant) {
+  // Theorem 2(i): after phase k every cluster has size >= 2^(2^(k-1)).
+  Rng rng{GetParam() + 50};
+  const std::uint32_t n = 256;
+  const auto g = random_weighted_clique(n, rng);
+  const auto weights = CliqueWeights::from_graph(g);
+  for (std::uint32_t k = 1; k <= 4; ++k) {
+    CliqueEngine engine{{.n = n}};
+    const auto state = cc_mst_phases(engine, weights, k);
+    if (state.num_clusters() <= 1) break;  // finished early: vacuous
+    const double bound = std::pow(2.0, std::pow(2.0, k - 1));
+    EXPECT_GE(state.min_cluster_size(), static_cast<std::uint32_t>(bound))
+        << "phase " << k;
+  }
+}
+
+TEST_P(LotkerSeeds, PartialPhasesSelectOnlyMstEdges) {
+  Rng rng{GetParam() + 150};
+  const std::uint32_t n = 64;
+  const auto g = random_weighted_clique(n, rng);
+  CliqueEngine engine{{.n = n}};
+  const auto state = cc_mst_phases(engine, CliqueWeights::from_graph(g), 2);
+  const auto mst = kruskal_msf(g);
+  std::map<Edge, Weight> mst_set;
+  for (const auto& e : mst) mst_set[e.edge()] = e.w;
+  for (const auto& e : state.tree_edges) {
+    const auto it = mst_set.find(e.edge());
+    ASSERT_NE(it, mst_set.end()) << "non-MST edge selected";
+    EXPECT_EQ(it->second, e.w);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, LotkerSeeds,
+                         ::testing::Values(1, 2, 3, 5, 8, 13));
+
+TEST(Lotker, RoundsPerPhaseAreConstant) {
+  Rng rng{77};
+  const std::uint32_t n = 128;
+  const auto g = random_weighted_clique(n, rng);
+  const auto weights = CliqueWeights::from_graph(g);
+  std::uint64_t prev_rounds = 0;
+  for (std::uint32_t k = 1; k <= 3; ++k) {
+    CliqueEngine engine{{.n = n}};
+    cc_mst_phases(engine, weights, k);
+    const std::uint64_t delta = engine.metrics().rounds - prev_rounds;
+    EXPECT_LE(delta, 5u) << "phase " << k;
+    prev_rounds = engine.metrics().rounds;
+  }
+}
+
+TEST(Lotker, PhaseCountIsLogLog) {
+  Rng rng{88};
+  std::uint32_t last_phases = 0;
+  for (std::uint32_t n : {16u, 64u, 256u, 512u}) {
+    const auto g = random_weighted_clique(n, rng);
+    CliqueEngine engine{{.n = n}};
+    const auto state = cc_mst_full(engine, CliqueWeights::from_graph(g));
+    // Doubly-exponential growth: ceil(log2 log2 n) + O(1) phases.
+    const auto bound = static_cast<std::uint32_t>(
+        std::ceil(std::log2(std::log2(static_cast<double>(n)))) + 2);
+    EXPECT_LE(state.phases_run, bound) << "n=" << n;
+    EXPECT_GE(state.phases_run, last_phases) << "n=" << n;
+    last_phases = state.phases_run;
+  }
+}
+
+TEST(Lotker, DisconnectedInputUsesInfiniteEdges) {
+  // CC-MST on the clique completion of a disconnected graph still finishes
+  // (infinite-weight padding edges glue the halves) and the finite tree
+  // edges form a spanning forest of the real graph.
+  Rng rng{99};
+  auto base = random_components(40, 2, 30, rng);
+  const auto weights = CliqueWeights::unit_from_graph(base);
+  CliqueEngine engine{{.n = 40}};
+  const auto state = cc_mst_full(engine, weights);
+  EXPECT_EQ(state.num_clusters(), 1u);
+  std::size_t infinite = 0;
+  std::vector<Edge> finite;
+  for (const auto& e : state.tree_edges) {
+    if (e.w == kInfiniteWeight)
+      ++infinite;
+    else
+      finite.emplace_back(e.u, e.v);
+  }
+  EXPECT_EQ(infinite, 1u);  // exactly one gluing edge for two components
+  const auto check = verify_spanning_forest(base, finite);
+  EXPECT_TRUE(check.ok) << check.message;
+}
+
+TEST(Lotker, ReduceComponentsPhaseFormula) {
+  EXPECT_EQ(reduce_components_phases(16), 4u);     // lll(16) = 1
+  EXPECT_EQ(reduce_components_phases(1 << 16), 5u);  // lll(65536) = 2
+  EXPECT_GE(reduce_components_phases(4), 3u);
+}
+
+TEST(Lotker, EveryNodeKnowsTheTree) {
+  // The state returned is the shared knowledge; all tree edges must be
+  // real clique edges with correct weights.
+  Rng rng{111};
+  const auto g = random_weighted_clique(30, rng);
+  CliqueEngine engine{{.n = 30}};
+  const auto state = cc_mst_full(engine, CliqueWeights::from_graph(g));
+  for (const auto& e : state.tree_edges)
+    EXPECT_EQ(g.edge_weight(e.u, e.v), std::optional<Weight>{e.w});
+}
+
+}  // namespace
+}  // namespace ccq

@@ -1,0 +1,264 @@
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "core/gc.hpp"
+#include "graph/sequential.hpp"
+#include "lowerbound/frugal_adversary.hpp"
+#include "lowerbound/kt0_hard.hpp"
+#include "lowerbound/kt1_family.hpp"
+
+namespace ccq {
+namespace {
+
+TEST(Kt0Hard, ConstructionBasics) {
+  const Kt0HardInstance hard{20, 40};
+  EXPECT_EQ(hard.m(), 40u);
+  EXPECT_EQ(hard.base().num_edges(), 40u);
+  EXPECT_EQ(num_components(hard.base()), 2u);
+  // No edge crosses the halves in the base graph.
+  for (const auto& e : hard.base().edges())
+    EXPECT_EQ(e.u < 10, e.v < 10);
+}
+
+TEST(Kt0Hard, ParameterValidation) {
+  EXPECT_THROW((Kt0HardInstance{21, 30}), std::logic_error);  // odd n
+  EXPECT_THROW((Kt0HardInstance{20, 10}), std::logic_error);  // m < n
+  EXPECT_THROW((Kt0HardInstance{20, 1000}), std::logic_error);
+  EXPECT_NO_THROW((Kt0HardInstance{20, Kt0HardInstance::max_edges(20)}));
+}
+
+TEST(Kt0Hard, NearRegularDegrees) {
+  // Full offset rounds give exact 2m/n-regularity; a partial final round
+  // spreads the remainder so degrees stay within a band of 2 — the
+  // "nearly-regular" property the construction needs.
+  for (std::size_t m : {24u, 48u, 96u}) {  // multiples of n: exact
+    const Kt0HardInstance hard{24, m};
+    for (VertexId v = 0; v < 24; ++v)
+      EXPECT_EQ(hard.base().degree(v), 2 * m / 24) << "m=" << m;
+  }
+  for (std::size_t m : {30u, 60u, 77u}) {
+    const Kt0HardInstance hard{24, m};
+    std::size_t lo = 24;
+    std::size_t hi = 0;
+    for (VertexId v = 0; v < 24; ++v) {
+      lo = std::min(lo, hard.base().degree(v));
+      hi = std::max(hi, hard.base().degree(v));
+    }
+    EXPECT_LE(hi - lo, 2u) << "m=" << m;
+    const double avg = 2.0 * static_cast<double>(m) / 24;
+    EXPECT_GE(avg, static_cast<double>(lo));
+    EXPECT_LE(avg, static_cast<double>(hi));
+  }
+}
+
+TEST(Kt0Hard, HalvesAreTwoEdgeConnected) {
+  // 2-edge-connectivity of each block is what keeps every swap instance
+  // connected after removing one block edge.
+  const Kt0HardInstance hard{16, 40};
+  Graph gu{8};
+  Graph gv{8};
+  for (const auto& e : hard.u_edges()) gu.add_edge(e.u, e.v);
+  for (const auto& e : hard.v_edges()) gv.add_edge(e.u - 8, e.v - 8);
+  EXPECT_TRUE(is_k_edge_connected(gu, 2));
+  EXPECT_TRUE(is_k_edge_connected(gv, 2));
+}
+
+TEST(Kt0Hard, SwapInstancesAreConnectedWithSameEdgeCount) {
+  const Kt0HardInstance hard{16, 36};
+  Rng rng{3};
+  for (int t = 0; t < 30; ++t) {
+    const auto ui = rng.next_below(hard.u_edges().size());
+    const auto vi = rng.next_below(hard.v_edges().size());
+    for (bool crossed : {false, true}) {
+      const auto g = hard.swap_instance(ui, vi, crossed);
+      EXPECT_TRUE(is_connected(g));
+      EXPECT_EQ(g.num_edges(), hard.m());
+    }
+  }
+}
+
+TEST(Kt0Hard, SgSizeFormula) {
+  const Kt0HardInstance hard{12, 24};
+  EXPECT_EQ(hard.sg_size(),
+            2 * hard.u_edges().size() * hard.v_edges().size());
+}
+
+TEST(Kt0Hard, SampleRespectsDistribution) {
+  const Kt0HardInstance hard{12, 24};
+  Rng rng{5};
+  int base_draws = 0;
+  const int trials = 2000;
+  for (int t = 0; t < trials; ++t) {
+    const auto draw = hard.sample(rng);
+    if (draw.is_base) {
+      ++base_draws;
+      EXPECT_FALSE(draw.connected);
+    } else {
+      EXPECT_TRUE(draw.connected);
+      EXPECT_TRUE(is_connected(draw.graph));
+    }
+  }
+  EXPECT_NEAR(base_draws, trials / 2, 100);
+}
+
+TEST(Kt0Hard, EdgeDisjointSquarePackingIsLinearInM) {
+  for (std::size_t m : {32u, 48u, 56u}) {
+    const Kt0HardInstance hard{16, m};
+    const auto squares = hard.edge_disjoint_squares();
+    // The Ω(m) packing of Theorem 8 (our greedy pairing gives >= m/8).
+    EXPECT_GE(squares.size(), m / 8) << "m=" << m;
+    // Disjointness of the link sets across squares (cross links of the two
+    // variants may overlap within a square, never across squares).
+    std::set<Edge> used;
+    for (const auto& sq : squares) {
+      std::set<Edge> mine;
+      for (bool crossed : {false, true})
+        for (const auto& link : sq.links(crossed)) mine.insert(link);
+      for (const auto& link : mine) {
+        EXPECT_FALSE(used.contains(link));
+        used.insert(link);
+      }
+    }
+  }
+}
+
+TEST(FrugalAdversary, TinyBudgetErrsOften) {
+  const Kt0HardInstance hard{20, 60};
+  Rng rng{7};
+  // With essentially no probes the prober always answers "disconnected",
+  // which is wrong on half the distribution.
+  const double err = frugal_error_rate(hard, 1, 1500, rng);
+  EXPECT_GT(err, 0.3);
+}
+
+TEST(FrugalAdversary, LargeBudgetIsCorrect) {
+  const Kt0HardInstance hard{20, 60};
+  Rng rng{9};
+  // Probing ~n^2 ln(n^2) links covers every slot w.h.p.: the Bayes decision
+  // is then correct on (almost) every draw.
+  const double err = frugal_error_rate(hard, 8000, 400, rng);
+  EXPECT_LT(err, 0.05);
+}
+
+TEST(FrugalAdversary, ErrorDecreasesWithBudget) {
+  const Kt0HardInstance hard{20, 60};
+  Rng rng{11};
+  const double e_small = frugal_error_rate(hard, 10, 800, rng);
+  const double e_big = frugal_error_rate(hard, 2000, 800, rng);
+  EXPECT_GT(e_small, e_big);
+}
+
+class Kt0Grid
+    : public ::testing::TestWithParam<std::pair<std::uint32_t, std::size_t>> {
+};
+
+TEST_P(Kt0Grid, ConstructionInvariantsAcrossParameters) {
+  const auto [n, m] = GetParam();
+  const Kt0HardInstance hard{n, m};
+  // Exactly m edges, split across the halves, base disconnected.
+  EXPECT_EQ(hard.m(), m);
+  EXPECT_EQ(hard.u_edges().size() + hard.v_edges().size(), m);
+  EXPECT_EQ(num_components(hard.base()), 2u);
+  // Both blocks stay 2-edge-connected (every swap member stays connected).
+  const std::uint32_t half = n / 2;
+  Graph gu{half};
+  Graph gv{half};
+  for (const auto& e : hard.u_edges()) gu.add_edge(e.u, e.v);
+  for (const auto& e : hard.v_edges()) gv.add_edge(e.u - half, e.v - half);
+  EXPECT_TRUE(is_k_edge_connected(gu, 2)) << "n=" << n << " m=" << m;
+  EXPECT_TRUE(is_k_edge_connected(gv, 2)) << "n=" << n << " m=" << m;
+  // Square packing stays Ω(m).
+  EXPECT_GE(hard.edge_disjoint_squares().size(), m / 10);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Grid, Kt0Grid,
+    ::testing::Values(std::pair<std::uint32_t, std::size_t>{12, 14},
+                      std::pair<std::uint32_t, std::size_t>{12, 30},
+                      std::pair<std::uint32_t, std::size_t>{20, 40},
+                      std::pair<std::uint32_t, std::size_t>{20, 90},
+                      std::pair<std::uint32_t, std::size_t>{40, 100},
+                      std::pair<std::uint32_t, std::size_t>{40, 380}));
+
+TEST(FrugalAdversary, ErrorIsMonotoneInBudgetOnAverage) {
+  const Kt0HardInstance hard{16, 40};
+  Rng rng{31};
+  double prev = 1.0;
+  for (std::uint64_t budget : {4ull, 40ull, 400ull, 4000ull}) {
+    const double err = frugal_error_rate(hard, budget, 1200, rng);
+    EXPECT_LE(err, prev + 0.05) << "budget " << budget;
+    prev = err;
+  }
+  EXPECT_LT(prev, 0.02);
+}
+
+TEST(Kt1FamilyTest, Figure1Structure) {
+  const Kt1Family family{5};
+  EXPECT_EQ(family.n(), 12u);
+  const auto g = family.instance(0);
+  // u0-v0, v0-u_k (k=1..5), u_k-v_k (k=1..5): 11 edges, a tree on 12 nodes.
+  EXPECT_EQ(g.num_edges(), 11u);
+  EXPECT_TRUE(is_connected(g));
+  EXPECT_TRUE(g.has_edge(family.u(0), family.v(0)));
+  for (std::uint32_t k = 1; k <= 5; ++k) {
+    EXPECT_TRUE(g.has_edge(family.v(0), family.u(k)));
+    EXPECT_TRUE(g.has_edge(family.u(k), family.v(k)));
+  }
+}
+
+TEST(Kt1FamilyTest, ComponentCountsAcrossJ) {
+  const Kt1Family family{6};
+  for (std::uint32_t j = 0; j <= 7; ++j) {
+    const auto g = family.instance(j);
+    EXPECT_EQ(num_components(g), family.expected_components(j)) << "j=" << j;
+  }
+}
+
+TEST(Kt1FamilyTest, MiddleInstancesIsolateExactlyVj) {
+  const Kt1Family family{4};
+  for (std::uint32_t j = 1; j <= 4; ++j) {
+    const auto g = family.instance(j);
+    EXPECT_EQ(g.degree(family.v(j)), 0u);
+    EXPECT_EQ(num_components(g), 2u);
+  }
+}
+
+TEST(PartitionAuditTest, CountsCrossings) {
+  const Kt1Family family{3};  // n = 8
+  PartitionAudit audit{family};
+  // u_1 = 1, v_1 = 5; u_2 = 2, v_2 = 6.
+  audit.on_message(1, 5);  // inside P_1: no crossing
+  EXPECT_EQ(audit.crossings(1), 0u);
+  audit.on_message(1, 2);  // crosses P_1 and P_2
+  EXPECT_EQ(audit.crossings(1), 1u);
+  EXPECT_EQ(audit.crossings(2), 1u);
+  audit.on_message(0, 4);  // u_0 -> v_0: crosses nothing
+  EXPECT_EQ(audit.partitions_crossed(), 2u);
+  EXPECT_EQ(audit.total_messages(), 3u);
+}
+
+TEST(PartitionAuditTest, RealAlgorithmCrossesEveryPartition) {
+  // Theorem 10's combinatorial floor, exhibited on a real execution: run
+  // the GC algorithm on G_{i,0} and G_{i,i+1}; together they must cross
+  // every partition P_j (in fact our Θ(n^2)-message algorithm crosses each
+  // many times).
+  const Kt1Family family{10};
+  const auto n = family.n();
+  std::vector<std::uint64_t> total(family.i() + 1, 0);
+  for (std::uint32_t j : {0u, family.i() + 1}) {
+    Rng rng{13};
+    CliqueEngine engine{{.n = n}};
+    PartitionAudit audit{family};
+    engine.set_observer(
+        [&](VertexId s, VertexId d) { audit.on_message(s, d); });
+    gc_spanning_forest(engine, family.instance(j), rng);
+    for (std::uint32_t p = 1; p <= family.i(); ++p)
+      total[p] += audit.crossings(p);
+  }
+  for (std::uint32_t p = 1; p <= family.i(); ++p)
+    EXPECT_GT(total[p], 0u) << "partition " << p << " never crossed";
+}
+
+}  // namespace
+}  // namespace ccq

@@ -1,0 +1,261 @@
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "graph/sequential.hpp"
+#include "lowerbound/port_network.hpp"
+
+namespace ccq {
+namespace {
+
+/// A natural deterministic KT0 protocol: round 0, send a fixed token over
+/// every *input-edge* port; later rounds, forward the max received token
+/// over every input-edge port (bounded flooding). Purely port-local.
+PortProtocol flooding_protocol(std::uint32_t rounds) {
+  return [rounds](const PortView& view, std::uint32_t round) {
+    std::map<std::uint32_t, std::uint64_t> out;
+    std::uint64_t token = view.self + 1;
+    if (round > 0) {
+      for (std::uint32_t p = 0; p < view.input_bits->size(); ++p) {
+        const auto got = (*view.received)[round - 1][p];
+        if (got != kNoMessage) token = std::max(token, got);
+      }
+    }
+    if (round < rounds)
+      for (std::uint32_t p = 0; p < view.input_bits->size(); ++p)
+        if ((*view.input_bits)[p]) out[p] = token;
+    return out;
+  };
+}
+
+TEST(PortNetworkTest, CanonicalWiringIsInvolutive) {
+  const auto net = PortNetwork::canonical(7);
+  for (VertexId u = 0; u < 7; ++u)
+    for (std::uint32_t p = 0; p < 6; ++p) {
+      const VertexId v = net.peer(u, p);
+      EXPECT_NE(v, u);
+      const auto back = net.reverse_port(u, p);
+      EXPECT_EQ(net.peer(v, back), u);
+    }
+}
+
+TEST(PortNetworkTest, SwapLinksRewiresExactlyFourPorts) {
+  auto net = PortNetwork::canonical(8);
+  const auto before = PortNetwork::canonical(8);
+  net.swap_links(0, 1, 4, 5);  // 0-1, 4-5 -> 0-4, 1-5
+  int changed = 0;
+  for (VertexId u = 0; u < 8; ++u)
+    for (std::uint32_t p = 0; p < 7; ++p)
+      if (net.peer(u, p) != before.peer(u, p)) ++changed;
+  EXPECT_EQ(changed, 4);
+  // Still an involution.
+  for (VertexId u = 0; u < 8; ++u)
+    for (std::uint32_t p = 0; p < 7; ++p)
+      EXPECT_EQ(net.peer(net.peer(u, p), net.reverse_port(u, p)), u);
+}
+
+TEST(PortNetworkTest, SwapRealizesSwapInstance) {
+  // Identical port bits over the rewired network realize exactly the
+  // Section 3 swap instance.
+  const Kt0HardInstance hard{12, 24};
+  const auto square_u = hard.u_edges()[2];
+  const auto square_v = hard.v_edges()[3];
+  auto net = PortNetwork::canonical(12);
+  const auto bits = net.port_inputs(hard.base());
+  net.swap_links(square_u.u, square_u.v, square_v.u, square_v.v);
+  // Realized graph: edge {u, peer(u,p)} for every set bit.
+  Graph realized{12};
+  for (VertexId u = 0; u < 12; ++u)
+    for (std::uint32_t p = 0; p < 11; ++p)
+      if (bits[u][p] && u < net.peer(u, p))
+        realized.add_edge(u, net.peer(u, p));
+  // Must equal swap_instance(2, 3, false).
+  std::size_t ui = 2;
+  std::size_t vi = 3;
+  const auto expect = hard.swap_instance(ui, vi, false);
+  EXPECT_EQ(realized.num_edges(), expect.num_edges());
+  for (const auto& e : expect.edges())
+    EXPECT_TRUE(realized.has_edge(e.u, e.v))
+        << e.u << "-" << e.v << " missing";
+  EXPECT_TRUE(is_connected(realized));
+}
+
+TEST(PortNetworkTest, FloodingTranscriptIsDeterministic) {
+  const Kt0HardInstance hard{12, 24};
+  const auto net = PortNetwork::canonical(12);
+  const auto t1 = run_port_protocol(net, hard.base(), flooding_protocol(4), 4);
+  const auto t2 = run_port_protocol(net, hard.base(), flooding_protocol(4), 4);
+  EXPECT_EQ(t1, t2);
+  EXPECT_FALSE(t1.empty());
+}
+
+/// Flooding restricted to avoid a fixed set of (node, port) pairs — a
+/// perfectly legal deterministic KT0 protocol (behaviour may depend on the
+/// node's own ID and port numbers, just never on the invisible far ends).
+PortProtocol flooding_avoiding(
+    std::uint32_t rounds,
+    std::set<std::pair<VertexId, std::uint32_t>> avoid) {
+  return [rounds, avoid = std::move(avoid)](const PortView& view,
+                                            std::uint32_t round) {
+    std::map<std::uint32_t, std::uint64_t> out;
+    std::uint64_t token = view.self + 1;
+    if (round > 0) {
+      for (std::uint32_t p = 0; p < view.input_bits->size(); ++p) {
+        const auto got = (*view.received)[round - 1][p];
+        if (got != kNoMessage) token = std::max(token, got);
+      }
+    }
+    if (round < rounds)
+      for (std::uint32_t p = 0; p < view.input_bits->size(); ++p)
+        if ((*view.input_bits)[p] && !avoid.contains({view.self, p}))
+          out[p] = token;
+    return out;
+  };
+}
+
+TEST(PortNetworkTest, Theorem8Indistinguishability) {
+  // The executable core of Theorem 8: any deterministic protocol that never
+  // sends over the four links of the chosen square produces IDENTICAL
+  // transcripts on the disconnected base graph and on the (connected) swap
+  // instance — so it must answer the same on both, and is therefore wrong
+  // on one. Hence a correct algorithm must touch every square of the Ω(m)
+  // disjoint packing.
+  const Kt0HardInstance hard{16, 36};
+  const auto canonical = PortNetwork::canonical(16);
+  auto port_between = [&](VertexId a, VertexId b) {
+    for (std::uint32_t p = 0; p < 15; ++p)
+      if (canonical.peer(a, p) == b) return p;
+    ADD_FAILURE() << "no port " << a << "->" << b;
+    return 0u;
+  };
+  for (std::size_t ui : {0u, 3u}) {
+    for (std::size_t vi : {1u, 4u}) {
+      const Edge eu = hard.u_edges()[ui];
+      const Edge ev = hard.v_edges()[vi];
+      // Avoid both square edges from both ends: the rewired ports are these
+      // same (node, port) pairs, so the cross links are avoided too.
+      std::set<std::pair<VertexId, std::uint32_t>> avoid{
+          {eu.u, port_between(eu.u, eu.v)},
+          {eu.v, port_between(eu.v, eu.u)},
+          {ev.u, port_between(ev.u, ev.v)},
+          {ev.v, port_between(ev.v, ev.u)}};
+      for (bool crossed : {false, true}) {
+        const auto result = port_indistinguishability(
+            hard, ui, vi, crossed, flooding_avoiding(5, avoid), 5);
+        EXPECT_TRUE(result.transcripts_identical)
+            << "ui=" << ui << " vi=" << vi << " crossed=" << crossed;
+        EXPECT_FALSE(result.touched_square);
+        EXPECT_GT(result.transcript_length, 0u);
+      }
+    }
+  }
+}
+
+TEST(PortNetworkTest, UnrestrictedFloodingDistinguishes) {
+  // Without the avoidance, the flooding protocol sends over the square's
+  // input edges, information crosses the rewired links, and the
+  // transcripts split — exactly the message cost the theorem charges.
+  const Kt0HardInstance hard{16, 36};
+  const auto result = port_indistinguishability(hard, 0, 1, false,
+                                                flooding_protocol(5), 5);
+  EXPECT_TRUE(result.touched_square);
+  EXPECT_FALSE(result.transcripts_identical);
+}
+
+TEST(PortNetworkTest, SquareAwareProtocolDistinguishes) {
+  // A protocol that *does* message over the square links can tell the
+  // wirings apart: announce the own ID over every port, then echo back, per
+  // port, what arrived. On the square ports the echoed IDs differ between
+  // the two wirings (u2+1 vs v1+1, ...), so the transcripts split —
+  // messages over the square are exactly what buys distinguishing power.
+  const Kt0HardInstance hard{12, 24};
+  const PortProtocol echo = [](const PortView& view, std::uint32_t round) {
+    std::map<std::uint32_t, std::uint64_t> out;
+    if (round == 0) {
+      for (std::uint32_t p = 0; p < view.input_bits->size(); ++p)
+        out[p] = view.self + 1;
+    } else {
+      for (std::uint32_t p = 0; p < view.input_bits->size(); ++p) {
+        const auto got = (*view.received)[round - 1][p];
+        if (got != kNoMessage) out[p] = got;
+      }
+    }
+    return out;
+  };
+  const auto result = port_indistinguishability(hard, 0, 0, false, echo, 3);
+  EXPECT_TRUE(result.touched_square);
+  EXPECT_FALSE(result.transcripts_identical);
+}
+
+TEST(PortFloodGc, CorrectOnHardDistributionDraws) {
+  // The other half of Theorem 8: a correct deterministic port protocol.
+  // It must answer "disconnected" on G and "connected" on every swap —
+  // and to do so it necessarily messages over the square edges.
+  const Kt0HardInstance hard{16, 36};
+  const auto canonical = PortNetwork::canonical(16);
+  {
+    const auto r =
+        port_flood_gc(canonical, canonical.port_inputs(hard.base()));
+    EXPECT_FALSE(r.connected);
+    EXPECT_EQ(r.tokens_at_decider, 8u);  // node 0's half only
+    EXPECT_GE(r.messages, hard.m());     // >= one message per edge slot
+  }
+  Rng rng{41};
+  for (int t = 0; t < 6; ++t) {
+    auto draw = hard.sample(rng);
+    while (draw.is_base) draw = hard.sample(rng);
+    const auto r =
+        port_flood_gc(canonical, canonical.port_inputs(draw.graph));
+    EXPECT_TRUE(r.connected);
+    EXPECT_EQ(r.tokens_at_decider, 16u);
+  }
+}
+
+TEST(PortFloodGc, RewiredSwapInstanceAlsoAnsweredCorrectly) {
+  // Same bits, rewired network: the flood runs over the realized swap
+  // instance and must now say "connected" — unlike the square-avoiding
+  // protocols, it crosses the rewired links.
+  const Kt0HardInstance hard{16, 36};
+  auto net = PortNetwork::canonical(16);
+  const auto bits = net.port_inputs(hard.base());
+  const auto eu = hard.u_edges()[0];
+  const auto ev = hard.v_edges()[0];
+  net.swap_links(eu.u, eu.v, ev.u, ev.v);
+  const auto r = port_flood_gc(net, bits);
+  EXPECT_TRUE(r.connected);
+}
+
+TEST(PortFloodGc, PathAndEmptyExtremes) {
+  const std::uint32_t n = 12;
+  const auto net = PortNetwork::canonical(n);
+  {
+    Graph path{n};
+    for (VertexId v = 0; v + 1 < n; ++v) path.add_edge(v, v + 1);
+    const auto r = port_flood_gc(net, net.port_inputs(path));
+    EXPECT_TRUE(r.connected);
+  }
+  {
+    const Graph empty{n};
+    const auto r = port_flood_gc(net, net.port_inputs(empty));
+    EXPECT_FALSE(r.connected);
+    EXPECT_EQ(r.tokens_at_decider, 1u);
+    EXPECT_EQ(r.messages, 0u);
+  }
+}
+
+TEST(PortNetworkTest, ProtocolValidation) {
+  const auto net = PortNetwork::canonical(4);
+  Graph g{4};
+  g.add_edge(0, 1);
+  const PortProtocol bad_port = [](const PortView&, std::uint32_t) {
+    return std::map<std::uint32_t, std::uint64_t>{{99, 1}};
+  };
+  EXPECT_THROW(run_port_protocol(net, g, bad_port, 1), std::logic_error);
+  const PortProtocol bad_payload = [](const PortView&, std::uint32_t) {
+    return std::map<std::uint32_t, std::uint64_t>{{0, kNoMessage}};
+  };
+  EXPECT_THROW(run_port_protocol(net, g, bad_payload, 1), std::logic_error);
+}
+
+}  // namespace
+}  // namespace ccq

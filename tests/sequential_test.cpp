@@ -1,0 +1,194 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "graph/generators.hpp"
+#include "graph/sequential.hpp"
+#include "graph/union_find.hpp"
+#include "graph/verify.hpp"
+
+namespace ccq {
+namespace {
+
+TEST(Components, LabelsMatchStructure) {
+  Graph g{6};
+  g.add_edge(0, 1);
+  g.add_edge(1, 2);
+  g.add_edge(4, 5);
+  const auto label = connected_components(g);
+  EXPECT_EQ(label[0], label[2]);
+  EXPECT_EQ(label[4], label[5]);
+  EXPECT_NE(label[0], label[3]);
+  EXPECT_NE(label[0], label[4]);
+  EXPECT_EQ(num_components(g), 3u);
+  EXPECT_FALSE(is_connected(g));
+}
+
+TEST(Components, EmptyAndSingletonGraphs) {
+  EXPECT_TRUE(is_connected(Graph{0}));
+  EXPECT_TRUE(is_connected(Graph{1}));
+  EXPECT_EQ(num_components(Graph{5}), 5u);
+}
+
+TEST(SpanningForestSeq, IsMaximal) {
+  Rng rng{3};
+  const auto g = random_components(50, 3, 40, rng);
+  const auto forest = spanning_forest(g);
+  const auto check = verify_spanning_forest(g, forest);
+  EXPECT_TRUE(check.ok) << check.message;
+  EXPECT_EQ(forest.size(), 50u - 3u);
+}
+
+class MstSeeds : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(MstSeeds, KruskalBoruvkaPrimAgree) {
+  Rng rng{GetParam()};
+  const auto g = random_weights(random_connected(60, 200, rng), 1 << 16, rng);
+  const auto k = kruskal_msf(g);
+  const auto b = boruvka_msf(g);
+  const auto p = prim_mst(g);
+  EXPECT_EQ(k, b);
+  EXPECT_EQ(k, p);
+  EXPECT_EQ(k.size(), 59u);
+}
+
+TEST_P(MstSeeds, KruskalOnDisconnectedGivesForest) {
+  Rng rng{GetParam() + 100};
+  const auto base = random_components(40, 4, 30, rng);
+  const auto g = random_weights(base, 1 << 16, rng);
+  const auto k = kruskal_msf(g);
+  EXPECT_EQ(k.size(), 36u);
+  EXPECT_EQ(k, boruvka_msf(g));
+  const auto check = verify_msf(g, k);
+  EXPECT_TRUE(check.ok) << check.message;
+}
+
+TEST_P(MstSeeds, MsfVerifierRejectsTampering) {
+  Rng rng{GetParam() + 200};
+  const auto g = random_weighted_clique(20, rng);
+  auto mst = kruskal_msf(g);
+  // Swap an MST edge for the heaviest non-tree edge: still spanning but not
+  // minimum.
+  std::vector<WeightedEdge> sorted = g.edges();
+  std::sort(sorted.begin(), sorted.end(), weight_less);
+  for (auto it = sorted.rbegin(); it != sorted.rend(); ++it) {
+    auto tampered = mst;
+    tampered.back() = *it;
+    // Only test when the tampered set is still a spanning tree.
+    UnionFind uf{g.num_vertices()};
+    bool acyclic = true;
+    for (const auto& e : tampered)
+      if (!uf.unite(e.u, e.v)) acyclic = false;
+    if (!acyclic || uf.num_components() != 1) continue;
+    EXPECT_FALSE(verify_msf(g, tampered).ok);
+    break;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, MstSeeds,
+                         ::testing::Values(1, 2, 3, 5, 8, 13, 21, 34, 55));
+
+TEST(Bipartite, Classics) {
+  EXPECT_TRUE(is_bipartite(circulant(8, {1})));   // even cycle
+  EXPECT_FALSE(is_bipartite(circulant(9, {1})));  // odd cycle
+  EXPECT_FALSE(is_bipartite(circulant(7, {1, 2})));
+  EXPECT_TRUE(is_bipartite(Graph{4}));  // no edges
+}
+
+TEST(MinCut, KnownValues) {
+  EXPECT_EQ(global_min_cut(circulant(10, {1})), 2u);      // cycle
+  EXPECT_EQ(global_min_cut(circulant(10, {1, 2})), 4u);   // 4-regular circulant
+  Graph k5{5};
+  for (VertexId u = 0; u < 5; ++u)
+    for (VertexId v = u + 1; v < 5; ++v) k5.add_edge(u, v);
+  EXPECT_EQ(global_min_cut(k5), 4u);
+  Graph disconnected{4};
+  disconnected.add_edge(0, 1);
+  disconnected.add_edge(2, 3);
+  EXPECT_EQ(global_min_cut(disconnected), 0u);
+}
+
+TEST(MinCut, BridgeGraph) {
+  // Two triangles joined by one bridge: min cut 1.
+  Graph g{6};
+  g.add_edge(0, 1);
+  g.add_edge(1, 2);
+  g.add_edge(0, 2);
+  g.add_edge(3, 4);
+  g.add_edge(4, 5);
+  g.add_edge(3, 5);
+  g.add_edge(2, 3);
+  EXPECT_EQ(global_min_cut(g), 1u);
+  EXPECT_TRUE(is_k_edge_connected(g, 1));
+  EXPECT_FALSE(is_k_edge_connected(g, 2));
+}
+
+TEST(FLight, ForestEdgesAreLight) {
+  Rng rng{5};
+  const auto g = random_weights(random_connected(30, 60, rng), 1 << 16, rng);
+  const auto msf = kruskal_msf(g);
+  const auto light = f_light_edges(30, msf, msf);
+  for (bool b : light) EXPECT_TRUE(b);
+}
+
+TEST(FLight, CrossTreeEdgesAreLight) {
+  // Forest with two trees; an edge between them has wtF = infinity.
+  std::vector<WeightedEdge> forest{{0, 1, 5}, {2, 3, 7}};
+  std::vector<WeightedEdge> query{{1, 2, 1000}};
+  const auto light = f_light_edges(4, forest, query);
+  EXPECT_TRUE(light[0]);
+}
+
+TEST(FLight, HeavyEdgeDetected) {
+  // Path 0-1-2 with weights 1, 2; edge (0,2) of weight 10 is heavy, of
+  // weight 2 is light (not strictly heavier than the path max).
+  std::vector<WeightedEdge> forest{{0, 1, 1}, {1, 2, 2}};
+  std::vector<WeightedEdge> query{{0, 2, 10}, {0, 2, 2}, {0, 2, 1}};
+  const auto light = f_light_edges(3, forest, query);
+  EXPECT_FALSE(light[0]);
+  EXPECT_TRUE(light[1]);
+  EXPECT_TRUE(light[2]);
+}
+
+TEST(FLight, MatchesBruteForceOnRandomInstances) {
+  Rng rng{9};
+  for (int trial = 0; trial < 10; ++trial) {
+    const std::uint32_t n = 24;
+    const auto g = random_weights(gnp(n, 0.3, rng), 1 << 16, rng);
+    const auto msf = kruskal_msf(g);
+    const auto light = f_light_edges(n, msf, g.edges());
+    // Brute force: path max via DFS on the forest.
+    WeightedGraph forest_graph{n};
+    for (const auto& e : msf) forest_graph.add_edge(e.u, e.v, e.w);
+    for (std::size_t i = 0; i < g.edges().size(); ++i) {
+      const auto& e = g.edges()[i];
+      // DFS from e.u to e.v tracking max edge key.
+      std::vector<std::pair<VertexId, WeightedEdge>> stack{
+          {e.u, WeightedEdge{0, 1, 0}}};
+      std::vector<bool> seen(n, false);
+      seen[e.u] = true;
+      bool found = false;
+      WeightedEdge path_max{0, 1, 0};
+      while (!stack.empty()) {
+        auto [v, maxe] = stack.back();
+        stack.pop_back();
+        if (v == e.v) {
+          found = true;
+          path_max = maxe;
+          break;
+        }
+        for (const auto& nb : forest_graph.neighbors(v)) {
+          if (seen[nb.to]) continue;
+          seen[nb.to] = true;
+          WeightedEdge cand{v, nb.to, nb.w};
+          stack.push_back({nb.to, weight_less(maxe, cand) ? cand : maxe});
+        }
+      }
+      const bool expect_light = !found || !(path_max.key() < e.key());
+      EXPECT_EQ(light[i], expect_light) << "edge " << e.u << "-" << e.v;
+    }
+  }
+}
+
+}  // namespace
+}  // namespace ccq

@@ -1,0 +1,162 @@
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "util/error.hpp"
+#include "util/field.hpp"
+#include "util/random.hpp"
+
+namespace ccq {
+namespace {
+
+TEST(Rng, DeterministicFromSeed) {
+  Rng a{42};
+  Rng b{42};
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.next(), b.next());
+}
+
+TEST(Rng, DifferentSeedsDiffer) {
+  Rng a{1};
+  Rng b{2};
+  int same = 0;
+  for (int i = 0; i < 64; ++i)
+    if (a.next() == b.next()) ++same;
+  EXPECT_LT(same, 3);
+}
+
+TEST(Rng, NextBelowInRange) {
+  Rng rng{7};
+  for (std::uint64_t bound : {1ull, 2ull, 3ull, 10ull, 1000ull, 1ull << 40}) {
+    for (int i = 0; i < 200; ++i) EXPECT_LT(rng.next_below(bound), bound);
+  }
+}
+
+TEST(Rng, NextBelowCoversSmallRange) {
+  Rng rng{11};
+  std::set<std::uint64_t> seen;
+  for (int i = 0; i < 200; ++i) seen.insert(rng.next_below(5));
+  EXPECT_EQ(seen.size(), 5u);
+}
+
+TEST(Rng, NextBelowZeroThrows) {
+  Rng rng{1};
+  EXPECT_THROW(rng.next_below(0), std::logic_error);
+}
+
+TEST(Rng, NextInBounds) {
+  Rng rng{13};
+  for (int i = 0; i < 200; ++i) {
+    const auto v = rng.next_in(-5, 5);
+    EXPECT_GE(v, -5);
+    EXPECT_LE(v, 5);
+  }
+}
+
+TEST(Rng, DoubleInUnitInterval) {
+  Rng rng{17};
+  double sum = 0;
+  for (int i = 0; i < 10000; ++i) {
+    const double d = rng.next_double();
+    EXPECT_GE(d, 0.0);
+    EXPECT_LT(d, 1.0);
+    sum += d;
+  }
+  EXPECT_NEAR(sum / 10000, 0.5, 0.02);
+}
+
+TEST(Rng, BernoulliFrequency) {
+  Rng rng{19};
+  int hits = 0;
+  for (int i = 0; i < 10000; ++i)
+    if (rng.next_bool(0.3)) ++hits;
+  EXPECT_NEAR(hits / 10000.0, 0.3, 0.03);
+}
+
+TEST(Rng, SplitProducesIndependentStream) {
+  Rng a{23};
+  Rng child = a.split();
+  // Child stream should not replicate the parent's continuation.
+  int same = 0;
+  for (int i = 0; i < 64; ++i)
+    if (a.next() == child.next()) ++same;
+  EXPECT_LT(same, 3);
+}
+
+TEST(Rng, WordsLength) {
+  Rng rng{29};
+  EXPECT_EQ(rng.words(17).size(), 17u);
+  EXPECT_TRUE(rng.words(0).empty());
+}
+
+TEST(Field, CanonReducesBelowPrime) {
+  EXPECT_EQ(field::canon(field::kPrime), 0u);
+  EXPECT_EQ(field::canon(field::kPrime + 5), 5u);
+  EXPECT_LT(field::canon(~std::uint64_t{0}), field::kPrime);
+}
+
+TEST(Field, AddSubInverse) {
+  Rng rng{31};
+  for (int i = 0; i < 200; ++i) {
+    const auto a = field::canon(rng.next());
+    const auto b = field::canon(rng.next());
+    EXPECT_EQ(field::sub(field::add(a, b), b), a);
+    EXPECT_EQ(field::add(a, field::neg(a)), 0u);
+  }
+}
+
+TEST(Field, MulMatchesInt128) {
+  Rng rng{37};
+  for (int i = 0; i < 200; ++i) {
+    const auto a = field::canon(rng.next());
+    const auto b = field::canon(rng.next());
+    const auto expect = static_cast<std::uint64_t>(
+        (static_cast<unsigned __int128>(a) * b) % field::kPrime);
+    EXPECT_EQ(field::mul(a, b), expect);
+  }
+}
+
+TEST(Field, PowMatchesRepeatedMul) {
+  const std::uint64_t base = 123456789;
+  std::uint64_t acc = 1;
+  for (std::uint64_t e = 0; e < 20; ++e) {
+    EXPECT_EQ(field::pow(base, e), acc);
+    acc = field::mul(acc, base);
+  }
+}
+
+TEST(Field, FermatLittleTheorem) {
+  Rng rng{41};
+  for (int i = 0; i < 20; ++i) {
+    std::uint64_t a = field::canon(rng.next());
+    if (a == 0) a = 1;
+    EXPECT_EQ(field::pow(a, field::kPrime - 1), 1u);
+  }
+}
+
+TEST(Field, InverseIsInverse) {
+  Rng rng{43};
+  for (int i = 0; i < 50; ++i) {
+    std::uint64_t a = field::canon(rng.next());
+    if (a == 0) a = 7;
+    EXPECT_EQ(field::mul(a, field::inv(a)), 1u);
+  }
+}
+
+TEST(Field, InverseOfZeroThrows) {
+  EXPECT_THROW(field::inv(0), std::logic_error);
+  EXPECT_THROW(field::inv(field::kPrime), std::logic_error);
+}
+
+TEST(Mix64, DistinctOnSequentialInputs) {
+  std::set<std::uint64_t> seen;
+  for (std::uint64_t i = 0; i < 1000; ++i) seen.insert(mix64(i));
+  EXPECT_EQ(seen.size(), 1000u);
+}
+
+TEST(Check, ThrowsWithMessage) {
+  EXPECT_NO_THROW(check(true, "fine"));
+  EXPECT_THROW(check(false, "boom"), std::logic_error);
+}
+
+}  // namespace
+}  // namespace ccq
