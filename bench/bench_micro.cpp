@@ -3,8 +3,19 @@
 // union-find, and the routing edge-coloring. These are engineering
 // benchmarks (wall-clock of the simulator), not reproductions of paper
 // quantities — those live in the bench_* table binaries.
+//
+// The binary first prints a serial-vs-parallel engine round-throughput
+// table (and writes it to BENCH_engine.json for machine consumption) so
+// the perf trajectory of the clique engine is tracked across PRs, then
+// runs the google-benchmark suite.
 #include <benchmark/benchmark.h>
 
+#include <chrono>
+#include <cstdio>
+#include <fstream>
+#include <vector>
+
+#include "clique/engine.hpp"
 #include "comm/routing.hpp"
 #include "comm/sorting.hpp"
 #include "graph/generators.hpp"
@@ -14,9 +25,92 @@
 #include "sketch/graph_sketch.hpp"
 #include "util/field.hpp"
 #include "util/random.hpp"
+#include "util/thread_pool.hpp"
 
 namespace ccq {
 namespace {
+
+// --- Engine round throughput: serial vs parallel (the tentpole metric) ---
+
+struct EngineBenchRow {
+  std::uint32_t n;
+  unsigned threads;
+  double rounds_per_sec;
+  double messages_per_sec;
+};
+
+EngineBenchRow measure_engine_round(std::uint32_t n, unsigned threads) {
+  CliqueEngine engine{{.n = n, .threads = threads}};
+  const auto all_to_all = [n](VertexId u, Outbox& out) {
+    for (VertexId v = 0; v < n; ++v)
+      if (v != u) out.send(v, msg1(0, u));
+  };
+  engine.round_arena(all_to_all);  // warm-up: pool spawn + arena sizing
+  using clock = std::chrono::steady_clock;
+  const auto start = clock::now();
+  std::uint64_t rounds = 0;
+  double elapsed = 0;
+  do {
+    engine.round_arena(all_to_all);
+    ++rounds;
+    elapsed = std::chrono::duration<double>(clock::now() - start).count();
+  } while (elapsed < 0.25);
+  const double msgs = static_cast<double>(rounds) * n * (n - 1);
+  return {n, threads, rounds / elapsed, msgs / elapsed};
+}
+
+void engine_round_table() {
+  const unsigned hw = ThreadPool::hardware_threads();
+  std::vector<unsigned> lane_counts{1, 8};
+  if (hw != 1 && hw != 8) lane_counts.push_back(hw);
+  std::vector<EngineBenchRow> rows;
+  std::printf(
+      "Engine round throughput (all-to-all send, hardware threads: %u)\n",
+      hw);
+  std::printf("%8s %8s %14s %16s %9s\n", "n", "threads", "rounds/sec",
+              "messages/sec", "speedup");
+  for (std::uint32_t n : {256u, 512u, 1024u}) {
+    double serial_rps = 0;
+    for (unsigned threads : lane_counts) {
+      const auto row = measure_engine_round(n, threads);
+      rows.push_back(row);
+      if (threads == 1) serial_rps = row.rounds_per_sec;
+      std::printf("%8u %8u %14.1f %16.3e %8.2fx\n", row.n, row.threads,
+                  row.rounds_per_sec, row.messages_per_sec,
+                  serial_rps > 0 ? row.rounds_per_sec / serial_rps : 1.0);
+    }
+  }
+  std::ofstream json("BENCH_engine.json");
+  json << "{\n  \"benchmark\": \"engine_round_all_to_all\",\n"
+       << "  \"hardware_threads\": " << hw << ",\n  \"rows\": [\n";
+  for (std::size_t i = 0; i < rows.size(); ++i)
+    json << "    {\"n\": " << rows[i].n << ", \"threads\": " << rows[i].threads
+         << ", \"rounds_per_sec\": " << rows[i].rounds_per_sec
+         << ", \"messages_per_sec\": " << rows[i].messages_per_sec << "}"
+         << (i + 1 < rows.size() ? "," : "") << "\n";
+  json << "  ]\n}\n";
+  std::printf("(table written to BENCH_engine.json)\n\n");
+}
+
+void BM_EngineRoundArena(benchmark::State& state) {
+  const auto n = static_cast<std::uint32_t>(state.range(0));
+  const auto threads = static_cast<std::uint32_t>(state.range(1));
+  CliqueEngine engine{{.n = n, .threads = threads}};
+  const auto all_to_all = [n](VertexId u, Outbox& out) {
+    for (VertexId v = 0; v < n; ++v)
+      if (v != u) out.send(v, msg1(0, u));
+  };
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(engine.round_arena(all_to_all));
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) * n *
+                          (n - 1));
+}
+BENCHMARK(BM_EngineRoundArena)
+    ->Args({512, 1})
+    ->Args({512, 8})
+    ->Args({1024, 1})
+    ->Args({1024, 8});
 
 void BM_FieldMul(benchmark::State& state) {
   Rng rng{1};
@@ -157,6 +251,17 @@ void BM_KruskalClique(benchmark::State& state) {
 BENCHMARK(BM_KruskalClique)->Arg(64)->Arg(256);
 
 }  // namespace
+
+/// Exposed to main() below (anonymous-namespace internals stay internal).
+void run_engine_round_table() { engine_round_table(); }
+
 }  // namespace ccq
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  ccq::run_engine_round_table();
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

@@ -2,6 +2,10 @@
 
 #include <algorithm>
 #include <cmath>
+#include <limits>
+#include <numeric>
+
+#include "util/error.hpp"
 
 namespace ccq {
 
@@ -12,22 +16,21 @@ std::uint32_t wide_bandwidth_messages_per_link(std::uint32_t n) {
   return std::max<std::uint32_t>(1, log_n * log_n * log_n * log_n);
 }
 
-Outbox::Outbox(VertexId src, std::uint32_t n, std::uint32_t budget)
-    : src_(src), n_(n), budget_(budget), used_(n, 0) {}
-
 void Outbox::send(VertexId dst, const Message& m) {
   if (dst >= n_)
     throw ProtocolError("Outbox::send: destination out of range");
   if (dst == src_)
     throw ProtocolError("Outbox::send: self-send has no link in the clique");
-  if (used_[dst] >= budget_)
+  const std::uint32_t prior = used_[dst];
+  if (prior >= budget_)
     throw ProtocolError(
         "Outbox::send: per-link bandwidth budget exceeded for this round");
-  ++used_[dst];
+  if (prior == 0) touched_->push_back(dst);
+  used_[dst] = prior + 1;
   Message copy = m;
   copy.src = src_;
   copy.dst = dst;
-  messages_.push_back(copy);
+  sink_->push_back(copy);
 }
 
 CliqueEngine::CliqueEngine(const EngineConfig& config)
@@ -37,6 +40,13 @@ CliqueEngine::CliqueEngine(const EngineConfig& config)
     throw InvalidArgument("CliqueEngine: zero bandwidth");
 }
 
+CliqueEngine::~CliqueEngine() = default;
+
+unsigned CliqueEngine::resolved_threads() const {
+  return config_.threads == 0 ? ThreadPool::hardware_threads()
+                              : config_.threads;
+}
+
 void CliqueEngine::require_id_knowledge(const char* who) const {
   if (!ids_resolved_)
     throw ProtocolError(std::string(who) +
@@ -44,44 +54,170 @@ void CliqueEngine::require_id_knowledge(const char* who) const {
                         "in the KT0 model");
 }
 
-std::vector<std::vector<Message>> CliqueEngine::round(
-    const std::function<void(VertexId, Outbox&)>& send) {
-  std::vector<VertexId> all(config_.n);
-  for (VertexId v = 0; v < config_.n; ++v) all[v] = v;
-  return round_of(all, send);
-}
-
-std::vector<std::vector<Message>> CliqueEngine::round_of(
-    const std::vector<VertexId>& senders,
-    const std::function<void(VertexId, Outbox&)>& send) {
-  std::vector<std::vector<Message>> inbox(config_.n);
-  std::uint64_t message_count = 0;
-  std::uint64_t word_count = 0;
-  std::vector<bool> seen(config_.n, false);
+void CliqueEngine::validate_senders(std::span<const VertexId> senders) {
+  sender_seen_.assign(config_.n, false);
   for (VertexId u : senders) {
     if (u >= config_.n) throw ProtocolError("round_of: sender out of range");
-    if (seen[u])
+    if (sender_seen_[u])
       throw ProtocolError(
           "round_of: duplicate sender would double its per-link budget");
-    seen[u] = true;
-    Outbox out{u, config_.n, config_.messages_per_link};
-    send(u, out);
-    message_count += out.messages_.size();
-    for (const Message& m : out.messages_) {
-      word_count += m.count;
-      if (observer_) observer_(m.src, m.dst);
-      inbox[m.dst].push_back(m);
+    sender_seen_[u] = true;
+  }
+}
+
+void CliqueEngine::run_shard(Shard& shard, std::span<const VertexId> senders,
+                             std::size_t begin, std::size_t end,
+                             const std::function<void(VertexId, Outbox&)>&
+                                 send) {
+  shard.buffer.clear();
+  shard.words = 0;
+  shard.error = nullptr;
+  // used[] stays all-zero between senders (touched entries are re-zeroed
+  // after each one), so only the first round of a larger n allocates.
+  if (shard.used.size() < config_.n) shard.used.assign(config_.n, 0);
+  if (shard.dst_count.size() < config_.n) {
+    shard.dst_count.resize(config_.n);
+    shard.cursor.resize(config_.n);
+  }
+  std::fill(shard.dst_count.begin(), shard.dst_count.end(), 0);
+  shard.touched.clear();
+  for (std::size_t pos = begin; pos < end; ++pos) {
+    const VertexId u = senders[pos];
+    const std::size_t before = shard.buffer.size();
+    Outbox out{u,
+               config_.n,
+               config_.messages_per_link,
+               &shard.buffer,
+               shard.used.data(),
+               &shard.touched};
+    try {
+      send(u, out);
+    } catch (...) {
+      shard.error = std::current_exception();
+      shard.error_pos = pos;
+      shard.buffer.resize(before);  // drop the offending partial outbox
+      for (VertexId d : shard.touched) shard.used[d] = 0;
+      shard.touched.clear();
+      return;
+    }
+    for (std::size_t i = before; i < shard.buffer.size(); ++i) {
+      const Message& m = shard.buffer[i];
+      ++shard.dst_count[m.dst];
+      shard.words += m.count;
+    }
+    for (VertexId d : shard.touched) shard.used[d] = 0;
+    shard.touched.clear();
+  }
+}
+
+const RoundBuffer& CliqueEngine::round_arena(
+    const std::function<void(VertexId, Outbox&)>& send) {
+  if (all_ids_.size() != config_.n) {  // built once, then cached
+    all_ids_.resize(config_.n);
+    std::iota(all_ids_.begin(), all_ids_.end(), VertexId{0});
+  }
+  return round_of_arena(all_ids_, send);
+}
+
+const RoundBuffer& CliqueEngine::round_of_arena(
+    std::span<const VertexId> senders,
+    const std::function<void(VertexId, Outbox&)>& send) {
+  validate_senders(senders);
+  const std::size_t num_senders = senders.size();
+
+  // Serial fallback: observers must see the exact serial interleaving, and
+  // tiny sender sets don't amortize a pool wake-up.
+  unsigned lanes = 1;
+  if (!observer_ && num_senders >= kParallelMinSenders) {
+    const unsigned want = resolved_threads();
+    if (want > 1) {
+      if (!pool_) pool_ = std::make_unique<ThreadPool>(want);
+      lanes = static_cast<unsigned>(
+          std::min<std::size_t>(pool_->size(), num_senders));
     }
   }
+  if (shards_.size() < lanes) shards_.resize(lanes);
+
+  // Phase 1 — fill: contiguous sender shards, worker-local flat buffers.
+  const auto shard_begin = [&](unsigned s) {
+    return num_senders * s / lanes;
+  };
+  const auto fill_job = [&](unsigned s) {
+    run_shard(shards_[s], senders, shard_begin(s), shard_begin(s + 1), send);
+  };
+  if (lanes == 1)
+    fill_job(0);
+  else
+    pool_->run(lanes, fill_job);
+
+  // A failing sender aborts the round exactly like the serial engine: the
+  // earliest sender's exception wins, no metrics move, no delivery happens.
+  const Shard* failed = nullptr;
+  for (unsigned s = 0; s < lanes; ++s)
+    if (shards_[s].error &&
+        (!failed || shards_[s].error_pos < failed->error_pos))
+      failed = &shards_[s];
+  if (failed) std::rethrow_exception(failed->error);
+
+  // Observer replay in delivery order (serial path only — see above).
+  if (observer_)
+    for (const Message& m : shards_[0].buffer) observer_(m.src, m.dst);
+
+  // Phase 2 — merge: counting pass over per-shard destination totals, then
+  // a stable placement pass. Shards are contiguous sender ranges visited in
+  // order, so inboxes come out in (sender id, submission order) — identical
+  // to the serial engine for every lane count.
+  arena_.reset(config_.n);
+  std::uint64_t message_count = 0;
+  std::uint64_t word_count = 0;
+  for (unsigned s = 0; s < lanes; ++s) {
+    Shard& shard = shards_[s];
+    message_count += shard.buffer.size();
+    word_count += shard.words;
+    for (VertexId d = 0; d < config_.n; ++d)
+      if (shard.dst_count[d] > 0) arena_.add_count(d, shard.dst_count[d]);
+  }
+  arena_.commit_counts();
+  for (VertexId d = 0; d < config_.n; ++d) {
+    std::size_t at = arena_.offset(d);
+    for (unsigned s = 0; s < lanes; ++s) {
+      shards_[s].cursor[d] = at;
+      at += shards_[s].dst_count[d];
+    }
+  }
+  Message* const slots = arena_.data();
+  const auto place_job = [&](unsigned s) {
+    Shard& shard = shards_[s];
+    for (const Message& m : shard.buffer) slots[shard.cursor[m.dst]++] = m;
+  };
+  if (lanes == 1)
+    place_job(0);
+  else
+    pool_->run(lanes, place_job);
+
   ++metrics_.rounds;
   metrics_.messages += message_count;
   metrics_.words += word_count;
   metrics_.max_messages_in_round =
       std::max(metrics_.max_messages_in_round, message_count);
-  return inbox;
+  return arena_;
+}
+
+std::vector<std::vector<Message>> CliqueEngine::round(
+    const std::function<void(VertexId, Outbox&)>& send) {
+  return round_arena(send).to_vectors();
+}
+
+std::vector<std::vector<Message>> CliqueEngine::round_of(
+    const std::vector<VertexId>& senders,
+    const std::function<void(VertexId, Outbox&)>& send) {
+  return round_of_arena({senders.data(), senders.size()}, send).to_vectors();
 }
 
 void CliqueEngine::skip_silent_rounds(std::uint64_t k) {
+  if (std::numeric_limits<std::uint64_t>::max() - metrics_.rounds < k)
+    throw ProtocolError(
+        "skip_silent_rounds: 64-bit round counter would overflow");
   metrics_.rounds += k;
 }
 

@@ -18,6 +18,18 @@
 //   - violations throw ProtocolError — so a green test suite certifies
 //     that every claimed round schedule is feasible.
 //
+// Execution strategy (a simulator detail, invisible to the model): senders
+// are sharded into contiguous id ranges executed on a reusable thread pool
+// (EngineConfig::threads lanes), each shard filling a worker-local flat
+// message buffer; the shard buffers are then bucket-sorted by destination
+// into a reusable RoundBuffer arena with a counting pass. Because shards
+// are contiguous and the counting sort is stable, delivery order is
+// (sender id, submission order) — bit-identical to the serial loop — and
+// per-shard metrics merge deterministically. The engine falls back to the
+// fully serial path when threads == 1, when the sender set is small, or
+// when a message observer is installed (lower-bound audits stay exact).
+// Steady-state rounds reuse every buffer: zero heap allocation.
+//
 // Rounds, messages and words are counted exactly (clique/metrics). The
 // engine also supports:
 //
@@ -36,12 +48,17 @@
 #pragma once
 
 #include <cstdint>
+#include <exception>
 #include <functional>
+#include <memory>
+#include <span>
 #include <vector>
 
 #include "clique/message.hpp"
 #include "clique/metrics.hpp"
+#include "clique/round_buffer.hpp"
 #include "graph/graph.hpp"
+#include "util/thread_pool.hpp"
 
 namespace ccq {
 
@@ -54,34 +71,53 @@ struct EngineConfig {
   /// the constant-round variants in Theorems 4 and 7.
   std::uint32_t messages_per_link{1};
   Knowledge knowledge{Knowledge::KT1};
+  /// Simulator execution lanes for the generic round path: 0 = all hardware
+  /// threads, 1 = the fully serial engine. Threading is invisible to the
+  /// model — rounds/messages/words and delivery order are identical for
+  /// every value (docs/MODEL.md, "Parallel execution & determinism").
+  std::uint32_t threads{0};
 };
 
 /// Budget for the wide-bandwidth variant: one O(log^5 n)-bit link carries
 /// Θ(log^4 n) messages of O(log n) bits each.
 std::uint32_t wide_bandwidth_messages_per_link(std::uint32_t n);
 
+/// Sender sets below this size always take the serial path: the pool's
+/// wake/park latency would dominate, and small instances are exactly the
+/// ones the lower-bound audits single-step through.
+inline constexpr std::size_t kParallelMinSenders = 128;
+
 /// Per-node outbox for one round. Enforces per-destination budget eagerly.
+/// A view over its shard's worker-local buffers — creating one allocates
+/// nothing.
 class Outbox {
  public:
   /// Send `m` to `dst` (tag/payload taken from m; src/dst overwritten).
   void send(VertexId dst, const Message& m);
 
-  std::size_t size() const { return messages_.size(); }
+  std::size_t size() const { return sink_->size() - start_; }
 
  private:
   friend class CliqueEngine;
-  Outbox(VertexId src, std::uint32_t n, std::uint32_t budget);
+  Outbox(VertexId src, std::uint32_t n, std::uint32_t budget,
+         std::vector<Message>* sink, std::uint32_t* used,
+         std::vector<VertexId>* touched)
+      : src_(src), n_(n), budget_(budget), sink_(sink), used_(used),
+        touched_(touched), start_(sink->size()) {}
 
   VertexId src_;
   std::uint32_t n_;
   std::uint32_t budget_;
-  std::vector<Message> messages_;
-  std::vector<std::uint16_t> used_;  // per-destination count this round
+  std::vector<Message>* sink_;     // shard buffer; this sender appends at end
+  std::uint32_t* used_;            // per-destination count, current sender
+  std::vector<VertexId>* touched_; // destinations to re-zero after the sender
+  std::size_t start_;
 };
 
 class CliqueEngine {
  public:
   explicit CliqueEngine(const EngineConfig& config);
+  ~CliqueEngine();
 
   std::uint32_t n() const { return config_.n; }
   Knowledge knowledge() const { return config_.knowledge; }
@@ -98,20 +134,30 @@ class CliqueEngine {
   void mark_ids_resolved() { ids_resolved_ = true; }
   bool ids_resolved() const { return ids_resolved_; }
 
-  /// Execute one synchronous round: `send` is called once per node (in id
-  /// order; it must only read that node's own state) to fill the node's
-  /// outbox; all messages are then delivered at once. Returns per-receiver
-  /// inboxes, ordered by (sender, submission order) for determinism.
-  std::vector<std::vector<Message>> round(
+  /// Execute one synchronous round: `send` is called once per node (it must
+  /// only read that node's own state — callbacks may run concurrently) to
+  /// fill the node's outbox; all messages are then delivered at once. The
+  /// returned arena is owned by the engine and valid until the next round.
+  /// Inboxes are ordered by (sender, submission order) for determinism.
+  const RoundBuffer& round_arena(
       const std::function<void(VertexId, Outbox&)>& send);
 
   /// Run a round in which only the listed nodes send (others stay silent).
+  const RoundBuffer& round_of_arena(
+      std::span<const VertexId> senders,
+      const std::function<void(VertexId, Outbox&)>& send);
+
+  /// Compatibility shims returning the legacy vector-of-vectors inboxes
+  /// (one copy of the arena). New code should prefer the *_arena forms.
+  std::vector<std::vector<Message>> round(
+      const std::function<void(VertexId, Outbox&)>& send);
   std::vector<std::vector<Message>> round_of(
       const std::vector<VertexId>& senders,
       const std::function<void(VertexId, Outbox&)>& send);
 
   /// Advance the round counter by `k` silent rounds in O(1) work (virtual
-  /// time). No messages move.
+  /// time). No messages move. Throws ProtocolError if the 64-bit round
+  /// counter would overflow (clock coding passes super-polynomial k).
   void skip_silent_rounds(std::uint64_t k);
 
   const Metrics& metrics() const { return metrics_; }
@@ -119,6 +165,7 @@ class CliqueEngine {
 
   /// Install an observer invoked as (src, dst) for every delivered message,
   /// including those moved by the comm fast paths. Pass nullptr to clear.
+  /// While an observer is installed the engine always runs serially.
   void set_observer(std::function<void(VertexId, VertexId)> observer);
 
   /// --- Fast-path accounting (used by comm/primitives only) ---
@@ -141,10 +188,36 @@ class CliqueEngine {
   bool has_observer() const { return static_cast<bool>(observer_); }
 
  private:
+  /// Per-shard execution state, reused across rounds (allocation-free in
+  /// steady state). Shards are contiguous sender ranges; concatenating the
+  /// shard buffers in shard order recovers the exact serial sender order.
+  struct Shard {
+    std::vector<Message> buffer;          // (sender, submission)-ordered
+    std::vector<std::uint32_t> used;      // per-destination budget counter
+    std::vector<VertexId> touched;        // used[] entries to re-zero
+    std::vector<std::size_t> dst_count;   // shard messages per destination
+    std::vector<std::size_t> cursor;      // shard write cursor per bucket
+    std::uint64_t words{0};
+    std::size_t error_pos{0};             // sender position of first failure
+    std::exception_ptr error;
+  };
+
+  void validate_senders(std::span<const VertexId> senders);
+  void run_shard(Shard& shard, std::span<const VertexId> senders,
+                 std::size_t begin, std::size_t end,
+                 const std::function<void(VertexId, Outbox&)>& send);
+  unsigned resolved_threads() const;
+
   EngineConfig config_;
   Metrics metrics_;
   bool ids_resolved_{false};
   std::function<void(VertexId, VertexId)> observer_;
+
+  std::vector<VertexId> all_ids_;     // cached 0..n-1, built on first round()
+  std::vector<bool> sender_seen_;     // duplicate-sender scratch
+  RoundBuffer arena_;                 // delivery arena, reused across rounds
+  std::vector<Shard> shards_;         // per-shard state, reused
+  std::unique_ptr<ThreadPool> pool_;  // created on first parallel round
 };
 
 }  // namespace ccq

@@ -1,0 +1,46 @@
+#include "clique/round_buffer.hpp"
+
+#include <numeric>
+
+namespace ccq {
+
+void RoundBuffer::reset(std::uint32_t n) {
+  n_ = n;
+  committed_ = false;
+  slots_.clear();
+  offsets_.assign(static_cast<std::size_t>(n) + 1, 0);
+}
+
+void RoundBuffer::add_count(VertexId dst, std::size_t k) {
+  check(!committed_, "RoundBuffer::add_count: counts already committed");
+  check(dst < n_, "RoundBuffer::add_count: destination out of range");
+  offsets_[static_cast<std::size_t>(dst) + 1] += k;
+}
+
+void RoundBuffer::commit_counts() {
+  check(!committed_, "RoundBuffer::commit_counts: already committed");
+  committed_ = true;
+  std::partial_sum(offsets_.begin(), offsets_.end(), offsets_.begin());
+  slots_.resize(offsets_[n_]);
+  cursor_.assign(offsets_.begin(), offsets_.end() - 1);
+}
+
+Message& RoundBuffer::place(VertexId dst) {
+  check(committed_, "RoundBuffer::place: commit_counts first");
+  check(dst < n_, "RoundBuffer::place: destination out of range");
+  std::size_t& at = cursor_[dst];
+  check(at < offsets_[static_cast<std::size_t>(dst) + 1],
+        "RoundBuffer::place: bucket overfilled vs announced count");
+  return slots_[at++];
+}
+
+std::vector<std::vector<Message>> RoundBuffer::to_vectors() const {
+  std::vector<std::vector<Message>> out(n_);
+  for (VertexId v = 0; v < n_; ++v) {
+    const auto in = inbox(v);
+    out[v].assign(in.begin(), in.end());
+  }
+  return out;
+}
+
+}  // namespace ccq

@@ -1,0 +1,79 @@
+// Arena-backed per-round message delivery.
+//
+// The original engine materialized every round's inboxes as a fresh
+// std::vector<std::vector<Message>> — n heap allocations plus one per
+// inbox growth, every round. RoundBuffer replaces that with a single flat
+// Message arena bucket-sorted by destination:
+//
+//   counting pass   add_count(dst) per message (or per shard subtotal),
+//   commit_counts() prefix-sums the counts into bucket offsets,
+//   placement pass  place(dst) hands out slots left-to-right per bucket,
+//
+// so a *stable* placement pass (messages visited in (sender, submission)
+// order) reproduces exactly the inbox order the nested-vector engine
+// produced. The buffer is reused across rounds: reset() rewinds it without
+// releasing capacity, making steady-state rounds allocation-free.
+//
+// inbox(v) exposes bucket v as std::span<const Message>, valid until the
+// next reset(). to_vectors() is the compatibility shim for callers still on
+// the vector-of-vectors interface; algorithms migrate incrementally.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "clique/message.hpp"
+#include "graph/graph.hpp"
+#include "util/error.hpp"
+
+namespace ccq {
+
+class RoundBuffer {
+ public:
+  RoundBuffer() = default;
+  explicit RoundBuffer(std::uint32_t n) { reset(n); }
+
+  /// Rewind to `n` empty inboxes in the counting phase. Keeps capacity.
+  void reset(std::uint32_t n);
+
+  /// Counting phase: announce `k` future messages for `dst`.
+  void add_count(VertexId dst, std::size_t k = 1);
+
+  /// Freeze counts into bucket offsets and open the placement phase. Every
+  /// announced slot must then be filled via place() (or the per-shard
+  /// cursors the engine derives from offset()).
+  void commit_counts();
+
+  /// Placement phase: the next free slot of `dst`'s bucket. Filling in a
+  /// stable order (sender id, then submission order) reproduces the
+  /// delivery order of the legacy nested-vector inboxes.
+  Message& place(VertexId dst);
+
+  std::uint32_t n() const { return n_; }
+  std::size_t total_messages() const { return slots_.size(); }
+
+  /// Receiver v's inbox. Valid until the next reset().
+  std::span<const Message> inbox(VertexId v) const {
+    check(v < n_, "RoundBuffer::inbox: receiver out of range");
+    return {slots_.data() + offsets_[v], offsets_[v + 1] - offsets_[v]};
+  }
+
+  /// Start of bucket `v` in the flat arena (placement phase only); the
+  /// engine's parallel merge derives per-shard write cursors from this.
+  std::size_t offset(VertexId v) const { return offsets_[v]; }
+  Message* data() { return slots_.data(); }
+
+  /// Compatibility shim: copy out the legacy vector-of-vectors inboxes.
+  std::vector<std::vector<Message>> to_vectors() const;
+
+ private:
+  std::uint32_t n_{0};
+  bool committed_{false};
+  std::vector<Message> slots_;        // all messages, bucket-sorted by dst
+  std::vector<std::size_t> offsets_;  // counting: offsets_[v+1] = count(v);
+                                      // committed: prefix sums, size n+1
+  std::vector<std::size_t> cursor_;   // next free slot per bucket
+};
+
+}  // namespace ccq

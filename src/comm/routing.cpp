@@ -159,12 +159,11 @@ std::vector<std::uint32_t> bipartite_edge_coloring(
   return color;
 }
 
-std::vector<std::vector<Message>> route_packets(CliqueEngine& engine,
-                                                const std::vector<Packet>&
-                                                    packets,
-                                                RouteStats* stats) {
+void route_packets_into(CliqueEngine& engine,
+                        const std::vector<Packet>& packets, RoundBuffer& out,
+                        RouteStats* stats) {
   const std::uint32_t n = engine.n();
-  std::vector<std::vector<Message>> inbox(n);
+  out.reset(n);
   std::vector<std::pair<std::uint32_t, std::uint32_t>> edges;
   std::vector<std::size_t> packet_of_edge;
   std::vector<std::uint64_t> send_load(n, 0);
@@ -172,17 +171,22 @@ std::vector<std::vector<Message>> route_packets(CliqueEngine& engine,
   for (std::size_t i = 0; i < packets.size(); ++i) {
     const Packet& p = packets[i];
     check(p.src < n && p.dst < n, "route_packets: endpoint out of range");
-    Message m = p.msg;
-    m.src = p.src;
-    m.dst = p.dst;
-    if (p.src == p.dst) {
-      inbox[p.dst].push_back(m);  // local delivery is free in the model
-      continue;
-    }
+    out.add_count(p.dst);
+    if (p.src == p.dst) continue;  // local delivery is free in the model
     edges.emplace_back(p.src, p.dst);
     packet_of_edge.push_back(i);
     ++send_load[p.src];
     ++recv_load[p.dst];
+  }
+  out.commit_counts();
+  // Local deliveries land first in each inbox, in packet order — matching
+  // the order the nested-vector implementation produced.
+  for (const Packet& p : packets) {
+    if (p.src != p.dst) continue;
+    Message& m = out.place(p.dst);
+    m = p.msg;
+    m.src = p.src;
+    m.dst = p.dst;
   }
   RouteStats local{};
   local.max_send_load = *std::max_element(send_load.begin(), send_load.end());
@@ -286,14 +290,22 @@ std::vector<std::vector<Message>> route_packets(CliqueEngine& engine,
     // Deliver.
     for (std::size_t e = 0; e < edges.size(); ++e) {
       const Packet& p = packets[packet_of_edge[e]];
-      Message m = p.msg;
+      Message& m = out.place(p.dst);
+      m = p.msg;
       m.src = p.src;
       m.dst = p.dst;
-      inbox[p.dst].push_back(m);
     }
   }
   if (stats) *stats = local;
-  return inbox;
+}
+
+std::vector<std::vector<Message>> route_packets(CliqueEngine& engine,
+                                                const std::vector<Packet>&
+                                                    packets,
+                                                RouteStats* stats) {
+  RoundBuffer buffer;
+  route_packets_into(engine, packets, buffer, stats);
+  return buffer.to_vectors();
 }
 
 }  // namespace ccq

@@ -30,6 +30,7 @@
 #include <vector>
 
 #include "clique/engine.hpp"
+#include "clique/round_buffer.hpp"
 
 namespace ccq {
 
@@ -50,9 +51,18 @@ struct RouteStats {
 /// agreement (see header comment).
 inline constexpr std::uint64_t kScheduleRounds = 2;
 
-/// Deliver all packets; returns per-receiver inboxes (Message::src/dst are
-/// the original endpoints). Packets with src == dst are delivered without
-/// communication (local "sends" are free in the model).
+/// Deliver all packets into the reusable arena `out` (reset to engine.n()
+/// inboxes; spans stay valid until its next reset). Message::src/dst are
+/// the original endpoints. Packets with src == dst are delivered without
+/// communication (local "sends" are free in the model). Per-inbox order:
+/// local deliveries in packet order, then relayed ones in packet order —
+/// identical to the legacy vector-of-vectors interface below.
+void route_packets_into(CliqueEngine& engine,
+                        const std::vector<Packet>& packets, RoundBuffer& out,
+                        RouteStats* stats = nullptr);
+
+/// Compatibility shim over route_packets_into: returns freshly allocated
+/// per-receiver inboxes. Hot callers should migrate to the arena form.
 std::vector<std::vector<Message>> route_packets(CliqueEngine& engine,
                                                 const std::vector<Packet>&
                                                     packets,

@@ -27,6 +27,10 @@ std::vector<std::vector<std::uint64_t>> distributed_sort_ranks(
     ranks[v].assign(keys_per_node[v].size(), 0);
   if (total == 0) return ranks;
 
+  // One delivery arena reused by all three routing steps (zero steady-state
+  // allocation in the routing layer).
+  RoundBuffer route_buf;
+
   // --- 1. Sample keys to the coordinator. ---
   const VertexId coordinator = 0;
   const double sample_rate =
@@ -38,10 +42,11 @@ std::vector<std::vector<std::uint64_t>> distributed_sort_ranks(
     for (std::uint64_t key : keys_per_node[v])
       if (rng.next_bool(sample_rate))
         sample.push_back({v, coordinator, msg1(kTagSample, key)});
-  auto sample_inbox = route_packets(engine, sample);
+  route_packets_into(engine, sample, route_buf);
   std::vector<std::uint64_t> sampled;
-  sampled.reserve(sample_inbox[coordinator].size());
-  for (const auto& m : sample_inbox[coordinator]) sampled.push_back(m.word(0));
+  sampled.reserve(route_buf.inbox(coordinator).size());
+  for (const auto& m : route_buf.inbox(coordinator))
+    sampled.push_back(m.word(0));
   std::sort(sampled.begin(), sampled.end());
 
   // --- 2. Pick and disseminate n-1 splitters (spray broadcast). ---
@@ -74,7 +79,7 @@ std::vector<std::vector<std::uint64_t>> distributed_sort_ranks(
       key_packets.push_back(
           {v, bucket_of(key), msg3(kTagKey, key, v, i)});
     }
-  auto bucket_inbox = route_packets(engine, key_packets);
+  route_packets_into(engine, key_packets, route_buf);
 
   // --- 4. Local sort per bucket; broadcast bucket sizes; rank; reply. ---
   struct Item {
@@ -84,8 +89,8 @@ std::vector<std::vector<std::uint64_t>> distributed_sort_ranks(
   };
   std::vector<std::vector<Item>> buckets(n);
   for (VertexId b = 0; b < n; ++b) {
-    buckets[b].reserve(bucket_inbox[b].size());
-    for (const auto& m : bucket_inbox[b])
+    buckets[b].reserve(route_buf.inbox(b).size());
+    for (const auto& m : route_buf.inbox(b))
       buckets[b].push_back(
           {m.word(0), static_cast<VertexId>(m.word(1)), m.word(2)});
     std::sort(buckets[b].begin(), buckets[b].end(),
@@ -112,9 +117,9 @@ std::vector<std::vector<std::uint64_t>> distributed_sort_ranks(
       rank_packets.push_back(
           {b, item.owner, msg2(kTagRank, item.position, prefix[b] + i)});
     }
-  auto rank_inbox = route_packets(engine, rank_packets);
+  route_packets_into(engine, rank_packets, route_buf);
   for (VertexId v = 0; v < n; ++v)
-    for (const auto& m : rank_inbox[v]) ranks[v][m.word(0)] = m.word(1);
+    for (const auto& m : route_buf.inbox(v)) ranks[v][m.word(0)] = m.word(1);
   return ranks;
 }
 

@@ -52,11 +52,12 @@ SketchAndSpanResult sketch_and_span(CliqueEngine& engine,
       append_sketch_packets(packets, leader, coordinator, kTagSketch, j,
                             sketches[j]);
   }
-  auto inbox = route_packets(engine, packets);
+  RoundBuffer route_buf;
+  route_packets_into(engine, packets, route_buf);
 
   // --- Step 3: v* locally reassembles and runs sketch Borůvka.
   SketchReassembler reassembler{space, kTagSketch};
-  for (const auto& m : inbox[coordinator]) reassembler.add(m);
+  for (const auto& m : route_buf.inbox(coordinator)) reassembler.add(m);
   auto by_key = reassembler.take();
   std::vector<VertexId> vertices;
   std::vector<std::vector<L0Sketch>> per_vertex;
@@ -103,9 +104,9 @@ SketchAndSpanResult sketch_and_span(CliqueEngine& engine,
     witness_packets.push_back(
         {std::min(e.u, e.v), coordinator, msg2(kTagWitness, w.u, w.v)});
   }
-  auto witness_inbox = route_packets(engine, witness_packets);
+  route_packets_into(engine, witness_packets, route_buf);
   std::vector<std::vector<std::uint64_t>> witness_items;
-  for (const auto& m : witness_inbox[coordinator]) {
+  for (const auto& m : route_buf.inbox(coordinator)) {
     result.real_forest.emplace_back(static_cast<VertexId>(m.word(0)),
                                     static_cast<VertexId>(m.word(1)));
     witness_items.push_back({m.word(0), m.word(1)});

@@ -1,0 +1,79 @@
+#include "util/thread_pool.hpp"
+
+#include <algorithm>
+
+namespace ccq {
+
+unsigned ThreadPool::hardware_threads() {
+  return std::max(1u, std::thread::hardware_concurrency());
+}
+
+ThreadPool::ThreadPool(unsigned threads) {
+  const unsigned spawn = threads > 1 ? threads - 1 : 0;
+  workers_.reserve(spawn);
+  for (unsigned i = 0; i < spawn; ++i)
+    workers_.emplace_back([this] { worker_loop(); });
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard lk(mu_);
+    stop_ = true;
+  }
+  cv_start_.notify_all();
+  for (auto& w : workers_) w.join();
+}
+
+void ThreadPool::worker_loop() {
+  std::uint64_t seen = 0;
+  for (;;) {
+    const std::function<void(unsigned)>* job;
+    unsigned num_tasks;
+    {
+      std::unique_lock lk(mu_);
+      cv_start_.wait(lk, [&] { return stop_ || generation_ != seen; });
+      if (stop_) return;
+      seen = generation_;
+      job = job_;
+      num_tasks = num_tasks_;
+    }
+    for (;;) {
+      const unsigned t = next_task_.fetch_add(1, std::memory_order_relaxed);
+      if (t >= num_tasks) break;
+      (*job)(t);
+    }
+    {
+      std::lock_guard lk(mu_);
+      if (--active_ == 0) cv_done_.notify_all();
+    }
+  }
+}
+
+void ThreadPool::run(unsigned num_tasks,
+                     const std::function<void(unsigned)>& job) {
+  if (num_tasks == 0) return;
+  if (workers_.empty() || num_tasks == 1) {
+    for (unsigned t = 0; t < num_tasks; ++t) job(t);
+    return;
+  }
+  {
+    std::lock_guard lk(mu_);
+    job_ = &job;
+    num_tasks_ = num_tasks;
+    next_task_.store(0, std::memory_order_relaxed);
+    active_ = static_cast<unsigned>(workers_.size());
+    ++generation_;
+  }
+  cv_start_.notify_all();
+  // The calling thread is lane 0: it drains tasks alongside the workers.
+  for (;;) {
+    const unsigned t = next_task_.fetch_add(1, std::memory_order_relaxed);
+    if (t >= num_tasks) break;
+    job(t);
+  }
+  std::unique_lock lk(mu_);
+  cv_done_.wait(lk, [&] { return active_ == 0; });
+  job_ = nullptr;
+}
+
+}  // namespace ccq

@@ -1,0 +1,72 @@
+// A small reusable worker pool for the simulator's data-parallel loops.
+//
+// The Congested Clique *model* is untouched by threading: the pool only
+// parallelizes the simulator's own work (independent per-sender outbox
+// fills, per-shard message placement). Design goals, in order:
+//
+//   1. determinism — run() executes tasks 0..num_tasks-1 exactly once;
+//      callers own any ordering of results (the engine shards senders into
+//      contiguous ranges and merges shard buffers in shard order, so the
+//      outcome is bit-identical to the serial loop);
+//   2. reuse — workers are spawned once and parked on a condition variable
+//      between rounds, so a steady-state round costs two notifications and
+//      zero allocation;
+//   3. graceful degradation — a pool of size 1 runs everything inline on
+//      the calling thread (no threads are spawned at all).
+//
+// Exceptions must not cross the pool boundary: task callables are required
+// to be noexcept in spirit — callers catch into per-shard std::exception_ptr
+// slots themselves (see CliqueEngine's parallel round). A task that does
+// throw terminates, as with any detached std::thread.
+#pragma once
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace ccq {
+
+class ThreadPool {
+ public:
+  /// A pool of `threads` total execution lanes, *including* the calling
+  /// thread: `threads - 1` workers are spawned. `threads <= 1` spawns
+  /// nothing and run() degenerates to an inline loop.
+  explicit ThreadPool(unsigned threads);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  /// Total lanes (workers + caller).
+  unsigned size() const { return static_cast<unsigned>(workers_.size()) + 1; }
+
+  /// Execute job(t) for every t in [0, num_tasks). Tasks are claimed from a
+  /// shared atomic counter by the workers and the calling thread alike;
+  /// returns once all tasks have finished. Not reentrant and not
+  /// thread-safe: one run() at a time, always from the owning thread.
+  void run(unsigned num_tasks, const std::function<void(unsigned)>& job);
+
+  /// std::thread::hardware_concurrency with a floor of 1 (the standard
+  /// allows it to report 0 on exotic platforms).
+  static unsigned hardware_threads();
+
+ private:
+  void worker_loop();
+
+  std::vector<std::thread> workers_;
+  std::mutex mu_;
+  std::condition_variable cv_start_;
+  std::condition_variable cv_done_;
+  const std::function<void(unsigned)>* job_{nullptr};
+  unsigned num_tasks_{0};
+  std::atomic<unsigned> next_task_{0};
+  unsigned active_{0};        // workers still draining the current batch
+  std::uint64_t generation_{0};
+  bool stop_{false};
+};
+
+}  // namespace ccq

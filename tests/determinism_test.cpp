@@ -1,0 +1,150 @@
+// Parallel execution must be invisible: the engine's threaded round path
+// has to produce bit-identical inboxes, outputs and Metrics to the serial
+// engine (threads = 1) for every lane count. These tests pin that contract
+// on raw rounds and on the two flagship algorithms (GC, Lotker CC-MST).
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <tuple>
+#include <vector>
+
+#include "clique/engine.hpp"
+#include "clique/round_buffer.hpp"
+#include "core/gc.hpp"
+#include "graph/generators.hpp"
+#include "lotker/cc_mst.hpp"
+#include "util/random.hpp"
+
+namespace ccq {
+namespace {
+
+void expect_same_metrics(const Metrics& a, const Metrics& b) {
+  EXPECT_EQ(a.rounds, b.rounds);
+  EXPECT_EQ(a.messages, b.messages);
+  EXPECT_EQ(a.words, b.words);
+  EXPECT_EQ(a.max_messages_in_round, b.max_messages_in_round);
+}
+
+void expect_same_inboxes(const RoundBuffer& a,
+                         const std::vector<std::vector<Message>>& b) {
+  ASSERT_EQ(a.n(), b.size());
+  for (VertexId v = 0; v < a.n(); ++v) {
+    const auto in = a.inbox(v);
+    ASSERT_EQ(in.size(), b[v].size()) << "inbox " << v;
+    for (std::size_t i = 0; i < in.size(); ++i) {
+      EXPECT_EQ(in[i].src, b[v][i].src);
+      EXPECT_EQ(in[i].dst, b[v][i].dst);
+      EXPECT_EQ(in[i].tag, b[v][i].tag);
+      ASSERT_EQ(in[i].count, b[v][i].count);
+      for (std::size_t w = 0; w < in[i].count; ++w)
+        EXPECT_EQ(in[i].words[w], b[v][i].words[w]);
+    }
+  }
+}
+
+// A send pattern with skewed per-sender load (sender u sends to u % 7 + 1
+// pseudo-random destinations) so shard buffers have unequal sizes — the
+// stable merge has to get the interleaving right, not just the totals.
+void skewed_send(VertexId u, Outbox& out) {
+  const std::uint32_t fanout = u % 7 + 1;
+  for (std::uint32_t i = 0; i < fanout; ++i) {
+    const VertexId dst = (u * 2654435761u + i * 40503u) % 512;
+    if (dst != u) out.send(dst, msg2(u % 13, u, i));
+  }
+}
+
+TEST(Determinism, ParallelRoundMatchesSerialBitForBit) {
+  // n = 512 >= kParallelMinSenders, so the threads=8 engine actually takes
+  // the sharded path while threads=1 is the legacy serial loop.
+  CliqueEngine serial{{.n = 512, .threads = 1}};
+  CliqueEngine parallel{{.n = 512, .threads = 8}};
+  for (int round = 0; round < 3; ++round) {
+    const auto expected = serial.round(skewed_send);
+    const RoundBuffer& got = parallel.round_arena(skewed_send);
+    expect_same_inboxes(got, expected);
+  }
+  expect_same_metrics(parallel.metrics(), serial.metrics());
+}
+
+TEST(Determinism, ParallelAllToAllMatchesSerial) {
+  CliqueEngine serial{{.n = 512, .threads = 1}};
+  CliqueEngine parallel{{.n = 512, .threads = 8}};
+  const auto all_to_all = [](VertexId u, Outbox& out) {
+    for (VertexId v = 0; v < 512; ++v)
+      if (v != u) out.send(v, msg1(0, u));
+  };
+  const auto expected = serial.round(all_to_all);
+  expect_same_inboxes(parallel.round_arena(all_to_all), expected);
+  expect_same_metrics(parallel.metrics(), serial.metrics());
+  EXPECT_EQ(parallel.metrics().messages, 512ull * 511);
+}
+
+TEST(Determinism, ParallelRoundOfSubsetMatchesSerial) {
+  CliqueEngine serial{{.n = 512, .threads = 1}};
+  CliqueEngine parallel{{.n = 512, .threads = 8}};
+  std::vector<VertexId> senders;
+  for (VertexId u = 0; u < 512; u += 3) senders.push_back(u);
+  const auto expected = serial.round_of(senders, skewed_send);
+  expect_same_inboxes(
+      parallel.round_of_arena({senders.data(), senders.size()}, skewed_send),
+      expected);
+  expect_same_metrics(parallel.metrics(), serial.metrics());
+}
+
+TEST(Determinism, ParallelProtocolErrorMatchesSerial) {
+  // A budget violation must surface as the same ProtocolError whether the
+  // offending sender ran on the main thread or on a worker, and metrics
+  // must stay untouched in both engines.
+  const auto violate = [](VertexId u, Outbox& out) {
+    out.send((u + 1) % 512, msg0(0));
+    if (u == 300) out.send(301, msg0(1));  // second message on link 300->301
+  };
+  CliqueEngine serial{{.n = 512, .threads = 1}};
+  CliqueEngine parallel{{.n = 512, .threads = 8}};
+  EXPECT_THROW(serial.round(violate), ProtocolError);
+  EXPECT_THROW(parallel.round_arena(violate), ProtocolError);
+  expect_same_metrics(parallel.metrics(), serial.metrics());
+  EXPECT_EQ(serial.metrics().rounds, 0u);
+}
+
+TEST(Determinism, GcIdenticalAcrossThreadCounts) {
+  Rng gen{1234};
+  const Graph g = random_components(128, 3, 64, gen);
+  Rng rng_serial{99};
+  Rng rng_parallel{99};
+  CliqueEngine serial{{.n = 128, .threads = 1}};
+  CliqueEngine parallel{{.n = 128, .threads = 8}};
+  const GcResult a = gc_spanning_forest(serial, g, rng_serial);
+  const GcResult b = gc_spanning_forest(parallel, g, rng_parallel);
+  EXPECT_EQ(a.connected, b.connected);
+  EXPECT_EQ(a.monte_carlo_ok, b.monte_carlo_ok);
+  EXPECT_EQ(a.lotker_phases, b.lotker_phases);
+  ASSERT_EQ(a.forest.size(), b.forest.size());
+  for (std::size_t i = 0; i < a.forest.size(); ++i) {
+    EXPECT_EQ(a.forest[i].u, b.forest[i].u);
+    EXPECT_EQ(a.forest[i].v, b.forest[i].v);
+  }
+  expect_same_metrics(parallel.metrics(), serial.metrics());
+}
+
+TEST(Determinism, LotkerMstIdenticalAcrossThreadCounts) {
+  Rng gen{777};
+  const WeightedGraph wg = random_weighted_clique(96, gen);
+  const CliqueWeights weights = CliqueWeights::from_graph(wg);
+  CliqueEngine serial{{.n = 96, .threads = 1}};
+  CliqueEngine parallel{{.n = 96, .threads = 8}};
+  const LotkerState a = cc_mst_full(serial, weights);
+  const LotkerState b = cc_mst_full(parallel, weights);
+  EXPECT_EQ(a.phases_run, b.phases_run);
+  EXPECT_EQ(a.cluster_of, b.cluster_of);
+  ASSERT_EQ(a.tree_edges.size(), b.tree_edges.size());
+  for (std::size_t i = 0; i < a.tree_edges.size(); ++i) {
+    EXPECT_EQ(a.tree_edges[i].u, b.tree_edges[i].u);
+    EXPECT_EQ(a.tree_edges[i].v, b.tree_edges[i].v);
+    EXPECT_EQ(a.tree_edges[i].w, b.tree_edges[i].w);
+  }
+  expect_same_metrics(parallel.metrics(), serial.metrics());
+}
+
+}  // namespace
+}  // namespace ccq

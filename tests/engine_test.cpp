@@ -1,8 +1,11 @@
 #include <gtest/gtest.h>
 
+#include <cstdint>
+#include <limits>
 #include <vector>
 
 #include "clique/engine.hpp"
+#include "clique/round_buffer.hpp"
 
 namespace ccq {
 namespace {
@@ -96,6 +99,106 @@ TEST(Engine, SilentRoundSkipCountsRounds) {
   engine.skip_silent_rounds(1'000'000'000ull);
   EXPECT_EQ(engine.metrics().rounds, 1'000'000'000ull);
   EXPECT_EQ(engine.metrics().messages, 0u);
+}
+
+TEST(Engine, SilentRoundSkipRejectsCounterOverflow) {
+  // The KT1 clock-coding algorithm passes super-polynomial k; a wrap of the
+  // 64-bit round counter must be a ProtocolError, not silent corruption.
+  CliqueEngine engine{{.n = 2}};
+  const auto big = std::numeric_limits<std::uint64_t>::max() - 5;
+  engine.skip_silent_rounds(big);
+  EXPECT_EQ(engine.metrics().rounds, big);
+  EXPECT_THROW(engine.skip_silent_rounds(10), ProtocolError);
+  EXPECT_EQ(engine.metrics().rounds, big);  // untouched on failure
+  engine.skip_silent_rounds(5);             // exact fit still fine
+  EXPECT_EQ(engine.metrics().rounds, std::numeric_limits<std::uint64_t>::max());
+}
+
+TEST(Engine, PerLinkBudgetAbove16BitsDoesNotWrap) {
+  // Regression: used_ was uint16_t while budgets are uint32_t — with
+  // messages_per_link > 65535 (wide_bandwidth_messages_per_link exceeds a
+  // million for large n) the per-link counter wrapped at 65536 and the
+  // budget check silently restarted from zero.
+  const std::uint32_t budget = 70'000;
+  CliqueEngine engine{{.n = 2, .messages_per_link = budget}};
+  auto inbox = engine.round([&](VertexId u, Outbox& out) {
+    if (u == 0)
+      for (std::uint32_t i = 0; i < budget; ++i) out.send(1, msg0(i));
+  });
+  EXPECT_EQ(inbox[1].size(), budget);
+  // One message beyond the budget must still throw (counter reached 70000,
+  // not 70000 mod 65536).
+  EXPECT_THROW(engine.round([&](VertexId u, Outbox& out) {
+    if (u == 0)
+      for (std::uint32_t i = 0; i <= budget; ++i) out.send(1, msg0(i));
+  }),
+               ProtocolError);
+}
+
+TEST(Engine, ArenaRoundMatchesLegacyInterface) {
+  CliqueEngine engine{{.n = 6}};
+  const auto& arena = engine.round_arena([](VertexId u, Outbox& out) {
+    for (VertexId v = 0; v < 6; ++v)
+      if (v != u) out.send(v, msg2(3, u, v));
+  });
+  EXPECT_EQ(arena.n(), 6u);
+  EXPECT_EQ(arena.total_messages(), 30u);
+  for (VertexId v = 0; v < 6; ++v) {
+    const auto in = arena.inbox(v);
+    ASSERT_EQ(in.size(), 5u);
+    // (sender, submission) order: senders ascending, skipping v itself.
+    VertexId expect_src = 0;
+    for (const Message& m : in) {
+      if (expect_src == v) ++expect_src;
+      EXPECT_EQ(m.src, expect_src);
+      EXPECT_EQ(m.dst, v);
+      EXPECT_EQ(m.word(1), v);
+      ++expect_src;
+    }
+  }
+  const auto vectors = arena.to_vectors();
+  ASSERT_EQ(vectors.size(), 6u);
+  for (VertexId v = 0; v < 6; ++v) {
+    const auto in = arena.inbox(v);
+    ASSERT_EQ(vectors[v].size(), in.size());
+    for (std::size_t i = 0; i < in.size(); ++i)
+      EXPECT_EQ(vectors[v][i].src, in[i].src);
+  }
+}
+
+TEST(Engine, ArenaIsReusedAcrossRounds) {
+  CliqueEngine engine{{.n = 4, .threads = 1}};
+  const RoundBuffer& a = engine.round_arena([](VertexId u, Outbox& out) {
+    if (u == 1) out.send(0, msg1(1, 11));
+  });
+  EXPECT_EQ(&a, &engine.round_arena([](VertexId u, Outbox& out) {
+    if (u == 2) out.send(0, msg1(2, 22));
+  }));
+  ASSERT_EQ(a.inbox(0).size(), 1u);
+  EXPECT_EQ(a.inbox(0)[0].src, 2u);  // previous round's content replaced
+}
+
+TEST(RoundBufferType, CountingSortContract) {
+  RoundBuffer buf{3};
+  buf.add_count(2);
+  buf.add_count(0, 2);
+  buf.commit_counts();
+  EXPECT_THROW(buf.add_count(1), std::logic_error);  // counting is closed
+  buf.place(0).tag = 10;
+  buf.place(2).tag = 30;
+  buf.place(0).tag = 11;
+  EXPECT_THROW(buf.place(0), std::logic_error);  // bucket 0 announced 2
+  ASSERT_EQ(buf.inbox(0).size(), 2u);
+  EXPECT_EQ(buf.inbox(0)[0].tag, 10u);
+  EXPECT_EQ(buf.inbox(0)[1].tag, 11u);
+  EXPECT_TRUE(buf.inbox(1).empty());
+  ASSERT_EQ(buf.inbox(2).size(), 1u);
+  EXPECT_EQ(buf.inbox(2)[0].tag, 30u);
+  buf.reset(2);  // reusable
+  buf.add_count(1);
+  buf.commit_counts();
+  buf.place(1).tag = 7;
+  EXPECT_EQ(buf.total_messages(), 1u);
 }
 
 TEST(Engine, ObserverSeesEveryMessage) {

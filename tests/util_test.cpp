@@ -1,13 +1,47 @@
 #include <gtest/gtest.h>
 
+#include <atomic>
+#include <numeric>
 #include <set>
+#include <vector>
 
 #include "util/error.hpp"
 #include "util/field.hpp"
 #include "util/random.hpp"
+#include "util/thread_pool.hpp"
 
 namespace ccq {
 namespace {
+
+TEST(ThreadPool, RunsEveryTaskExactlyOnce) {
+  ThreadPool pool{4};
+  EXPECT_EQ(pool.size(), 4u);
+  std::vector<std::atomic<int>> hits(257);
+  pool.run(257, [&](unsigned t) { ++hits[t]; });
+  for (const auto& h : hits) EXPECT_EQ(h.load(), 1);
+}
+
+TEST(ThreadPool, ReusableAcrossBatches) {
+  ThreadPool pool{3};
+  std::atomic<std::uint64_t> sum{0};
+  for (int batch = 0; batch < 50; ++batch)
+    pool.run(16, [&](unsigned t) { sum += t; });
+  EXPECT_EQ(sum.load(), 50ull * (15 * 16 / 2));
+}
+
+TEST(ThreadPool, SizeOneRunsInline) {
+  ThreadPool pool{1};
+  EXPECT_EQ(pool.size(), 1u);
+  const auto caller = std::this_thread::get_id();
+  std::vector<std::thread::id> ran(8);
+  pool.run(8, [&](unsigned t) { ran[t] = std::this_thread::get_id(); });
+  for (const auto& id : ran) EXPECT_EQ(id, caller);
+}
+
+TEST(ThreadPool, ZeroTasksIsANoop) {
+  ThreadPool pool{4};
+  pool.run(0, [](unsigned) { FAIL() << "no task should run"; });
+}
 
 TEST(Rng, DeterministicFromSeed) {
   Rng a{42};
