@@ -39,9 +39,9 @@ int main() {
       if (!light_set.contains({e.u, e.v, e.w})) preserved = false;
     lemma.row({bench::fmt(n), bench::fmt(g.num_edges()),
                bench::fmt(sampled.size()),
-               bench::fmt_double(p * g.num_edges(), 1),
+               bench::fmt_double(p * static_cast<double>(g.num_edges()), 1),
                bench::fmt(light.size()), bench::fmt_double(bound, 1),
-               bench::fmt_double(light.size() / bound, 3),
+               bench::fmt_double(static_cast<double>(light.size()) / bound, 3),
                preserved ? "yes" : "NO"});
     bench::expect(preserved, "F-heavy filtering must never drop an MST edge");
     bench::expect(static_cast<double>(light.size()) <= 3.0 * bound,

@@ -36,7 +36,9 @@ int main() {
     const auto squares = hard.edge_disjoint_squares();
     construction.row({bench::fmt(n), bench::fmt(m), bench::fmt(hard.sg_size()),
                       bench::fmt(squares.size()),
-                      bench::fmt_double(1.0 * squares.size() / m, 3),
+                      bench::fmt_double(static_cast<double>(squares.size()) /
+                                            static_cast<double>(m),
+                                        3),
                       bench::fmt(2u)});
     bench::expect(squares.size() * 10 >= m,
                   "square packing must be Ω(m)");
@@ -71,7 +73,10 @@ int main() {
       footprint.row({bench::fmt(n), bench::fmt(m),
                      base ? "G (disconnected)" : "swap (connected)",
                      bench::fmt(engine.metrics().messages),
-                     bench::fmt_double(1.0 * engine.metrics().messages / m, 2),
+                     bench::fmt_double(
+                         static_cast<double>(engine.metrics().messages) /
+                             static_cast<double>(m),
+                         2),
                      ok ? "yes" : "NO"});
       bench::expect(ok, "GC must answer correctly on H draws");
       bench::expect(engine.metrics().messages >= m,
@@ -162,7 +167,9 @@ int main() {
       flood.row({"16", "36", "G (disconnected)",
                  r.connected ? "NO" : "disconnected",
                  bench::fmt(r.messages),
-                 bench::fmt_double(1.0 * r.messages / hard.m(), 1)});
+                 bench::fmt_double(static_cast<double>(r.messages) /
+                                       static_cast<double>(hard.m()),
+                                   1)});
       bench::expect(!r.connected, "flood must reject the base graph");
       bench::expect(r.messages >= hard.m(),
                     "a correct port protocol pays >= m messages");
@@ -173,7 +180,9 @@ int main() {
     const auto r = port_flood_gc(net, net.port_inputs(draw.graph));
     flood.row({"16", "36", "swap (connected)",
                r.connected ? "connected" : "NO", bench::fmt(r.messages),
-               bench::fmt_double(1.0 * r.messages / hard.m(), 1)});
+               bench::fmt_double(static_cast<double>(r.messages) /
+                                       static_cast<double>(hard.m()),
+                                   1)});
     bench::expect(r.connected, "flood must accept swap instances");
   }
   flood.print();

@@ -28,7 +28,7 @@ int main() {
     std::printf("\nFigure 1 (i = 3): G_{3,0} edge list\n  ");
     for (const auto& e : g.edges()) {
       auto name = [&](VertexId v) {
-        char buf[8];
+        char buf[16];
         if (v <= 3)
           std::snprintf(buf, sizeof(buf), "u%u", v);
         else

@@ -39,10 +39,11 @@ int main() {
     const auto messages = engine.metrics().messages;
     table.row({bench::fmt(n), bench::fmt(r.phases),
                bench::fmt(engine.metrics().rounds), bench::fmt(messages),
-               bench::fmt_double(1.0 * messages / n, 1),
-               bench::fmt_double(1.0 * messages / n / n, 4), ok ? "yes" : "NO"});
+               bench::fmt_double(static_cast<double>(messages) / n, 1),
+               bench::fmt_double(static_cast<double>(messages) / n / n, 4),
+               ok ? "yes" : "NO"});
     bench::expect(ok, "Borůvka-sketch MST must match Kruskal");
-    const double per_n2 = 1.0 * messages / n / n;
+    const double per_n2 = static_cast<double>(messages) / n / n;
     if (first_per_n2 == 0.0) first_per_n2 = per_n2;
     if (prev_per_n2 != 0.0)
       bench::expect(per_n2 < prev_per_n2 * 1.05,

@@ -33,7 +33,8 @@ int main() {
     full.row({bench::fmt(n), bench::fmt(state.phases_run),
               bench::fmt(engine.metrics().rounds), bench::fmt_double(loglog, 0),
               bench::fmt(engine.metrics().messages),
-              bench::fmt_double(1.0 * engine.metrics().messages / n / n, 3),
+              bench::fmt_double(
+                  static_cast<double>(engine.metrics().messages) / n / n, 3),
               ok ? "yes" : "NO"});
     bench::expect(ok, "CC-MST output must equal the Kruskal MST");
     bench::expect(state.phases_run <= loglog + 2,

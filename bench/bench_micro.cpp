@@ -56,7 +56,7 @@ EngineBenchRow measure_engine_round(std::uint32_t n, unsigned threads) {
     elapsed = std::chrono::duration<double>(clock::now() - start).count();
   } while (elapsed < 0.25);
   const double msgs = static_cast<double>(rounds) * n * (n - 1);
-  return {n, threads, rounds / elapsed, msgs / elapsed};
+  return {n, threads, static_cast<double>(rounds) / elapsed, msgs / elapsed};
 }
 
 void engine_round_table() {

@@ -57,7 +57,8 @@ int main() {
                bench::fmt(baseline.metrics().rounds),
                bench::fmt(wide.metrics().rounds),
                bench::fmt(engine.metrics().messages),
-               bench::fmt_double(1.0 * engine.metrics().messages / n / n, 3),
+               bench::fmt_double(
+                   static_cast<double>(engine.metrics().messages) / n / n, 3),
                ok && wide_ok ? "yes" : "NO"});
     bench::expect(ok, "EXACT-MST must match Kruskal");
     bench::expect(wide_ok, "wide-bandwidth EXACT-MST must match Kruskal");

@@ -49,7 +49,7 @@ int main() {
     RouteStats stats;
     route_packets(engine, packets, &stats);
     skew.row({bench::fmt(n), bench::fmt(k), bench::fmt(stats.rounds),
-              bench::fmt_double(1.0 * stats.rounds / k, 2)});
+              bench::fmt_double(static_cast<double>(stats.rounds) / k, 2)});
     bench::expect(stats.rounds <= 4 * k + 8,
                   "overloaded routing must degrade linearly in load/n");
   }

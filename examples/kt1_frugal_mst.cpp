@@ -37,7 +37,7 @@ int run_example(int argc, char** argv) {
                 ccq::total_weight(result.mst) == reference_weight ? "ok"
                                                                   : "WRONG",
                 engine.metrics().to_string().c_str(),
-                1.0 * engine.metrics().messages / n / n);
+                static_cast<double>(engine.metrics().messages) / n / n);
   }
 
   // Regime 2: optimize messages (Theorem 13) — O(n polylog n) messages.
@@ -50,7 +50,7 @@ int run_example(int argc, char** argv) {
                 ccq::total_weight(result.mst) == reference_weight ? "ok"
                                                                   : "WRONG",
                 engine.metrics().to_string().c_str(),
-                1.0 * engine.metrics().messages / n);
+                static_cast<double>(engine.metrics().messages) / n);
   }
 
   // Regime 3: optimize messages at any time cost — clock coding (n <= 64).

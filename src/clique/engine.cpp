@@ -178,17 +178,27 @@ const RoundBuffer& CliqueEngine::round_of_arena(
       if (shard.dst_count[d] > 0) arena_.add_count(d, shard.dst_count[d]);
   }
   arena_.commit_counts();
+  CLIQUE_ASSERT(arena_.total_messages() == message_count,
+                "round merge: bucket offsets must sum to the round's total "
+                "message count");
   for (VertexId d = 0; d < config_.n; ++d) {
     std::size_t at = arena_.offset(d);
     for (unsigned s = 0; s < lanes; ++s) {
       shards_[s].cursor[d] = at;
       at += shards_[s].dst_count[d];
     }
+    CLIQUE_ASSERT(at == (d + 1 < config_.n ? arena_.offset(d + 1)
+                                           : arena_.total_messages()),
+                  "round merge: per-shard cursors must tile bucket d exactly");
   }
   Message* const slots = arena_.data();
   const auto place_job = [&](unsigned s) {
     Shard& shard = shards_[s];
-    for (const Message& m : shard.buffer) slots[shard.cursor[m.dst]++] = m;
+    for (const Message& m : shard.buffer) {
+      CLIQUE_ASSERT(m.dst < config_.n,
+                    "round merge: shard message destination out of range");
+      slots[shard.cursor[m.dst]++] = m;
+    }
   };
   if (lanes == 1)
     place_job(0);

@@ -8,6 +8,8 @@
 // therefore certifies that every claimed round schedule is genuinely valid.
 #pragma once
 
+#include <cstdio>
+#include <cstdlib>
 #include <stdexcept>
 #include <string>
 
@@ -37,3 +39,27 @@ inline void check(bool condition, const char* message) {
 }
 
 }  // namespace ccq
+
+// Debug/sanitizer-build invariant check for hot paths where an always-on
+// check() would cost measurable throughput (e.g. the engine's per-message
+// arena merge). Active when NDEBUG is unset (Debug builds) or when the build
+// opts in via CLIQUE_ENABLE_ASSERTS (set automatically by -DSANITIZE=...);
+// compiled out in Release so steady-state rounds stay branch-free. Aborts
+// rather than throws: these fire mid-merge on worker threads, where an
+// exception could not propagate without losing the failure site.
+#if !defined(NDEBUG) || defined(CLIQUE_ENABLE_ASSERTS)
+#define CLIQUE_ASSERT(cond, msg)                                          \
+  do {                                                                    \
+    if (!(cond)) {                                                        \
+      std::fprintf(stderr, "CLIQUE_ASSERT failed: %s (%s:%d): %s\n",      \
+                   #cond, __FILE__, __LINE__, (msg));                     \
+      std::abort();                                                       \
+    }                                                                     \
+  } while (0)
+#else
+// sizeof keeps the condition's operands "used" without evaluating them.
+#define CLIQUE_ASSERT(cond, msg) \
+  do {                           \
+    (void)sizeof((cond));        \
+  } while (0)
+#endif

@@ -60,8 +60,8 @@ TEST(Primitives, ResolveIdsKt0CostsOneFullRound) {
 TEST(Coloring, ProperOnRandomMultigraphs) {
   Rng rng{5};
   for (int trial = 0; trial < 20; ++trial) {
-    const std::uint32_t left = 1 + rng.next_below(12);
-    const std::uint32_t right = 1 + rng.next_below(12);
+    const auto left = static_cast<std::uint32_t>(1 + rng.next_below(12));
+    const auto right = static_cast<std::uint32_t>(1 + rng.next_below(12));
     std::vector<std::pair<std::uint32_t, std::uint32_t>> edges;
     const std::size_t m = rng.next_below(200);
     for (std::size_t i = 0; i < m; ++i)

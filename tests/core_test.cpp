@@ -88,8 +88,9 @@ TEST_P(ReduceSeeds, ForestIsValidAndFinite) {
   const auto truth = connected_components(g);
   for (VertexId a = 0; a < n; ++a)
     for (VertexId b = a + 1; b < n; ++b)
-      if (result.leader_of[a] == result.leader_of[b])
+      if (result.leader_of[a] == result.leader_of[b]) {
         EXPECT_EQ(truth[a], truth[b]);
+      }
 }
 
 TEST_P(ReduceSeeds, UnfinishedTreesShrinkWithPhases) {

@@ -137,7 +137,7 @@ TEST(RoutingDepth, RoundsTrackColorBound) {
   // bit_ceil(max load). Property-check across random load shapes.
   Rng rng{23};
   for (int trial = 0; trial < 15; ++trial) {
-    const std::uint32_t n = 12 + rng.next_below(20);
+    const auto n = static_cast<std::uint32_t>(12 + rng.next_below(20));
     CliqueEngine engine{{.n = n}};
     std::vector<Packet> packets;
     const std::size_t count = rng.next_below(2000);

@@ -106,11 +106,12 @@ std::vector<GridCase> grid() {
 }
 
 INSTANTIATE_TEST_SUITE_P(Grid, MstGrid, ::testing::ValuesIn(grid()),
-                         [](const auto& info) {
-                           return "n" + std::to_string(info.param.n) + "_d" +
+                         [](const auto& grid_info) {
+                           return "n" + std::to_string(grid_info.param.n) +
+                                  "_d" +
                                   std::to_string(static_cast<int>(
-                                      info.param.density * 100)) +
-                                  "_s" + std::to_string(info.param.seed);
+                                      grid_info.param.density * 100)) +
+                                  "_s" + std::to_string(grid_info.param.seed);
                          });
 
 TEST(FailureInjection, OverfullOutboxThrowsNotSilentlyDrops) {
@@ -146,7 +147,7 @@ TEST(FailureInjection, SketchAndSpanSurvivesTinyCopyBudget) {
   int honest = 0;
   for (int trial = 0; trial < 5; ++trial) {
     CliqueEngine engine{{.n = n}};
-    Rng r{100 + trial};
+    Rng r{static_cast<std::uint64_t>(100 + trial)};
     const auto result =
         gc_spanning_forest(engine, g, r, /*phase_override=*/1,
                            /*copies_override=*/1);

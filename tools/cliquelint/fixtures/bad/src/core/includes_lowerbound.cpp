@@ -1,0 +1,11 @@
+// Seeded CL004 violation: an upper-bound algorithm module depending on the
+// lowerbound/ adversary constructions. The lower-bound layer is a leaf —
+// algorithms must not be able to peek at the adversary.
+// Never compiled; linter food only.
+#include "lowerbound/kt0_hard.hpp"
+
+namespace ccq {
+
+int fixture_peek_at_adversary() { return 0; }
+
+}  // namespace ccq

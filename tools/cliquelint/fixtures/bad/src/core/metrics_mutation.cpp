@@ -1,0 +1,16 @@
+// Seeded CL002 violation: an algorithm module writing the engine's Metrics
+// counters directly. Accounting is the engine's job — an algorithm that
+// bumps .messages itself can fake the paper's counting claims.
+// Never compiled; linter food only.
+#include "clique/metrics.hpp"
+
+namespace ccq {
+
+void fixture_cook_the_books(Metrics& metrics) {
+  metrics.rounds += 1;
+  metrics.messages = 0;
+  metrics.words -= 8;
+  metrics.max_messages_in_round++;
+}
+
+}  // namespace ccq

@@ -1,0 +1,18 @@
+// Seeded CL001 violation: wall-clock / entropy sources in an algorithm
+// module. std::random_device and clock ::now() are nondeterministic across
+// runs; both must live behind util/random or comm/shared_random.
+// Never compiled; linter food only.
+#include <chrono>
+#include <ctime>
+#include <random>
+
+namespace ccq {
+
+unsigned fixture_entropy_seed() {
+  std::random_device rd;
+  auto tick = std::chrono::steady_clock::now().time_since_epoch().count();
+  return rd() ^ static_cast<unsigned>(tick) ^
+         static_cast<unsigned>(time(nullptr));
+}
+
+}  // namespace ccq

@@ -1,0 +1,13 @@
+// Seeded CL001 violation: libc rand()/srand() in an algorithm module.
+// A real module drawing from rand() would desynchronize the seeded replay
+// that tests/determinism_test.cpp pins. Never compiled; linter food only.
+#include <cstdlib>
+
+namespace ccq {
+
+int fixture_pick_random_leader(int n) {
+  srand(42);
+  return rand() % n;
+}
+
+}  // namespace ccq

@@ -1,0 +1,18 @@
+// Seeded CL003 violation: ad-hoc byte packing of a payload outside
+// src/sketch/wire. Byte layout of link words must stay in the one audited
+// module, or bandwidth accounting and endianness assumptions drift.
+// Never compiled; linter food only.
+#include <cstdint>
+#include <cstring>
+
+namespace ccq {
+
+std::uint64_t fixture_pack_pair(std::uint32_t a, std::uint32_t b) {
+  std::uint64_t w = 0;
+  std::memcpy(&w, &a, sizeof(a));
+  auto* halves = reinterpret_cast<std::uint32_t*>(&w);
+  halves[1] = b;
+  return w;
+}
+
+}  // namespace ccq

@@ -1,0 +1,11 @@
+// Seeded CL004 violation: reaching into the engine's internal message arena
+// from outside src/clique / src/comm. round_buffer.hpp is an implementation
+// detail of delivery; algorithms talk to CliqueEngine's public API.
+// Never compiled; linter food only.
+#include "clique/round_buffer.hpp"
+
+namespace ccq {
+
+int fixture_touch_the_arena() { return 0; }
+
+}  // namespace ccq

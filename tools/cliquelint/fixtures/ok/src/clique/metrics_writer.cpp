@@ -1,0 +1,19 @@
+// Allowed-path fixture: the engine (src/clique) owns Metrics accounting,
+// and mentioning rand()/memcpy in comments or strings is always fine.
+// The linter must stay quiet. Never compiled; linter food only.
+#include <string>
+
+#include "clique/metrics.hpp"
+#include "clique/round_buffer.hpp"
+
+namespace ccq {
+
+// Algorithms must never call rand() or memcpy() — see CL001 / CL003.
+void fixture_account(Metrics& metrics, std::uint64_t k) {
+  metrics.messages += k;
+  metrics.rounds += 1;
+  std::string doc = "reinterpret_cast and std::random_device in a string";
+  (void)doc;
+}
+
+}  // namespace ccq

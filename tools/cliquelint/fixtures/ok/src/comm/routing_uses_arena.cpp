@@ -1,0 +1,21 @@
+// Allowed-path fixture: src/comm delivers through the engine arena
+// (route_packets_into), so including round_buffer.hpp is legal here, and an
+// algorithm result struct may have a .messages field without tripping CL002.
+// The linter must stay quiet. Never compiled; linter food only.
+#include "clique/round_buffer.hpp"
+
+namespace ccq {
+
+struct FixtureRouteStats {
+  unsigned long messages{0};
+  unsigned long rounds{0};
+};
+
+FixtureRouteStats fixture_route() {
+  FixtureRouteStats s;
+  s.messages = 7;  // result struct, not the engine Metrics
+  s.rounds += 1;
+  return s;
+}
+
+}  // namespace ccq

@@ -1,0 +1,15 @@
+// Allowed-path fixture: sketch/wire is the audited byte-packing module, so
+// memcpy / reinterpret_cast are legal here. The linter must stay quiet.
+// Never compiled; linter food only.
+#include <cstdint>
+#include <cstring>
+
+namespace ccq {
+
+std::uint64_t fixture_wire_pack(double x) {
+  std::uint64_t w;
+  std::memcpy(&w, &x, sizeof(w));
+  return w;
+}
+
+}  // namespace ccq

@@ -1,0 +1,13 @@
+// Allowed-path fixture: util/random is the one local-randomness module, so
+// entropy sources are legal here. The linter must stay quiet.
+// Never compiled; linter food only.
+#include <random>
+
+namespace ccq {
+
+unsigned fixture_seed_from_entropy() {
+  std::random_device rd;
+  return rd();
+}
+
+}  // namespace ccq

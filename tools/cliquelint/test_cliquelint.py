@@ -1,0 +1,91 @@
+#!/usr/bin/env python3
+"""Self-test for cliquelint: every rule must catch its seeded violation.
+
+Runs the linter in-process over the fixtures/ trees:
+  fixtures/bad/ — one file per seeded violation; each must be flagged with
+                  exactly the expected rule (and no other).
+  fixtures/ok/  — allowed uses of the restricted constructs (right path,
+                  comments, strings, look-alike result structs); must be
+                  entirely clean, guarding against false positives.
+
+A linter whose rules silently stop firing is worse than no linter — the
+suite would keep certifying invariants nobody checks — so this harness is
+registered as its own ctest (cliquelint_selftest) next to the production
+scan (cliquelint).
+"""
+
+from __future__ import annotations
+
+import sys
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).resolve().parent))
+import cliquelint  # noqa: E402
+
+HERE = Path(__file__).resolve().parent
+FIXTURES = HERE / "fixtures"
+
+# bad fixture (relative to fixtures/bad) -> (rule, minimum finding count)
+EXPECTED_BAD = {
+    "src/core/nondet_rand.cpp": ("CL001", 2),       # srand + rand
+    "src/core/nondet_clock.cpp": ("CL001", 3),      # random_device, now, time
+    "src/core/metrics_mutation.cpp": ("CL002", 4),  # one per counter field
+    "src/core/raw_packing.cpp": ("CL003", 2),       # memcpy + reinterpret_cast
+    "src/core/includes_lowerbound.cpp": ("CL004", 1),
+    "src/graph/includes_round_buffer.cpp": ("CL004", 1),
+}
+
+
+def lint_tree(root: Path) -> dict[str, list]:
+    """Lint every source file under root; return {relpath: [violations]}."""
+    out = {}
+    for f in sorted(root.rglob("*")):
+        if f.suffix not in cliquelint.SOURCE_SUFFIXES:
+            continue
+        rel = f.relative_to(root).as_posix()
+        out[rel] = cliquelint.lint_file(rel, f.read_text(encoding="utf-8"))
+    return out
+
+
+def main() -> int:
+    failures = []
+
+    bad = lint_tree(FIXTURES / "bad")
+    for rel, (rule, min_count) in EXPECTED_BAD.items():
+        got = bad.get(rel)
+        if got is None:
+            failures.append(f"{rel}: fixture missing or not scanned")
+            continue
+        rules = {v.rule for v in got}
+        if rules != {rule}:
+            failures.append(
+                f"{rel}: expected only {rule}, got {sorted(rules) or 'none'}")
+        elif len(got) < min_count:
+            failures.append(
+                f"{rel}: expected >= {min_count} {rule} findings, "
+                f"got {len(got)}")
+    for rel in bad:
+        if rel not in EXPECTED_BAD:
+            failures.append(f"fixtures/bad/{rel}: unexpected fixture, add it "
+                            "to EXPECTED_BAD")
+
+    ok = lint_tree(FIXTURES / "ok")
+    if not ok:
+        failures.append("fixtures/ok: no fixtures scanned")
+    for rel, got in ok.items():
+        for v in got:
+            failures.append(f"false positive in fixtures/ok/{rel}: {v}")
+
+    if failures:
+        print("cliquelint selftest FAILED:", file=sys.stderr)
+        for f in failures:
+            print(f"  {f}", file=sys.stderr)
+        return 1
+    n_bad = sum(len(v) for v in bad.values())
+    print(f"cliquelint selftest: {len(EXPECTED_BAD)} seeded fixtures "
+          f"({n_bad} findings) caught, {len(ok)} allowed fixtures clean")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
