@@ -15,7 +15,8 @@
 
 using namespace ccq;
 
-int main() {
+int main(int argc, char** argv) {
+  ccq::bench::init(argc, argv, "bench_extensions");
   std::printf("R5 / Remark 5 — bipartiteness and k-edge-connectivity "
               "extensions\n");
 

@@ -21,7 +21,8 @@
 
 using namespace ccq;
 
-int main() {
+int main(int argc, char** argv) {
+  ccq::bench::init(argc, argv, "bench_gc");
   std::printf("T4 / Theorem 4 — GC rounds: ours vs the Borůvka and Lotker "
               "baselines vs wide bandwidth\n");
 

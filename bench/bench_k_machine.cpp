@@ -50,7 +50,8 @@ Measured measure(std::uint32_t n) {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  ccq::bench::init(argc, argv, "bench_k_machine");
   std::printf("§1 motivation — k-machine translation of measured clique "
               "costs (Õ(M/k^2 + T))\n");
 

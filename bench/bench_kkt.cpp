@@ -17,7 +17,8 @@
 
 using namespace ccq;
 
-int main() {
+int main(int argc, char** argv) {
+  ccq::bench::init(argc, argv, "bench_kkt");
   std::printf("L6 / KKT sampling — F-light edge counts vs the n/p bound\n");
 
   bench::Table lemma{"p = 1/sqrt(n) on random weighted cliques",

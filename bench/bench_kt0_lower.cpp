@@ -23,7 +23,8 @@
 
 using namespace ccq;
 
-int main() {
+int main(int argc, char** argv) {
+  ccq::bench::init(argc, argv, "bench_kt0_lower");
   std::printf("T8/T9 — KT0 hard distribution: squares, correct-algorithm "
               "footprint, frugal error cliff\n");
 

@@ -14,7 +14,8 @@
 
 using namespace ccq;
 
-int main() {
+int main(int argc, char** argv) {
+  ccq::bench::init(argc, argv, "bench_kt1_clock");
   std::printf("§4 upper bound — clock coding: O(n) messages, 2^Θ(n) "
               "rounds\n");
 

@@ -17,7 +17,8 @@
 
 using namespace ccq;
 
-int main() {
+int main(int argc, char** argv) {
+  ccq::bench::init(argc, argv, "bench_kt1_lower");
   std::printf("T10/C11/C12 — KT1 Ω(n) bound on the G_{i,j} family "
               "(Figure 1)\n");
 

@@ -18,7 +18,8 @@
 
 using namespace ccq;
 
-int main() {
+int main(int argc, char** argv) {
+  ccq::bench::init(argc, argv, "bench_kt1_mst");
   std::printf("T13 / Theorem 13 — KT1 Borůvka-sketch MST: messages vs n^2\n");
 
   bench::Table table{"Borůvka-sketch MST on G(n, 4n edges)",

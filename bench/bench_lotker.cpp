@@ -15,7 +15,8 @@
 
 using namespace ccq;
 
-int main() {
+int main(int argc, char** argv) {
+  ccq::bench::init(argc, argv, "bench_lotker");
   std::printf("T2 / Theorem 2 — CC-MST (Lotker et al.): rounds and cluster "
               "growth\n");
 

@@ -15,6 +15,7 @@
 #include <fstream>
 #include <vector>
 
+#include "bench_util.hpp"
 #include "clique/engine.hpp"
 #include "comm/routing.hpp"
 #include "comm/sorting.hpp"
@@ -258,6 +259,7 @@ void run_engine_round_table() { engine_round_table(); }
 }  // namespace ccq
 
 int main(int argc, char** argv) {
+  ccq::bench::init(argc, argv, "bench_micro");
   ccq::run_engine_round_table();
   benchmark::Initialize(&argc, argv);
   if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;

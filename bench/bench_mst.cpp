@@ -21,7 +21,8 @@
 
 using namespace ccq;
 
-int main() {
+int main(int argc, char** argv) {
+  ccq::bench::init(argc, argv, "bench_mst");
   std::printf("T7 / Theorem 7 — EXACT-MST: rounds, messages, correctness\n");
 
   bench::Table table{"EXACT-MST vs baselines on weighted cliques",

@@ -15,7 +15,8 @@
 
 using namespace ccq;
 
-int main() {
+int main(int argc, char** argv) {
+  ccq::bench::init(argc, argv, "bench_reduce_components");
   std::printf("L3 / Lemma 3 — REDUCECOMPONENTS: unfinished trees vs "
               "n/log^4(n)\n");
 

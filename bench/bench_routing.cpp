@@ -17,7 +17,8 @@
 
 using namespace ccq;
 
-int main() {
+int main(int argc, char** argv) {
+  ccq::bench::init(argc, argv, "bench_routing");
   std::printf("Substrate — Lenzen routing/sorting interface guarantees\n");
 
   bench::Table uniform{"Routing: full all-to-all (load = n-1 per node)",

@@ -21,7 +21,8 @@
 
 using namespace ccq;
 
-int main() {
+int main(int argc, char** argv) {
+  ccq::bench::init(argc, argv, "bench_sketch");
   std::printf("T1 / Theorem 1 — linear sketches: construction rounds, size, "
               "sampler success\n");
 

@@ -6,14 +6,79 @@
 // $b; done` yields a readable report. Self-checks in the benches abort
 // loudly (nonzero exit) if a reproduced quantity violates the theorem it
 // is supposed to exhibit, so the bench run doubles as an acceptance test.
+//
+// Machine-readable output: every bench accepts `--json FILE`. Each printed
+// table then also appends one NDJSON record
+//   {"bench": "...", "title": "...", "columns": [...], "rows": [[...]]}
+// to FILE — the input tools/report/make_experiments.py consumes to
+// regenerate the measured tables in EXPERIMENTS.md. Call bench::init()
+// first thing in main() to enable this.
 #pragma once
 
+#include <algorithm>
 #include <cstdio>
 #include <cstdlib>
 #include <string>
 #include <vector>
 
 namespace ccq::bench {
+
+/// Destination for the NDJSON mirror of every printed table (one process-
+/// wide instance; benches are single-threaded drivers).
+struct JsonSink {
+  std::string bench;
+  std::string path;
+  bool active() const { return !path.empty(); }
+};
+
+inline JsonSink& json_sink() {
+  static JsonSink sink;
+  return sink;
+}
+
+/// Parse and strip `--json FILE` / `--json=FILE` from argv (stripping keeps
+/// wrapped arg parsers like google-benchmark's from rejecting it) and
+/// remember the bench name used in the NDJSON records. Call first thing in
+/// every bench main. Truncates FILE so each run starts fresh.
+inline void init(int& argc, char** argv, const char* bench_name) {
+  JsonSink& sink = json_sink();
+  sink.bench = bench_name;
+  int out = 1;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--json" && i + 1 < argc) {
+      sink.path = argv[++i];
+    } else if (arg.rfind("--json=", 0) == 0) {
+      sink.path = arg.substr(7);
+    } else {
+      argv[out++] = argv[i];
+    }
+  }
+  argc = out;
+  if (sink.active()) std::remove(sink.path.c_str());
+}
+
+inline std::string json_escape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size() + 2);
+  for (const char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
 
 class Table {
  public:
@@ -37,9 +102,42 @@ class Table {
     };
     print_row(columns_);
     for (const auto& r : rows_) print_row(r);
+    emit_json();
   }
 
  private:
+  void emit_json() const {
+    const JsonSink& sink = json_sink();
+    if (!sink.active()) return;
+    std::FILE* f = std::fopen(sink.path.c_str(), "a");
+    if (!f) {
+      std::fprintf(stderr, "bench: cannot open --json file %s\n",
+                   sink.path.c_str());
+      std::exit(1);
+    }
+    std::string line;
+    line += "{\"bench\":\"" + json_escape(sink.bench) + "\"";
+    line += ",\"title\":\"" + json_escape(title_) + "\"";
+    line += ",\"columns\":[";
+    for (std::size_t c = 0; c < columns_.size(); ++c) {
+      if (c > 0) line += ",";
+      line += "\"" + json_escape(columns_[c]) + "\"";
+    }
+    line += "],\"rows\":[";
+    for (std::size_t r = 0; r < rows_.size(); ++r) {
+      if (r > 0) line += ",";
+      line += "[";
+      for (std::size_t c = 0; c < rows_[r].size(); ++c) {
+        if (c > 0) line += ",";
+        line += "\"" + json_escape(rows_[r][c]) + "\"";
+      }
+      line += "]";
+    }
+    line += "]}\n";
+    std::fputs(line.c_str(), f);
+    std::fclose(f);
+  }
+
   std::string title_;
   std::vector<std::string> columns_;
   std::vector<std::vector<std::string>> rows_;

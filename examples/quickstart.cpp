@@ -5,10 +5,15 @@
 // (REDUCECOMPONENTS + SKETCHANDSPAN), and prints the verdict together with
 // the exact round/message accounting the simulator collected.
 //
+// Set CLIQUE_TRACE=out.ndjson to also write a per-phase trace of the run
+// (docs/TRACING.md).
+//
 //   ./examples/quickstart [n] [components] [seed]
 #include <cstdio>
 #include <cstdlib>
 
+#include "clique/trace.hpp"
+#include "clique/trace_export.hpp"
 #include "core/gc.hpp"
 #include "graph/generators.hpp"
 #include "graph/sequential.hpp"
@@ -28,9 +33,21 @@ int run_example(int argc, char** argv) {
   // 2. A Congested Clique of n machines with O(log n)-bit links.
   ccq::CliqueEngine engine{{.n = n}};
 
+  // Optional observability: CLIQUE_TRACE=out.ndjson records which
+  // algorithm phase spent which rounds/messages (docs/TRACING.md).
+  ccq::Trace trace;
+  const std::string trace_path = ccq::trace_env_path();
+  if (!trace_path.empty()) engine.set_trace(&trace);
+
   // 3. The paper's GC algorithm. Every node ends up knowing a maximal
   //    spanning forest of g.
   const ccq::GcResult result = ccq::gc_spanning_forest(engine, g, rng);
+
+  if (!trace_path.empty()) {
+    ccq::write_trace_ndjson_file(trace, trace_path);
+    std::printf("trace:   %zu scopes written to %s\n", trace.events().size(),
+                trace_path.c_str());
+  }
 
   std::printf("verdict: %s (forest of %zu edges, %u Lotker phases, "
               "%u unfinished trees after Phase 1)\n",

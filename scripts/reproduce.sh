@@ -18,5 +18,10 @@ ctest --test-dir build --output-on-failure -j"$(nproc)" 2>&1 | tee test_output.t
   done
 } 2>&1 | tee bench_output.txt
 
+# The measured tables in EXPERIMENTS.md are machine-generated from the
+# bench --json output; fail the reproduction if they have drifted.
+python3 tools/report/make_experiments.py --check
+
 echo
-echo "Reproduction complete: all tests and all experiment self-checks passed."
+echo "Reproduction complete: all tests, experiment self-checks, and the"
+echo "EXPERIMENTS.md consistency gate passed."

@@ -5,6 +5,7 @@
 #include <limits>
 #include <numeric>
 
+#include "clique/trace.hpp"
 #include "util/error.hpp"
 
 namespace ccq {
@@ -210,6 +211,7 @@ const RoundBuffer& CliqueEngine::round_of_arena(
   metrics_.words += word_count;
   metrics_.max_messages_in_round =
       std::max(metrics_.max_messages_in_round, message_count);
+  if (trace_) trace_->record_round(metrics_.rounds, message_count, word_count);
   return arena_;
 }
 
@@ -229,11 +231,17 @@ void CliqueEngine::skip_silent_rounds(std::uint64_t k) {
     throw ProtocolError(
         "skip_silent_rounds: 64-bit round counter would overflow");
   metrics_.rounds += k;
+  if (trace_ && k > 0) trace_->record_silent(metrics_.rounds, k);
 }
 
 void CliqueEngine::set_observer(
     std::function<void(VertexId, VertexId)> observer) {
   observer_ = std::move(observer);
+}
+
+void CliqueEngine::set_trace(Trace* trace) {
+  trace_ = trace;
+  if (trace_) trace_->bind_engine(&metrics_, config_.n);
 }
 
 void CliqueEngine::charge_verified_round(std::uint64_t messages,
@@ -243,6 +251,7 @@ void CliqueEngine::charge_verified_round(std::uint64_t messages,
   metrics_.words += words;
   metrics_.max_messages_in_round =
       std::max(metrics_.max_messages_in_round, messages);
+  if (trace_) trace_->record_round(metrics_.rounds, messages, words);
 }
 
 void CliqueEngine::observe(VertexId src, VertexId dst) {
@@ -250,11 +259,15 @@ void CliqueEngine::observe(VertexId src, VertexId dst) {
 }
 
 void CliqueEngine::absorb_virtual(const Metrics& sub) {
+  check(sub.has_peak,
+        "absorb_virtual: sub-instance metrics must be a live snapshot, not a "
+        "MetricsScope delta (whose max_messages_in_round is meaningless)");
   metrics_.rounds += sub.rounds;
   metrics_.messages += sub.messages;
   metrics_.words += sub.words;
   metrics_.max_messages_in_round =
       std::max(metrics_.max_messages_in_round, sub.max_messages_in_round);
+  if (trace_ && sub.rounds > 0) trace_->record_absorbed(metrics_.rounds, sub);
 }
 
 }  // namespace ccq

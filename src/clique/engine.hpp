@@ -62,6 +62,8 @@
 
 namespace ccq {
 
+class Trace;
+
 enum class Knowledge { KT0, KT1 };
 
 struct EngineConfig {
@@ -163,6 +165,15 @@ class CliqueEngine {
   const Metrics& metrics() const { return metrics_; }
   MetricsScope scope() const { return MetricsScope{metrics_}; }
 
+  /// Attach a phase-trace sink (clique/trace): every charged round is then
+  /// reported to it, and algorithms' TraceScopes attribute cost windows to
+  /// named phases. Pass nullptr to detach. The trace must outlive its
+  /// attachment. Zero overhead when null (one branch per round); attaching
+  /// never changes Metrics or delivery — tests/trace_test.cpp pins
+  /// traced == untraced.
+  void set_trace(Trace* trace);
+  Trace* trace() const { return trace_; }
+
   /// Install an observer invoked as (src, dst) for every delivered message,
   /// including those moved by the comm fast paths. Pass nullptr to clear.
   /// While an observer is installed the engine always runs serially.
@@ -211,6 +222,7 @@ class CliqueEngine {
   EngineConfig config_;
   Metrics metrics_;
   bool ids_resolved_{false};
+  Trace* trace_{nullptr};
   std::function<void(VertexId, VertexId)> observer_;
 
   std::vector<VertexId> all_ids_;     // cached 0..n-1, built on first round()

@@ -7,6 +7,7 @@ namespace ccq {
 std::string Metrics::to_string() const {
   std::ostringstream out;
   out << "rounds=" << rounds << " messages=" << messages << " words=" << words;
+  if (has_peak) out << " peak=" << max_messages_in_round;
   return out.str();
 }
 

@@ -17,13 +17,22 @@ struct Metrics {
   std::uint64_t messages{0};
   std::uint64_t words{0};
   std::uint64_t max_messages_in_round{0};
+  /// False iff this value is a window delta, whose max_messages_in_round
+  /// field is meaningless (see operator- below). Live engine counters and
+  /// snapshots always have has_peak == true.
+  bool has_peak{true};
 
   /// Counter delta between two snapshots. max_messages_in_round is not
-  /// recoverable from snapshots (a peak inside the window cannot be told
-  /// apart from one before it), so the delta reports 0 for it.
+  /// window-recoverable from two snapshots: the live counter is a running
+  /// maximum, so a peak reached *before* the window opened and one reached
+  /// inside it produce the same exit snapshot (docs/MODEL.md, "Phase
+  /// accounting"). The delta therefore reports 0 for it and clears
+  /// has_peak so the 0 cannot be misread as "this phase's peak was 0".
+  /// Per-window peaks are recoverable via clique/trace, which observes
+  /// every round's load individually.
   Metrics operator-(const Metrics& base) const {
     return Metrics{rounds - base.rounds, messages - base.messages,
-                   words - base.words, 0};
+                   words - base.words, 0, false};
   }
 
   std::string to_string() const;

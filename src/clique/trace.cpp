@@ -1,0 +1,106 @@
+#include "clique/trace.hpp"
+
+#include <algorithm>
+
+#include "clique/engine.hpp"
+#include "util/clock.hpp"
+#include "util/error.hpp"
+
+namespace ccq {
+
+void Trace::clear() {
+  check(stack_.empty(), "Trace::clear: scopes still open");
+  events_.clear();
+  rounds_.clear();
+  silent_total_ = 0;
+}
+
+void Trace::bind_engine(const Metrics* live, std::uint32_t n) {
+  check(stack_.empty(), "Trace::bind_engine: scopes still open");
+  live_ = live;
+  n_ = n;
+}
+
+void Trace::record_round(std::uint64_t round, std::uint64_t messages,
+                         std::uint64_t words) {
+  rounds_.push_back({round, 1, messages, words, messages});
+}
+
+void Trace::record_silent(std::uint64_t round, std::uint64_t k) {
+  rounds_.push_back({round, k, 0, 0, 0});
+  silent_total_ += k;
+}
+
+void Trace::record_absorbed(std::uint64_t round, const Metrics& sub) {
+  check(sub.has_peak,
+        "Trace::record_absorbed: absorbed metrics must be a live snapshot, "
+        "not a window delta");
+  rounds_.push_back(
+      {round, sub.rounds, sub.messages, sub.words, sub.max_messages_in_round});
+}
+
+std::size_t Trace::open_scope(std::string_view segment) {
+  check(live_ != nullptr,
+        "TraceScope: trace is not attached to an engine (set_trace first)");
+  TraceEvent event;
+  if (stack_.empty()) {
+    event.path.assign(segment);
+  } else {
+    const std::string& parent = events_[stack_.back()].path;
+    event.path.reserve(parent.size() + 1 + segment.size());
+    event.path.append(parent).append("/").append(segment);
+  }
+  event.depth = static_cast<std::uint32_t>(stack_.size());
+  event.entry = *live_;
+  event.silent_rounds = silent_total_;  // entry snapshot; diffed at close
+  event.wall_ns = monotonic_ns();       // entry snapshot; diffed at close
+  event.round_begin = rounds_.size();
+  const std::size_t index = events_.size();
+  events_.push_back(std::move(event));
+  stack_.push_back(index);
+  return index;
+}
+
+void Trace::close_scope(std::size_t event_index) {
+  check(!stack_.empty() && stack_.back() == event_index,
+        "TraceScope: scopes must close in LIFO order");
+  stack_.pop_back();
+  TraceEvent& event = events_[event_index];
+  event.exit = *live_;
+  event.silent_rounds = silent_total_ - event.silent_rounds;
+  event.wall_ns = monotonic_ns() - event.wall_ns;
+  event.round_end = rounds_.size();
+  std::uint64_t peak = 0;
+  for (std::size_t i = event.round_begin; i < event.round_end; ++i)
+    peak = std::max(peak, rounds_[i].peak);
+  event.peak_messages_in_round = peak;
+  event.closed = true;
+}
+
+TraceScope::TraceScope(Trace* trace, std::string_view segment)
+    : trace_(trace) {
+  if (trace_) event_ = trace_->open_scope(segment);
+}
+
+TraceScope::TraceScope(Trace* trace, std::string_view segment,
+                       std::uint64_t index)
+    : trace_(trace) {
+  if (!trace_) return;
+  std::string named;
+  named.reserve(segment.size() + 21);
+  named.append(segment).append("-").append(std::to_string(index));
+  event_ = trace_->open_scope(named);
+}
+
+TraceScope::TraceScope(CliqueEngine& engine, std::string_view segment)
+    : TraceScope(engine.trace(), segment) {}
+
+TraceScope::TraceScope(CliqueEngine& engine, std::string_view segment,
+                       std::uint64_t index)
+    : TraceScope(engine.trace(), segment, index) {}
+
+TraceScope::~TraceScope() {
+  if (trace_) trace_->close_scope(event_);
+}
+
+}  // namespace ccq

@@ -1,0 +1,159 @@
+// Hierarchical phase traces: attributing rounds/messages/words to the
+// algorithm phase that spent them.
+//
+// Every claim the paper makes is a *per-phase* counting claim (the Lotker
+// phases of Theorem 2, the two GC phases of Theorem 4, the per-phase seed
+// and iteration budgets of Theorem 13), yet the engine's Metrics are four
+// global counters. A Trace closes that gap: algorithms open named RAII
+// TraceScopes ("lotker/phase-2/r2r3-candidate-relay"), and the engine —
+// when a Trace is attached via CliqueEngine::set_trace — reports every
+// charged round to the trace, so each scope knows not just its counter
+// delta but the exact per-round message/word profile inside its window.
+//
+// Design constraints, in order:
+//   - zero overhead when no trace is attached (one null check per round);
+//   - deterministic: everything a Trace records except wall time derives
+//     from the deterministic engine counters, and the NDJSON exporter
+//     (clique/trace_export) omits wall time by default, so two traced runs
+//     of the same (input, seed) produce byte-identical trace files
+//     (pinned by tests/trace_test.cpp);
+//   - allocation-frugal: per-round records append to one flat vector with
+//     geometric growth (reserve_rounds() pre-sizes it); opening a scope
+//     allocates only its path string, and scopes are opened per *phase*,
+//     never per round.
+//
+// Only TraceScope may mutate a Trace's scope structure, and only the
+// engine may append records — cliquelint CL005 enforces this, mirroring
+// CL002's "algorithms observe accounting, they do not write it".
+//
+// Traces are not thread-safe: scopes and rounds are recorded from the
+// algorithm (driver) thread only. The engine's worker threads never touch
+// the trace — rounds are reported after the deterministic shard merge.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "clique/metrics.hpp"
+
+namespace ccq {
+
+class CliqueEngine;
+
+/// One accounting record reported by the engine. Normal rounds have
+/// span == 1 and peak == messages. skip_silent_rounds(k) reports one
+/// record with span == k and zero traffic; absorb_virtual reports the
+/// sub-instance's aggregate with its own peak (its per-round profile
+/// belongs to the sub-engine's trace, if any).
+struct TraceRound {
+  std::uint64_t round{0};     ///< engine round counter after this record
+  std::uint64_t span{1};      ///< rounds covered by the record
+  std::uint64_t messages{0};  ///< messages across the span
+  std::uint64_t words{0};     ///< payload words across the span
+  std::uint64_t peak{0};      ///< max messages in any one round of the span
+};
+
+/// One completed scope. Events are stored in scope-opening order, which is
+/// deterministic for a deterministic algorithm.
+struct TraceEvent {
+  std::string path;      ///< '/'-joined scope segments, e.g. "gc/sketch-span"
+  std::uint32_t depth{0};     ///< nesting depth; root scopes have depth 0
+  Metrics entry;              ///< engine counters at scope entry
+  Metrics exit;               ///< engine counters at scope exit
+  std::uint64_t silent_rounds{0};  ///< virtual rounds skipped in-window
+  /// Peak single-round message load *within* this window — the quantity
+  /// MetricsScope::delta cannot recover (docs/MODEL.md, "Phase
+  /// accounting"). Computed from the per-round records.
+  std::uint64_t peak_messages_in_round{0};
+  std::uint64_t wall_ns{0};   ///< elapsed monotonic wall time (diagnostic
+                              ///< only; excluded from canonical NDJSON)
+  std::size_t round_begin{0};  ///< window [round_begin, round_end) into
+  std::size_t round_end{0};    ///< the trace's flat round-record vector
+  bool closed{false};
+
+  /// Counter delta over the window (has_peak == false; use
+  /// peak_messages_in_round for the window peak).
+  Metrics delta() const { return exit - entry; }
+};
+
+/// A recording sink for one engine. Attach with engine.set_trace(&trace),
+/// open scopes with TraceScope, export with clique/trace_export. The trace
+/// outlives nothing: it must stay alive while attached.
+class Trace {
+ public:
+  Trace() = default;
+  Trace(const Trace&) = delete;
+  Trace& operator=(const Trace&) = delete;
+
+  const std::vector<TraceEvent>& events() const { return events_; }
+  std::span<const TraceRound> rounds() const { return rounds_; }
+  std::span<const TraceRound> rounds_of(const TraceEvent& e) const {
+    return {rounds_.data() + e.round_begin, e.round_end - e.round_begin};
+  }
+  std::size_t open_scopes() const { return stack_.size(); }
+  std::uint32_t engine_n() const { return n_; }
+
+  /// Pre-size the flat round-record vector (e.g. to an expected round
+  /// count) so steady-state recording never reallocates.
+  void reserve_rounds(std::size_t count) { rounds_.reserve(count); }
+
+  /// Drop all events and records; keeps capacity and the engine binding.
+  void clear();
+
+  /// --- Engine integration (CliqueEngine only; cliquelint CL005) ---
+  /// Bind the live counters this trace snapshots. Called by set_trace.
+  void bind_engine(const Metrics* live, std::uint32_t n);
+  /// Record one charged round (or a span of rounds, see TraceRound).
+  void record_round(std::uint64_t round, std::uint64_t messages,
+                    std::uint64_t words);
+  /// Record k virtual silent rounds (skip_silent_rounds).
+  void record_silent(std::uint64_t round, std::uint64_t k);
+  /// Record an absorbed virtual sub-instance (absorb_virtual).
+  void record_absorbed(std::uint64_t round, const Metrics& sub);
+
+ private:
+  friend class TraceScope;
+  /// Open a scope segment; returns the event index for close_scope.
+  std::size_t open_scope(std::string_view segment);
+  void close_scope(std::size_t event_index);
+
+  const Metrics* live_{nullptr};
+  std::uint32_t n_{0};
+  std::uint64_t silent_total_{0};
+  std::vector<TraceEvent> events_;   // in opening order
+  std::vector<TraceRound> rounds_;   // flat, shared by all windows
+  std::vector<std::size_t> stack_;   // indices of currently open events
+};
+
+/// RAII scope: names the region of an algorithm whose cost the enclosing
+/// trace should attribute. Null-safe — constructing against an engine with
+/// no trace attached is a no-op (no allocation, one branch), so
+/// instrumentation can stay in place permanently.
+///
+/// Naming convention (docs/TRACING.md): each scope names one *segment*;
+/// the full path is the '/'-join of the open stack, shaped
+/// `<algo>/<phase-k>/<step>`. The indexed constructor appends "-<index>"
+/// for per-phase segments, keeping the base name a grep-able string
+/// literal (the docs-consistency check relies on this).
+class TraceScope {
+ public:
+  TraceScope(Trace* trace, std::string_view segment);
+  TraceScope(Trace* trace, std::string_view segment, std::uint64_t index);
+  /// Convenience: scope against whatever trace the engine carries.
+  TraceScope(CliqueEngine& engine, std::string_view segment);
+  TraceScope(CliqueEngine& engine, std::string_view segment,
+             std::uint64_t index);
+  ~TraceScope();
+
+  TraceScope(const TraceScope&) = delete;
+  TraceScope& operator=(const TraceScope&) = delete;
+
+ private:
+  Trace* trace_{nullptr};
+  std::size_t event_{0};
+};
+
+}  // namespace ccq

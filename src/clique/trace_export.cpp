@@ -1,0 +1,159 @@
+#include "clique/trace_export.hpp"
+
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <ostream>
+#include <sstream>
+#include <vector>
+
+#include "util/error.hpp"
+
+namespace ccq {
+
+namespace {
+
+/// log2 bucket of a per-round load: bucket 0 holds exactly 0, bucket i >= 1
+/// holds values in [2^(i-1), 2^i).
+std::size_t log2_bucket(std::uint64_t value) {
+  std::size_t bucket = 0;
+  while (value > 0) {
+    ++bucket;
+    value >>= 1;
+  }
+  return bucket;
+}
+
+void emit_hist(std::ostream& out, const char* key,
+               const std::vector<std::uint64_t>& hist) {
+  out << ",\"" << key << "\":[";
+  for (std::size_t i = 0; i < hist.size(); ++i) {
+    if (i > 0) out << ",";
+    out << hist[i];
+  }
+  out << "]";
+}
+
+/// Minimal JSON string escaping (paths are ASCII scope names, but stay
+/// correct on arbitrary bytes).
+void emit_string(std::ostream& out, std::string_view s) {
+  out << '"';
+  for (const char c : s) {
+    switch (c) {
+      case '"': out << "\\\""; break;
+      case '\\': out << "\\\\"; break;
+      case '\n': out << "\\n"; break;
+      case '\t': out << "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          out << buf;
+        } else {
+          out << c;
+        }
+    }
+  }
+  out << '"';
+}
+
+}  // namespace
+
+void write_trace_ndjson(const Trace& trace, std::ostream& out,
+                        const TraceExportOptions& options) {
+  check(trace.open_scopes() == 0,
+        "write_trace_ndjson: trace has open scopes; close every TraceScope "
+        "before exporting");
+  // Header: totals over every record the engine reported while attached.
+  std::uint64_t total_rounds = 0;
+  std::uint64_t total_messages = 0;
+  std::uint64_t total_words = 0;
+  for (const TraceRound& r : trace.rounds()) {
+    total_rounds += r.span;
+    total_messages += r.messages;
+    total_words += r.words;
+  }
+  out << "{\"type\":\"trace\",\"schema\":1,\"n\":" << trace.engine_n()
+      << ",\"events\":" << trace.events().size()
+      << ",\"records\":" << trace.rounds().size()
+      << ",\"rounds\":" << total_rounds << ",\"messages\":" << total_messages
+      << ",\"words\":" << total_words << "}\n";
+
+  for (std::size_t seq = 0; seq < trace.events().size(); ++seq) {
+    const TraceEvent& e = trace.events()[seq];
+    check(e.closed, "write_trace_ndjson: unclosed scope event");
+    const Metrics d = e.delta();
+    out << "{\"type\":\"scope\",\"seq\":" << seq << ",\"path\":";
+    emit_string(out, e.path);
+    out << ",\"depth\":" << e.depth << ",\"entry_round\":" << e.entry.rounds
+        << ",\"rounds\":" << d.rounds
+        << ",\"silent_rounds\":" << e.silent_rounds
+        << ",\"messages\":" << d.messages << ",\"words\":" << d.words
+        << ",\"peak_messages_in_round\":" << e.peak_messages_in_round;
+    // Per-round load histograms over the window, log2-bucketed (bucket 0 =
+    // silent rounds, bucket i = loads in [2^(i-1), 2^i)). Absorbed
+    // sub-instances have no per-round profile here; they are surfaced as
+    // absorbed_* so the histogram never misattributes an aggregate to one
+    // round.
+    std::vector<std::uint64_t> hist_messages;
+    std::vector<std::uint64_t> hist_words;
+    std::uint64_t absorbed_rounds = 0;
+    std::uint64_t absorbed_messages = 0;
+    auto bump = [](std::vector<std::uint64_t>& hist, std::size_t bucket,
+                   std::uint64_t by) {
+      if (hist.size() <= bucket) hist.resize(bucket + 1, 0);
+      hist[bucket] += by;
+    };
+    for (const TraceRound& r : trace.rounds_of(e)) {
+      if (r.span == 1) {
+        bump(hist_messages, log2_bucket(r.messages), 1);
+        bump(hist_words, log2_bucket(r.words), 1);
+      } else if (r.messages == 0) {  // silent skip
+        bump(hist_messages, 0, r.span);
+        bump(hist_words, 0, r.span);
+      } else {  // absorbed virtual sub-instance
+        absorbed_rounds += r.span;
+        absorbed_messages += r.messages;
+      }
+    }
+    emit_hist(out, "hist_messages", hist_messages);
+    emit_hist(out, "hist_words", hist_words);
+    if (absorbed_rounds > 0)
+      out << ",\"absorbed_rounds\":" << absorbed_rounds
+          << ",\"absorbed_messages\":" << absorbed_messages;
+    if (options.include_wall_time) out << ",\"wall_ns\":" << e.wall_ns;
+    out << "}\n";
+  }
+
+  if (options.include_rounds) {
+    for (const TraceRound& r : trace.rounds()) {
+      out << "{\"type\":\"round\",\"round\":" << r.round
+          << ",\"span\":" << r.span << ",\"messages\":" << r.messages
+          << ",\"words\":" << r.words << "}\n";
+    }
+  }
+}
+
+std::string trace_to_ndjson(const Trace& trace,
+                            const TraceExportOptions& options) {
+  std::ostringstream out;
+  write_trace_ndjson(trace, out, options);
+  return out.str();
+}
+
+void write_trace_ndjson_file(const Trace& trace, const std::string& path,
+                             const TraceExportOptions& options) {
+  std::ofstream out{path};
+  if (!out)
+    throw std::runtime_error("write_trace_ndjson_file: cannot open " + path);
+  write_trace_ndjson(trace, out, options);
+  if (!out)
+    throw std::runtime_error("write_trace_ndjson_file: write failed: " + path);
+}
+
+std::string trace_env_path() {
+  const char* path = std::getenv("CLIQUE_TRACE");
+  return path ? std::string{path} : std::string{};
+}
+
+}  // namespace ccq

@@ -1,0 +1,44 @@
+// NDJSON export of phase traces (schema: docs/TRACING.md).
+//
+// One JSON object per line: a "trace" header, then one "scope" line per
+// completed TraceScope in scope-opening order, then (opt-in) one "round"
+// line per engine accounting record. Everything emitted by default derives
+// from the deterministic engine counters, so two traced runs of the same
+// (input, seed) write byte-identical files — tests/trace_test.cpp pins
+// this. Wall time is the single nondeterministic field a trace holds and
+// is therefore opt-in (include_wall_time), never part of the canonical
+// output.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+
+#include "clique/trace.hpp"
+
+namespace ccq {
+
+struct TraceExportOptions {
+  /// Emit per-scope "wall_ns". Off by default: wall time is the one
+  /// nondeterministic quantity a trace records.
+  bool include_wall_time{false};
+  /// Emit one "round" line per engine accounting record after the scopes.
+  bool include_rounds{false};
+};
+
+/// Write the trace as NDJSON. Requires every scope to be closed.
+void write_trace_ndjson(const Trace& trace, std::ostream& out,
+                        const TraceExportOptions& options = {});
+
+/// write_trace_ndjson into a string (the determinism tests compare these).
+std::string trace_to_ndjson(const Trace& trace,
+                            const TraceExportOptions& options = {});
+
+/// write_trace_ndjson into a file; throws std::runtime_error on failure.
+void write_trace_ndjson_file(const Trace& trace, const std::string& path,
+                             const TraceExportOptions& options = {});
+
+/// Value of the CLIQUE_TRACE environment variable (the conventional "write
+/// my trace here" knob — see README quickstart), or empty when unset.
+std::string trace_env_path();
+
+}  // namespace ccq

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "clique/trace.hpp"
 #include "util/error.hpp"
 
 namespace ccq {
@@ -97,6 +98,7 @@ std::uint64_t spray_broadcast(CliqueEngine& engine, VertexId owner,
   for (const auto& item : items)
     check(item.size() <= kMaxWords, "spray_broadcast: item too large");
   if (items.empty()) return 0;
+  TraceScope trace_scope{engine, "comm/spray"};
   // Round 1: owner -> helpers (distinct links, 1 message each).
   std::uint64_t words_out = 0;
   for (const auto& item : items) words_out += item.size();

@@ -5,6 +5,7 @@
 #include <numeric>
 #include <unordered_map>
 
+#include "clique/trace.hpp"
 #include "util/error.hpp"
 
 namespace ccq {
@@ -163,6 +164,7 @@ void route_packets_into(CliqueEngine& engine,
                         const std::vector<Packet>& packets, RoundBuffer& out,
                         RouteStats* stats) {
   const std::uint32_t n = engine.n();
+  TraceScope trace_scope{engine, "comm/route"};
   out.reset(n);
   std::vector<std::pair<std::uint32_t, std::uint32_t>> edges;
   std::vector<std::size_t> packet_of_edge;

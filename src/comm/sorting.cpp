@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "clique/trace.hpp"
 #include "comm/primitives.hpp"
 #include "comm/routing.hpp"
 #include "util/error.hpp"
@@ -26,6 +27,7 @@ std::vector<std::vector<std::uint64_t>> distributed_sort_ranks(
   for (VertexId v = 0; v < n; ++v)
     ranks[v].assign(keys_per_node[v].size(), 0);
   if (total == 0) return ranks;
+  TraceScope trace_scope{engine, "comm/sort"};
 
   // One delivery arena reused by all three routing steps (zero steady-state
   // allocation in the routing layer).

@@ -1,5 +1,6 @@
 #include "core/bipartiteness.hpp"
 
+#include "clique/trace.hpp"
 #include "core/gc.hpp"
 #include "util/error.hpp"
 
@@ -19,6 +20,7 @@ BipartitenessResult gc_bipartiteness(CliqueEngine& engine, const Graph& g,
                                      Rng& rng) {
   const std::uint32_t n = g.num_vertices();
   check(engine.n() == n, "gc_bipartiteness: engine/input size mismatch");
+  TraceScope scope{engine, "bipartiteness"};
   BipartitenessResult result;
 
   // Components of G.
@@ -40,7 +42,10 @@ BipartitenessResult gc_bipartiteness(CliqueEngine& engine, const Graph& g,
       2 * n - static_cast<std::uint32_t>(cover_gc.forest.size());
   // The virtual instance's traffic is real traffic between the hosting
   // machines (up to the constant-factor doubling of copies per link).
-  engine.absorb_virtual(virtual_engine.metrics());
+  {
+    TraceScope absorb_scope{engine, "double-cover-absorb"};
+    engine.absorb_virtual(virtual_engine.metrics());
+  }
 
   result.bipartite =
       result.double_cover_components == 2 * result.components;

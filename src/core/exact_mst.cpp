@@ -2,6 +2,7 @@
 
 #include <limits>
 
+#include "clique/trace.hpp"
 #include "core/component_graph.hpp"
 #include "core/kkt.hpp"
 #include "core/sq_mst.hpp"
@@ -18,11 +19,13 @@ ExactMstResult run(CliqueEngine& engine, const CliqueWeights& weights,
   check(engine.n() == n, "exact_mst: engine/input size mismatch");
   engine.require_id_knowledge("exact_mst");
   ExactMstResult result;
+  TraceScope scope{engine, "exact-mst"};
 
   // --- Step 1: CC-MST preprocessing (phases == 0 in the wide variant).
   std::vector<VertexId> leader_of(n);
   for (VertexId v = 0; v < n; ++v) leader_of[v] = v;
   if (phases > 0) {
+    TraceScope step{engine, "cc-mst-preprocess"};
     const LotkerState state = cc_mst_phases(engine, weights, phases);
     result.lotker_phases = state.phases_run;
     // Keep the finite-weight selections (infinite "padding" edges appear
@@ -47,8 +50,12 @@ ExactMstResult run(CliqueEngine& engine, const CliqueWeights& weights,
   // the *contracted* space (endpoints are component leaders) — running them
   // on raw witness endpoints would miss cycles among components. The
   // witness map converts accepted contracted edges back to edges of G.
-  const auto g1 = build_component_graph_weighted(
-      engine, weights.finite_edges(), n, leader_of);
+  ComponentGraph g1;
+  {
+    TraceScope step{engine, "contract-component-graph"};
+    g1 = build_component_graph_weighted(engine, weights.finite_edges(), n,
+                                        leader_of);
+  }
   std::vector<WeightedEdge> g1_edges;  // leader-space edges
   g1_edges.reserve(g1.witness.size());
   for (const auto& [pair, witness] : g1.witness)
@@ -62,7 +69,11 @@ ExactMstResult run(CliqueEngine& engine, const CliqueWeights& weights,
   result.sampled_edges = sampled.size();
 
   // --- Step 4: F = SQ-MST(H).
-  const auto f = sq_mst(engine, n, sampled, rng);
+  SqMstResult f;
+  {
+    TraceScope step{engine, "sq-mst-sample"};
+    f = sq_mst(engine, n, sampled, rng);
+  }
   if (!f.monte_carlo_ok) result.monte_carlo_ok = false;
 
   // --- Step 5: F-light filter (local at every node: all know F).
@@ -70,7 +81,11 @@ ExactMstResult run(CliqueEngine& engine, const CliqueWeights& weights,
   result.f_light_edges = light.size();
 
   // --- Step 6: T2 = SQ-MST(E_l).
-  const auto t2 = sq_mst(engine, n, light, rng);
+  SqMstResult t2;
+  {
+    TraceScope step{engine, "sq-mst-light"};
+    t2 = sq_mst(engine, n, light, rng);
+  }
   if (!t2.monte_carlo_ok) result.monte_carlo_ok = false;
 
   // --- Step 7: T1 ∪ T2, with contracted edges mapped back to witnesses.

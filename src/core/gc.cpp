@@ -2,6 +2,7 @@
 
 #include <limits>
 
+#include "clique/trace.hpp"
 #include "comm/primitives.hpp"
 #include "core/reduce_components.hpp"
 #include "core/sketch_and_span.hpp"
@@ -34,6 +35,7 @@ GcResult gc_spanning_forest(CliqueEngine& engine, const Graph& g, Rng& rng,
                             std::uint32_t phase_override,
                             std::uint32_t copies_override) {
   engine.require_id_knowledge("gc_spanning_forest");
+  TraceScope scope{engine, "gc"};
   auto phase1 = reduce_components(engine, g, phase_override);
   const auto unfinished = static_cast<std::uint32_t>(
       phase1.component_graph.active_leaders.size());
@@ -62,6 +64,7 @@ GcVerifyResult gc_verify_connectivity(CliqueEngine& engine, const Graph& g,
     out.early_exit = true;
     return out;
   }
+  TraceScope scope{engine, "gc-verify"};
   const CliqueWeights weights = CliqueWeights::unit_from_graph(g);
   LotkerState state = cc_mst_initial_state(n);
   const std::uint32_t phases = reduce_components_phases(n);
@@ -118,6 +121,7 @@ GcResult gc_spanning_forest_wide(CliqueEngine& engine, const Graph& g,
         "gc_spanning_forest_wide: engine not configured with wide links");
   // Phase 1 skipped: every vertex is its own (singleton) component; the
   // component graph is G itself with unit witnesses.
+  TraceScope scope{engine, "gc-wide"};
   const std::uint32_t n = g.num_vertices();
   std::vector<VertexId> identity(n);
   for (VertexId v = 0; v < n; ++v) identity[v] = v;

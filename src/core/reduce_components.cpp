@@ -2,6 +2,7 @@
 
 #include <limits>
 
+#include "clique/trace.hpp"
 #include "graph/union_find.hpp"
 #include "util/error.hpp"
 
@@ -11,6 +12,7 @@ ReduceComponentsResult reduce_components(CliqueEngine& engine, const Graph& g,
                                          std::uint32_t phase_override) {
   const std::uint32_t n = g.num_vertices();
   check(engine.n() == n, "reduce_components: engine/input size mismatch");
+  TraceScope scope{engine, "reduce-components"};
   ReduceComponentsResult out;
 
   // Step 1: unit weights on E(G), infinity elsewhere.
@@ -40,7 +42,10 @@ ReduceComponentsResult reduce_components(CliqueEngine& engine, const Graph& g,
   for (VertexId v = 0; v < n; ++v) out.leader_of[v] = min_of[uf.find(v)];
 
   // Step 4: BUILDCOMPONENTGRAPH (one round).
-  out.component_graph = build_component_graph(engine, g, out.leader_of);
+  {
+    TraceScope build{engine, "build-component-graph"};
+    out.component_graph = build_component_graph(engine, g, out.leader_of);
+  }
   return out;
 }
 

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <unordered_map>
 
+#include "clique/trace.hpp"
 #include "comm/primitives.hpp"
 #include "comm/routing.hpp"
 #include "comm/shared_random.hpp"
@@ -23,15 +24,19 @@ SketchAndSpanResult sketch_and_span(CliqueEngine& engine,
   const VertexId coordinator = 0;
   SketchAndSpanResult result;
   if (g1.active_leaders.empty()) return result;  // every tree is finished
+  TraceScope scope{engine, "sketch-span"};
 
   // --- Step 0: shared randomness (Theorem 1), then identical sketch
   // families at every node.
   const std::uint32_t copies =
       copies_override > 0 ? copies_override : default_sketch_copies(n);
   result.sketch_copies = copies;
-  const auto seed =
-      shared_random_words(engine, SketchSpace::seed_words_needed(n, copies),
-                          rng);
+  std::vector<std::uint64_t> seed;
+  {
+    TraceScope step{engine, "shared-randomness"};
+    seed = shared_random_words(
+        engine, SketchSpace::seed_words_needed(n, copies), rng);
+  }
   const SketchSpace space{n, copies, seed};
 
   // --- Step 1: every active leader sketches its component-graph
@@ -53,7 +58,10 @@ SketchAndSpanResult sketch_and_span(CliqueEngine& engine,
                             sketches[j]);
   }
   RoundBuffer route_buf;
-  route_packets_into(engine, packets, route_buf);
+  {
+    TraceScope step{engine, "route-sketches"};
+    route_packets_into(engine, packets, route_buf);
+  }
 
   // --- Step 3: v* locally reassembles and runs sketch Borůvka.
   SketchReassembler reassembler{space, kTagSketch};
@@ -85,6 +93,7 @@ SketchAndSpanResult sketch_and_span(CliqueEngine& engine,
   // --- Step 4: v* spray-broadcasts T2 so every node (in particular every
   // leader) knows it.
   {
+    TraceScope step{engine, "broadcast-forest"};
     std::vector<std::vector<std::uint64_t>> items;
     for (const Edge& e : result.component_forest)
       items.push_back({e.u, e.v});
@@ -96,6 +105,7 @@ SketchAndSpanResult sketch_and_span(CliqueEngine& engine,
   // each T2 edge picks its witness and sends it to v* (distinct... a leader
   // may own several T2 edges, so this is one more routing call), and v*
   // spray-broadcasts the witness list.
+  TraceScope witness_step{engine, "witness-resolution"};
   std::vector<Packet> witness_packets;
   for (const Edge& e : result.component_forest) {
     const auto it = g1.witness.find(component_pair(e.u, e.v));

@@ -6,6 +6,7 @@
 #include <map>
 #include <optional>
 
+#include "clique/trace.hpp"
 #include "comm/primitives.hpp"
 #include "comm/routing.hpp"
 #include "graph/union_find.hpp"
@@ -33,6 +34,7 @@ BoruvkaSketchResult boruvka_sketch_mst(CliqueEngine& engine,
         "boruvka_sketch_mst: requires the KT1 model");
   BoruvkaSketchResult result;
   if (n <= 1) return result;
+  TraceScope scope{engine, "kt1-mst"};
   const VertexId coordinator = 0;
 
   const auto params = SketchParams::for_universe(
@@ -62,6 +64,7 @@ BoruvkaSketchResult boruvka_sketch_mst(CliqueEngine& engine,
     for (VertexId v = 0; v < n; ++v) members[label[v]].push_back(v);
     if (members.size() <= 1) break;
     ++result.phases;
+    TraceScope phase_scope{engine, "phase", result.phases};
 
     // Per-component threshold (infinite until an outgoing edge is sampled)
     // and best (lightest) sampled outgoing edge.
@@ -81,6 +84,7 @@ BoruvkaSketchResult boruvka_sketch_mst(CliqueEngine& engine,
     // mixing the phase seed with the iteration number.
     std::map<VertexId, std::vector<std::uint64_t>> phase_seed;
     {
+      TraceScope step{engine, "seed-send"};
       std::uint64_t seed_messages = 0;
       for (auto& [leader, list] : members) {
         phase_seed.emplace(leader, rng.words(seed_words));
@@ -104,6 +108,10 @@ BoruvkaSketchResult boruvka_sketch_mst(CliqueEngine& engine,
       return SketchFamily{params, words};
     };
 
+    // Scope held in an optional so it can close before the MWOE section
+    // without re-bracing the whole threshold-search loop.
+    std::optional<TraceScope> iter_scope;
+    iter_scope.emplace(engine, "sketch-iterations");
     for (std::uint32_t iter = 0; iter < iterations; ++iter) {
       bool any_active = false;
       for (const auto& [leader, is_done] : finished)
@@ -184,7 +192,10 @@ BoruvkaSketchResult boruvka_sketch_mst(CliqueEngine& engine,
       engine.charge_verified_round(0, 0);  // reply leg of the weight query
     }
 
+    iter_scope.reset();
+
     // --- MWOEs to v*; v* merges, reassigns labels, tells every node.
+    TraceScope merge_scope{engine, "mwoe-merge"};
     std::vector<Packet> mwoe;
     for (const auto& [leader, candidate] : best)
       if (candidate)
@@ -221,9 +232,12 @@ BoruvkaSketchResult boruvka_sketch_mst(CliqueEngine& engine,
   result.monte_carlo_ok =
       result.mst.size() + components.num_components() == n;
   // Final dissemination so every machine knows its incident MST edges.
-  std::vector<std::vector<std::uint64_t>> items;
-  for (const auto& e : result.mst) items.push_back({e.u, e.v, e.w});
-  spray_broadcast(engine, coordinator, items);
+  {
+    TraceScope step{engine, "mst-broadcast"};
+    std::vector<std::vector<std::uint64_t>> items;
+    for (const auto& e : result.mst) items.push_back({e.u, e.v, e.w});
+    spray_broadcast(engine, coordinator, items);
+  }
   std::sort(result.mst.begin(), result.mst.end(), weight_less);
   return result;
 }

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <map>
 
+#include "clique/trace.hpp"
 #include "graph/sequential.hpp"
 #include "util/error.hpp"
 
@@ -16,6 +17,7 @@ ClockCodingResult clock_coding_gc(CliqueEngine& engine, const Graph& g) {
         "clock_coding_gc: round numbers are uint64; need n <= 64");
   const VertexId leader = 0;
   ClockCodingResult result;
+  TraceScope scope{engine, "kt1-clock"};
 
   // Each node encodes its incidence row as r_u (bit i set iff {u,i} is an
   // edge, skipping the diagonal). The leader encodes nothing (it knows its
@@ -34,19 +36,22 @@ ClockCodingResult clock_coding_gc(CliqueEngine& engine, const Graph& g) {
     code[u] = r;
   }
   // Group senders by their (virtual) send round and replay in order.
-  std::map<std::uint64_t, std::uint32_t> senders_at;  // round -> count
-  for (VertexId u = 0; u < n; ++u)
-    if (u != leader) ++senders_at[code[u]];
-  std::uint64_t now = 0;
-  for (const auto& [round, count] : senders_at) {
-    if (round > now) {
-      engine.skip_silent_rounds(round - now);
-      now = round;
+  {
+    TraceScope step{engine, "silent-encode"};
+    std::map<std::uint64_t, std::uint32_t> senders_at;  // round -> count
+    for (VertexId u = 0; u < n; ++u)
+      if (u != leader) ++senders_at[code[u]];
+    std::uint64_t now = 0;
+    for (const auto& [round, count] : senders_at) {
+      if (round > now) {
+        engine.skip_silent_rounds(round - now);
+        now = round;
+      }
+      // All senders with this code send their one bit simultaneously
+      // (distinct links to the leader).
+      engine.charge_verified_round(count, count);
+      ++now;
     }
-    // All senders with this code send their one bit simultaneously
-    // (distinct links to the leader).
-    engine.charge_verified_round(count, count);
-    ++now;
   }
   result.messages = n;  // n one-bit inputs (leader's own is local)
 
@@ -62,7 +67,10 @@ ClockCodingResult clock_coding_gc(CliqueEngine& engine, const Graph& g) {
     }
   }
   result.connected = is_connected(reconstructed);
-  engine.charge_verified_round(n - 1, n - 1);  // 1-bit answer broadcast
+  {
+    TraceScope step{engine, "answer-broadcast"};
+    engine.charge_verified_round(n - 1, n - 1);  // 1-bit answer broadcast
+  }
   result.messages += n - 1;
   result.virtual_rounds = engine.metrics().rounds;
   return result;

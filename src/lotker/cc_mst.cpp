@@ -6,6 +6,7 @@
 #include <map>
 #include <unordered_map>
 
+#include "clique/trace.hpp"
 #include "comm/primitives.hpp"
 #include "graph/union_find.hpp"
 #include "util/error.hpp"
@@ -118,37 +119,40 @@ Phase run_phase(CliqueEngine& engine, const CliqueWeights& w,
   std::unordered_map<VertexId, std::unordered_map<VertexId, WeightedEdge>>
       best;
   std::uint64_t r1_messages = 0;
-  for (VertexId u = 0; u < n; ++u) {
-    const VertexId cu = cluster_of[u];
-    for (const auto& [leader, list] : members) {
-      if (leader == cu) continue;
-      // Lightest edge from u into cluster `leader` (clique: always exists,
-      // possibly infinite).
-      WeightedEdge lightest = w.edge(u, list.front());
-      for (std::size_t i = 1; i < list.size(); ++i) {
-        const WeightedEdge cand = w.edge(u, list[i]);
-        if (lighter(cand, lightest)) lightest = cand;
+  {
+    TraceScope r1{engine, "r1-lightest-exchange"};
+    for (VertexId u = 0; u < n; ++u) {
+      const VertexId cu = cluster_of[u];
+      for (const auto& [leader, list] : members) {
+        if (leader == cu) continue;
+        // Lightest edge from u into cluster `leader` (clique: always exists,
+        // possibly infinite).
+        WeightedEdge lightest = w.edge(u, list.front());
+        for (std::size_t i = 1; i < list.size(); ++i) {
+          const WeightedEdge cand = w.edge(u, list[i]);
+          if (lighter(cand, lightest)) lightest = cand;
+        }
+        if (u != leader) ++r1_messages;  // message u -> leader (3 words)
+        auto& row = best[leader];
+        const auto it = row.find(cu);
+        if (it == row.end() || lighter(lightest, it->second))
+          row.insert_or_assign(cu, lightest);
       }
-      if (u != leader) ++r1_messages;  // message u -> leader (3 words)
-      auto& row = best[leader];
-      const auto it = row.find(cu);
-      if (it == row.end() || lighter(lightest, it->second))
-        row.insert_or_assign(cu, lightest);
     }
+    const bool all_singletons = (s == 1 && m == n);
+    if (!all_singletons) {
+      // Schedule validity: node u sends at most one message per (distinct)
+      // leader; each leader receives at most one message per sender.
+      engine.charge_verified_round(r1_messages, r1_messages * 3);
+      if (engine.has_observer())
+        for (VertexId u = 0; u < n; ++u)
+          for (const auto& [leader, list] : members)
+            if (leader != cluster_of[u] && leader != u)
+              engine.observe(u, leader);
+    }
+    // (In the all-singleton phase each "leader" is the node itself and knows
+    // its incident weights locally; R1 would be n(n-1) redundant messages.)
   }
-  const bool all_singletons = (s == 1 && m == n);
-  if (!all_singletons) {
-    // Schedule validity: node u sends at most one message per (distinct)
-    // leader; each leader receives at most one message per sender.
-    engine.charge_verified_round(r1_messages, r1_messages * 3);
-    if (engine.has_observer())
-      for (VertexId u = 0; u < n; ++u)
-        for (const auto& [leader, list] : members)
-          if (leader != cluster_of[u] && leader != u)
-            engine.observe(u, leader);
-  }
-  // (In the all-singleton phase each "leader" is the node itself and knows
-  // its incident weights locally; R1 would be n(n-1) redundant messages.)
 
   // --- R2/R3: each leader picks its quota of lightest outgoing edges to
   // distinct clusters and relays them through its members to v* = node 0.
@@ -167,88 +171,98 @@ Phase run_phase(CliqueEngine& engine, const CliqueWeights& w,
   };
   std::vector<Candidate> candidates;
   std::uint64_t relay_hops = 0;
-  for (const auto& [leader, row] : best) {
-    std::vector<std::pair<VertexId, WeightedEdge>> outgoing(row.begin(),
-                                                            row.end());
-    std::sort(outgoing.begin(), outgoing.end(),
-              [](const auto& a, const auto& b) {
-                return lighter(a.second, b.second);
-              });
-    const std::size_t take = std::min(quota, outgoing.size());
-    for (std::size_t j = 0; j < take; ++j) {
-      candidates.push_back({leader, outgoing[j].first, outgoing[j].second});
-      // Hop 1: leader -> relay member (each member carries up to `bandwidth`
-      // candidates; skipped when the leader is that member); hop 2:
-      // member -> coordinator (skipped for the coordinator itself).
-      const VertexId member = members.at(leader)[j / bandwidth];
-      if (member != leader) {
-        ++relay_hops;
-        engine.observe(leader, member);
-      }
-      if (member != coordinator) {
-        ++relay_hops;
-        engine.observe(member, coordinator);
+  {
+    TraceScope relay{engine, "r2r3-candidate-relay"};
+    for (const auto& [leader, row] : best) {
+      std::vector<std::pair<VertexId, WeightedEdge>> outgoing(row.begin(),
+                                                              row.end());
+      std::sort(outgoing.begin(), outgoing.end(),
+                [](const auto& a, const auto& b) {
+                  return lighter(a.second, b.second);
+                });
+      const std::size_t take = std::min(quota, outgoing.size());
+      for (std::size_t j = 0; j < take; ++j) {
+        candidates.push_back({leader, outgoing[j].first, outgoing[j].second});
+        // Hop 1: leader -> relay member (each member carries up to `bandwidth`
+        // candidates; skipped when the leader is that member); hop 2:
+        // member -> coordinator (skipped for the coordinator itself).
+        const VertexId member = members.at(leader)[j / bandwidth];
+        if (member != leader) {
+          ++relay_hops;
+          engine.observe(leader, member);
+        }
+        if (member != coordinator) {
+          ++relay_hops;
+          engine.observe(member, coordinator);
+        }
       }
     }
+    check(candidates.size() <= static_cast<std::size_t>(n) * bandwidth,
+          "cc_mst: candidate volume exceeds the coordinator's inbound budget");
+    // Two rounds (leader->member, member->v*), each using every ordered link
+    // at most once: members within a cluster are distinct, and candidate
+    // senders to v* are distinct nodes (<= one candidate per member since
+    // quota <= s <= cluster size... quota-many distinct members per cluster).
+    engine.charge_verified_round(relay_hops / 2 + relay_hops % 2,
+                                 (relay_hops / 2 + relay_hops % 2) * 4);
+    engine.charge_verified_round(relay_hops / 2, (relay_hops / 2) * 4);
   }
-  check(candidates.size() <= static_cast<std::size_t>(n) * bandwidth,
-        "cc_mst: candidate volume exceeds the coordinator's inbound budget");
-  // Two rounds (leader->member, member->v*), each using every ordered link
-  // at most once: members within a cluster are distinct, and candidate
-  // senders to v* are distinct nodes (<= one candidate per member since
-  // quota <= s <= cluster size... quota-many distinct members per cluster).
-  engine.charge_verified_round(relay_hops / 2 + relay_hops % 2,
-                               (relay_hops / 2 + relay_hops % 2) * 4);
-  engine.charge_verified_round(relay_hops / 2, (relay_hops / 2) * 4);
 
   // --- L: constrained Borůvka at v* over the candidate cluster graph.
-  std::vector<VertexId> leaders;
-  leaders.reserve(m);
-  for (const auto& [leader, list] : members) leaders.push_back(leader);
-  std::unordered_map<VertexId, std::size_t> pos;
-  for (std::size_t i = 0; i < leaders.size(); ++i) pos[leaders[i]] = i;
-  UnionFind uf{m};
-  std::vector<std::size_t> clusters_in(m, 1);  // clusters per component
-  bool merged = true;
-  while (merged) {
-    merged = false;
-    // Lightest outgoing candidate per small component.
-    std::vector<std::optional<Candidate>> pick(m);
-    for (const auto& c : candidates) {
-      const std::size_t a = uf.find(pos.at(c.from_cluster));
-      const std::size_t b = uf.find(pos.at(c.to_cluster));
-      if (a == b) continue;
-      for (std::size_t side : {a, b}) {
-        // Merges stay provably-MST while the component holds at most
-        // `quota` clusters (each contributed its quota lightest outgoing
-        // edges, so the component's true min outgoing edge is available).
-        if (clusters_in[side] > quota) continue;  // grown enough this phase
-        if (!pick[side] || lighter(c.e, pick[side]->e)) pick[side] = c;
+  {
+    TraceScope local{engine, "local-boruvka"};
+    std::vector<VertexId> leaders;
+    leaders.reserve(m);
+    for (const auto& [leader, list] : members) leaders.push_back(leader);
+    std::unordered_map<VertexId, std::size_t> pos;
+    for (std::size_t i = 0; i < leaders.size(); ++i) pos[leaders[i]] = i;
+    UnionFind uf{m};
+    std::vector<std::size_t> clusters_in(m, 1);  // clusters per component
+    bool merged = true;
+    while (merged) {
+      merged = false;
+      // Lightest outgoing candidate per small component.
+      std::vector<std::optional<Candidate>> pick(m);
+      for (const auto& c : candidates) {
+        const std::size_t a = uf.find(pos.at(c.from_cluster));
+        const std::size_t b = uf.find(pos.at(c.to_cluster));
+        if (a == b) continue;
+        for (std::size_t side : {a, b}) {
+          // Merges stay provably-MST while the component holds at most
+          // `quota` clusters (each contributed its quota lightest outgoing
+          // edges, so the component's true min outgoing edge is available).
+          if (clusters_in[side] > quota) continue;  // grown enough this phase
+          if (!pick[side] || lighter(c.e, pick[side]->e)) pick[side] = c;
+        }
       }
-    }
-    for (std::size_t i = 0; i < m; ++i) {
-      if (!pick[i] || uf.find(i) != i) continue;
-      const Candidate& c = *pick[i];
-      const std::size_t a = uf.find(pos.at(c.from_cluster));
-      const std::size_t b = uf.find(pos.at(c.to_cluster));
-      if (a == b) continue;
-      const std::size_t total = clusters_in[a] + clusters_in[b];
-      uf.unite(a, b);
-      clusters_in[uf.find(a)] = total;
-      phase.merge_edges.push_back(c.e);
-      merged = true;
+      for (std::size_t i = 0; i < m; ++i) {
+        if (!pick[i] || uf.find(i) != i) continue;
+        const Candidate& c = *pick[i];
+        const std::size_t a = uf.find(pos.at(c.from_cluster));
+        const std::size_t b = uf.find(pos.at(c.to_cluster));
+        if (a == b) continue;
+        const std::size_t total = clusters_in[a] + clusters_in[b];
+        uf.unite(a, b);
+        clusters_in[uf.find(a)] = total;
+        phase.merge_edges.push_back(c.e);
+        merged = true;
+      }
     }
   }
 
   // --- R4/R5: v* spray-broadcasts the accepted merge edges; every node
   // updates the shared partition state.
-  std::vector<std::vector<std::uint64_t>> items;
-  items.reserve(phase.merge_edges.size());
-  for (const auto& e : phase.merge_edges)
-    items.push_back({e.u, e.v, e.w == kInfiniteWeight
-                                   ? std::numeric_limits<std::uint64_t>::max()
-                                   : e.w});
-  spray_broadcast(engine, coordinator, items);
+  {
+    TraceScope bcast{engine, "r4r5-merge-broadcast"};
+    std::vector<std::vector<std::uint64_t>> items;
+    items.reserve(phase.merge_edges.size());
+    for (const auto& e : phase.merge_edges)
+      items.push_back({e.u, e.v,
+                       e.w == kInfiniteWeight
+                           ? std::numeric_limits<std::uint64_t>::max()
+                           : e.w});
+    spray_broadcast(engine, coordinator, items);
+  }
 
   // Local partition update (identical at every node).
   UnionFind global{n};
@@ -280,6 +294,7 @@ std::size_t cc_mst_step(CliqueEngine& engine, const CliqueWeights& weights,
         "cc_mst_step: engine/input/state size mismatch");
   engine.require_id_knowledge("cc_mst");
   if (state.num_clusters() <= 1) return 0;
+  TraceScope phase_scope{engine, "lotker/phase", state.phases_run + 1};
   Phase phase = run_phase(engine, weights, state.cluster_of);
   state.tree_edges.insert(state.tree_edges.end(), phase.merge_edges.begin(),
                           phase.merge_edges.end());

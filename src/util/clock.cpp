@@ -1,0 +1,13 @@
+#include "util/clock.hpp"
+
+#include <chrono>
+
+namespace ccq {
+
+std::uint64_t monotonic_ns() {
+  const auto now = std::chrono::steady_clock::now().time_since_epoch();
+  return static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(now).count());
+}
+
+}  // namespace ccq

@@ -1,0 +1,22 @@
+// The repository's only wall-clock source.
+//
+// Everything the model measures (rounds, messages, words) is deterministic
+// by construction, and cliquelint CL001 bans nondeterminism sources —
+// including <chrono> clock reads — from algorithm and engine modules so the
+// bit-identical replay pinned by tests/determinism_test.cpp can never rot.
+// Wall time is still wanted as *observability* (TraceScope timings in
+// clique/trace), so this module is the single audited exception: callers
+// get an opaque monotonic nanosecond counter, and the trace exporter keeps
+// it out of canonical NDJSON output precisely because it is the one
+// nondeterministic quantity in a trace.
+#pragma once
+
+#include <cstdint>
+
+namespace ccq {
+
+/// Monotonic wall clock in nanoseconds since an arbitrary epoch. Never
+/// model-visible: use only for diagnostics (trace timings, bench harnesses).
+std::uint64_t monotonic_ns();
+
+}  // namespace ccq

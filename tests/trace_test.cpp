@@ -1,0 +1,281 @@
+// The phase-trace subsystem's contract (docs/TRACING.md): traced runs are
+// deterministic down to the exported bytes, tracing never perturbs the
+// engine's accounting, scope paths mirror the algorithm structure, and the
+// accounting quantities a trace records (in-window peaks, silent spans,
+// absorbed sub-instances) are exactly the ones plain Metrics snapshots
+// cannot recover.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <stdexcept>
+#include <string>
+
+#include "clique/engine.hpp"
+#include "clique/trace.hpp"
+#include "clique/trace_export.hpp"
+#include "core/bipartiteness.hpp"
+#include "core/gc.hpp"
+#include "graph/generators.hpp"
+#include "kt1/clock_coding.hpp"
+#include "lotker/cc_mst.hpp"
+#include "util/random.hpp"
+
+namespace ccq {
+namespace {
+
+// --- Metrics has_peak regression (the bug the trace design exposed) ---
+
+TEST(MetricsPeak, DeltaClearsPeakAndFlag) {
+  Metrics entry{.rounds = 5, .messages = 100, .words = 300,
+                .max_messages_in_round = 90};
+  Metrics exit{.rounds = 8, .messages = 160, .words = 420,
+               .max_messages_in_round = 90};
+  const Metrics d = exit - entry;
+  EXPECT_EQ(d.rounds, 3u);
+  EXPECT_EQ(d.messages, 60u);
+  EXPECT_EQ(d.words, 120u);
+  // The live counter is a running maximum: a window delta cannot know the
+  // in-window peak, and must say so rather than report a bogus number.
+  EXPECT_EQ(d.max_messages_in_round, 0u);
+  EXPECT_FALSE(d.has_peak);
+  EXPECT_TRUE(entry.has_peak);
+}
+
+TEST(MetricsPeak, AbsorbVirtualRejectsWindowDeltas) {
+  CliqueEngine engine{{.n = 8}};
+  Metrics delta = engine.metrics() - engine.metrics();
+  ASSERT_FALSE(delta.has_peak);
+  EXPECT_THROW(engine.absorb_virtual(delta), std::logic_error);
+  // A live snapshot (has_peak) absorbs fine.
+  CliqueEngine sub{{.n = 4}};
+  sub.skip_silent_rounds(2);
+  EXPECT_NO_THROW(engine.absorb_virtual(sub.metrics()));
+  EXPECT_EQ(engine.metrics().rounds, 2u);
+}
+
+// --- Scope structure ---
+
+TEST(Trace, PathsJoinAndIndex) {
+  CliqueEngine engine{{.n = 4}};
+  Trace trace;
+  engine.set_trace(&trace);
+  {
+    TraceScope algo{engine, "demo"};
+    TraceScope phase{engine, "phase", 2};
+    TraceScope step{engine, "step"};
+  }
+  ASSERT_EQ(trace.events().size(), 3u);
+  EXPECT_EQ(trace.events()[0].path, "demo");
+  EXPECT_EQ(trace.events()[0].depth, 0u);
+  EXPECT_EQ(trace.events()[1].path, "demo/phase-2");
+  EXPECT_EQ(trace.events()[1].depth, 1u);
+  EXPECT_EQ(trace.events()[2].path, "demo/phase-2/step");
+  EXPECT_EQ(trace.events()[2].depth, 2u);
+  EXPECT_EQ(trace.open_scopes(), 0u);
+}
+
+TEST(Trace, NullTraceScopesAreNoOps) {
+  CliqueEngine engine{{.n = 4}};
+  ASSERT_EQ(engine.trace(), nullptr);
+  TraceScope scope{engine, "ignored"};     // must not throw or record
+  TraceScope more{engine, "ignored", 7};
+}
+
+TEST(Trace, UnboundTraceRefusesScopes) {
+  Trace trace;  // never attached via set_trace
+  EXPECT_THROW(TraceScope(&trace, "orphan"), std::logic_error);
+}
+
+TEST(Trace, ExportRequiresClosedScopes) {
+  CliqueEngine engine{{.n = 4}};
+  Trace trace;
+  engine.set_trace(&trace);
+  TraceScope open{engine, "still-open"};
+  EXPECT_THROW(trace_to_ndjson(trace), std::logic_error);
+}
+
+// --- Determinism: byte-identical NDJSON across repeated runs ---
+
+std::string traced_gc_ndjson(std::uint64_t seed, Metrics* metrics_out) {
+  Rng graph_rng{seed};
+  const Graph g = random_components(128, 2, 128, graph_rng);
+  CliqueEngine engine{{.n = 128}};
+  Trace trace;
+  engine.set_trace(&trace);
+  Rng rng{seed + 1};
+  (void)gc_spanning_forest(engine, g, rng);
+  if (metrics_out) *metrics_out = engine.metrics();
+  return trace_to_ndjson(trace);
+}
+
+TEST(TraceDeterminism, GcRunsAreByteIdentical) {
+  const std::string a = traced_gc_ndjson(5, nullptr);
+  const std::string b = traced_gc_ndjson(5, nullptr);
+  EXPECT_FALSE(a.empty());
+  EXPECT_EQ(a, b);
+  EXPECT_NE(a.find("\"path\":\"gc/reduce-components/lotker/phase-1\""),
+            std::string::npos);
+}
+
+std::string traced_lotker_ndjson(std::uint64_t seed) {
+  Rng graph_rng{seed};
+  const auto wg = random_weighted_clique(64, graph_rng);
+  CliqueEngine engine{{.n = 64}};
+  Trace trace;
+  engine.set_trace(&trace);
+  (void)cc_mst_full(engine, CliqueWeights::from_graph(wg));
+  return trace_to_ndjson(trace);
+}
+
+TEST(TraceDeterminism, LotkerRunsAreByteIdentical) {
+  const std::string a = traced_lotker_ndjson(11);
+  const std::string b = traced_lotker_ndjson(11);
+  EXPECT_FALSE(a.empty());
+  EXPECT_EQ(a, b);
+  EXPECT_NE(a.find("\"path\":\"lotker/phase-1/r2r3-candidate-relay\""),
+            std::string::npos);
+}
+
+// --- No observer effect: tracing cannot change what the engine counts ---
+
+TEST(Trace, TracedAndUntracedMetricsAgree) {
+  Metrics traced;
+  (void)traced_gc_ndjson(3, &traced);
+
+  Rng graph_rng{3};
+  const Graph g = random_components(128, 2, 128, graph_rng);
+  CliqueEngine engine{{.n = 128}};
+  Rng rng{4};
+  (void)gc_spanning_forest(engine, g, rng);
+  const Metrics untraced = engine.metrics();
+
+  EXPECT_EQ(traced.rounds, untraced.rounds);
+  EXPECT_EQ(traced.messages, untraced.messages);
+  EXPECT_EQ(traced.words, untraced.words);
+  EXPECT_EQ(traced.max_messages_in_round, untraced.max_messages_in_round);
+}
+
+// --- Window accounting: deltas, peaks, header totals ---
+
+TEST(Trace, RootScopeDeltaMatchesEngineMetrics) {
+  Rng graph_rng{21};
+  const Graph g = random_components(128, 3, 128, graph_rng);
+  CliqueEngine engine{{.n = 128}};
+  Trace trace;
+  engine.set_trace(&trace);
+  Rng rng{22};
+  (void)gc_spanning_forest(engine, g, rng);
+
+  ASSERT_FALSE(trace.events().empty());
+  const TraceEvent& root = trace.events()[0];
+  EXPECT_EQ(root.path, "gc");
+  const Metrics d = root.delta();
+  const Metrics total = engine.metrics();
+  EXPECT_EQ(d.rounds, total.rounds);
+  EXPECT_EQ(d.messages, total.messages);
+  EXPECT_EQ(d.words, total.words);
+  // The whole-run window sees every round, so its per-round peak is the
+  // engine's running maximum — the quantity delta() itself cannot carry.
+  EXPECT_EQ(root.peak_messages_in_round, total.max_messages_in_round);
+  // Child windows partition the root's rounds: each per-window peak is a
+  // lower bound on the root's.
+  for (const TraceEvent& e : trace.events())
+    EXPECT_LE(e.peak_messages_in_round, root.peak_messages_in_round);
+}
+
+TEST(Trace, SilentSpansAreRecorded) {
+  // Clock coding advances virtual time via skip_silent_rounds; its scope
+  // must see the silent rounds without materializing per-round records.
+  Graph g{8};
+  g.add_edge(0, 1);
+  g.add_edge(2, 3);
+  CliqueEngine engine{{.n = 8}};
+  Trace trace;
+  engine.set_trace(&trace);
+  const auto result = clock_coding_gc(engine, g);
+  EXPECT_FALSE(result.connected);
+
+  ASSERT_FALSE(trace.events().empty());
+  const TraceEvent& root = trace.events()[0];
+  EXPECT_EQ(root.path, "kt1-clock");
+  EXPECT_GT(root.silent_rounds, 0u);
+  EXPECT_EQ(root.delta().rounds, engine.metrics().rounds);
+  bool saw_silent_span = false;
+  for (const TraceRound& r : trace.rounds())
+    if (r.span > 1 && r.messages == 0) saw_silent_span = true;
+  EXPECT_TRUE(saw_silent_span);
+}
+
+TEST(Trace, AbsorbedSubInstancesAreRecorded) {
+  // Bipartiteness runs GC on a 2n-node virtual engine and absorbs its
+  // metrics; the parent trace must log that aggregate as one record (and
+  // the exporter keeps it out of the per-round histograms).
+  Rng graph_rng{31};
+  const Graph g = random_components(64, 2, 64, graph_rng);
+  CliqueEngine engine{{.n = 64}};
+  Trace trace;
+  engine.set_trace(&trace);
+  Rng rng{32};
+  (void)gc_bipartiteness(engine, g, rng);
+
+  bool saw_absorbed = false;
+  for (const TraceRound& r : trace.rounds())
+    if (r.span > 1 && r.messages > 0) saw_absorbed = true;
+  EXPECT_TRUE(saw_absorbed);
+  const std::string ndjson = trace_to_ndjson(trace);
+  EXPECT_NE(ndjson.find("\"absorbed_rounds\":"), std::string::npos);
+}
+
+TEST(Trace, HeaderTotalsMatchEngine) {
+  Rng graph_rng{41};
+  const Graph g = random_connected(64, 64, graph_rng);
+  CliqueEngine engine{{.n = 64}};
+  Trace trace;
+  engine.set_trace(&trace);
+  Rng rng{42};
+  (void)gc_spanning_forest(engine, g, rng);
+
+  const Metrics m = engine.metrics();
+  const std::string header_prefix =
+      "{\"type\":\"trace\",\"schema\":1,\"n\":64,\"events\":" +
+      std::to_string(trace.events().size()) +
+      ",\"records\":" + std::to_string(trace.rounds().size()) +
+      ",\"rounds\":" + std::to_string(m.rounds) +
+      ",\"messages\":" + std::to_string(m.messages) +
+      ",\"words\":" + std::to_string(m.words) + "}\n";
+  EXPECT_EQ(trace_to_ndjson(trace).substr(0, header_prefix.size()),
+            header_prefix);
+}
+
+TEST(Trace, WallTimeAndRoundLinesAreOptIn) {
+  CliqueEngine engine{{.n = 4}};
+  Trace trace;
+  engine.set_trace(&trace);
+  {
+    TraceScope scope{engine, "opt-in-demo"};
+    engine.skip_silent_rounds(3);
+  }
+  const std::string canonical = trace_to_ndjson(trace);
+  EXPECT_EQ(canonical.find("wall_ns"), std::string::npos);
+  EXPECT_EQ(canonical.find("\"type\":\"round\""), std::string::npos);
+  const std::string full = trace_to_ndjson(
+      trace, {.include_wall_time = true, .include_rounds = true});
+  EXPECT_NE(full.find("wall_ns"), std::string::npos);
+  EXPECT_NE(full.find("\"type\":\"round\""), std::string::npos);
+}
+
+TEST(Trace, ClearKeepsBindingDropsData) {
+  CliqueEngine engine{{.n = 4}};
+  Trace trace;
+  engine.set_trace(&trace);
+  { TraceScope scope{engine, "before-clear"}; }
+  ASSERT_EQ(trace.events().size(), 1u);
+  trace.clear();
+  EXPECT_TRUE(trace.events().empty());
+  EXPECT_TRUE(trace.rounds().empty());
+  { TraceScope scope{engine, "after-clear"}; }  // binding survived
+  EXPECT_EQ(trace.events()[0].path, "after-clear");
+}
+
+}  // namespace
+}  // namespace ccq

@@ -24,6 +24,18 @@ checks the rules that the compiler cannot:
                        leaf, not a dependency), and clique/round_buffer.hpp —
                        the engine's internal arena — is includable only from
                        src/clique and src/comm.
+  CL005  tracing       Phase-trace state (clique/trace) is mutated only via
+                       RAII TraceScope objects. Direct calls to the Trace
+                       record/bookkeeping methods (record_round,
+                       record_silent, record_absorbed, open_scope,
+                       close_scope, bind_engine) are confined to src/clique:
+                       a stray record_* from an algorithm module would let a
+                       trace disagree with the engine's Metrics, breaking the
+                       traced == untraced guarantee docs/TRACING.md promises.
+
+CL001's allowlist also contains src/util/clock: the one audited wall-clock
+source (TraceScope wall-time snapshots). Wall time never reaches model
+counters or canonical NDJSON output, so seeded replay stays bit-identical.
 
 Usage:
   cliquelint.py [--root DIR] [--json FILE] [--expect RULE] [PATH ...]
@@ -49,7 +61,8 @@ SOURCE_SUFFIXES = {".cpp", ".hpp", ".h", ".cc", ".hh"}
 # Rule tables. Paths are repo-root-relative, '/'-separated prefixes.
 # --------------------------------------------------------------------------
 
-NONDET_ALLOWED = ("src/util/random", "src/comm/shared_random")
+NONDET_ALLOWED = ("src/util/random", "src/comm/shared_random",
+                  "src/util/clock")
 NONDET_PATTERNS = [
     (re.compile(r"\bstd\s*::\s*random_device\b"), "std::random_device"),
     (re.compile(r"\bs?rand\s*\("), "rand()/srand()"),
@@ -68,6 +81,16 @@ METRICS_MUTATION = re.compile(
 # a heuristic: an alias without "metrics" in its name escapes the lint, but
 # the canonical access paths are all covered.
 METRICS_RECEIVER = re.compile(r"\bmetrics\b", re.IGNORECASE)
+
+TRACE_ALLOWED = ("src/clique/",)
+TRACE_MUTATION = re.compile(
+    r"(?:\.|->)\s*(record_round|record_silent|record_absorbed|open_scope|"
+    r"close_scope|bind_engine)\s*\(")
+# Same receiver heuristic as CL002: the expression must reference a trace
+# object (trace_, engine.trace(), a Trace& parameter). A look-alike method on
+# an unrelated struct does not fire. Substring match (not \b-anchored) so
+# decorated names like trace_ and phase_trace still count.
+TRACE_RECEIVER = re.compile(r"trace", re.IGNORECASE)
 
 PACKING_ALLOWED = ("src/sketch/wire",)
 PACKING_PATTERNS = [
@@ -232,6 +255,7 @@ def lint_file(rel: str, text: str) -> list[Violation]:
     nondet_ok = _under(rel, NONDET_ALLOWED)
     packing_ok = _under(rel, PACKING_ALLOWED)
     metrics_ok = _under(rel, METRICS_ALLOWED)
+    trace_ok = _under(rel, TRACE_ALLOWED)
     for lineno, line in enumerate(code_lines, 1):
         if not nondet_ok:
             for pat, what in NONDET_PATTERNS:
@@ -249,6 +273,15 @@ def lint_file(rel: str, text: str) -> list[Violation]:
                     f"Metrics field '{m.group(1)}' mutated outside "
                     "src/clique|src/comm: algorithms observe the engine's "
                     "accounting, they do not write it"))
+        if not trace_ok:
+            m = TRACE_MUTATION.search(line)
+            if m and TRACE_RECEIVER.search(line[:m.end()]):
+                violations.append(Violation(
+                    rel, lineno, "CL005",
+                    f"Trace method '{m.group(1)}' called outside src/clique: "
+                    "algorithm modules attribute cost through RAII "
+                    "TraceScope objects, never by writing trace records "
+                    "directly"))
         if not packing_ok:
             for pat, what in PACKING_PATTERNS:
                 if pat.search(line):

@@ -1,0 +1,18 @@
+// Seeded CL005 violation: an algorithm module writing phase-trace records
+// directly instead of opening a RAII TraceScope. Every call below would let
+// the trace drift from the engine's Metrics accounting, silently breaking
+// the traced == untraced guarantee (docs/TRACING.md).
+#include "clique/trace.hpp"
+
+namespace ccq {
+
+void sneaky_phase_accounting(Trace* trace, Trace& also_trace) {
+  trace->record_round(1, 10, 10);
+  trace->record_silent(6, 5);
+  also_trace.record_absorbed(7, Metrics{});
+  also_trace.bind_engine(nullptr, 0);
+  const std::size_t id = trace->open_scope("stealth-phase");
+  trace->close_scope(id);
+}
+
+}  // namespace ccq

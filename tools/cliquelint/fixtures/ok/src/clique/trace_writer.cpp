@@ -1,0 +1,14 @@
+// Allowed: the trace subsystem itself (src/clique) writes trace records —
+// this is where the engine hooks and TraceScope live, so CL005 must not
+// fire here.
+#include "clique/trace.hpp"
+
+namespace ccq {
+
+void engine_hook_like(Trace& trace, std::uint64_t round) {
+  trace.record_round(round, 4, 4);
+  trace.record_silent(round + 3, 2);
+  trace.bind_engine(nullptr, 8);
+}
+
+}  // namespace ccq

@@ -1,0 +1,20 @@
+// Allowed: algorithm modules attribute cost by opening RAII TraceScopes —
+// the one sanctioned way to mutate a trace from outside src/clique — and a
+// look-alike method on an unrelated struct must not trip the receiver
+// heuristic.
+#include "clique/engine.hpp"
+#include "clique/trace.hpp"
+
+namespace ccq {
+
+struct ReplayLog {
+  void record_round(int, int, int) {}
+};
+
+void algorithm_step(CliqueEngine& engine, ReplayLog& log) {
+  TraceScope scope{engine, "demo/step"};
+  TraceScope indexed{engine, "demo/phase", 3};
+  log.record_round(1, 2, 3);  // a replay log, not the engine's trace
+}
+
+}  // namespace ccq

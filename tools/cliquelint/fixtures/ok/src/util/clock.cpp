@@ -1,0 +1,17 @@
+// Allowed: src/util/clock is the one audited wall-clock source (CL001
+// allowlist). TraceScope snapshots wall time through it; the value never
+// reaches model counters or canonical NDJSON output, so seeded replay stays
+// bit-identical.
+#include <chrono>
+#include <cstdint>
+
+namespace ccq {
+
+std::uint64_t fixture_monotonic_ns() {
+  return static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count());
+}
+
+}  // namespace ccq

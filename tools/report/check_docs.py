@@ -1,0 +1,74 @@
+#!/usr/bin/env python3
+"""check_docs — keep docs/TRACING.md in sync with the instrumented code.
+
+Extracts every trace-scope name literal from src/ (both construction
+syntaxes: `TraceScope x{engine, "name"}` / `TraceScope x{trace, "name"}`
+and the deferred `opt.emplace(engine, "name")`) and fails unless each name
+appears in a code span (backticks) in docs/TRACING.md. This is the
+forward direction of the docs gate: you cannot add or rename an
+instrumentation point without documenting it. (The reverse direction —
+stale EXPERIMENTS.md tables — is make_experiments.py --check.)
+
+Exit status: 0 in sync, 1 undocumented names, 2 usage errors.
+"""
+
+from __future__ import annotations
+
+import re
+import sys
+from pathlib import Path
+
+# `TraceScope x{engine, "seg"}` or `TraceScope x{trace_ptr, "seg", k}`.
+CONSTRUCT_RE = re.compile(r'\bTraceScope\s+\w+\s*\{[^{}"]*"([^"]+)"')
+# `std::optional<TraceScope> s; s.emplace(engine, "seg")`.
+EMPLACE_RE = re.compile(r'\.emplace\(\s*engine\s*,\s*"([^"]+)"')
+
+
+def scope_names(src: Path) -> dict[str, list[str]]:
+    """Map scope-name literal -> list of 'file:line' uses."""
+    names: dict[str, list[str]] = {}
+    for path in sorted(src.rglob("*.cpp")) + sorted(src.rglob("*.hpp")):
+        rel = path.relative_to(src.parent)
+        for lineno, line in enumerate(
+                path.read_text(encoding="utf-8").splitlines(), 1):
+            for pattern in (CONSTRUCT_RE, EMPLACE_RE):
+                for m in pattern.finditer(line):
+                    names.setdefault(m.group(1), []).append(
+                        f"{rel}:{lineno}")
+    return names
+
+
+def main() -> int:
+    repo = Path(__file__).resolve().parents[2]
+    src = repo / "src"
+    tracing_md = repo / "docs" / "TRACING.md"
+    if not tracing_md.is_file():
+        print(f"check_docs: missing {tracing_md}", file=sys.stderr)
+        return 1
+
+    names = scope_names(src)
+    if not names:
+        print("check_docs: no TraceScope literals found under src/ "
+              "(extraction regexes broken?)", file=sys.stderr)
+        return 2
+
+    documented = set(re.findall(r"`([^`]+)`", tracing_md.read_text(
+        encoding="utf-8")))
+    missing = {n: uses for n, uses in names.items() if n not in documented}
+    if missing:
+        print("check_docs: trace scope names used in src/ but not "
+              "documented in docs/TRACING.md:", file=sys.stderr)
+        for name in sorted(missing):
+            print(f"  \"{name}\"  ({', '.join(missing[name])})",
+                  file=sys.stderr)
+        print("add each name (in backticks) to the scope inventory in "
+              "docs/TRACING.md", file=sys.stderr)
+        return 1
+
+    print(f"check_docs: {len(names)} trace scope name(s) all documented "
+          "in docs/TRACING.md")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
