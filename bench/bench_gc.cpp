@@ -11,6 +11,8 @@
 // Message counts are Θ(n^2) for all variants, as the paper states (that is
 // the subject of the KT0 lower bound, bench_kt0_lower).
 #include <cstdio>
+#include <fstream>
+#include <vector>
 
 #include "baseline/boruvka_clique.hpp"
 #include "bench_util.hpp"
@@ -30,6 +32,15 @@ int main(int argc, char** argv) {
                      {"n", "gc_rounds", "gc_phases", "boruvka_phases",
                       "lotker_rounds", "wide_rounds", "gc_messages",
                       "forest_ok"}};
+  // Deterministic-count mirror for the regression gate
+  // (tools/report/bench_compare.py): seeded inputs + exact accounting mean
+  // these must match bench/baselines/BENCH_gc.json bit-for-bit.
+  struct GcRow {
+    std::uint32_t n;
+    std::uint64_t gc_rounds, gc_messages, gc_words;
+    std::uint64_t lotker_rounds, boruvka_phases, wide_rounds;
+  };
+  std::vector<GcRow> json_rows;
   for (std::uint32_t n : {64u, 128u, 256u, 512u, 1024u}) {
     Rng rng{n};
     const auto g = random_connected(n, 2 * n, rng);
@@ -55,6 +66,10 @@ int main(int argc, char** argv) {
     auto wide = gc_spanning_forest_wide(wide_engine, g, wide_rng);
     const bool wide_ok = verify_spanning_forest(g, wide.forest).ok;
 
+    json_rows.push_back({n, engine.metrics().rounds,
+                         engine.metrics().messages, engine.metrics().words,
+                         baseline_engine.metrics().rounds, boruvka.phases,
+                         wide_engine.metrics().rounds});
     table.row({bench::fmt(n), bench::fmt(engine.metrics().rounds),
                bench::fmt(gc.lotker_phases), bench::fmt(boruvka.phases),
                bench::fmt(baseline_engine.metrics().rounds),
@@ -73,6 +88,23 @@ int main(int argc, char** argv) {
                   "wide-bandwidth GC must take O(1) rounds");
   }
   table.print();
+
+  {
+    std::ofstream json("BENCH_gc.json");
+    json << "{\n  \"benchmark\": \"gc_connected_counts\",\n  \"rows\": [\n";
+    for (std::size_t i = 0; i < json_rows.size(); ++i) {
+      const GcRow& r = json_rows[i];
+      json << "    {\"n\": " << r.n << ", \"gc_rounds\": " << r.gc_rounds
+           << ", \"gc_messages\": " << r.gc_messages
+           << ", \"gc_words\": " << r.gc_words
+           << ", \"lotker_rounds\": " << r.lotker_rounds
+           << ", \"boruvka_phases\": " << r.boruvka_phases
+           << ", \"wide_rounds\": " << r.wide_rounds << "}"
+           << (i + 1 < json_rows.size() ? "," : "") << "\n";
+    }
+    json << "  ]\n}\n";
+    std::printf("(counts written to BENCH_gc.json)\n");
+  }
 
   bench::Table verify_table{
       "Early-exit verification (Section 2.2) on 4-component inputs",

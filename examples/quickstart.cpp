@@ -6,12 +6,15 @@
 // the exact round/message accounting the simulator collected.
 //
 // Set CLIQUE_TRACE=out.ndjson to also write a per-phase trace of the run
-// (docs/TRACING.md).
+// (docs/TRACING.md). Set CLIQUE_LOAD=load.ndjson to additionally profile
+// per-node congestion: the trace is then written in schema 2 (per-scope
+// load skew) to that path, and the hottest nodes are printed below.
 //
 //   ./examples/quickstart [n] [components] [seed]
 #include <cstdio>
 #include <cstdlib>
 
+#include "clique/load_profile.hpp"
 #include "clique/trace.hpp"
 #include "clique/trace_export.hpp"
 #include "core/gc.hpp"
@@ -34,10 +37,24 @@ int run_example(int argc, char** argv) {
   ccq::CliqueEngine engine{{.n = n}};
 
   // Optional observability: CLIQUE_TRACE=out.ndjson records which
-  // algorithm phase spent which rounds/messages (docs/TRACING.md).
+  // algorithm phase spent which rounds/messages (docs/TRACING.md), and
+  // CLIQUE_LOAD=load.ndjson adds the congestion profile (who sent/received
+  // how much — the per-node axis the global Metrics cannot show). A load
+  // profile needs a trace for its scope structure, so CLIQUE_LOAD alone
+  // still attaches both sinks.
+  // CLIQUE_LOAD_LINKS=1 additionally records (and exports) the dense n x n
+  // link matrix — O(n^2), for small n; tools/report/loadmap.py uses it to
+  // render the load heatmaps in EXPERIMENTS.md.
   ccq::Trace trace;
+  ccq::LoadProfile profile;
+  const std::string load_path = ccq::load_env_path();
   const std::string trace_path = ccq::trace_env_path();
-  if (!trace_path.empty()) engine.set_trace(&trace);
+  const char* links_env = std::getenv("CLIQUE_LOAD_LINKS");
+  const bool track_links = !load_path.empty() && links_env &&
+                           std::string(links_env) != "0";
+  if (track_links) profile.set_track_links(true);
+  if (!trace_path.empty() || !load_path.empty()) engine.set_trace(&trace);
+  if (!load_path.empty()) engine.set_load_profile(&profile);
 
   // 3. The paper's GC algorithm. Every node ends up knowing a maximal
   //    spanning forest of g.
@@ -47,6 +64,17 @@ int run_example(int argc, char** argv) {
     ccq::write_trace_ndjson_file(trace, trace_path);
     std::printf("trace:   %zu scopes written to %s\n", trace.events().size(),
                 trace_path.c_str());
+  }
+  if (!load_path.empty()) {
+    ccq::write_trace_ndjson_file(trace, load_path,
+                                 {.include_link_matrix = track_links});
+    std::printf("load:    schema-2 profile written to %s\n",
+                load_path.c_str());
+    const auto hottest = profile.hottest_nodes(3);
+    for (const ccq::VertexId v : hottest)
+      std::printf("load:    hot node %u: sent %llu msgs / recv %llu msgs\n", v,
+                  static_cast<unsigned long long>(profile.sent_messages()[v]),
+                  static_cast<unsigned long long>(profile.recv_messages()[v]));
   }
 
   std::printf("verdict: %s (forest of %zu edges, %u Lotker phases, "

@@ -58,6 +58,7 @@ BoruvkaCliqueResult boruvka_clique_msf(CliqueEngine& engine,
         if (u != leader) {
           ++r1_messages;
           engine.observe(u, leader);
+          engine.attribute_load(u, leader, 1, 3);
         }
         // The receiving leader learns an outgoing edge of ITS component
         // (the edge leaves `leader`'s component toward u's), and u's leader

@@ -5,6 +5,7 @@
 #include <limits>
 #include <numeric>
 
+#include "clique/load_profile.hpp"
 #include "clique/trace.hpp"
 #include "util/error.hpp"
 
@@ -69,7 +70,8 @@ void CliqueEngine::validate_senders(std::span<const VertexId> senders) {
 void CliqueEngine::run_shard(Shard& shard, std::span<const VertexId> senders,
                              std::size_t begin, std::size_t end,
                              const std::function<void(VertexId, Outbox&)>&
-                                 send) {
+                                 send,
+                             bool profiled) {
   shard.buffer.clear();
   shard.words = 0;
   shard.error = nullptr;
@@ -82,9 +84,21 @@ void CliqueEngine::run_shard(Shard& shard, std::span<const VertexId> senders,
   }
   std::fill(shard.dst_count.begin(), shard.dst_count.end(), 0);
   shard.touched.clear();
+  // Profiling tallies piggyback on passes the fill already makes: per-sender
+  // deltas on the message scan, per-link maxima on the budget re-zero loop.
+  // `profiled` is loop-invariant, so the detached engine runs the exact
+  // branch pattern it ran before.
+  shard.max_link = 0;
+  shard.sender_msgs.clear();
+  shard.sender_words.clear();
+  if (profiled && shard.dst_words.size() < config_.n)
+    shard.dst_words.resize(config_.n);
+  if (profiled)
+    std::fill(shard.dst_words.begin(), shard.dst_words.end(), 0);
   for (std::size_t pos = begin; pos < end; ++pos) {
     const VertexId u = senders[pos];
     const std::size_t before = shard.buffer.size();
+    const std::uint64_t words_before = shard.words;
     Outbox out{u,
                config_.n,
                config_.messages_per_link,
@@ -105,8 +119,17 @@ void CliqueEngine::run_shard(Shard& shard, std::span<const VertexId> senders,
       const Message& m = shard.buffer[i];
       ++shard.dst_count[m.dst];
       shard.words += m.count;
+      if (profiled) shard.dst_words[m.dst] += m.count;
     }
-    for (VertexId d : shard.touched) shard.used[d] = 0;
+    if (profiled) {
+      shard.sender_msgs.push_back(shard.buffer.size() - before);
+      shard.sender_words.push_back(shard.words - words_before);
+    }
+    for (VertexId d : shard.touched) {
+      if (profiled && shard.used[d] > shard.max_link)
+        shard.max_link = shard.used[d];
+      shard.used[d] = 0;
+    }
     shard.touched.clear();
   }
 }
@@ -143,8 +166,10 @@ const RoundBuffer& CliqueEngine::round_of_arena(
   const auto shard_begin = [&](unsigned s) {
     return num_senders * s / lanes;
   };
+  const bool profiled = load_ != nullptr;
   const auto fill_job = [&](unsigned s) {
-    run_shard(shards_[s], senders, shard_begin(s), shard_begin(s + 1), send);
+    run_shard(shards_[s], senders, shard_begin(s), shard_begin(s + 1), send,
+              profiled);
   };
   if (lanes == 1)
     fill_job(0);
@@ -212,6 +237,35 @@ const RoundBuffer& CliqueEngine::round_of_arena(
   metrics_.max_messages_in_round =
       std::max(metrics_.max_messages_in_round, message_count);
   if (trace_) trace_->record_round(metrics_.rounds, message_count, word_count);
+
+  // Load-profile merge, driver-thread-only and in fixed (shard, sender,
+  // destination) order so serial and parallel engines produce identical
+  // profiles. Received message counts are the arena's counting-sort bucket
+  // sizes — already computed, no extra pass over the messages.
+  if (load_) {
+    std::uint64_t max_link = 0;
+    for (unsigned s = 0; s < lanes; ++s) {
+      Shard& shard = shards_[s];
+      max_link = std::max(max_link, shard.max_link);
+      const std::size_t begin = shard_begin(s);
+      for (std::size_t i = 0; i < shard.sender_msgs.size(); ++i)
+        if (shard.sender_msgs[i] > 0)
+          load_->add_sent(senders[begin + i], shard.sender_msgs[i],
+                          shard.sender_words[i]);
+    }
+    for (VertexId d = 0; d < config_.n; ++d) {
+      const auto recv_msgs = static_cast<std::uint64_t>(arena_.inbox(d).size());
+      std::uint64_t recv_words = 0;
+      for (unsigned s = 0; s < lanes; ++s) recv_words += shards_[s].dst_words[d];
+      if (recv_msgs > 0) load_->add_received(d, recv_msgs, recv_words);
+    }
+    if (load_->tracks_links()) {
+      const Message* const all = arena_.data();
+      for (std::size_t i = 0; i < arena_.total_messages(); ++i)
+        load_->add_link(all[i].src, all[i].dst, 1);
+    }
+    load_->record_round(metrics_.rounds, message_count, max_link);
+  }
   return arena_;
 }
 
@@ -232,6 +286,7 @@ void CliqueEngine::skip_silent_rounds(std::uint64_t k) {
         "skip_silent_rounds: 64-bit round counter would overflow");
   metrics_.rounds += k;
   if (trace_ && k > 0) trace_->record_silent(metrics_.rounds, k);
+  if (load_ && k > 0) load_->record_silent(metrics_.rounds, k);
 }
 
 void CliqueEngine::set_observer(
@@ -241,7 +296,27 @@ void CliqueEngine::set_observer(
 
 void CliqueEngine::set_trace(Trace* trace) {
   trace_ = trace;
-  if (trace_) trace_->bind_engine(&metrics_, config_.n);
+  if (trace_) {
+    trace_->bind_engine(&metrics_, config_.n);
+    trace_->bind_load_profile(load_);
+  }
+}
+
+void CliqueEngine::set_load_profile(LoadProfile* profile) {
+  load_ = profile;
+  if (load_) load_->bind_engine(config_.n, config_.messages_per_link);
+  if (trace_) trace_->bind_load_profile(load_);
+}
+
+void CliqueEngine::attribute_load(VertexId src, VertexId dst,
+                                  std::uint64_t messages,
+                                  std::uint64_t words) {
+  if (load_) load_->add_flow(src, dst, messages, words);
+}
+
+void CliqueEngine::attribute_broadcast(VertexId src, std::uint64_t messages,
+                                       std::uint64_t words) {
+  if (load_) load_->add_broadcast(src, messages, words);
 }
 
 void CliqueEngine::charge_verified_round(std::uint64_t messages,
@@ -252,6 +327,14 @@ void CliqueEngine::charge_verified_round(std::uint64_t messages,
   metrics_.max_messages_in_round =
       std::max(metrics_.max_messages_in_round, messages);
   if (trace_) trace_->record_round(metrics_.rounds, messages, words);
+  // Fast-path schedules use each ordered link at most `messages_per_link`
+  // times per round by construction; the engine cannot see the exact
+  // per-link split, so it records the schedule's budget bound (exact for
+  // saturated unit-budget schedules — docs/MODEL.md, "Load accounting").
+  if (load_)
+    load_->record_round(
+        metrics_.rounds, messages,
+        std::min<std::uint64_t>(config_.messages_per_link, messages));
 }
 
 void CliqueEngine::observe(VertexId src, VertexId dst) {
@@ -268,6 +351,7 @@ void CliqueEngine::absorb_virtual(const Metrics& sub) {
   metrics_.max_messages_in_round =
       std::max(metrics_.max_messages_in_round, sub.max_messages_in_round);
   if (trace_ && sub.rounds > 0) trace_->record_absorbed(metrics_.rounds, sub);
+  if (load_ && sub.rounds > 0) load_->record_absorbed(metrics_.rounds, sub);
 }
 
 }  // namespace ccq

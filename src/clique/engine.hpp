@@ -63,6 +63,7 @@
 namespace ccq {
 
 class Trace;
+class LoadProfile;
 
 enum class Knowledge { KT0, KT1 };
 
@@ -174,6 +175,19 @@ class CliqueEngine {
   void set_trace(Trace* trace);
   Trace* trace() const { return trace_; }
 
+  /// Attach a congestion profiler (clique/load_profile): per-node sent/
+  /// received message+word counters, per-record max-link occupancy, and an
+  /// opt-in link matrix. Pass nullptr to detach. The profile must outlive
+  /// its attachment. Zero overhead when null (one branch per round plus
+  /// loop-invariant flags in the shard fill); attaching never changes
+  /// Metrics, delivery order or an attached trace's NDJSON —
+  /// tests/load_profile_test.cpp pins profiled == unprofiled.
+  void set_load_profile(LoadProfile* profile);
+  LoadProfile* load_profile() const { return load_; }
+  /// True when a profile is attached — algorithm modules use this to guard
+  /// their O(n)-sized attribution loops.
+  bool wants_load() const { return load_ != nullptr; }
+
   /// Install an observer invoked as (src, dst) for every delivered message,
   /// including those moved by the comm fast paths. Pass nullptr to clear.
   /// While an observer is installed the engine always runs serially.
@@ -190,6 +204,19 @@ class CliqueEngine {
   /// Report a (src,dst) message to the observer (fast paths call this once
   /// per logical message when an observer is installed).
   void observe(VertexId src, VertexId dst);
+
+  /// Attribute `messages`/`words` moved src -> dst by a fast-path schedule
+  /// to the attached load profile (no-op when detached). Algorithm modules
+  /// pair these with their charge_verified_round sites exactly as they pair
+  /// observe() with delivered messages — the attributed totals must equal
+  /// the charged totals (tests/load_profile_test.cpp pins conservation).
+  /// Only the engine and src/comm touch the LoadProfile itself (CL006).
+  void attribute_load(VertexId src, VertexId dst, std::uint64_t messages,
+                      std::uint64_t words);
+  /// Attribute a broadcast: src sends `messages` messages of `words` payload
+  /// words to each of the other n-1 nodes (O(n) work, not n-1 calls).
+  void attribute_broadcast(VertexId src, std::uint64_t messages,
+                           std::uint64_t words);
 
   /// Absorb the metrics of a virtual sub-instance (e.g. the 2n-node double-
   /// cover embedding of the bipartiteness reduction) into this engine's
@@ -211,18 +238,26 @@ class CliqueEngine {
     std::uint64_t words{0};
     std::size_t error_pos{0};             // sender position of first failure
     std::exception_ptr error;
+    // Profiling tallies, filled only while a LoadProfile is attached and
+    // merged deterministically on the driver thread.
+    std::vector<std::uint64_t> sender_msgs;   // per sender in [begin, end)
+    std::vector<std::uint64_t> sender_words;  // per sender in [begin, end)
+    std::vector<std::uint64_t> dst_words;     // shard words per destination
+    std::uint64_t max_link{0};            // max per-(sender,dst) budget use
   };
 
   void validate_senders(std::span<const VertexId> senders);
   void run_shard(Shard& shard, std::span<const VertexId> senders,
                  std::size_t begin, std::size_t end,
-                 const std::function<void(VertexId, Outbox&)>& send);
+                 const std::function<void(VertexId, Outbox&)>& send,
+                 bool profiled);
   unsigned resolved_threads() const;
 
   EngineConfig config_;
   Metrics metrics_;
   bool ids_resolved_{false};
   Trace* trace_{nullptr};
+  LoadProfile* load_{nullptr};
   std::function<void(VertexId, VertexId)> observer_;
 
   std::vector<VertexId> all_ids_;     // cached 0..n-1, built on first round()

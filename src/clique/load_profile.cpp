@@ -1,0 +1,145 @@
+#include "clique/load_profile.hpp"
+
+#include <algorithm>
+#include <cstdlib>
+
+#include "util/error.hpp"
+
+namespace ccq {
+
+void LoadProfile::set_track_links(bool on) {
+  check(total_sent_msgs_ == 0 && records_.empty(),
+        "LoadProfile::set_track_links: enable before any traffic is "
+        "attributed (the matrix cannot be backfilled)");
+  track_links_ = on;
+  if (track_links_ && n_ > 0)
+    links_.assign(static_cast<std::size_t>(n_) * n_, 0);
+  if (!track_links_) {
+    links_.clear();
+    links_.shrink_to_fit();
+  }
+}
+
+std::vector<VertexId> LoadProfile::hottest_nodes(std::size_t k) const {
+  std::vector<VertexId> order(n_);
+  for (VertexId v = 0; v < n_; ++v) order[v] = v;
+  std::stable_sort(order.begin(), order.end(), [&](VertexId a, VertexId b) {
+    return sent_msgs_[a] + recv_msgs_[a] > sent_msgs_[b] + recv_msgs_[b];
+  });
+  if (order.size() > k) order.resize(k);
+  return order;
+}
+
+void LoadProfile::clear() {
+  std::fill(sent_msgs_.begin(), sent_msgs_.end(), 0);
+  std::fill(sent_words_.begin(), sent_words_.end(), 0);
+  std::fill(recv_msgs_.begin(), recv_msgs_.end(), 0);
+  std::fill(recv_words_.begin(), recv_words_.end(), 0);
+  std::fill(links_.begin(), links_.end(), 0);
+  total_sent_msgs_ = total_sent_words_ = 0;
+  total_recv_msgs_ = total_recv_words_ = 0;
+  max_link_ = 0;
+  absorbed_rounds_ = absorbed_messages_ = absorbed_words_ = 0;
+  records_.clear();
+  checkpoints_.clear();
+  version_ = 0;
+}
+
+void LoadProfile::bind_engine(std::uint32_t n,
+                              std::uint32_t messages_per_link) {
+  if (n_ == n && budget_ == messages_per_link) return;
+  check(total_sent_msgs_ == 0 && total_recv_msgs_ == 0 && records_.empty(),
+        "LoadProfile::bind_engine: rebinding to a different engine shape "
+        "requires an empty profile (clear() first)");
+  n_ = n;
+  budget_ = messages_per_link;
+  sent_msgs_.assign(n, 0);
+  sent_words_.assign(n, 0);
+  recv_msgs_.assign(n, 0);
+  recv_words_.assign(n, 0);
+  if (track_links_) links_.assign(static_cast<std::size_t>(n) * n, 0);
+}
+
+void LoadProfile::add_sent(VertexId src, std::uint64_t messages,
+                           std::uint64_t words) {
+  sent_msgs_[src] += messages;
+  sent_words_[src] += words;
+  total_sent_msgs_ += messages;
+  total_sent_words_ += words;
+  ++version_;
+}
+
+void LoadProfile::add_received(VertexId dst, std::uint64_t messages,
+                               std::uint64_t words) {
+  recv_msgs_[dst] += messages;
+  recv_words_[dst] += words;
+  total_recv_msgs_ += messages;
+  total_recv_words_ += words;
+  ++version_;
+}
+
+void LoadProfile::add_flow(VertexId src, VertexId dst, std::uint64_t messages,
+                           std::uint64_t words) {
+  add_sent(src, messages, words);
+  add_received(dst, messages, words);
+  if (track_links_) add_link(src, dst, messages);
+}
+
+void LoadProfile::add_broadcast(VertexId src, std::uint64_t messages,
+                                std::uint64_t words) {
+  const std::uint64_t fanout = n_ > 0 ? n_ - 1 : 0;
+  sent_msgs_[src] += messages * fanout;
+  sent_words_[src] += words * fanout;
+  total_sent_msgs_ += messages * fanout;
+  total_sent_words_ += words * fanout;
+  for (VertexId v = 0; v < n_; ++v) {
+    if (v == src) continue;
+    recv_msgs_[v] += messages;
+    recv_words_[v] += words;
+    if (track_links_)
+      links_[static_cast<std::size_t>(src) * n_ + v] += messages;
+  }
+  total_recv_msgs_ += messages * fanout;
+  total_recv_words_ += words * fanout;
+  ++version_;
+}
+
+void LoadProfile::add_link(VertexId src, VertexId dst,
+                           std::uint64_t messages) {
+  links_[static_cast<std::size_t>(src) * n_ + dst] += messages;
+  ++version_;
+}
+
+void LoadProfile::record_round(std::uint64_t round, std::uint64_t messages,
+                               std::uint64_t max_link) {
+  records_.push_back({round, 1, messages, max_link});
+  max_link_ = std::max(max_link_, max_link);
+  ++version_;
+}
+
+void LoadProfile::record_silent(std::uint64_t round, std::uint64_t span) {
+  records_.push_back({round, span, 0, 0});
+  ++version_;
+}
+
+void LoadProfile::record_absorbed(std::uint64_t round, const Metrics& sub) {
+  records_.push_back({round, sub.rounds, sub.messages, 0});
+  absorbed_rounds_ += sub.rounds;
+  absorbed_messages_ += sub.messages;
+  absorbed_words_ += sub.words;
+  ++version_;
+}
+
+std::size_t LoadProfile::checkpoint() {
+  if (!checkpoints_.empty() && checkpoints_.back().version == version_)
+    return checkpoints_.size() - 1;
+  checkpoints_.push_back({version_, records_.size(), sent_msgs_, recv_msgs_});
+  return checkpoints_.size() - 1;
+}
+
+std::string load_env_path() {
+  const char* path = std::getenv("CLIQUE_LOAD");
+  return path ? std::string{path} : std::string{};
+}
+
+}  // namespace ccq

@@ -1,0 +1,197 @@
+// Congestion profiling: per-node / per-link load accounting for the
+// congested-clique engine.
+//
+// The paper's bounds are *per-link, per-round* claims — every ordered link
+// carries O(log n) bits per round — and the message-efficient results rely
+// on keeping per-node load balanced enough for Lenzen-style routing. The
+// engine's Metrics are four global counters; a LoadProfile (attached via
+// CliqueEngine::set_load_profile, sibling of Trace) adds the distribution
+// axis: cumulative per-node sent/received message and word counters, a
+// per-record max-link occupancy, and — opt-in, O(n^2) memory — a dense
+// n x n sent-message link matrix.
+//
+// Design constraints mirror clique/trace.hpp, in order:
+//   - zero overhead when detached: no profile attached -> one null check
+//     per round plus loop-invariant branches in the shard fill;
+//   - deterministic: every recorded quantity derives from the delivered
+//     messages, merged in a fixed order, so serial and parallel engines
+//     produce identical profiles (pinned by tests/load_profile_test.cpp);
+//   - conservative: with a profile attached, sum(sent) == sum(received) ==
+//     Metrics::messages - absorbed_messages (absorbed virtual sub-instances
+//     have no per-node attribution in the parent; see record_absorbed), and
+//     likewise for words;
+//   - allocation-frugal: counters are flat vectors sized once at bind;
+//     per-round records append to one flat vector.
+//
+// The profile is filled from two directions:
+//   - the generic round path: CliqueEngine::round_of_arena merges
+//     worker-local tallies (per-sender message/word counts, per-destination
+//     word sums, per-link maxima) on the driver thread after the
+//     deterministic shard merge — received message counts are read off the
+//     arena's counting-sort offsets, so the hot path gains no extra pass;
+//   - fast paths: comm/primitives and comm/routing attribute their fixed
+//     schedules directly; algorithm modules attribute their
+//     charge_verified_round sites through the engine's attribute_load /
+//     attribute_broadcast wrappers (they never touch the profile itself —
+//     cliquelint CL006 confines the mutation API below to src/clique and
+//     src/comm, mirroring CL002/CL005).
+//
+// Like traces, profiles are driver-thread-only and not thread-safe.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "clique/metrics.hpp"
+#include "graph/graph.hpp"
+
+namespace ccq {
+
+/// One accounting record, 1:1 with the engine's charged rounds (and with
+/// the attached Trace's records, if both sinks are attached — the NDJSON
+/// exporter aligns them by index). Normal rounds have span == 1;
+/// skip_silent_rounds and absorb_virtual mirror their Trace counterparts.
+struct LoadRound {
+  std::uint64_t round{0};     ///< engine round counter after this record
+  std::uint64_t span{1};      ///< rounds covered by the record
+  std::uint64_t messages{0};  ///< messages across the span
+  /// Max messages on any one ordered link in this record. Exact for generic
+  /// rounds (counted against each sender's per-destination budget use);
+  /// for fast-path rounds it is the schedule's budget bound
+  /// min(messages_per_link, messages) — see "Load accounting" in
+  /// docs/MODEL.md. Zero for silent and absorbed records.
+  std::uint64_t max_link{0};
+};
+
+/// Snapshot of the cumulative per-node message counters, taken at trace
+/// scope boundaries so the exporter can compute per-scope skew statistics.
+/// Consecutive checkpoints with no traffic in between are deduplicated via
+/// the profile's version counter.
+struct LoadCheckpoint {
+  std::uint64_t version{0};      ///< profile version at snapshot time
+  std::size_t record_index{0};   ///< records() size at snapshot time
+  std::vector<std::uint64_t> sent_messages;
+  std::vector<std::uint64_t> recv_messages;
+};
+
+/// A per-node load accounting sink for one engine. Attach with
+/// engine.set_load_profile(&profile); export (with an attached Trace) via
+/// clique/trace_export's schema 2. Must outlive its attachment.
+class LoadProfile {
+ public:
+  LoadProfile() = default;
+  LoadProfile(const LoadProfile&) = delete;
+  LoadProfile& operator=(const LoadProfile&) = delete;
+
+  std::uint32_t n() const { return n_; }
+  std::uint32_t budget() const { return budget_; }
+
+  std::span<const std::uint64_t> sent_messages() const { return sent_msgs_; }
+  std::span<const std::uint64_t> sent_words() const { return sent_words_; }
+  std::span<const std::uint64_t> recv_messages() const { return recv_msgs_; }
+  std::span<const std::uint64_t> recv_words() const { return recv_words_; }
+  std::span<const LoadRound> records() const { return records_; }
+  const std::vector<LoadCheckpoint>& checkpoints() const {
+    return checkpoints_;
+  }
+
+  std::uint64_t total_sent_messages() const { return total_sent_msgs_; }
+  std::uint64_t total_sent_words() const { return total_sent_words_; }
+  std::uint64_t total_recv_messages() const { return total_recv_msgs_; }
+  std::uint64_t total_recv_words() const { return total_recv_words_; }
+  /// Running maximum single-link occupancy over every record (see
+  /// LoadRound::max_link for exactness).
+  std::uint64_t max_link() const { return max_link_; }
+  /// Aggregates of absorbed virtual sub-instances (absorb_virtual): their
+  /// traffic has no per-node attribution in this profile, so conservation
+  /// holds against Metrics::messages - absorbed_messages().
+  std::uint64_t absorbed_rounds() const { return absorbed_rounds_; }
+  std::uint64_t absorbed_messages() const { return absorbed_messages_; }
+  std::uint64_t absorbed_words() const { return absorbed_words_; }
+
+  /// Opt-in dense n x n link matrix of sent message counts (row = src,
+  /// column = dst, row-major). O(n^2) memory and one extra pass per generic
+  /// round — meant for small n. Enable before traffic flows.
+  void set_track_links(bool on);
+  bool tracks_links() const { return track_links_; }
+  std::span<const std::uint64_t> links() const { return links_; }
+  std::uint64_t link(VertexId src, VertexId dst) const {
+    return links_[static_cast<std::size_t>(src) * n_ + dst];
+  }
+
+  /// The k nodes with the largest sent+received message totals, ties broken
+  /// by smaller id (deterministic).
+  std::vector<VertexId> hottest_nodes(std::size_t k) const;
+
+  /// Drop all counters, records and checkpoints; keeps the binding (n,
+  /// budget, link tracking).
+  void clear();
+
+  /// --- Engine/comm integration (cliquelint CL006: the methods below are
+  /// --- callable only from src/clique and src/comm) ---
+  /// Bind to an engine's shape. Called by set_load_profile. Rebinding with
+  /// a different shape requires an empty profile.
+  void bind_engine(std::uint32_t n, std::uint32_t messages_per_link);
+  /// Bulk attribution halves (the generic round path merges per-sender and
+  /// per-destination tallies separately).
+  void add_sent(VertexId src, std::uint64_t messages, std::uint64_t words);
+  void add_received(VertexId dst, std::uint64_t messages,
+                    std::uint64_t words);
+  /// One logical flow src -> dst: charges both endpoints (and the link
+  /// matrix when tracking). Fast paths call this per (src, dst) pair,
+  /// mirroring their observe() audit loops.
+  void add_flow(VertexId src, VertexId dst, std::uint64_t messages,
+                std::uint64_t words);
+  /// src -> every other node, `messages` messages of `words` payload words
+  /// per link (the broadcast fast paths; O(n) instead of n-1 add_flow
+  /// calls).
+  void add_broadcast(VertexId src, std::uint64_t messages,
+                     std::uint64_t words);
+  /// Link-matrix-only increment (the generic round path accounts sent/
+  /// received in bulk and replays the arena only when tracking links).
+  void add_link(VertexId src, VertexId dst, std::uint64_t messages);
+  /// Record one charged round / silent span / absorbed sub-instance —
+  /// called at exactly the points the engine reports to an attached Trace,
+  /// keeping the two record vectors index-aligned.
+  void record_round(std::uint64_t round, std::uint64_t messages,
+                    std::uint64_t max_link);
+  void record_silent(std::uint64_t round, std::uint64_t span);
+  void record_absorbed(std::uint64_t round, const Metrics& sub);
+  /// Snapshot the per-node message counters (trace scope boundaries);
+  /// returns the checkpoint index. Back-to-back checkpoints with no
+  /// intervening traffic return the same index.
+  std::size_t checkpoint();
+
+ private:
+  std::uint32_t n_{0};
+  std::uint32_t budget_{0};
+  bool track_links_{false};
+  std::uint64_t version_{0};  ///< bumped by every mutation (checkpoint dedup)
+
+  std::vector<std::uint64_t> sent_msgs_;
+  std::vector<std::uint64_t> sent_words_;
+  std::vector<std::uint64_t> recv_msgs_;
+  std::vector<std::uint64_t> recv_words_;
+  std::vector<std::uint64_t> links_;  // row-major n*n, only when tracking
+
+  std::uint64_t total_sent_msgs_{0};
+  std::uint64_t total_sent_words_{0};
+  std::uint64_t total_recv_msgs_{0};
+  std::uint64_t total_recv_words_{0};
+  std::uint64_t max_link_{0};
+  std::uint64_t absorbed_rounds_{0};
+  std::uint64_t absorbed_messages_{0};
+  std::uint64_t absorbed_words_{0};
+
+  std::vector<LoadRound> records_;
+  std::vector<LoadCheckpoint> checkpoints_;
+};
+
+/// Value of the CLIQUE_LOAD environment variable (the conventional "write
+/// my load profile here" knob, sibling of CLIQUE_TRACE — see README), or
+/// empty when unset.
+std::string load_env_path();
+
+}  // namespace ccq

@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "clique/engine.hpp"
+#include "clique/load_profile.hpp"
 #include "util/clock.hpp"
 #include "util/error.hpp"
 
@@ -19,6 +20,11 @@ void Trace::bind_engine(const Metrics* live, std::uint32_t n) {
   check(stack_.empty(), "Trace::bind_engine: scopes still open");
   live_ = live;
   n_ = n;
+}
+
+void Trace::bind_load_profile(LoadProfile* profile) {
+  check(stack_.empty(), "Trace::bind_load_profile: scopes still open");
+  profile_ = profile;
 }
 
 void Trace::record_round(std::uint64_t round, std::uint64_t messages,
@@ -55,6 +61,7 @@ std::size_t Trace::open_scope(std::string_view segment) {
   event.silent_rounds = silent_total_;  // entry snapshot; diffed at close
   event.wall_ns = monotonic_ns();       // entry snapshot; diffed at close
   event.round_begin = rounds_.size();
+  if (profile_) event.load_begin = profile_->checkpoint();
   const std::size_t index = events_.size();
   events_.push_back(std::move(event));
   stack_.push_back(index);
@@ -70,6 +77,7 @@ void Trace::close_scope(std::size_t event_index) {
   event.silent_rounds = silent_total_ - event.silent_rounds;
   event.wall_ns = monotonic_ns() - event.wall_ns;
   event.round_end = rounds_.size();
+  if (profile_) event.load_end = profile_->checkpoint();
   std::uint64_t peak = 0;
   for (std::size_t i = event.round_begin; i < event.round_end; ++i)
     peak = std::max(peak, rounds_[i].peak);

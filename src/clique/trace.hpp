@@ -42,6 +42,12 @@
 namespace ccq {
 
 class CliqueEngine;
+class LoadProfile;
+
+/// Sentinel for TraceEvent::load_begin/load_end when no LoadProfile was
+/// attached while the scope was open.
+inline constexpr std::size_t kNoLoadCheckpoint =
+    static_cast<std::size_t>(-1);
 
 /// One accounting record reported by the engine. Normal rounds have
 /// span == 1 and peak == messages. skip_silent_rounds(k) reports one
@@ -72,6 +78,12 @@ struct TraceEvent {
                               ///< only; excluded from canonical NDJSON)
   std::size_t round_begin{0};  ///< window [round_begin, round_end) into
   std::size_t round_end{0};    ///< the trace's flat round-record vector
+  /// LoadProfile checkpoint indices at scope entry/exit (only when a
+  /// profile was bound via the engine — see Trace::bind_load_profile);
+  /// kNoLoadCheckpoint otherwise. The exporter diffs the two snapshots
+  /// into per-scope skew statistics.
+  std::size_t load_begin{kNoLoadCheckpoint};
+  std::size_t load_end{kNoLoadCheckpoint};
   bool closed{false};
 
   /// Counter delta over the window (has_peak == false; use
@@ -103,9 +115,16 @@ class Trace {
   /// Drop all events and records; keeps capacity and the engine binding.
   void clear();
 
+  /// The load profile scope checkpoints are taken against (may be null).
+  const LoadProfile* load_profile() const { return profile_; }
+
   /// --- Engine integration (CliqueEngine only; cliquelint CL005) ---
   /// Bind the live counters this trace snapshots. Called by set_trace.
   void bind_engine(const Metrics* live, std::uint32_t n);
+  /// Bind the engine's load profile (may be null) so scope boundaries
+  /// checkpoint the per-node counters. Called by set_trace /
+  /// set_load_profile.
+  void bind_load_profile(LoadProfile* profile);
   /// Record one charged round (or a span of rounds, see TraceRound).
   void record_round(std::uint64_t round, std::uint64_t messages,
                     std::uint64_t words);
@@ -121,6 +140,7 @@ class Trace {
   void close_scope(std::size_t event_index);
 
   const Metrics* live_{nullptr};
+  LoadProfile* profile_{nullptr};
   std::uint32_t n_{0};
   std::uint64_t silent_total_{0};
   std::vector<TraceEvent> events_;   // in opening order

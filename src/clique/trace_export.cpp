@@ -1,5 +1,7 @@
 #include "clique/trace_export.hpp"
 
+#include <algorithm>
+#include <cmath>
 #include <cstdio>
 #include <cstdlib>
 #include <fstream>
@@ -7,6 +9,7 @@
 #include <sstream>
 #include <vector>
 
+#include "clique/load_profile.hpp"
 #include "util/error.hpp"
 
 namespace ccq {
@@ -57,6 +60,84 @@ void emit_string(std::ostream& out, std::string_view s) {
   out << '"';
 }
 
+/// Fixed 4-decimal formatting: the only non-integer fields in schema 2.
+/// snprintf on a double is deterministic for a deterministic value, so the
+/// byte-identical guarantee survives.
+void emit_fixed(std::ostream& out, double value) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%.4f", value);
+  out << buf;
+}
+
+/// Skew statistics of one per-node load delta vector. Percentiles use the
+/// nearest-rank method on a sorted copy; imbalance is max/mean (1.0 =
+/// perfectly balanced, 0 when there is no load at all).
+struct SkewStats {
+  std::uint64_t max{0};
+  double mean{0.0};
+  std::uint64_t p50{0};
+  std::uint64_t p99{0};
+  double imbalance{0.0};
+};
+
+SkewStats skew_stats(std::vector<std::uint64_t> loads) {
+  SkewStats s;
+  if (loads.empty()) return s;
+  std::sort(loads.begin(), loads.end());
+  s.max = loads.back();
+  std::uint64_t total = 0;
+  for (const std::uint64_t v : loads) total += v;
+  s.mean = static_cast<double>(total) / static_cast<double>(loads.size());
+  const auto rank = [&](double p) {
+    const auto idx = static_cast<std::size_t>(
+        std::max(1.0, std::ceil(p * static_cast<double>(loads.size()))));
+    return loads[idx - 1];
+  };
+  s.p50 = rank(0.50);
+  s.p99 = rank(0.99);
+  s.imbalance = s.mean > 0.0 ? static_cast<double>(s.max) / s.mean : 0.0;
+  return s;
+}
+
+void emit_skew(std::ostream& out, const char* prefix, const SkewStats& s) {
+  out << ",\"" << prefix << "_max\":" << s.max << ",\"" << prefix
+      << "_mean\":";
+  emit_fixed(out, s.mean);
+  out << ",\"" << prefix << "_p50\":" << s.p50 << ",\"" << prefix
+      << "_p99\":" << s.p99 << ",\"" << prefix << "_imbalance\":";
+  emit_fixed(out, s.imbalance);
+}
+
+/// Per-node delta between two profile checkpoints.
+std::vector<std::uint64_t> checkpoint_delta(
+    const std::vector<std::uint64_t>& begin,
+    const std::vector<std::uint64_t>& end) {
+  std::vector<std::uint64_t> delta(end.size(), 0);
+  for (std::size_t v = 0; v < end.size(); ++v) delta[v] = end[v] - begin[v];
+  return delta;
+}
+
+/// Bandwidth utilization of a record window: charged messages divided by
+/// the capacity of the charged (span == 1) rounds, n*(n-1)*budget messages
+/// each. Silent spans and absorbed sub-instances are excluded — they have
+/// no per-round schedule here.
+double window_util(std::span<const LoadRound> records, std::uint32_t n,
+                   std::uint32_t budget) {
+  std::uint64_t charged_rounds = 0;
+  std::uint64_t charged_messages = 0;
+  for (const LoadRound& r : records) {
+    if (r.span != 1) continue;
+    ++charged_rounds;
+    charged_messages += r.messages;
+  }
+  if (charged_rounds == 0 || n < 2) return 0.0;
+  const double capacity = static_cast<double>(charged_rounds) *
+                          static_cast<double>(n) *
+                          static_cast<double>(n - 1) *
+                          static_cast<double>(budget);
+  return static_cast<double>(charged_messages) / capacity;
+}
+
 }  // namespace
 
 void write_trace_ndjson(const Trace& trace, std::ostream& out,
@@ -64,6 +145,31 @@ void write_trace_ndjson(const Trace& trace, std::ostream& out,
   check(trace.open_scopes() == 0,
         "write_trace_ndjson: trace has open scopes; close every TraceScope "
         "before exporting");
+  const LoadProfile* load = trace.load_profile();
+  const int schema = load ? 2 : 1;
+  if (load) {
+    // The load records must be 1:1 with the trace records (both sinks are
+    // fed at the same engine points) — otherwise the profile was attached
+    // for a different window than the trace and per-scope alignment below
+    // would silently lie.
+    check(load->records().size() == trace.rounds().size(),
+          "write_trace_ndjson: LoadProfile and Trace record counts differ — "
+          "attach both sinks for the same engine lifetime (and clear them "
+          "together)");
+    for (std::size_t i = 0; i < trace.rounds().size(); ++i) {
+      const TraceRound& t = trace.rounds()[i];
+      const LoadRound& l = load->records()[i];
+      check(t.round == l.round && t.span == l.span &&
+                t.messages == l.messages,
+            "write_trace_ndjson: LoadProfile and Trace records disagree — "
+            "the two sinks saw different engine activity");
+    }
+  }
+  if (options.include_link_matrix)
+    check(load != nullptr && load->tracks_links(),
+          "write_trace_ndjson: include_link_matrix requires a bound "
+          "LoadProfile with set_track_links(true)");
+
   // Header: totals over every record the engine reported while attached.
   std::uint64_t total_rounds = 0;
   std::uint64_t total_messages = 0;
@@ -73,11 +179,33 @@ void write_trace_ndjson(const Trace& trace, std::ostream& out,
     total_messages += r.messages;
     total_words += r.words;
   }
-  out << "{\"type\":\"trace\",\"schema\":1,\"n\":" << trace.engine_n()
+  out << "{\"type\":\"trace\",\"schema\":" << schema
+      << ",\"n\":" << trace.engine_n()
       << ",\"events\":" << trace.events().size()
       << ",\"records\":" << trace.rounds().size()
       << ",\"rounds\":" << total_rounds << ",\"messages\":" << total_messages
       << ",\"words\":" << total_words << "}\n";
+
+  if (load) {
+    out << "{\"type\":\"load_summary\",\"budget\":" << load->budget()
+        << ",\"sent_messages\":" << load->total_sent_messages()
+        << ",\"sent_words\":" << load->total_sent_words()
+        << ",\"recv_messages\":" << load->total_recv_messages()
+        << ",\"recv_words\":" << load->total_recv_words()
+        << ",\"max_link\":" << load->max_link()
+        << ",\"absorbed_rounds\":" << load->absorbed_rounds()
+        << ",\"absorbed_messages\":" << load->absorbed_messages()
+        << ",\"util\":";
+    emit_fixed(out,
+               window_util(load->records(), load->n(), load->budget()));
+    std::vector<std::uint64_t> sent(load->sent_messages().begin(),
+                                    load->sent_messages().end());
+    std::vector<std::uint64_t> recv(load->recv_messages().begin(),
+                                    load->recv_messages().end());
+    emit_skew(out, "sent", skew_stats(std::move(sent)));
+    emit_skew(out, "recv", skew_stats(std::move(recv)));
+    out << "}\n";
+  }
 
   for (std::size_t seq = 0; seq < trace.events().size(); ++seq) {
     const TraceEvent& e = trace.events()[seq];
@@ -123,13 +251,56 @@ void write_trace_ndjson(const Trace& trace, std::ostream& out,
           << ",\"absorbed_messages\":" << absorbed_messages;
     if (options.include_wall_time) out << ",\"wall_ns\":" << e.wall_ns;
     out << "}\n";
+
+    // Schema 2: the scope's load line — skew statistics of the per-node
+    // message deltas between the entry/exit checkpoints, the window's peak
+    // link occupancy, and its bandwidth utilization. Scopes opened before
+    // the profile was bound carry no checkpoints and get no load line.
+    if (load && e.load_begin != kNoLoadCheckpoint &&
+        e.load_end != kNoLoadCheckpoint) {
+      const LoadCheckpoint& begin = load->checkpoints()[e.load_begin];
+      const LoadCheckpoint& end = load->checkpoints()[e.load_end];
+      out << "{\"type\":\"load\",\"seq\":" << seq << ",\"path\":";
+      emit_string(out, e.path);
+      emit_skew(out, "sent",
+                skew_stats(checkpoint_delta(begin.sent_messages,
+                                            end.sent_messages)));
+      emit_skew(out, "recv",
+                skew_stats(checkpoint_delta(begin.recv_messages,
+                                            end.recv_messages)));
+      std::uint64_t peak_link = 0;
+      const auto window = load->records().subspan(
+          e.round_begin, e.round_end - e.round_begin);
+      for (const LoadRound& r : window)
+        peak_link = std::max(peak_link, r.max_link);
+      out << ",\"peak_link\":" << peak_link << ",\"util\":";
+      emit_fixed(out, window_util(window, load->n(), load->budget()));
+      out << "}\n";
+    }
+  }
+
+  if (options.include_link_matrix) {
+    out << "{\"type\":\"link_matrix\",\"n\":" << load->n() << ",\"rows\":[";
+    for (std::uint32_t src = 0; src < load->n(); ++src) {
+      if (src > 0) out << ",";
+      out << "[";
+      for (std::uint32_t dst = 0; dst < load->n(); ++dst) {
+        if (dst > 0) out << ",";
+        out << load->link(src, dst);
+      }
+      out << "]";
+    }
+    out << "]}\n";
   }
 
   if (options.include_rounds) {
-    for (const TraceRound& r : trace.rounds()) {
+    for (std::size_t i = 0; i < trace.rounds().size(); ++i) {
+      const TraceRound& r = trace.rounds()[i];
       out << "{\"type\":\"round\",\"round\":" << r.round
           << ",\"span\":" << r.span << ",\"messages\":" << r.messages
-          << ",\"words\":" << r.words << "}\n";
+          << ",\"words\":" << r.words;
+      if (load) out << ",\"max_link\":" << load->records()[i].max_link;
+      out << "}\n";
     }
   }
 }

@@ -8,6 +8,16 @@
 // this. Wall time is the single nondeterministic field a trace holds and
 // is therefore opt-in (include_wall_time), never part of the canonical
 // output.
+//
+// Schema 2 (emitted automatically when the trace's engine also carried a
+// LoadProfile — see clique/load_profile.hpp): the header says "schema":2
+// and is followed by a "load_summary" line (global per-node totals, peak
+// link occupancy, bandwidth utilization), one "load" line per scope with
+// skew statistics (max/mean/p50/p99/imbalance of the per-node sent and
+// received message deltas), and — opt-in, small n — a dense "link_matrix"
+// line. A trace exported with no profile bound emits byte-identical
+// schema-1 output, unchanged from before the profiler existed
+// (tests/load_profile_test.cpp pins this).
 #pragma once
 
 #include <iosfwd>
@@ -23,6 +33,10 @@ struct TraceExportOptions {
   bool include_wall_time{false};
   /// Emit one "round" line per engine accounting record after the scopes.
   bool include_rounds{false};
+  /// Schema 2 only: emit the dense n x n "link_matrix" line. Requires the
+  /// bound LoadProfile to have link tracking enabled
+  /// (LoadProfile::set_track_links). Off by default — O(n^2) output.
+  bool include_link_matrix{false};
 };
 
 /// Write the trace as NDJSON. Requires every scope to be closed.

@@ -54,6 +54,7 @@ std::uint64_t broadcast_from(CliqueEngine& engine, VertexId src,
     remaining_words -= w;
   }
   observe_to_all(engine, src, msgs_per_link);
+  engine.attribute_broadcast(src, msgs_per_link, words.size());
   return rounds;
 }
 
@@ -78,6 +79,7 @@ std::uint64_t broadcast_all(CliqueEngine& engine,
     total_msgs += msgs * n_minus_1;
     total_words += value_of_sender[i].size() * n_minus_1;
     observe_to_all(engine, senders[i], msgs);
+    engine.attribute_broadcast(senders[i], msgs, value_of_sender[i].size());
   }
   // Spread the charge evenly over the rounds (the schedule sends batch r of
   // every sender in round r).
@@ -110,6 +112,13 @@ std::uint64_t spray_broadcast(CliqueEngine& engine, VertexId owner,
       engine.observe(owner, helper);
     }
   }
+  if (engine.wants_load()) {
+    VertexId helper = 0;
+    for (std::size_t i = 0; i < items.size(); ++i, ++helper) {
+      if (helper == owner) ++helper;
+      engine.attribute_load(owner, helper, 1, items[i].size());
+    }
+  }
   // Round 2: each helper broadcasts its item to all n-1 others.
   const std::uint64_t n_minus_1 = engine.n() - 1;
   engine.charge_verified_round(items.size() * n_minus_1,
@@ -119,6 +128,13 @@ std::uint64_t spray_broadcast(CliqueEngine& engine, VertexId owner,
     for (std::size_t i = 0; i < items.size(); ++i, ++helper) {
       if (helper == owner) ++helper;
       observe_to_all(engine, helper, 1);
+    }
+  }
+  if (engine.wants_load()) {
+    VertexId helper = 0;
+    for (std::size_t i = 0; i < items.size(); ++i, ++helper) {
+      if (helper == owner) ++helper;
+      engine.attribute_broadcast(helper, 1, items[i].size());
     }
   }
   return 2;
@@ -131,6 +147,9 @@ void resolve_ids_kt0(CliqueEngine& engine) {
   engine.charge_verified_round(n * (n - 1), n * (n - 1));
   if (engine.has_observer())
     for (VertexId u = 0; u < n; ++u) observe_to_all(engine, u, 1);
+  if (engine.wants_load())
+    // Every node broadcasts its one-word ID to everyone else.
+    for (VertexId u = 0; u < n; ++u) engine.attribute_broadcast(u, 1, 1);
 }
 
 }  // namespace ccq

@@ -5,6 +5,7 @@
 #include <numeric>
 #include <unordered_map>
 
+#include "clique/load_profile.hpp"
 #include "clique/trace.hpp"
 #include "util/error.hpp"
 
@@ -285,6 +286,20 @@ void route_packets_into(CliqueEngine& engine,
             static_cast<VertexId>(color[e] % n);
         engine.observe(edges[e].first, relay);
         engine.observe(relay, edges[e].second);
+      }
+    }
+    // Per-hop load attribution, mirroring the observer replay above: hop 1
+    // carries the payload plus the one-word destination header, hop 2 the
+    // payload alone, summing to the charged batch totals. The profile
+    // pointer is hoisted out of the per-edge loop (this is the hot
+    // attribution site that justifies src/comm's slot in CL006's
+    // allowlist).
+    if (LoadProfile* load = engine.load_profile()) {
+      for (std::size_t e = 0; e < edges.size(); ++e) {
+        const VertexId relay = static_cast<VertexId>(color[e] % n);
+        const std::uint64_t payload = packets[packet_of_edge[e]].msg.count;
+        load->add_flow(edges[e].first, relay, 1, payload + 1);
+        load->add_flow(relay, edges[e].second, 1, payload);
       }
     }
     local.rounds = 2 * batches + kScheduleRounds;

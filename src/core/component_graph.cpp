@@ -52,6 +52,7 @@ ComponentGraph build_impl(CliqueEngine& engine,
       // real message u -> foreign_leader.
       ++message_count;
       engine.observe(u, foreign_leader);
+      engine.attribute_load(u, foreign_leader, 1, 3);
       const auto key = component_pair(leader_of[u], foreign_leader);
       const auto it = out.witness.find(key);
       if (it == out.witness.end() || edge.key() < it->second.key())

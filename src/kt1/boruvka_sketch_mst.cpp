@@ -93,6 +93,13 @@ BoruvkaSketchResult boruvka_sketch_mst(CliqueEngine& engine,
         if (engine.has_observer())
           for (VertexId m : list)
             if (m != leader) engine.observe(leader, m);
+        if (engine.wants_load())
+          // Seed rounds are charged with zero payload words (the seed words
+          // are accounted by the caller's word budget, not per message), so
+          // the attribution carries zero words too.
+          for (VertexId m : list)
+            if (m != leader)
+              engine.attribute_load(leader, m, messages_for(seed_words), 0);
       }
       const std::uint64_t seed_rounds = rounds_for_link_words(seed_words);
       for (std::uint64_t r = 0; r < seed_rounds; ++r)
@@ -143,6 +150,7 @@ BoruvkaSketchResult boruvka_sketch_mst(CliqueEngine& engine,
           if (v != leader) {
             sketch_messages += messages_for(sketch_words);
             if (engine.has_observer()) engine.observe(v, leader);
+            engine.attribute_load(v, leader, messages_for(sketch_words), 0);
           }
         }
         summed[leader] = sum;
@@ -178,7 +186,11 @@ BoruvkaSketchResult boruvka_sketch_mst(CliqueEngine& engine,
         if (label[inside] != leader) continue;
         // Weight query to the in-component endpoint + reply (2 messages
         // unless the leader is itself an endpoint).
-        if (inside != leader) control_messages += 2;
+        if (inside != leader) {
+          control_messages += 2;
+          engine.attribute_load(leader, inside, 1, 1);
+          engine.attribute_load(inside, leader, 1, 1);
+        }
         const WeightedEdge candidate{e.u, e.v, *w};
         if (!best.at(leader) || weight_less(candidate, *best.at(leader)))
           best[leader] = candidate;
@@ -187,6 +199,9 @@ BoruvkaSketchResult boruvka_sketch_mst(CliqueEngine& engine,
         if (engine.has_observer())
           for (VertexId m : list)
             if (m != leader) engine.observe(leader, m);
+        if (engine.wants_load())
+          for (VertexId m : list)
+            if (m != leader) engine.attribute_load(leader, m, 1, 1);
       }
       engine.charge_verified_round(control_messages, control_messages);
       engine.charge_verified_round(0, 0);  // reply leg of the weight query
@@ -225,6 +240,14 @@ BoruvkaSketchResult boruvka_sketch_mst(CliqueEngine& engine,
     // ping so leaders know their rosters (1 round).
     engine.charge_verified_round(n - 1, n - 1);
     engine.charge_verified_round(n - 1, 0);
+    engine.attribute_broadcast(coordinator, 1, 1);
+    if (engine.wants_load())
+      // Membership pings: leaders report to v*, members to their leader —
+      // n-1 zero-payload messages either way.
+      for (VertexId v = 0; v < n; ++v)
+        if (v != coordinator)
+          engine.attribute_load(v, label[v] == v ? coordinator : label[v], 1,
+                                0);
   }
 
   // Sanity: the Monte Carlo threshold search must have found true MWOEs;

@@ -52,6 +52,12 @@ ClockCodingResult clock_coding_gc(CliqueEngine& engine, const Graph& g) {
       engine.charge_verified_round(count, count);
       ++now;
     }
+    // Load attribution: every non-leader sends exactly one one-bit message
+    // to the leader across the whole encode, whichever round its code
+    // lands in — summing to the (n-1, n-1) charged above.
+    if (engine.wants_load())
+      for (VertexId u = 0; u < n; ++u)
+        if (u != leader) engine.attribute_load(u, leader, 1, 1);
   }
   result.messages = n;  // n one-bit inputs (leader's own is local)
 
@@ -70,6 +76,7 @@ ClockCodingResult clock_coding_gc(CliqueEngine& engine, const Graph& g) {
   {
     TraceScope step{engine, "answer-broadcast"};
     engine.charge_verified_round(n - 1, n - 1);  // 1-bit answer broadcast
+    engine.attribute_broadcast(leader, 1, 1);
   }
   result.messages += n - 1;
   result.virtual_rounds = engine.metrics().rounds;

@@ -149,6 +149,11 @@ Phase run_phase(CliqueEngine& engine, const CliqueWeights& w,
           for (const auto& [leader, list] : members)
             if (leader != cluster_of[u] && leader != u)
               engine.observe(u, leader);
+      if (engine.wants_load())
+        for (VertexId u = 0; u < n; ++u)
+          for (const auto& [leader, list] : members)
+            if (leader != cluster_of[u] && leader != u)
+              engine.attribute_load(u, leader, 1, 3);
     }
     // (In the all-singleton phase each "leader" is the node itself and knows
     // its incident weights locally; R1 would be n(n-1) redundant messages.)
@@ -190,10 +195,12 @@ Phase run_phase(CliqueEngine& engine, const CliqueWeights& w,
         if (member != leader) {
           ++relay_hops;
           engine.observe(leader, member);
+          engine.attribute_load(leader, member, 1, 4);
         }
         if (member != coordinator) {
           ++relay_hops;
           engine.observe(member, coordinator);
+          engine.attribute_load(member, coordinator, 1, 4);
         }
       }
     }

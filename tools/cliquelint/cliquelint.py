@@ -32,6 +32,17 @@ checks the rules that the compiler cannot:
                        a stray record_* from an algorithm module would let a
                        trace disagree with the engine's Metrics, breaking the
                        traced == untraced guarantee docs/TRACING.md promises.
+  CL006  load         Congestion-profile state (clique/load_profile) is
+                       mutated only inside src/clique and src/comm (the comm
+                       layer attributes its routing schedules directly, with
+                       the profile pointer hoisted out of per-edge loops).
+                       Algorithm modules attribute their fast-path charges
+                       through the engine's attribute_load /
+                       attribute_broadcast wrappers; a direct LoadProfile
+                       write from an algorithm module could break the
+                       conservation identity (sum sent == sum received ==
+                       Metrics::messages) that tests/load_profile_test.cpp
+                       certifies.
 
 CL001's allowlist also contains src/util/clock: the one audited wall-clock
 source (TraceScope wall-time snapshots). Wall time never reaches model
@@ -91,6 +102,18 @@ TRACE_MUTATION = re.compile(
 # an unrelated struct does not fire. Substring match (not \b-anchored) so
 # decorated names like trace_ and phase_trace still count.
 TRACE_RECEIVER = re.compile(r"trace", re.IGNORECASE)
+
+LOAD_ALLOWED = ("src/clique/", "src/comm/")
+LOAD_MUTATION = re.compile(
+    r"(?:\.|->)\s*(bind_engine|add_sent|add_received|add_flow|"
+    r"add_broadcast|add_link|record_round|record_silent|record_absorbed|"
+    r"checkpoint)\s*\(")
+# Receiver heuristic, mirroring CL002/CL005: the expression must reference a
+# load-profile object (profile_, engine.load_profile(), a LoadProfile&
+# alias). Method names overlap CL005's record_* family on purpose — the
+# receiver regexes ("trace" vs "load|profile") disambiguate which rule a
+# given call belongs to.
+LOAD_RECEIVER = re.compile(r"load|profile", re.IGNORECASE)
 
 PACKING_ALLOWED = ("src/sketch/wire",)
 PACKING_PATTERNS = [
@@ -256,6 +279,7 @@ def lint_file(rel: str, text: str) -> list[Violation]:
     packing_ok = _under(rel, PACKING_ALLOWED)
     metrics_ok = _under(rel, METRICS_ALLOWED)
     trace_ok = _under(rel, TRACE_ALLOWED)
+    load_ok = _under(rel, LOAD_ALLOWED)
     for lineno, line in enumerate(code_lines, 1):
         if not nondet_ok:
             for pat, what in NONDET_PATTERNS:
@@ -281,6 +305,16 @@ def lint_file(rel: str, text: str) -> list[Violation]:
                     f"Trace method '{m.group(1)}' called outside src/clique: "
                     "algorithm modules attribute cost through RAII "
                     "TraceScope objects, never by writing trace records "
+                    "directly"))
+        if not load_ok:
+            m = LOAD_MUTATION.search(line)
+            if m and LOAD_RECEIVER.search(line[:m.end()]):
+                violations.append(Violation(
+                    rel, lineno, "CL006",
+                    f"LoadProfile method '{m.group(1)}' called outside "
+                    "src/clique|src/comm: algorithm modules attribute load "
+                    "through CliqueEngine::attribute_load / "
+                    "attribute_broadcast, never by writing the profile "
                     "directly"))
         if not packing_ok:
             for pat, what in PACKING_PATTERNS:

@@ -1,0 +1,19 @@
+// Seeded CL006 violations: an algorithm module writing the congestion
+// profile directly. Algorithm code attributes its fast-path charges through
+// CliqueEngine::attribute_load / attribute_broadcast; only src/clique and
+// src/comm may call the LoadProfile mutation API.
+#include "clique/engine.hpp"
+#include "clique/load_profile.hpp"
+
+namespace ccq {
+
+void cook_the_books(CliqueEngine& engine, LoadProfile& profile) {
+  profile.bind_engine(8, 1);                       // CL006
+  profile.add_sent(0, 2, 2);                       // CL006
+  profile.add_flow(0, 1, 1, 3);                    // CL006
+  engine.load_profile()->add_broadcast(0, 1, 1);   // CL006
+  profile.record_round(1, 7, 1);                   // CL006
+  (void)profile.checkpoint();                      // CL006
+}
+
+}  // namespace ccq

@@ -1,0 +1,29 @@
+// Allowed constructs CL006 must NOT flag: reads of a profile's accessors
+// from anywhere, mutation-method look-alikes on receivers that are not a
+// load profile, and the engine attribution wrappers algorithm modules are
+// supposed to use.
+#include "clique/engine.hpp"
+#include "clique/load_profile.hpp"
+
+namespace ccq {
+
+struct FlowTally {  // result struct with CL006-method-shaped names
+  void add_flow(int delta) { total += delta; }
+  int checkpoint() { return total; }
+  int total{0};
+};
+
+void observe_and_attribute(CliqueEngine& engine, FlowTally& tally) {
+  tally.add_flow(3);          // receiver is not a load profile
+  (void)tally.checkpoint();   // ditto
+  // Reads are unrestricted:
+  if (engine.wants_load()) {
+    (void)engine.load_profile()->max_link();
+    (void)engine.load_profile()->total_sent_messages();
+  }
+  // The sanctioned attribution path for algorithm modules:
+  engine.attribute_load(0, 1, 1, 3);
+  engine.attribute_broadcast(0, 1, 1);
+}
+
+}  // namespace ccq

@@ -34,6 +34,7 @@ EXPECTED_BAD = {
     "src/core/includes_lowerbound.cpp": ("CL004", 1),
     "src/graph/includes_round_buffer.cpp": ("CL004", 1),
     "src/core/trace_mutation.cpp": ("CL005", 6),    # one per Trace method
+    "src/core/load_mutation.cpp": ("CL006", 6),     # direct profile writes
 }
 
 

@@ -1,15 +1,20 @@
 #!/usr/bin/env python3
 """check_docs — keep docs/TRACING.md in sync with the instrumented code.
 
-Extracts every trace-scope name literal from src/ (both construction
-syntaxes: `TraceScope x{engine, "name"}` / `TraceScope x{trace, "name"}`
-and the deferred `opt.emplace(engine, "name")`) and fails unless each name
-appears in a code span (backticks) in docs/TRACING.md. This is the
-forward direction of the docs gate: you cannot add or rename an
-instrumentation point without documenting it. (The reverse direction —
-stale EXPERIMENTS.md tables — is make_experiments.py --check.)
+Two forward-direction gates, so you cannot add or rename an
+instrumentation point without documenting it (the reverse direction —
+stale EXPERIMENTS.md tables — is make_experiments.py --check):
 
-Exit status: 0 in sync, 1 undocumented names, 2 usage errors.
+  - scope names: every trace-scope name literal in src/ (both construction
+    syntaxes: `TraceScope x{engine, "name"}` / `TraceScope x{trace,
+    "name"}` and the deferred `opt.emplace(engine, "name")`) must appear
+    in a code span (backticks) in docs/TRACING.md;
+  - NDJSON fields: every JSON key the exporter emits (extracted from the
+    `"key":` string literals in src/clique/trace_export.cpp, schema 1 and
+    schema 2 alike) must appear in docs/TRACING.md, either in backticks or
+    inside a `"key":` example line.
+
+Exit status: 0 in sync, 1 undocumented names/fields, 2 usage errors.
 """
 
 from __future__ import annotations
@@ -22,6 +27,9 @@ from pathlib import Path
 CONSTRUCT_RE = re.compile(r'\bTraceScope\s+\w+\s*\{[^{}"]*"([^"]+)"')
 # `std::optional<TraceScope> s; s.emplace(engine, "seg")`.
 EMPLACE_RE = re.compile(r'\.emplace\(\s*engine\s*,\s*"([^"]+)"')
+# Exporter key literals: `"\"messages\":"` in trace_export.cpp source reads
+# `\"key\":` — match the escaped quotes around the key name.
+EXPORT_KEY_RE = re.compile(r'\\"(\w+)\\":')
 
 
 def scope_names(src: Path) -> dict[str, list[str]]:
@@ -52,8 +60,8 @@ def main() -> int:
               "(extraction regexes broken?)", file=sys.stderr)
         return 2
 
-    documented = set(re.findall(r"`([^`]+)`", tracing_md.read_text(
-        encoding="utf-8")))
+    md_text = tracing_md.read_text(encoding="utf-8")
+    documented = set(re.findall(r"`([^`]+)`", md_text))
     missing = {n: uses for n, uses in names.items() if n not in documented}
     if missing:
         print("check_docs: trace scope names used in src/ but not "
@@ -65,8 +73,28 @@ def main() -> int:
               "docs/TRACING.md", file=sys.stderr)
         return 1
 
-    print(f"check_docs: {len(names)} trace scope name(s) all documented "
-          "in docs/TRACING.md")
+    exporter = repo / "src" / "clique" / "trace_export.cpp"
+    emitted = set(EXPORT_KEY_RE.findall(
+        exporter.read_text(encoding="utf-8")))
+    if not emitted:
+        print("check_docs: no NDJSON keys found in trace_export.cpp "
+              "(extraction regex broken?)", file=sys.stderr)
+        return 2
+    # A key counts as documented in backticks or in a `"key":` example.
+    documented_keys = documented | set(re.findall(r'"(\w+)":', md_text))
+    undocumented = sorted(emitted - documented_keys)
+    if undocumented:
+        print("check_docs: NDJSON keys emitted by trace_export.cpp but not "
+              "documented in docs/TRACING.md:", file=sys.stderr)
+        for key in undocumented:
+            print(f"  \"{key}\"", file=sys.stderr)
+        print("document each field in the schema sections of "
+              "docs/TRACING.md", file=sys.stderr)
+        return 1
+
+    print(f"check_docs: {len(names)} trace scope name(s) and "
+          f"{len(emitted)} NDJSON field(s) all documented in "
+          "docs/TRACING.md")
     return 0
 
 

@@ -1,0 +1,227 @@
+#!/usr/bin/env python3
+"""loadmap — render congestion-profile heatmaps and splice EXPERIMENTS.md.
+
+Runs the quickstart example with the congestion profiler attached
+(CLIQUE_LOAD + CLIQUE_LOAD_LINKS — see examples/quickstart.cpp and
+docs/TRACING.md schema 2), parses the schema-2 NDJSON it writes, and
+renders:
+
+  - a per-scope load table (sent/received skew, peak link occupancy,
+    bandwidth utilization) for the top-level algorithm phases;
+  - an ASCII per-node load strip (sent and received messages per node,
+    bucketed) showing where the traffic concentrates;
+  - an ASCII link-matrix heatmap (senders x receivers, bucketed) — the
+    per-link view behind the paper's O(log n)-bits-per-link budget.
+
+The rendered markdown is spliced into EXPERIMENTS.md between
+
+    <!-- BEGIN GENERATED-LOAD: quickstart -->
+    <!-- END GENERATED-LOAD -->
+
+(distinct from make_experiments.py's GENERATED markers, so the two tools
+never fight over blocks). The run is seeded and the exporter is
+byte-deterministic, so regeneration is stable; --check turns that into the
+same CI freshness gate make_experiments.py provides for the bench tables.
+
+Usage:
+  loadmap.py [--build-dir DIR] [--file EXPERIMENTS.md] [--n N] [--check]
+
+Exit status: 0 clean/updated, 1 stale or quickstart failure, 2 usage.
+"""
+
+from __future__ import annotations
+
+import argparse
+import difflib
+import json
+import os
+import subprocess
+import sys
+import tempfile
+from pathlib import Path
+
+BEGIN_LINE = "<!-- BEGIN GENERATED-LOAD: quickstart -->"
+END_LINE = "<!-- END GENERATED-LOAD -->"
+SHADES = " .:-=+*#%@"
+
+
+def fail(msg: str, code: int = 2) -> None:
+    print(f"loadmap: {msg}", file=sys.stderr)
+    sys.exit(code)
+
+
+def run_quickstart(binary: Path, n: int, out: Path) -> None:
+    env = dict(os.environ)
+    env["CLIQUE_LOAD"] = str(out)
+    env["CLIQUE_LOAD_LINKS"] = "1"
+    env.pop("CLIQUE_TRACE", None)
+    result = subprocess.run(
+        [str(binary), str(n), "2", "42"], env=env, cwd=out.parent,
+        stdout=subprocess.DEVNULL, stderr=subprocess.PIPE, text=True)
+    if result.returncode != 0:
+        fail(f"quickstart exited {result.returncode}\n{result.stderr}", 1)
+
+
+def parse_ndjson(path: Path) -> dict:
+    records = {"scopes": [], "loads": []}
+    for line in path.read_text(encoding="utf-8").splitlines():
+        r = json.loads(line)
+        if r.get("type") == "trace":
+            records["header"] = r
+        elif r.get("type") == "load_summary":
+            records["summary"] = r
+        elif r.get("type") == "scope":
+            records["scopes"].append(r)
+        elif r.get("type") == "load":
+            records["loads"].append(r)
+        elif r.get("type") == "link_matrix":
+            records["matrix"] = r
+    for key in ("header", "summary", "matrix"):
+        if key not in records:
+            fail(f"{path.name}: no {key} record — not a schema-2 export "
+                 "with link tracking?", 1)
+    if records["header"].get("schema") != 2:
+        fail(f"{path.name}: schema {records['header'].get('schema')}, "
+             "expected 2", 1)
+    return records
+
+
+def bucket(values: list[int], buckets: int) -> list[int]:
+    """Sum `values` into `buckets` contiguous groups."""
+    size = max(1, (len(values) + buckets - 1) // buckets)
+    return [sum(values[i:i + size]) for i in range(0, len(values), size)]
+
+
+def shade_row(values: list[int], peak: int) -> str:
+    if peak <= 0:
+        return SHADES[0] * len(values)
+    out = []
+    for v in values:
+        idx = 0 if v <= 0 else 1 + (v * (len(SHADES) - 2)) // peak
+        out.append(SHADES[min(idx, len(SHADES) - 1)])
+    return "".join(out)
+
+
+def render(records: dict, n: int) -> list[str]:
+    summary = records["summary"]
+    matrix = records["matrix"]
+    rows = matrix["rows"]
+    lines: list[str] = []
+
+    lines.append(f"Quickstart GC run (`n={n}`, 2 components, seed 42), "
+                 "congestion profile (docs/TRACING.md schema 2). "
+                 f"Total: {summary['sent_messages']} messages, "
+                 f"{summary['sent_words']} words, peak link occupancy "
+                 f"{summary['max_link']} (budget {summary['budget']}), "
+                 f"bandwidth utilization {summary['util']:.2%}.")
+    lines.append("")
+
+    # Per-scope skew table: top-level phases only (the deep per-iteration
+    # scopes repeat the same shape and would drown the table).
+    by_seq = {s["seq"]: s for s in records["scopes"]}
+    lines += ["| scope | sent max | sent mean | sent p99 | imbalance | "
+              "peak link | util |",
+              "|---|---|---|---|---|---|---|"]
+    for load in records["loads"]:
+        scope = by_seq.get(load["seq"], {})
+        if scope.get("depth", 0) > 1:
+            continue
+        lines.append(
+            f"| `{load['path']}` | {load['sent_max']} | "
+            f"{load['sent_mean']:.1f} | {load['sent_p99']} | "
+            f"{load['sent_imbalance']:.2f} | {load['peak_link']} | "
+            f"{load['util']:.2%} |")
+    lines.append("")
+
+    # Per-node strips: node-bucketed sent/received message counts.
+    sent = [sum(row) for row in rows]
+    recv = [sum(rows[u][v] for u in range(len(rows)))
+            for v in range(len(rows))]
+    strip_buckets = min(64, n)
+    sent_b = bucket(sent, strip_buckets)
+    recv_b = bucket(recv, strip_buckets)
+    peak = max(max(sent_b, default=0), max(recv_b, default=0))
+    lines += ["Per-node load (messages per node bucket, `.` low .. `@` "
+              "high):", "", "```",
+              f"sent {shade_row(sent_b, peak)}",
+              f"recv {shade_row(recv_b, peak)}",
+              "```", ""]
+
+    # Link heatmap: sender (rows) x receiver (columns), bucketed square.
+    side = min(16, n)
+    grid = [bucket(row, side) for row in rows]
+    grid = [[sum(col) for col in zip(*grid[i:i + max(1, n // side)])]
+            for i in range(0, n, max(1, n // side))]
+    cell_peak = max((max(r) for r in grid), default=0)
+    lines += [f"Link heatmap ({side}x{side} buckets of the {n}x{n} "
+              "sender x receiver matrix; senders run top to bottom):", "",
+              "```"]
+    for row in grid:
+        lines.append(shade_row(row, cell_peak))
+    lines += ["```"]
+    return lines
+
+
+def main(argv: list[str]) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--build-dir", type=Path, default=None,
+                        help="build tree with the quickstart binary "
+                             "(default: <repo>/build)")
+    parser.add_argument("--file", type=Path, default=None,
+                        help="experiments file "
+                             "(default: <repo>/EXPERIMENTS.md)")
+    parser.add_argument("--n", type=int, default=64,
+                        help="clique size for the profiled run (default 64; "
+                             "the link matrix is O(n^2))")
+    parser.add_argument("--check", action="store_true",
+                        help="verify instead of write; exit 1 on any diff")
+    args = parser.parse_args(argv)
+
+    repo = Path(__file__).resolve().parents[2]
+    build = (args.build_dir or repo / "build").resolve()
+    exp_file = (args.file or repo / "EXPERIMENTS.md").resolve()
+    binary = build / "examples" / "quickstart"
+    if not binary.is_file():
+        fail(f"quickstart binary not found: {binary} (build first)")
+    if not exp_file.is_file():
+        fail(f"no such file: {exp_file}")
+
+    with tempfile.TemporaryDirectory() as tmp:
+        out = Path(tmp) / "load.ndjson"
+        print(f"loadmap: running quickstart (n={args.n}) ...")
+        run_quickstart(binary, args.n, out)
+        records = parse_ndjson(out)
+    body = render(records, args.n)
+
+    text = exp_file.read_text(encoding="utf-8")
+    lines = text.splitlines()
+    begins = [i for i, l in enumerate(lines) if l.strip() == BEGIN_LINE]
+    ends = [i for i, l in enumerate(lines) if l.strip() == END_LINE]
+    if len(begins) != 1 or len(ends) != 1 or ends[0] < begins[0]:
+        fail(f"{exp_file.name}: expected exactly one "
+             f"'{BEGIN_LINE}' .. '{END_LINE}' block")
+    new_lines = lines[:begins[0] + 1] + body + lines[ends[0]:]
+    new_text = "\n".join(new_lines) + "\n"
+
+    if args.check:
+        if new_text != text:
+            sys.stderr.writelines(difflib.unified_diff(
+                text.splitlines(keepends=True),
+                new_text.splitlines(keepends=True),
+                fromfile=f"{exp_file.name} (committed)",
+                tofile=f"{exp_file.name} (regenerated)"))
+            fail(f"{exp_file.name} load block is stale — run "
+                 "tools/report/loadmap.py and commit the result", 1)
+        print("loadmap: load block verified up-to-date")
+        return 0
+
+    if new_text != text:
+        exp_file.write_text(new_text, encoding="utf-8")
+        print(f"loadmap: wrote {exp_file.name}")
+    else:
+        print(f"loadmap: {exp_file.name} already up to date")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv[1:]))
