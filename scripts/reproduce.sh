@@ -22,6 +22,13 @@ ctest --test-dir build --output-on-failure -j"$(nproc)" 2>&1 | tee test_output.t
 # bench --json output; fail the reproduction if they have drifted.
 python3 tools/report/make_experiments.py --check
 
+# Theory conformance: rerun the scaling sweep and check every theorem's
+# measured cost against its committed envelope in bench/baselines/
+# bounds.json, plus the spliced conformance tables in EXPERIMENTS.md.
+python3 tools/sweep/run_sweep.py --build-dir build
+python3 tools/report/theory_check.py --check --build-dir build
+
 echo
-echo "Reproduction complete: all tests, experiment self-checks, and the"
-echo "EXPERIMENTS.md consistency gate passed."
+echo "Reproduction complete: all tests, experiment self-checks, the"
+echo "EXPERIMENTS.md consistency gates, and the theory-conformance"
+echo "envelopes passed."

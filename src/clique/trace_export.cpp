@@ -138,6 +138,22 @@ double window_util(std::span<const LoadRound> records, std::uint32_t n,
   return static_cast<double>(charged_messages) / capacity;
 }
 
+/// Does `path` belong to the subtree a BoundTag names? Exact match, a child
+/// segment (prefix + '/'), or an indexed instance (prefix + "-<digits>", so
+/// the tag "lotker/phase" covers "lotker/phase-2" and its children — but
+/// "gc" does not swallow the distinct algorithm "gc-verify").
+bool matches_prefix(std::string_view path, std::string_view prefix) {
+  if (!path.starts_with(prefix)) return false;
+  if (path.size() == prefix.size()) return true;
+  const char next = path[prefix.size()];
+  if (next == '/') return true;
+  if (next != '-') return false;
+  std::string_view rest = path.substr(prefix.size() + 1);
+  const std::size_t digits = rest.find_first_not_of("0123456789");
+  if (digits == 0) return false;  // "-verify": a different name, not an index
+  return digits == std::string_view::npos || rest[digits] == '/';
+}
+
 }  // namespace
 
 void write_trace_ndjson(const Trace& trace, std::ostream& out,
@@ -277,6 +293,48 @@ void write_trace_ndjson(const Trace& trace, std::ostream& out,
       emit_fixed(out, window_util(window, load->n(), load->budget()));
       out << "}\n";
     }
+  }
+
+  // One "bound" line per registered theorem tag, aggregating the top-most
+  // scopes in the tagged subtree (a scope nested inside another matching
+  // scope is already inside its ancestor's delta and must not be counted
+  // twice). max_rounds / max_messages are per-instance maxima — the form
+  // per-phase envelopes like Theorem 2's O(1) rounds per Lotker phase are
+  // stated in.
+  for (const BoundTag& tag : options.bound_tags) {
+    std::uint64_t instances = 0;
+    std::uint64_t rounds = 0;
+    std::uint64_t messages = 0;
+    std::uint64_t words = 0;
+    std::uint64_t max_rounds = 0;
+    std::uint64_t max_messages = 0;
+    std::uint64_t peak = 0;
+    std::string top_path;  // last counted instance; "" = none open
+    for (const TraceEvent& e : trace.events()) {
+      if (!matches_prefix(e.path, tag.scope_prefix)) continue;
+      if (!top_path.empty() && e.path.starts_with(top_path) &&
+          e.path.size() > top_path.size() &&
+          e.path[top_path.size()] == '/')
+        continue;  // nested under a counted instance
+      top_path = e.path;
+      const Metrics d = e.delta();
+      ++instances;
+      rounds += d.rounds;
+      messages += d.messages;
+      words += d.words;
+      max_rounds = std::max(max_rounds, d.rounds);
+      max_messages = std::max(max_messages, d.messages);
+      peak = std::max(peak, e.peak_messages_in_round);
+    }
+    out << "{\"type\":\"bound\",\"theorem\":";
+    emit_string(out, tag.theorem);
+    out << ",\"scope_prefix\":";
+    emit_string(out, tag.scope_prefix);
+    out << ",\"instances\":" << instances << ",\"rounds\":" << rounds
+        << ",\"messages\":" << messages << ",\"words\":" << words
+        << ",\"max_rounds\":" << max_rounds
+        << ",\"max_messages\":" << max_messages
+        << ",\"peak_messages_in_round\":" << peak << "}\n";
   }
 
   if (options.include_link_matrix) {

@@ -22,10 +22,24 @@
 
 #include <iosfwd>
 #include <string>
+#include <vector>
 
 #include "clique/trace.hpp"
 
 namespace ccq {
+
+/// Maps a trace-scope path prefix to the theorem whose round/message
+/// envelope it realizes (bench/baselines/bounds.json holds the envelopes
+/// themselves). The exporter aggregates every *top-most* scope matching the
+/// prefix into one "bound" line, which tools/report/theory_check.py checks
+/// against the registered `c * f(n, m, k)` bound. A path matches when it
+/// equals the prefix or continues it with '/' (a child segment) or '-' (an
+/// indexed segment, e.g. prefix "lotker/phase" matches "lotker/phase-2");
+/// scopes nested inside an already-matched scope are not counted twice.
+struct BoundTag {
+  std::string theorem;       ///< theorem id, e.g. "T4" — key into bounds.json
+  std::string scope_prefix;  ///< scope path prefix, e.g. "gc/sketch-span"
+};
 
 struct TraceExportOptions {
   /// Emit per-scope "wall_ns". Off by default: wall time is the one
@@ -37,6 +51,12 @@ struct TraceExportOptions {
   /// bound LoadProfile to have link tracking enabled
   /// (LoadProfile::set_track_links). Off by default — O(n^2) output.
   bool include_link_matrix{false};
+  /// Scope-prefix → theorem tags. For each tag one "bound" line is emitted
+  /// after the scope lines aggregating every top-most matching scope
+  /// (instances, total/max rounds and messages, in-window peak). Tags that
+  /// match nothing still emit a line with "instances":0 so a conformance
+  /// checker can distinguish "phase never ran" from "tag misspelled".
+  std::vector<BoundTag> bound_tags{};
 };
 
 /// Write the trace as NDJSON. Requires every scope to be closed.

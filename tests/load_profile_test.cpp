@@ -311,6 +311,31 @@ TEST(LoadProfile_, LinkMatrixExportIsOptIn) {
                std::logic_error);
 }
 
+// --- Golden file for the standalone NDJSON validator ctest ---
+
+TEST(LoadGolden, WritesSchema2GoldenFile) {
+  // Dumps a full-feature schema-2 trace (load lines, link matrix, rounds,
+  // bound records) next to the test binary; the `ndjson_validate` ctest
+  // re-reads it with tools/report/validate_ndjson.py (FIXTURES_SETUP
+  // golden_ndjson).
+  Rng graph_rng{61};
+  const Graph g = random_connected(32, 64, graph_rng);
+  CliqueEngine engine{{.n = 32}};
+  Trace trace;
+  LoadProfile profile;
+  profile.set_track_links(true);
+  engine.set_trace(&trace);
+  engine.set_load_profile(&profile);
+  Rng rng{62};
+  const auto result = gc_spanning_forest(engine, g, rng);
+  EXPECT_TRUE(result.connected);
+  write_trace_ndjson_file(
+      trace, "golden_trace_schema2.ndjson",
+      {.include_rounds = true,
+       .include_link_matrix = true,
+       .bound_tags = {{"T4", "gc"}, {"T1", "gc/sketch-span"}}});
+}
+
 // --- Skew helpers ---
 
 TEST(LoadProfile_, HottestNodesAreDeterministic) {

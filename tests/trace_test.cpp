@@ -264,6 +264,159 @@ TEST(Trace, WallTimeAndRoundLinesAreOptIn) {
   EXPECT_NE(full.find("\"type\":\"round\""), std::string::npos);
 }
 
+// --- Mixed windows: absorbed + silent rounds inside one nested scope ---
+
+TEST(Trace, NestedScopesSpanAbsorbedAndSilentSimultaneously) {
+  // Prior coverage exercised silent spans (clock coding) and absorbed
+  // sub-instances (bipartiteness) in isolation; here one nested window
+  // holds charged rounds, a 5-round silent skip, AND an absorbed virtual
+  // sub-instance at once, and every delta/peak/histogram rule must still
+  // hold — on the inner scope and on the enclosing one.
+  CliqueEngine engine{{.n = 8}};
+  Trace trace;
+  engine.set_trace(&trace);
+
+  CliqueEngine sub{{.n = 8}};
+  (void)sub.round([](VertexId u, Outbox& out) {
+    if (u < 4) out.send(u + 4, msg0(1));
+  });
+  (void)sub.round([](VertexId u, Outbox& out) {
+    if (u == 0) out.send(1, msg0(2));
+  });
+  const Metrics sub_m = sub.metrics();
+  ASSERT_EQ(sub_m.rounds, 2u);
+  ASSERT_EQ(sub_m.messages, 5u);
+  ASSERT_EQ(sub_m.max_messages_in_round, 4u);
+
+  {
+    TraceScope outer{engine, "mixed"};
+    (void)engine.round([](VertexId u, Outbox& out) {
+      if (u == 0) out.send(7, msg0(3));
+    });
+    {
+      TraceScope inner{engine, "window"};
+      engine.skip_silent_rounds(5);
+      engine.absorb_virtual(sub_m);
+      (void)engine.round([](VertexId u, Outbox& out) {
+        if (u < 2) out.send(u + 2, msg0(4));
+      });
+    }
+  }
+
+  ASSERT_EQ(trace.events().size(), 2u);
+  const TraceEvent& outer = trace.events()[0];
+  const TraceEvent& inner = trace.events()[1];
+  ASSERT_EQ(outer.path, "mixed");
+  ASSERT_EQ(inner.path, "mixed/window");
+
+  // Inner window: 5 silent + 2 absorbed + 1 charged round, 5 absorbed + 2
+  // charged messages. The delta is a window difference, so it must carry
+  // no peak flag…
+  const Metrics di = inner.delta();
+  EXPECT_EQ(di.rounds, 8u);
+  EXPECT_EQ(di.messages, 7u);
+  EXPECT_FALSE(di.has_peak);
+  EXPECT_EQ(inner.silent_rounds, 5u);
+  // …while the trace recovers the true in-window peak: the absorbed
+  // sub-instance's 4-message round beats the charged 2-message round.
+  EXPECT_EQ(inner.peak_messages_in_round, 4u);
+
+  // Outer window adds its own charged round and inherits the silent span
+  // (silent rounds are attributed to every open scope).
+  const Metrics douter = outer.delta();
+  EXPECT_EQ(douter.rounds, engine.metrics().rounds);
+  EXPECT_EQ(douter.messages, engine.metrics().messages);
+  EXPECT_EQ(outer.silent_rounds, 5u);
+  EXPECT_EQ(outer.peak_messages_in_round,
+            engine.metrics().max_messages_in_round);
+
+  // Exporter: both scope lines surface the absorbed aggregate, and the
+  // histograms count only charged (bucketed) and silent (bucket 0) rounds.
+  const std::string ndjson = trace_to_ndjson(trace);
+  EXPECT_NE(ndjson.find("\"path\":\"mixed/window\""), std::string::npos);
+  std::size_t absorbed_lines = 0;
+  for (std::size_t pos = 0;
+       (pos = ndjson.find("\"absorbed_rounds\":2,\"absorbed_messages\":5",
+                          pos)) != std::string::npos;
+       ++pos)
+    ++absorbed_lines;
+  EXPECT_EQ(absorbed_lines, 2u);  // once on each enclosing scope line
+}
+
+// --- "bound" records (theorem tags for the conformance gate) ---
+
+TEST(TraceBounds, AggregateTopMostMatchingScopes) {
+  CliqueEngine engine{{.n = 4}};
+  Trace trace;
+  engine.set_trace(&trace);
+  {
+    TraceScope root{engine, "lotker"};
+    for (std::uint64_t k = 1; k <= 2; ++k) {
+      TraceScope phase{engine, "phase", k};
+      TraceScope merge{engine, "merge"};  // nested: must not double count
+      for (std::uint64_t r = 0; r < k; ++r)
+        (void)engine.round([k](VertexId u, Outbox& out) {
+          if (u < k) out.send(3, msg0(1));
+        });
+    }
+  }
+  const std::string ndjson = trace_to_ndjson(
+      trace, {.bound_tags = {{"T2", "lotker/phase"}, {"TX", "no-such"}}});
+  // phase-1: 1 round x 1 message; phase-2: 2 rounds x 2 messages.
+  EXPECT_NE(
+      ndjson.find(
+          "{\"type\":\"bound\",\"theorem\":\"T2\",\"scope_prefix\":"
+          "\"lotker/phase\",\"instances\":2,\"rounds\":3,\"messages\":5,"
+          "\"words\":0,\"max_rounds\":2,\"max_messages\":4,"
+          "\"peak_messages_in_round\":2}"),
+      std::string::npos)
+      << ndjson;
+  // A tag that matches nothing still emits, with instances 0 — the checker
+  // distinguishes "phase never ran" from "prefix misspelled".
+  EXPECT_NE(ndjson.find("\"theorem\":\"TX\",\"scope_prefix\":\"no-such\","
+                        "\"instances\":0"),
+            std::string::npos);
+}
+
+TEST(TraceBounds, PrefixMatchesIndexesButNotHyphenNames) {
+  CliqueEngine engine{{.n = 4}};
+  Trace trace;
+  engine.set_trace(&trace);
+  { TraceScope a{engine, "gc"}; }
+  { TraceScope b{engine, "gc-verify"}; }  // distinct algorithm, not an index
+  { TraceScope c{engine, "phase", 12}; }  // "phase-12": an indexed instance
+  const std::string ndjson = trace_to_ndjson(
+      trace, {.bound_tags = {{"T4", "gc"}, {"T2", "phase"}}});
+  EXPECT_NE(ndjson.find("\"theorem\":\"T4\",\"scope_prefix\":\"gc\","
+                        "\"instances\":1"),
+            std::string::npos)
+      << ndjson;
+  EXPECT_NE(ndjson.find("\"theorem\":\"T2\",\"scope_prefix\":\"phase\","
+                        "\"instances\":1"),
+            std::string::npos)
+      << ndjson;
+}
+
+// --- Golden file for the standalone NDJSON validator ctest ---
+
+TEST(TraceGolden, WritesSchema1GoldenFile) {
+  // Dumps a full-feature schema-1 trace (rounds + bound records) next to
+  // the test binary; the `ndjson_validate` ctest re-reads it with
+  // tools/report/validate_ndjson.py (FIXTURES_SETUP golden_ndjson).
+  Rng graph_rng{51};
+  const Graph g = random_connected(64, 128, graph_rng);
+  CliqueEngine engine{{.n = 64}};
+  Trace trace;
+  engine.set_trace(&trace);
+  Rng rng{52};
+  const auto result = gc_spanning_forest(engine, g, rng);
+  EXPECT_TRUE(result.connected);
+  write_trace_ndjson_file(
+      trace, "golden_trace_schema1.ndjson",
+      {.include_rounds = true,
+       .bound_tags = {{"T4", "gc"}, {"T1", "gc/sketch-span"}}});
+}
+
 TEST(Trace, ClearKeepsBindingDropsData) {
   CliqueEngine engine{{.n = 4}};
   Trace trace;

@@ -96,8 +96,35 @@ def run_benches(build: Path, scratch: Path) -> dict[str, dict]:
         out = scratch / fname
         if not out.is_file():
             fail(f"{spec['bench']} did not write {fname}", 1)
-        fresh[fname] = json.loads(out.read_text(encoding="utf-8"))
+        try:
+            fresh[fname] = json.loads(out.read_text(encoding="utf-8"))
+        except json.JSONDecodeError as e:
+            fail(f"{spec['bench']} wrote invalid JSON to {fname}: {e}", 1)
     return fresh
+
+
+def load_baselines(baselines: Path) -> dict[str, dict]:
+    """Read and parse every committed baseline, failing with the recovery
+    command — BEFORE the (expensive) bench run, so a missing or corrupt
+    baseline is reported in seconds, not minutes."""
+    committed = {}
+    for fname in REGISTRY:
+        path = baselines / fname
+        refresh = ("python3 tools/report/bench_compare.py --refresh "
+                   "(then commit bench/baselines/)")
+        if not path.is_file():
+            fail(f"committed baseline {path} is missing — regenerate it "
+                 f"with: {refresh}", 1)
+        try:
+            committed[fname] = json.loads(path.read_text(encoding="utf-8"))
+        except (json.JSONDecodeError, UnicodeDecodeError) as e:
+            fail(f"committed baseline {path} is unparsable ({e}) — "
+                 f"regenerate it with: {refresh}", 1)
+        if not isinstance(committed[fname], dict) or \
+                "rows" not in committed[fname]:
+            fail(f"committed baseline {path} has no 'rows' — regenerate it "
+                 f"with: {refresh}", 1)
+    return committed
 
 
 def key_of(row: dict, keys: tuple) -> tuple:
@@ -162,9 +189,14 @@ def main(argv: list[str]) -> int:
     build = (args.build_dir or repo / "build").resolve()
     baselines = (args.baseline_dir or repo / "bench" / "baselines").resolve()
 
+    # Validate the committed baselines before spending minutes in the
+    # benches: a missing or corrupt file fails here, immediately and with
+    # the command that repairs it.
+    committed = {} if args.refresh else load_baselines(baselines)
+
     with tempfile.TemporaryDirectory() as tmp:
         scratch = Path(tmp)
-        run_benches(build, scratch)
+        fresh = run_benches(build, scratch)
 
         if args.refresh:
             baselines.mkdir(parents=True, exist_ok=True)
@@ -177,13 +209,8 @@ def main(argv: list[str]) -> int:
 
         problems = []
         for fname in REGISTRY:
-            committed = baselines / fname
-            if not committed.is_file():
-                fail(f"no committed baseline {committed} — run --refresh "
-                     "once and commit it")
-            baseline = json.loads(committed.read_text(encoding="utf-8"))
-            fresh = json.loads((scratch / fname).read_text(encoding="utf-8"))
-            problems.extend(compare(fname, baseline, fresh, args.min_ratio))
+            problems.extend(compare(fname, committed[fname], fresh[fname],
+                                    args.min_ratio))
 
     if problems:
         for p in problems:

@@ -12,13 +12,19 @@ stale EXPERIMENTS.md tables — is make_experiments.py --check):
   - NDJSON fields: every JSON key the exporter emits (extracted from the
     `"key":` string literals in src/clique/trace_export.cpp, schema 1 and
     schema 2 alike) must appear in docs/TRACING.md, either in backticks or
-    inside a `"key":` example line.
+    inside a `"key":` example line;
+  - theorem coverage: every theorem section named in
+    bench/baselines/bounds.json must have a `GENERATED-BOUNDS` conformance
+    table in EXPERIMENTS.md (theory_check.py keeps the table contents
+    fresh; this gate keeps the registry from growing sections the report
+    silently omits).
 
 Exit status: 0 in sync, 1 undocumented names/fields, 2 usage errors.
 """
 
 from __future__ import annotations
 
+import json
 import re
 import sys
 from pathlib import Path
@@ -92,9 +98,38 @@ def main() -> int:
               "docs/TRACING.md", file=sys.stderr)
         return 1
 
-    print(f"check_docs: {len(names)} trace scope name(s) and "
-          f"{len(emitted)} NDJSON field(s) all documented in "
-          "docs/TRACING.md")
+    bounds_json = repo / "bench" / "baselines" / "bounds.json"
+    experiments_md = repo / "EXPERIMENTS.md"
+    try:
+        registry = json.loads(bounds_json.read_text(encoding="utf-8"))
+    except FileNotFoundError:
+        print(f"check_docs: missing {bounds_json}", file=sys.stderr)
+        return 1
+    except json.JSONDecodeError as e:
+        print(f"check_docs: {bounds_json} is not valid JSON: {e}",
+              file=sys.stderr)
+        return 1
+    registered = {b["section"] for b in registry.get("bounds", [])}
+    if not registered:
+        print(f"check_docs: {bounds_json} registers no bounds "
+              "(empty registry?)", file=sys.stderr)
+        return 2
+    marked = set(re.findall(r"<!-- BEGIN GENERATED-BOUNDS: (\S+) -->",
+                            experiments_md.read_text(encoding="utf-8")))
+    unmarked = sorted(registered - marked)
+    if unmarked:
+        print("check_docs: theorem section(s) in bench/baselines/"
+              "bounds.json without a GENERATED-BOUNDS table in "
+              "EXPERIMENTS.md:", file=sys.stderr)
+        for section in unmarked:
+            print(f"  {section}", file=sys.stderr)
+        print("add a `<!-- BEGIN GENERATED-BOUNDS: <section> -->` block "
+              "and rerun tools/report/theory_check.py", file=sys.stderr)
+        return 1
+
+    print(f"check_docs: {len(names)} trace scope name(s), "
+          f"{len(emitted)} NDJSON field(s), and {len(registered)} "
+          "theorem section(s) all documented")
     return 0
 
 

@@ -1,0 +1,107 @@
+#!/usr/bin/env python3
+"""chrome_trace — convert an exported trace NDJSON to Chrome trace_event JSON.
+
+The schema-1/2 NDJSON files written by clique/trace_export (and by the
+conformance sweep) are flat; this renders their scope hierarchy in a
+timeline viewer: open the output in Perfetto (https://ui.perfetto.dev) or
+chrome://tracing.
+
+Mapping (1 engine round = 1000 "microseconds", so round numbers read
+directly off the time axis in milliseconds):
+
+  scope line  -> one complete ("ph":"X") event: ts = entry_round * 1000,
+                 dur = rounds * 1000, nesting reconstructed by Perfetto
+                 from containment; counters (messages, words, peak,
+                 silent/absorbed rounds) ride in "args".
+  round line  -> "messages" counter events ("ph":"C"), if the export
+                 included per-round lines.
+  everything else (header, load, bound, sweep records) -> "otherData".
+
+The conversion is lossless for scopes: every (path, entry_round, rounds,
+messages, words) tuple survives in "args", and the round-trip smoke ctest
+(chrome_trace_smoke) reconverts and compares against the source.
+
+Usage:
+  chrome_trace.py INPUT.ndjson [-o OUT.json]     (default: INPUT.chrome.json)
+
+Exit status: 0 ok, 1 invalid input, 2 usage errors.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+
+ROUND_US = 1000  # one engine round on the trace_event microsecond axis
+
+
+def convert(lines: list[str], source_name: str) -> dict:
+    events = []
+    other = {"source": source_name, "records": []}
+    for lineno, line in enumerate(lines, 1):
+        try:
+            rec = json.loads(line)
+        except json.JSONDecodeError as e:
+            raise ValueError(f"line {lineno}: invalid JSON: {e}") from e
+        rtype = rec.get("type")
+        if rtype == "scope":
+            args = {k: rec[k] for k in
+                    ("path", "seq", "depth", "entry_round", "rounds",
+                     "messages", "words", "silent_rounds",
+                     "peak_messages_in_round") if k in rec}
+            for k in ("absorbed_rounds", "absorbed_messages", "wall_ns"):
+                if k in rec:
+                    args[k] = rec[k]
+            events.append({
+                "name": rec["path"].rsplit("/", 1)[-1],
+                "cat": "scope",
+                "ph": "X",
+                "ts": rec["entry_round"] * ROUND_US,
+                "dur": rec["rounds"] * ROUND_US,
+                "pid": 0,
+                "tid": 0,
+                "args": args,
+            })
+        elif rtype == "round":
+            # The record's round counter is taken *after* the span.
+            events.append({
+                "name": "messages",
+                "ph": "C",
+                "ts": (rec["round"] - rec["span"]) * ROUND_US,
+                "pid": 0,
+                "args": {"messages": rec["messages"]},
+            })
+        else:
+            other["records"].append(rec)
+    if not any(e["ph"] == "X" for e in events):
+        raise ValueError("no scope records - not an exported trace?")
+    return {"displayTimeUnit": "ms", "traceEvents": events,
+            "otherData": other}
+
+
+def main(argv: list[str]) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("input", type=Path)
+    parser.add_argument("-o", "--output", type=Path, default=None)
+    args = parser.parse_args(argv)
+    if not args.input.exists():
+        print(f"chrome_trace: {args.input} not found", file=sys.stderr)
+        return 2
+    out_path = args.output or args.input.with_suffix(".chrome.json")
+    try:
+        doc = convert(args.input.read_text().splitlines(), args.input.name)
+    except ValueError as e:
+        print(f"chrome_trace: {args.input}: {e}", file=sys.stderr)
+        return 1
+    out_path.write_text(json.dumps(doc, indent=1, sort_keys=True) + "\n")
+    scopes = sum(1 for e in doc["traceEvents"] if e["ph"] == "X")
+    print(f"chrome_trace: {args.input} -> {out_path} "
+          f"({scopes} scopes, {len(doc['traceEvents']) - scopes} counter "
+          f"events); open in https://ui.perfetto.dev")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv[1:]))

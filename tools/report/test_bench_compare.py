@@ -1,0 +1,81 @@
+#!/usr/bin/env python3
+"""Regression test for bench_compare's baseline-validation failure modes.
+
+A missing or corrupt committed baseline must fail BEFORE the benches run
+(so this test needs no bench binaries and no build tree) and the message
+must be actionable: name the offending path and the --refresh recovery
+command — never a raw traceback.
+
+Run as ctest bench_compare_selftest.
+"""
+
+from __future__ import annotations
+
+import json
+import subprocess
+import sys
+import tempfile
+from pathlib import Path
+
+SCRIPT = Path(__file__).resolve().parent / "bench_compare.py"
+
+
+def run_check(baseline_dir: Path) -> subprocess.CompletedProcess:
+    # --build-dir points nowhere: baseline validation must trip first,
+    # before bench_compare ever looks for the binaries.
+    return subprocess.run(
+        [sys.executable, str(SCRIPT), "--check",
+         "--baseline-dir", str(baseline_dir),
+         "--build-dir", str(baseline_dir / "no-such-build")],
+        capture_output=True, text=True)
+
+
+def expect_actionable(result: subprocess.CompletedProcess, case: str,
+                      path_fragment: str) -> list[str]:
+    problems = []
+    if result.returncode == 0:
+        problems.append(f"{case}: exited 0, expected failure")
+    if "Traceback" in result.stderr or "Traceback" in result.stdout:
+        problems.append(f"{case}: leaked a raw traceback:\n{result.stderr}")
+    if "--refresh" not in result.stderr:
+        problems.append(f"{case}: stderr does not name the --refresh "
+                        f"recovery command:\n{result.stderr}")
+    if path_fragment not in result.stderr:
+        problems.append(f"{case}: stderr does not name the baseline path "
+                        f"{path_fragment}:\n{result.stderr}")
+    return problems
+
+
+def main() -> int:
+    problems = []
+    with tempfile.TemporaryDirectory() as tmp:
+        baselines = Path(tmp) / "baselines"
+        baselines.mkdir()
+
+        # Case 1: no baselines committed at all.
+        problems += expect_actionable(
+            run_check(baselines), "missing baseline", "BENCH_engine.json")
+
+        # Case 2: one baseline present but unparsable JSON.
+        (baselines / "BENCH_engine.json").write_text("{not json", "utf-8")
+        problems += expect_actionable(
+            run_check(baselines), "corrupt baseline", "BENCH_engine.json")
+
+        # Case 3: parsable JSON with the wrong shape (no "rows").
+        (baselines / "BENCH_engine.json").write_text(
+            json.dumps({"oops": []}), "utf-8")
+        (baselines / "BENCH_gc.json").write_text(
+            json.dumps({"rows": []}), "utf-8")
+        problems += expect_actionable(
+            run_check(baselines), "shapeless baseline", "BENCH_engine.json")
+
+    for p in problems:
+        print(f"test_bench_compare: FAIL: {p}", file=sys.stderr)
+    if problems:
+        return 1
+    print("test_bench_compare: 3 failure modes actionable, no tracebacks")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,92 @@
+#!/usr/bin/env python3
+"""Round-trip smoke test for chrome_trace.py.
+
+Converts an exported trace NDJSON to Chrome trace_event JSON, then
+reconstructs every scope's (path, entry_round, rounds, messages, words)
+tuple from the "X" events' args and compares against the source lines —
+the conversion documents itself as lossless for scopes, so this pins it.
+
+Also checks the time mapping (ts/dur = rounds * 1000) and that per-round
+records became "C" counter events.
+
+Usage: test_chrome_trace.py TRACE.ndjson [TRACE.ndjson ...]
+Run as ctest chrome_trace_smoke over the golden traces.
+"""
+
+from __future__ import annotations
+
+import json
+import subprocess
+import sys
+import tempfile
+from pathlib import Path
+
+SCRIPT = Path(__file__).resolve().parent / "chrome_trace.py"
+KEYS = ("path", "entry_round", "rounds", "messages", "words")
+
+
+def round_trip(ndjson: Path) -> list[str]:
+    problems = []
+    src_scopes = []
+    src_rounds = 0
+    for line in ndjson.read_text().splitlines():
+        rec = json.loads(line)
+        if rec.get("type") == "scope":
+            src_scopes.append(tuple(rec[k] for k in KEYS))
+        elif rec.get("type") == "round":
+            src_rounds += 1
+
+    with tempfile.TemporaryDirectory() as tmp:
+        out = Path(tmp) / "out.chrome.json"
+        result = subprocess.run(
+            [sys.executable, str(SCRIPT), str(ndjson), "-o", str(out)],
+            capture_output=True, text=True)
+        if result.returncode != 0:
+            return [f"{ndjson.name}: chrome_trace exited "
+                    f"{result.returncode}:\n{result.stderr}"]
+        doc = json.loads(out.read_text())
+
+    xs = [e for e in doc["traceEvents"] if e["ph"] == "X"]
+    cs = [e for e in doc["traceEvents"] if e["ph"] == "C"]
+    got_scopes = [tuple(e["args"][k] for k in KEYS) for e in xs]
+    if got_scopes != src_scopes:
+        problems.append(f"{ndjson.name}: scope tuples did not survive the "
+                        f"round trip ({len(src_scopes)} in, "
+                        f"{len(got_scopes)} out)")
+    for e in xs:
+        if e["ts"] != e["args"]["entry_round"] * 1000 or \
+                e["dur"] != e["args"]["rounds"] * 1000:
+            problems.append(f"{ndjson.name}: bad time mapping for "
+                            f"{e['args']['path']}: ts={e['ts']} "
+                            f"dur={e['dur']}")
+    if len(cs) != src_rounds:
+        problems.append(f"{ndjson.name}: {src_rounds} round records but "
+                        f"{len(cs)} counter events")
+    if doc.get("displayTimeUnit") != "ms":
+        problems.append(f"{ndjson.name}: displayTimeUnit is not ms")
+    return problems
+
+
+def main(argv: list[str]) -> int:
+    if not argv:
+        print("usage: test_chrome_trace.py TRACE.ndjson ...",
+              file=sys.stderr)
+        return 2
+    problems = []
+    for arg in argv:
+        path = Path(arg)
+        if not path.is_file():
+            print(f"test_chrome_trace: {path} not found (golden fixture "
+                  "missing?)", file=sys.stderr)
+            return 2
+        problems.extend(round_trip(path))
+    for p in problems:
+        print(f"test_chrome_trace: FAIL: {p}", file=sys.stderr)
+    if problems:
+        return 1
+    print(f"test_chrome_trace: {len(argv)} file(s) round-trip losslessly")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv[1:]))

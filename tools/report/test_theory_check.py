@@ -1,0 +1,76 @@
+#!/usr/bin/env python3
+"""Selftest for theory_check's failure modes, on seeded fixtures.
+
+The acceptance criterion for the conformance gate is that it actually
+fires: against the handcrafted mini sweep in fixtures/mini_sweep,
+
+  - fixtures/bounds_ok.json must pass (exit 0),
+  - fixtures/bounds_violation.json (constant deliberately tightened below
+    a measurement) must exit 1 and say VIOLATED,
+  - fixtures/bounds_loose.json (constant deliberately loosened past 2x
+    the observed fit) must exit 1 and say DRIFT.
+
+This pins the gate itself, independent of the real grid — if the
+violation/drift logic regresses, theory_conformance could go green while
+checking nothing.
+
+Run as ctest theory_check_selftest (needs no build tree or sweep run).
+"""
+
+from __future__ import annotations
+
+import subprocess
+import sys
+from pathlib import Path
+
+HERE = Path(__file__).resolve().parent
+SCRIPT = HERE / "theory_check.py"
+SWEEP = HERE / "fixtures" / "mini_sweep"
+
+
+def run(bounds: str) -> subprocess.CompletedProcess:
+    return subprocess.run(
+        [sys.executable, str(SCRIPT), "--verify-only",
+         "--sweep-dir", str(SWEEP),
+         "--bounds", str(HERE / "fixtures" / bounds)],
+        capture_output=True, text=True)
+
+
+def main() -> int:
+    problems = []
+
+    ok = run("bounds_ok.json")
+    if ok.returncode != 0:
+        problems.append(f"bounds_ok.json: expected exit 0, got "
+                        f"{ok.returncode}:\n{ok.stderr}")
+
+    violation = run("bounds_violation.json")
+    if violation.returncode != 1:
+        problems.append(f"bounds_violation.json: expected exit 1, got "
+                        f"{violation.returncode}:\n{violation.stderr}")
+    if "VIOLATED" not in violation.stderr:
+        problems.append(f"bounds_violation.json: stderr does not say "
+                        f"VIOLATED:\n{violation.stderr}")
+
+    loose = run("bounds_loose.json")
+    if loose.returncode != 1:
+        problems.append(f"bounds_loose.json: expected exit 1, got "
+                        f"{loose.returncode}:\n{loose.stderr}")
+    if "DRIFT" not in loose.stderr:
+        problems.append(f"bounds_loose.json: stderr does not say "
+                        f"DRIFT:\n{loose.stderr}")
+    for result in (violation, loose):
+        if "Traceback" in result.stderr:
+            problems.append(f"leaked a raw traceback:\n{result.stderr}")
+
+    for p in problems:
+        print(f"test_theory_check: FAIL: {p}", file=sys.stderr)
+    if problems:
+        return 1
+    print("test_theory_check: gate passes clean registry, fires on seeded "
+          "violation and drift")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

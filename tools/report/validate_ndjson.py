@@ -1,0 +1,231 @@
+#!/usr/bin/env python3
+"""validate_ndjson — standalone schema validator for exported trace NDJSON.
+
+Checks every line of the files produced by clique/trace_export (schemas 1
+and 2, docs/TRACING.md) plus the sweep driver's "sweep" records: required
+keys present with the right JSON types, schema-version consistency (load
+records only in schema 2), cross-record invariants (scope count matches the
+header's "events", "load" lines reference an emitted scope, histogram
+totals match the window's charged+silent rounds).
+
+Run as a ctest over the golden traces trace_test / load_profile_test dump
+(fixture golden_ndjson) and over every sweep point, so the documented
+schema and the emitted bytes cannot drift apart.
+
+Usage:
+  validate_ndjson.py FILE [FILE...]
+  validate_ndjson.py --dir DIR        # every *.ndjson under DIR
+
+Exit status: 0 all valid, 1 any violation (each printed as file:line:
+message), 2 usage errors.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+
+INT = int
+NUM = (int, float)
+STR = str
+BOOL = bool
+LIST = list
+
+# type -> {key: python type}; keys marked optional in OPTIONAL below.
+REQUIRED = {
+    "trace": {"schema": INT, "n": INT, "events": INT, "records": INT,
+              "rounds": INT, "messages": INT, "words": INT},
+    "load_summary": {"budget": INT, "sent_messages": INT, "sent_words": INT,
+                     "recv_messages": INT, "recv_words": INT, "max_link": INT,
+                     "absorbed_rounds": INT, "absorbed_messages": INT,
+                     "util": NUM, "sent_max": INT, "sent_mean": NUM,
+                     "sent_p50": INT, "sent_p99": INT, "sent_imbalance": NUM,
+                     "recv_max": INT, "recv_mean": NUM, "recv_p50": INT,
+                     "recv_p99": INT, "recv_imbalance": NUM},
+    "scope": {"seq": INT, "path": STR, "depth": INT, "entry_round": INT,
+              "rounds": INT, "silent_rounds": INT, "messages": INT,
+              "words": INT, "peak_messages_in_round": INT,
+              "hist_messages": LIST, "hist_words": LIST},
+    "load": {"seq": INT, "path": STR, "sent_max": INT, "sent_mean": NUM,
+             "sent_p50": INT, "sent_p99": INT, "sent_imbalance": NUM,
+             "recv_max": INT, "recv_mean": NUM, "recv_p50": INT,
+             "recv_p99": INT, "recv_imbalance": NUM, "peak_link": INT,
+             "util": NUM},
+    "bound": {"theorem": STR, "scope_prefix": STR, "instances": INT,
+              "rounds": INT, "messages": INT, "words": INT,
+              "max_rounds": INT, "max_messages": INT,
+              "peak_messages_in_round": INT},
+    "link_matrix": {"n": INT, "rows": LIST},
+    "round": {"round": INT, "span": INT, "messages": INT, "words": INT},
+    "sweep": {"algo": STR, "n": INT, "m": INT, "density": INT, "seed": INT,
+              "rounds": INT, "messages": INT, "words": INT},
+}
+OPTIONAL = {
+    "scope": {"absorbed_rounds": INT, "absorbed_messages": INT,
+              "wall_ns": INT},
+    "round": {"max_link": INT},
+    # Family-specific sweep observables (tools/sweep/sweep.cpp).
+    "sweep": {"forest_ok": BOOL, "mst_ok": BOOL, "lotker_phases": INT,
+              "phases": INT, "min_cluster_size": LIST,
+              "kmachine16_total": INT, "unfinished_trees": INT},
+}
+# Records that may only appear in a schema-2 export.
+SCHEMA2_ONLY = {"load_summary", "load", "link_matrix"}
+
+
+class FileValidator:
+    def __init__(self, path: Path):
+        self.path = path
+        self.problems: list[str] = []
+        self.header: dict | None = None
+        self.scope_seqs: list[int] = []
+        self.round_lines = 0
+
+    def problem(self, lineno: int, msg: str) -> None:
+        self.problems.append(f"{self.path}:{lineno}: {msg}")
+
+    def check_types(self, lineno: int, rec: dict, rtype: str) -> None:
+        known = dict(REQUIRED[rtype])
+        known.update(OPTIONAL.get(rtype, {}))
+        for key, expected in REQUIRED[rtype].items():
+            if key not in rec:
+                self.problem(lineno, f"{rtype}: missing key {key!r}")
+        for key, value in rec.items():
+            if key == "type":
+                continue
+            if key not in known:
+                self.problem(lineno, f"{rtype}: undocumented key {key!r}")
+                continue
+            expected = known[key]
+            # bool is an int subclass in Python; keep them distinct.
+            if expected is INT and (not isinstance(value, int)
+                                    or isinstance(value, bool)):
+                self.problem(lineno, f"{rtype}.{key}: expected integer, "
+                                     f"got {value!r}")
+            elif expected is NUM and (not isinstance(value, NUM)
+                                      or isinstance(value, bool)):
+                self.problem(lineno, f"{rtype}.{key}: expected number, "
+                                     f"got {value!r}")
+            elif expected in (STR, BOOL, LIST) and not isinstance(value,
+                                                                  expected):
+                self.problem(lineno, f"{rtype}.{key}: expected "
+                                     f"{expected.__name__}, got {value!r}")
+
+    def check_record(self, lineno: int, rec: dict) -> None:
+        rtype = rec.get("type")
+        if not isinstance(rtype, str) or rtype not in REQUIRED:
+            self.problem(lineno, f"unknown record type {rtype!r}")
+            return
+        self.check_types(lineno, rec, rtype)
+        if self.problems:
+            return  # structural issues first; invariants would cascade
+
+        schema = self.header["schema"] if self.header else None
+        if rtype == "trace":
+            if self.header is not None:
+                self.problem(lineno, "second \"trace\" header")
+            elif rec["schema"] not in (1, 2):
+                self.problem(lineno, f"unknown schema {rec['schema']}")
+            self.header = rec
+            return
+        if rtype == "sweep":
+            if self.header is not None:
+                self.problem(lineno, "\"sweep\" record after the trace "
+                                     "header (the driver writes it first)")
+            return
+        if self.header is None:
+            self.problem(lineno, f"{rtype} record before the \"trace\" "
+                                 f"header")
+            return
+        if rtype in SCHEMA2_ONLY and schema != 2:
+            self.problem(lineno, f"{rtype} record in a schema-{schema} "
+                                 f"export")
+        if rtype == "scope":
+            if rec["seq"] != len(self.scope_seqs):
+                self.problem(lineno, f"scope seq {rec['seq']} out of order "
+                                     f"(expected {len(self.scope_seqs)})")
+            self.scope_seqs.append(rec["seq"])
+            charged = sum(rec["hist_messages"]) - rec["silent_rounds"]
+            accounted = (charged + rec["silent_rounds"]
+                         + rec.get("absorbed_rounds", 0))
+            if accounted != rec["rounds"]:
+                self.problem(lineno, f"scope {rec['path']!r}: histogram + "
+                                     f"silent + absorbed rounds {accounted} "
+                                     f"!= window rounds {rec['rounds']}")
+        elif rtype == "load":
+            if rec["seq"] >= len(self.scope_seqs):
+                self.problem(lineno, f"load seq {rec['seq']} references a "
+                                     f"scope not yet emitted")
+        elif rtype == "link_matrix":
+            n = rec["n"]
+            if len(rec["rows"]) != n or any(
+                    not isinstance(row, list) or len(row) != n
+                    for row in rec["rows"]):
+                self.problem(lineno, f"link_matrix is not {n}x{n}")
+        elif rtype == "round":
+            self.round_lines += 1
+            if "max_link" in rec and schema != 2:
+                self.problem(lineno, "round.max_link in a schema-1 export")
+
+    def finish(self) -> None:
+        if self.header is None:
+            self.problems.append(f"{self.path}: no \"trace\" header")
+            return
+        if len(self.scope_seqs) != self.header["events"]:
+            self.problems.append(
+                f"{self.path}: {len(self.scope_seqs)} scope lines but "
+                f"header says events={self.header['events']}")
+        if self.round_lines and self.round_lines != self.header["records"]:
+            self.problems.append(
+                f"{self.path}: {self.round_lines} round lines but header "
+                f"says records={self.header['records']}")
+
+
+def validate_file(path: Path) -> list[str]:
+    v = FileValidator(path)
+    for lineno, line in enumerate(path.read_text().splitlines(), 1):
+        if not line.strip():
+            v.problem(lineno, "blank line")
+            continue
+        try:
+            rec = json.loads(line)
+        except json.JSONDecodeError as e:
+            v.problem(lineno, f"invalid JSON: {e}")
+            continue
+        v.check_record(lineno, rec)
+    v.finish()
+    return v.problems
+
+
+def main(argv: list[str]) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("files", nargs="*", type=Path)
+    parser.add_argument("--dir", type=Path, default=None,
+                        help="validate every *.ndjson under DIR")
+    args = parser.parse_args(argv)
+    files = list(args.files)
+    if args.dir:
+        files.extend(sorted(args.dir.glob("*.ndjson")))
+    if not files:
+        print("validate_ndjson: no input files", file=sys.stderr)
+        return 2
+    problems = []
+    for path in files:
+        if not path.exists():
+            print(f"validate_ndjson: {path} not found", file=sys.stderr)
+            return 2
+        problems.extend(validate_file(path))
+    for p in problems:
+        print(f"validate_ndjson: {p}", file=sys.stderr)
+    if problems:
+        print(f"validate_ndjson: {len(problems)} problem(s) in "
+              f"{len(files)} file(s)", file=sys.stderr)
+        return 1
+    print(f"validate_ndjson: {len(files)} file(s) valid")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv[1:]))
