@@ -31,17 +31,37 @@
 namespace ccq {
 namespace {
 
-// --- Engine round throughput: serial vs parallel (the tentpole metric) ---
+// --- Engine round throughput: delivery-mode scaling (the tentpole metric) --
+//
+// Three modes isolate the two hot-path levers:
+//   serial           threads=1, legacy 48-byte Message layout
+//   parallel         threads=0 (auto lanes), legacy layout
+//   parallel+packed  threads=0, packed wire format (the default config)
+// The grid runs n up to 4096 so the messages/sec column exposes cache-
+// footprint cliffs (the pre-packing engine degraded monotonically from
+// n=256 on; the packed format's ~6x smaller arena pushes the cliff out).
+
+struct EngineMode {
+  const char* name;
+  std::uint32_t threads;
+  bool packed;
+};
+
+inline constexpr EngineMode kEngineModes[] = {
+    {"serial", 1, false},
+    {"parallel", 0, false},
+    {"parallel+packed", 0, true},
+};
 
 struct EngineBenchRow {
   std::uint32_t n;
-  unsigned threads;
+  const char* mode;
   double rounds_per_sec;
   double messages_per_sec;
 };
 
-EngineBenchRow measure_engine_round(std::uint32_t n, unsigned threads) {
-  CliqueEngine engine{{.n = n, .threads = threads}};
+EngineBenchRow measure_engine_round(std::uint32_t n, const EngineMode& mode) {
+  CliqueEngine engine{{.n = n, .threads = mode.threads, .packed = mode.packed}};
   const auto all_to_all = [n](VertexId u, Outbox& out) {
     for (VertexId v = 0; v < n; ++v)
       if (v != u) out.send(v, msg1(0, u));
@@ -57,36 +77,39 @@ EngineBenchRow measure_engine_round(std::uint32_t n, unsigned threads) {
     elapsed = std::chrono::duration<double>(clock::now() - start).count();
   } while (elapsed < 0.25);
   const double msgs = static_cast<double>(rounds) * n * (n - 1);
-  return {n, threads, static_cast<double>(rounds) / elapsed, msgs / elapsed};
+  return {n, mode.name, static_cast<double>(rounds) / elapsed,
+          msgs / elapsed};
 }
 
 void engine_round_table() {
   const unsigned hw = ThreadPool::hardware_threads();
-  std::vector<unsigned> lane_counts{1, 8};
-  if (hw != 1 && hw != 8) lane_counts.push_back(hw);
   std::vector<EngineBenchRow> rows;
-  std::printf(
-      "Engine round throughput (all-to-all send, hardware threads: %u)\n",
-      hw);
-  std::printf("%8s %8s %14s %16s %9s\n", "n", "threads", "rounds/sec",
-              "messages/sec", "speedup");
-  for (std::uint32_t n : {256u, 512u, 1024u}) {
-    double serial_rps = 0;
-    for (unsigned threads : lane_counts) {
-      const auto row = measure_engine_round(n, threads);
+  char buf[64];
+  std::snprintf(buf, sizeof(buf),
+                "Engine round throughput (all-to-all, hw threads: %u)", hw);
+  bench::Table table{buf, {"n", "mode", "rounds/sec", "messages/sec",
+                           "speedup"}};
+  for (std::uint32_t n : {256u, 512u, 1024u, 2048u, 4096u}) {
+    double serial_mps = 0;
+    for (const EngineMode& mode : kEngineModes) {
+      const auto row = measure_engine_round(n, mode);
       rows.push_back(row);
-      if (threads == 1) serial_rps = row.rounds_per_sec;
-      std::printf("%8u %8u %14.1f %16.3e %8.2fx\n", row.n, row.threads,
-                  row.rounds_per_sec, row.messages_per_sec,
-                  serial_rps > 0 ? row.rounds_per_sec / serial_rps : 1.0);
+      if (serial_mps == 0) serial_mps = row.messages_per_sec;
+      char rps[32], mps[32], speedup[32];
+      std::snprintf(rps, sizeof(rps), "%.1f", row.rounds_per_sec);
+      std::snprintf(mps, sizeof(mps), "%.3e", row.messages_per_sec);
+      std::snprintf(speedup, sizeof(speedup), "%.2fx",
+                    serial_mps > 0 ? row.messages_per_sec / serial_mps : 1.0);
+      table.row({std::to_string(n), row.mode, rps, mps, speedup});
     }
   }
+  table.print();
   std::ofstream json("BENCH_engine.json");
   json << "{\n  \"benchmark\": \"engine_round_all_to_all\",\n"
        << "  \"hardware_threads\": " << hw << ",\n  \"rows\": [\n";
   for (std::size_t i = 0; i < rows.size(); ++i)
-    json << "    {\"n\": " << rows[i].n << ", \"threads\": " << rows[i].threads
-         << ", \"rounds_per_sec\": " << rows[i].rounds_per_sec
+    json << "    {\"n\": " << rows[i].n << ", \"mode\": \"" << rows[i].mode
+         << "\", \"rounds_per_sec\": " << rows[i].rounds_per_sec
          << ", \"messages_per_sec\": " << rows[i].messages_per_sec << "}"
          << (i + 1 < rows.size() ? "," : "") << "\n";
   json << "  ]\n}\n";
@@ -96,7 +119,8 @@ void engine_round_table() {
 void BM_EngineRoundArena(benchmark::State& state) {
   const auto n = static_cast<std::uint32_t>(state.range(0));
   const auto threads = static_cast<std::uint32_t>(state.range(1));
-  CliqueEngine engine{{.n = n, .threads = threads}};
+  const bool packed = state.range(2) != 0;
+  CliqueEngine engine{{.n = n, .threads = threads, .packed = packed}};
   const auto all_to_all = [n](VertexId u, Outbox& out) {
     for (VertexId v = 0; v < n; ++v)
       if (v != u) out.send(v, msg1(0, u));
@@ -108,10 +132,40 @@ void BM_EngineRoundArena(benchmark::State& state) {
                           (n - 1));
 }
 BENCHMARK(BM_EngineRoundArena)
-    ->Args({512, 1})
-    ->Args({512, 8})
-    ->Args({1024, 1})
-    ->Args({1024, 8});
+    ->Args({512, 1, 0})
+    ->Args({512, 1, 1})
+    ->Args({1024, 1, 0})
+    ->Args({1024, 1, 1})
+    ->Args({1024, 0, 1});
+
+void BM_EngineFusedWindow(benchmark::State& state) {
+  // k fused static rounds vs k generic rounds of the same schedule: the
+  // win is one arena pass (one counting sort, one placement) per window.
+  const auto n = static_cast<std::uint32_t>(state.range(0));
+  const auto k = static_cast<std::uint32_t>(state.range(1));
+  const bool fused = state.range(2) != 0;
+  CliqueEngine engine{{.n = n, .threads = 1}};
+  const auto schedule = [n](VertexId u, std::uint32_t r, Outbox& out) {
+    for (VertexId v = 0; v < n; ++v)
+      if (v != u) out.send(v, msg1(r, u));
+  };
+  for (auto _ : state) {
+    if (fused) {
+      benchmark::DoNotOptimize(engine.fused_rounds_arena(k, schedule));
+    } else {
+      for (std::uint32_t r = 0; r < k; ++r)
+        benchmark::DoNotOptimize(engine.round_arena(
+            [&](VertexId u, Outbox& out) { schedule(u, r, out); }));
+    }
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) * n *
+                          (n - 1) * k);
+}
+BENCHMARK(BM_EngineFusedWindow)
+    ->Args({512, 4, 0})
+    ->Args({512, 4, 1})
+    ->Args({1024, 4, 0})
+    ->Args({1024, 4, 1});
 
 void BM_FieldMul(benchmark::State& state) {
   Rng rng{1};

@@ -21,7 +21,7 @@
 // Execution strategy (a simulator detail, invisible to the model): senders
 // are sharded into contiguous id ranges executed on a reusable thread pool
 // (EngineConfig::threads lanes), each shard filling a worker-local flat
-// message buffer; the shard buffers are then bucket-sorted by destination
+// record buffer; the shard buffers are then bucket-sorted by destination
 // into a reusable RoundBuffer arena with a counting pass. Because shards
 // are contiguous and the counting sort is stable, delivery order is
 // (sender id, submission order) — bit-identical to the serial loop — and
@@ -29,6 +29,28 @@
 // fully serial path when threads == 1, when the sender set is small, or
 // when a message observer is installed (lower-bound audits stay exact).
 // Steady-state rounds reuse every buffer: zero heap allocation.
+//
+// Hot-path layout (docs/MODEL.md, "Wire format & kernel dispatch"):
+//
+//   - packed wire format (EngineConfig::packed, default on): records move
+//     through the shard buffers and the arena bit-packed to their
+//     information content (clique/packed_message, typically 3-7 bytes
+//     instead of sizeof(Message) == 48) and are decoded back into Message
+//     form only when an inbox is first read. Bit-identical to the unpacked
+//     engine (determinism_test pins packed == unpacked).
+//   - cache-blocked delivery: once a packed arena outgrows the last-level
+//     cache, the placement pass would touch every destination cacheline
+//     ~10x (records from consecutive senders to one bucket are ~n record
+//     lengths apart). The merge then switches to a two-pass tile: shards
+//     first append records into per-destination-block staging streams
+//     (sequential writes), then each block — sized to stay cache-resident —
+//     is placed on its own. Same bytes in the same order, so the arena is
+//     byte-identical to the direct path.
+//   - superstep fusion (fused_rounds_arena): a static schedule of k rounds
+//     runs as ONE pass over shard fill + merge, with buckets keyed
+//     (destination, sub-round). Metrics, trace and load accounting are
+//     still charged per sub-round, so NDJSON schema 1/2 output is
+//     byte-identical to the unfused engine.
 //
 // Rounds, messages and words are counted exactly (clique/metrics). The
 // engine also supports:
@@ -56,8 +78,10 @@
 
 #include "clique/message.hpp"
 #include "clique/metrics.hpp"
+#include "clique/packed_message.hpp"
 #include "clique/round_buffer.hpp"
 #include "graph/graph.hpp"
+#include "util/error.hpp"
 #include "util/thread_pool.hpp"
 
 namespace ccq {
@@ -74,11 +98,19 @@ struct EngineConfig {
   /// the constant-round variants in Theorems 4 and 7.
   std::uint32_t messages_per_link{1};
   Knowledge knowledge{Knowledge::KT1};
-  /// Simulator execution lanes for the generic round path: 0 = all hardware
-  /// threads, 1 = the fully serial engine. Threading is invisible to the
-  /// model — rounds/messages/words and delivery order are identical for
-  /// every value (docs/MODEL.md, "Parallel execution & determinism").
+  /// Simulator execution lanes for the generic round path: 0 = auto (up to
+  /// all hardware threads, scaled down for low-volume rounds — see
+  /// kAutoMessagesPerLane), 1 = the fully serial engine, k = exactly k
+  /// lanes whenever the sender set reaches kParallelMinSenders. Threading
+  /// is invisible to the model — rounds/messages/words and delivery order
+  /// are identical for every value (docs/MODEL.md, "Parallel execution &
+  /// determinism").
   std::uint32_t threads{0};
+  /// Deliver rounds through the packed wire format (clique/packed_message):
+  /// bit-identical inboxes and accounting, ~3-6x fewer bytes moved per
+  /// round. Off = the legacy 48-byte Message layout, kept as the
+  /// determinism baseline and for A/B benchmarks.
+  bool packed{true};
 };
 
 /// Budget for the wide-bandwidth variant: one O(log^5 n)-bit link carries
@@ -87,35 +119,125 @@ std::uint32_t wide_bandwidth_messages_per_link(std::uint32_t n);
 
 /// Sender sets below this size always take the serial path: the pool's
 /// wake/park latency would dominate, and small instances are exactly the
-/// ones the lower-bound audits single-step through.
-inline constexpr std::size_t kParallelMinSenders = 128;
+/// ones the lower-bound audits single-step through. (Was 128; lowered after
+/// the packed-format rework cut per-message fill cost — measured crossover
+/// in docs/MODEL.md, "Parallel threshold".)
+inline constexpr std::size_t kParallelMinSenders = 64;
 
-/// Per-node outbox for one round. Enforces per-destination budget eagerly.
-/// A view over its shard's worker-local buffers — creating one allocates
-/// nothing.
+/// Auto-threading (threads == 0) volume heuristic: one extra lane per this
+/// many predicted messages in the window, predicted from the previous
+/// generic window (optimistically all-lanes on the first). Keeps low-volume
+/// rounds off the pool, whose wake/join cost dominates below roughly this
+/// many messages per lane (docs/MODEL.md, "Parallel threshold"). Lane count
+/// never affects results, only speed.
+inline constexpr std::uint64_t kAutoMessagesPerLane = 8192;
+
+/// Per-link budget counters are epoch-tagged: each used[] entry holds
+/// (sender epoch << kUsedCountBits) | count, and a stale epoch reads as
+/// count 0 — so moving to the next sender is one epoch increment instead of
+/// a re-zero pass over every destination it touched (which cost ~1 store
+/// per message on all-to-all rounds). 24 count bits cover the largest legal
+/// budget (wide_bandwidth_messages_per_link tops out at 32^4 = 2^20); the
+/// 40 epoch bits outlast any run by orders of magnitude.
+inline constexpr std::uint32_t kUsedCountBits = 24;
+inline constexpr std::uint64_t kUsedCountMask =
+    (std::uint64_t{1} << kUsedCountBits) - 1;
+
+/// Per-(sub-round, destination) fill tallies pack (message count << 32) |
+/// packed bytes into ONE word, halving the tally arrays' cache footprint in
+/// the fill loop and the merge's counting pass. Cannot overflow: per
+/// (shard, sub-round, destination) both fields are bounded by the per-link
+/// budget (< 2^24 messages, < 2^24 * kMaxRecordBytes < 2^30 bytes).
+inline constexpr std::uint32_t kTallyCountShift = 32;
+inline constexpr std::uint64_t kTallyBytesMask =
+    (std::uint64_t{1} << kTallyCountShift) - 1;
+
+/// Per-node outbox for one (sub-)round. Enforces per-destination budget
+/// eagerly and tallies counts/bytes/words as it goes (the merge never
+/// re-scans records). A view over its shard's worker-local buffers —
+/// creating one allocates nothing.
 class Outbox {
  public:
   /// Send `m` to `dst` (tag/payload taken from m; src/dst overwritten).
-  void send(VertexId dst, const Message& m);
+  /// Defined here (not in engine.cpp) and force-inlined so it merges into
+  /// the caller's send lambda: the encode call then sees a compile-time word
+  /// count at most call sites, which is worth ~25% of the whole fill+merge
+  /// hot path (the out-of-line version profiled at ~5 ns/message).
+  CLIQUE_ALWAYS_INLINE void send(VertexId dst, const Message& m) {
+    if (dst >= n_)
+      throw ProtocolError("Outbox::send: destination out of range");
+    if (dst == src_)
+      throw ProtocolError("Outbox::send: self-send has no link in the clique");
+    // Epoch-tagged budget counter (see kUsedCountBits): an entry whose
+    // epoch is not ours belongs to an earlier sender and reads as count 0.
+    const std::uint64_t seen = used_[dst];
+    const std::uint64_t cur = (seen & ~kUsedCountMask) == epoch_ ? seen
+                                                                 : epoch_;
+    const auto prior = static_cast<std::uint32_t>(cur & kUsedCountMask);
+    if (prior >= budget_)
+      throw ProtocolError(
+          "Outbox::send: per-link bandwidth budget exceeded for this round");
+    used_[dst] = cur + 1;
+    // Eager tallies: the merge's counting pass reads these totals instead of
+    // re-scanning records (run_shard rolls them back if the sender throws).
+    ++sent_;
+    *words_ += m.count;
+    if (dst_words_) {
+      dst_words_[dst] += m.count;
+      // Only the congestion profiler walks touched destinations (per-link
+      // maxima); the unprofiled engine skips the bookkeeping entirely.
+      if (prior == 0) touched_->push_back(dst);
+    }
+    if (bytes_) {
+      const std::size_t len = packed::encode(m, src_, src_w_,
+                                             bytes_->grow_for_record());
+      bytes_->advance(len);
+      dst_tally_[dst] += (std::uint64_t{1} << kTallyCountShift) | len;
+      route_->push_back({dst, static_cast<std::uint32_t>(len)});
+    } else {
+      dst_tally_[dst] += std::uint64_t{1} << kTallyCountShift;
+      Message copy = m;
+      copy.src = src_;
+      copy.dst = dst;
+      sink_->push_back(copy);
+    }
+  }
 
-  std::size_t size() const { return sink_->size() - start_; }
+  /// Messages sent through this outbox so far.
+  std::size_t size() const { return sent_; }
 
  private:
   friend class CliqueEngine;
   Outbox(VertexId src, std::uint32_t n, std::uint32_t budget,
-         std::vector<Message>* sink, std::uint32_t* used,
-         std::vector<VertexId>* touched)
-      : src_(src), n_(n), budget_(budget), sink_(sink), used_(used),
-        touched_(touched), start_(sink->size()) {}
+         std::uint32_t src_w, std::uint64_t epoch, std::vector<Message>* sink,
+         packed::PackedBuf* bytes, std::vector<packed::Route>* route,
+         std::uint64_t* used, std::vector<VertexId>* touched,
+         std::uint64_t* dst_tally, std::uint64_t* words,
+         std::uint64_t* dst_words)
+      : src_(src), n_(n), budget_(budget), src_w_(src_w),
+        epoch_(epoch << kUsedCountBits), sink_(sink), bytes_(bytes),
+        route_(route), used_(used), touched_(touched),
+        dst_tally_(dst_tally), words_(words), dst_words_(dst_words) {}
 
   VertexId src_;
   std::uint32_t n_;
   std::uint32_t budget_;
-  std::vector<Message>* sink_;     // shard buffer; this sender appends at end
-  std::uint32_t* used_;            // per-destination count, current sender
-  std::vector<VertexId>* touched_; // destinations to re-zero after the sender
-  std::size_t start_;
+  std::uint32_t src_w_;            // packed src field width (bytes)
+  std::uint64_t epoch_;            // this sender's tag, pre-shifted
+  std::vector<Message>* sink_;     // unpacked shard buffer (null when packed)
+  packed::PackedBuf* bytes_;       // packed record stream (null when unpacked)
+  std::vector<packed::Route>* route_;  // packed (dst, len) sidecar
+  std::uint64_t* used_;            // epoch-tagged per-destination counters
+  std::vector<VertexId>* touched_; // profiled: destinations this sender hit
+  std::uint64_t* dst_tally_;       // (count << 32 | bytes) per destination
+  std::uint64_t* words_;           // shard payload words, this sub-round
+  std::uint64_t* dst_words_;       // profiled per-destination words, or null
+  std::size_t sent_{0};
 };
+
+/// Send callback for a fused window: invoked as send(u, r, out) for every
+/// sender u and sub-round r in [0, rounds).
+using FusedSend = std::function<void(VertexId, std::uint32_t, Outbox&)>;
 
 class CliqueEngine {
  public:
@@ -149,6 +271,23 @@ class CliqueEngine {
   const RoundBuffer& round_of_arena(
       std::span<const VertexId> senders,
       const std::function<void(VertexId, Outbox&)>& send);
+
+  /// Superstep fusion: execute `rounds` consecutive synchronous rounds in
+  /// ONE pass over the delivery arena. The schedule must be *static*:
+  /// send(u, r, out) may depend on u's pre-window state and on r, but not
+  /// on messages delivered within the window — inboxes only become visible
+  /// when the window returns (inbox_round(v, r) carves out one sub-round).
+  /// Budget is enforced per (sub-round, link); metrics, trace and load
+  /// accounting are charged per sub-round exactly as if the rounds ran
+  /// unfused (determinism_test pins fused == unfused, NDJSON included).
+  /// Only observable difference: error atomicity — a throwing sender
+  /// anywhere in the window aborts the WHOLE window with no metrics moved,
+  /// where the unfused engine would keep the rounds before the faulty one.
+  const RoundBuffer& fused_rounds_arena(std::uint32_t rounds,
+                                        const FusedSend& send);
+  const RoundBuffer& fused_rounds_of_arena(std::span<const VertexId> senders,
+                                           std::uint32_t rounds,
+                                           const FusedSend& send);
 
   /// Compatibility shims returning the legacy vector-of-vectors inboxes
   /// (one copy of the arena). New code should prefer the *_arena forms.
@@ -229,33 +368,47 @@ class CliqueEngine {
   /// Per-shard execution state, reused across rounds (allocation-free in
   /// steady state). Shards are contiguous sender ranges; concatenating the
   /// shard buffers in shard order recovers the exact serial sender order.
+  /// Fused windows segment the buffers by sub-round (seg_*); per-(sub-round,
+  /// destination) tallies are laid out sub-round-major: index r * n + d.
   struct Shard {
-    std::vector<Message> buffer;          // (sender, submission)-ordered
-    std::vector<std::uint32_t> used;      // per-destination budget counter
-    std::vector<VertexId> touched;        // used[] entries to re-zero
-    std::vector<std::size_t> dst_count;   // shard messages per destination
+    std::vector<Message> buffer;          // unpacked records, (r, sender,
+                                          // submission)-ordered
+    packed::PackedBuf bytes;              // packed records, same order
+    std::vector<packed::Route> route;     // packed (dst, len) sidecar
+    std::vector<std::size_t> seg_msg;     // record-index bound per sub-round
+    std::vector<std::size_t> seg_byte;    // byte bound per sub-round
+    std::vector<std::uint64_t> used;      // epoch-tagged budget counters
+    std::uint64_t epoch{0};               // grows per (sender, sub-round)
+    std::vector<VertexId> touched;        // profiled: this sender's dsts
+    std::vector<std::uint64_t> dst_tally; // (count << 32 | packed bytes) per
+                                          // (sub-round, dst)
     std::vector<std::size_t> cursor;      // shard write cursor per bucket
-    std::uint64_t words{0};
+                                          // (slots unpacked, bytes packed)
+    std::vector<std::uint64_t> round_words;  // payload words per sub-round
+    std::size_t error_round{0};           // sub-round of first failure
     std::size_t error_pos{0};             // sender position of first failure
     std::exception_ptr error;
     // Profiling tallies, filled only while a LoadProfile is attached and
     // merged deterministically on the driver thread.
-    std::vector<std::uint64_t> sender_msgs;   // per sender in [begin, end)
-    std::vector<std::uint64_t> sender_words;  // per sender in [begin, end)
-    std::vector<std::uint64_t> dst_words;     // shard words per destination
-    std::uint64_t max_link{0};            // max per-(sender,dst) budget use
+    std::vector<std::uint64_t> sender_msgs;   // per (sub-round, sender pos)
+    std::vector<std::uint64_t> sender_words;  // per (sub-round, sender pos)
+    std::vector<std::uint64_t> dst_words;     // words per (sub-round, dst)
+    std::vector<std::uint64_t> max_link;      // per sub-round link maximum
   };
 
   void validate_senders(std::span<const VertexId> senders);
   void run_shard(Shard& shard, std::span<const VertexId> senders,
-                 std::size_t begin, std::size_t end,
-                 const std::function<void(VertexId, Outbox&)>& send,
-                 bool profiled);
+                 std::size_t begin, std::size_t end, std::uint32_t rounds,
+                 const FusedSend& send, bool profiled);
+  const RoundBuffer& run_window(std::span<const VertexId> senders,
+                                std::uint32_t rounds, const FusedSend& send);
+  void place_blocked(unsigned lanes, std::uint32_t rounds);
   unsigned resolved_threads() const;
 
   EngineConfig config_;
   Metrics metrics_;
   bool ids_resolved_{false};
+  std::uint32_t src_w_{1};            // packed src field width, from n
   Trace* trace_{nullptr};
   LoadProfile* load_{nullptr};
   std::function<void(VertexId, VertexId)> observer_;
@@ -265,6 +418,15 @@ class CliqueEngine {
   RoundBuffer arena_;                 // delivery arena, reused across rounds
   std::vector<Shard> shards_;         // per-shard state, reused
   std::unique_ptr<ThreadPool> pool_;  // created on first parallel round
+  std::uint64_t last_round_messages_{0};  // volume prediction for auto lanes
+  // Merge scratch, reused across windows.
+  std::vector<std::uint64_t> round_msgs_;    // messages per sub-round
+  std::vector<std::uint64_t> round_word_totals_;
+  // Cache-blocked delivery scratch (packed arenas beyond the LLC).
+  std::vector<std::uint32_t> block_of_;      // bucket -> block id
+  std::vector<std::size_t> block_base_;      // block -> first bucket (+end)
+  std::vector<std::size_t> block_cursor_;    // per-bucket byte cursor
+  std::vector<packed::PackedBuf> staging_;   // per (shard, block) streams
 };
 
 }  // namespace ccq

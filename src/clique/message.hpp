@@ -43,21 +43,47 @@ struct Message {
     // The i < kMaxWords half is implied by i < count (count <= kMaxWords),
     // but stating it lets the optimizer prove words[i] is in bounds — GCC's
     // -Warray-bounds otherwise fires on constant out-of-range calls in
-    // tests that exercise the throw path.
-    check(i < count && i < kMaxWords, "Message::word: index out of range");
+    // tests that exercise the throw path. Debug-only: word() sits on the
+    // per-payload-word hot path of every receiver loop, and release builds
+    // must not pay a branch+throw per word (sanitizer/debug builds still
+    // throw, and engine_test keeps the EXPECT_THROW form under them).
+    CLIQUE_DCHECK(i < count && i < kMaxWords,
+                  "Message::word: index out of range");
     return words[i];
   }
 };
 
-/// Build a message (src/dst filled in by the Outbox / engine).
-Message make_message(std::uint32_t tag, std::span<const std::uint64_t> words);
+/// Build a message (src/dst filled in by the Outbox / engine). Inline so
+/// the msg0..msg4 helpers below constant-fold into plain stores at a send
+/// call site — message construction sits on the engine's fill hot path.
+inline Message make_message(std::uint32_t tag,
+                            std::span<const std::uint64_t> words) {
+  check(words.size() <= kMaxWords, "make_message: payload too large");
+  Message m;
+  m.tag = tag;
+  m.count = static_cast<std::uint8_t>(words.size());
+  for (std::size_t i = 0; i < words.size(); ++i) m.words[i] = words[i];
+  return m;
+}
 
 inline Message msg0(std::uint32_t tag) { return make_message(tag, {}); }
-Message msg1(std::uint32_t tag, std::uint64_t a);
-Message msg2(std::uint32_t tag, std::uint64_t a, std::uint64_t b);
-Message msg3(std::uint32_t tag, std::uint64_t a, std::uint64_t b,
-             std::uint64_t c);
-Message msg4(std::uint32_t tag, std::uint64_t a, std::uint64_t b,
-             std::uint64_t c, std::uint64_t d);
+inline Message msg1(std::uint32_t tag, std::uint64_t a) {
+  const std::uint64_t w[] = {a};
+  return make_message(tag, w);
+}
+inline Message msg2(std::uint32_t tag, std::uint64_t a, std::uint64_t b) {
+  const std::uint64_t w[] = {a, b};
+  return make_message(tag, w);
+}
+inline Message msg3(std::uint32_t tag, std::uint64_t a, std::uint64_t b,
+                    std::uint64_t c) {
+  const std::uint64_t w[] = {a, b, c};
+  return make_message(tag, w);
+}
+inline Message msg4(std::uint32_t tag, std::uint64_t a, std::uint64_t b,
+                    std::uint64_t c, std::uint64_t d) {
+  const std::uint64_t w[] = {a, b, c, d};
+  return make_message(tag, w);
+}
 
 }  // namespace ccq

@@ -3,6 +3,7 @@
 #include <bit>
 #include <cmath>
 
+#include "sketch/sketch_kernels.hpp"
 #include "util/error.hpp"
 #include "util/field.hpp"
 
@@ -105,59 +106,72 @@ std::uint64_t SketchFamily::fingerprint(std::uint32_t level,
   return field::pow(z_of(level), i + 1);
 }
 
-L0Sketch::L0Sketch(const SketchFamily& family)
-    : family_(&family),
-      cells_(static_cast<std::size_t>(family.params().levels) *
-             family.params().buckets) {}
+L0Sketch::L0Sketch(const SketchFamily& family) : family_(&family) {
+  const std::size_t cells = static_cast<std::size_t>(family.params().levels) *
+                            family.params().buckets;
+  phi_.assign(cells, 0);
+  iota_.assign(cells, 0);
+  tau_.assign(cells, 0);
+}
 
 void L0Sketch::update(std::uint64_t i, int c) {
   check(c == 1 || c == -1, "L0Sketch::update: sign must be +-1");
   const std::uint32_t top = family_->level_of(i);
   const std::uint32_t buckets = family_->params().buckets;
   for (std::uint32_t level = 0; level <= top; ++level) {
-    Cell& cell = cells_[static_cast<std::size_t>(level) * buckets +
-                        family_->bucket_of(level, i)];
-    cell.phi += c;
-    cell.iota += c * static_cast<std::int64_t>(i);
+    const std::size_t cell = static_cast<std::size_t>(level) * buckets +
+                             family_->bucket_of(level, i);
+    phi_[cell] += c;
+    iota_[cell] += c * static_cast<std::int64_t>(i);
     const std::uint64_t f = family_->fingerprint(level, i);
-    cell.tau = c > 0 ? field::add(cell.tau, f) : field::sub(cell.tau, f);
+    tau_[cell] = c > 0 ? field::add(tau_[cell], f) : field::sub(tau_[cell], f);
   }
 }
 
 L0Sketch& L0Sketch::operator+=(const L0Sketch& other) {
   check(family_->family_id() == other.family_->family_id(),
         "L0Sketch::+=: sketches from different families are not addable");
-  for (std::size_t level = 0; level < cells_.size(); ++level) {
-    cells_[level].phi += other.cells_[level].phi;
-    cells_[level].iota += other.cells_[level].iota;
-    cells_[level].tau =
-        field::add(cells_[level].tau, other.cells_[level].tau);
-  }
+  kernels::sketch_accumulate(phi_.data(), iota_.data(), tau_.data(),
+                             other.phi_.data(), other.iota_.data(),
+                             other.tau_.data(), phi_.size());
   return *this;
 }
 
 L0Sketch L0Sketch::negated() const {
   L0Sketch out{*family_};
-  for (std::size_t level = 0; level < cells_.size(); ++level) {
-    out.cells_[level].phi = -cells_[level].phi;
-    out.cells_[level].iota = -cells_[level].iota;
-    out.cells_[level].tau = field::neg(cells_[level].tau);
+  for (std::size_t cell = 0; cell < phi_.size(); ++cell) {
+    out.phi_[cell] = -phi_[cell];
+    out.iota_[cell] = -iota_[cell];
+    out.tau_[cell] = field::neg(tau_[cell]);
   }
   return out;
 }
 
 std::optional<L0Sample> L0Sketch::sample() const {
   // Scan from the sparsest level down; within a level, scan its buckets.
-  // The first exactly-1-sparse detector yields the sample.
+  // The first exactly-1-sparse detector yields the sample. The vectorized
+  // prefilter (|φ| == 1 per cell) skips empty high levels and dense low
+  // levels without touching ι/τ; the expensive field verification runs only
+  // on candidate cells, in the exact order the direct scan used.
   const std::uint32_t buckets = family_->params().buckets;
+  const std::size_t cells = phi_.size();
+  const std::size_t words = (cells + 63) / 64;
+  std::uint64_t mask_stack[8];
+  std::vector<std::uint64_t> mask_heap;
+  std::uint64_t* mask = mask_stack;
+  if (words > 8) {
+    mask_heap.resize(words);
+    mask = mask_heap.data();
+  }
+  kernels::one_sparse_mask(phi_.data(), cells, mask);
   for (std::uint32_t level = family_->params().levels; level-- > 0;) {
     for (std::uint32_t b = 0; b < buckets; ++b) {
-      const Cell& cell =
-          cells_[static_cast<std::size_t>(level) * buckets + b];
-      if (cell.phi != 1 && cell.phi != -1) continue;
-      const std::int64_t signed_index = cell.iota / cell.phi;
+      const std::size_t cell = static_cast<std::size_t>(level) * buckets + b;
+      if (((mask[cell / 64] >> (cell % 64)) & 1) == 0) continue;
+      const std::int64_t phi = phi_[cell];
+      const std::int64_t signed_index = iota_[cell] / phi;
       if (signed_index < 0 ||
-          cell.iota != cell.phi * signed_index ||
+          iota_[cell] != phi * signed_index ||
           static_cast<std::uint64_t>(signed_index) >=
               family_->params().universe)
         continue;
@@ -168,27 +182,26 @@ std::optional<L0Sample> L0Sketch::sample() const {
       // Fingerprint test: τ must equal φ · z^index.
       const std::uint64_t expect_mag = family_->fingerprint(level, index);
       const std::uint64_t expect =
-          cell.phi > 0 ? expect_mag : field::neg(expect_mag);
-      if (cell.tau != expect) continue;
-      return L0Sample{index, cell.phi > 0 ? 1 : -1};
+          phi > 0 ? expect_mag : field::neg(expect_mag);
+      if (tau_[cell] != expect) continue;
+      return L0Sample{index, phi > 0 ? 1 : -1};
     }
   }
   return std::nullopt;
 }
 
 bool L0Sketch::appears_zero() const {
-  for (const Cell& cell : cells_)
-    if (cell.phi != 0 || cell.iota != 0 || cell.tau != 0) return false;
-  return true;
+  return !kernels::any_nonzero(phi_.data(), iota_.data(), tau_.data(),
+                               phi_.size());
 }
 
 std::vector<std::uint64_t> L0Sketch::to_words() const {
   std::vector<std::uint64_t> out;
-  out.reserve(cells_.size() * 3);
-  for (const Cell& cell : cells_) {
-    out.push_back(zigzag_encode(cell.phi));
-    out.push_back(zigzag_encode(cell.iota));
-    out.push_back(cell.tau);
+  out.reserve(phi_.size() * 3);
+  for (std::size_t cell = 0; cell < phi_.size(); ++cell) {
+    out.push_back(zigzag_encode(phi_[cell]));
+    out.push_back(zigzag_encode(iota_[cell]));
+    out.push_back(tau_[cell]);
   }
   return out;
 }
@@ -198,10 +211,10 @@ L0Sketch L0Sketch::from_words(const SketchFamily& family,
   if (words.size() != word_size(family.params()))
     throw InvalidArgument("L0Sketch::from_words: wrong payload size");
   L0Sketch out{family};
-  for (std::size_t c = 0; c < out.cells_.size(); ++c) {
-    out.cells_[c].phi = zigzag_decode(words[3 * c]);
-    out.cells_[c].iota = zigzag_decode(words[3 * c + 1]);
-    out.cells_[c].tau = words[3 * c + 2];
+  for (std::size_t c = 0; c < out.phi_.size(); ++c) {
+    out.phi_[c] = zigzag_decode(words[3 * c]);
+    out.iota_[c] = zigzag_decode(words[3 * c + 1]);
+    out.tau_[c] = words[3 * c + 2];
   }
   return out;
 }

@@ -130,14 +130,17 @@ class L0Sketch {
   std::uint64_t family_id() const { return family_->family_id(); }
 
  private:
-  struct Cell {
-    std::int64_t phi{0};
-    std::int64_t iota{0};
-    std::uint64_t tau{0};  // field element
-  };
-
+  // Detector state in structure-of-arrays layout, indexed
+  // level * buckets + bucket: three contiguous same-typed lanes so the two
+  // hot operations — operator+= when a coordinator sums per-component
+  // sketches, and sample()'s 1-sparse candidate scan — run through the
+  // vectorized kernels in sketch/sketch_kernels (bit-identical scalar and
+  // AVX2 paths). The wire format (to_words/from_words) is unchanged:
+  // serialization still interleaves (φ, ι, τ) per cell.
   const SketchFamily* family_;
-  std::vector<Cell> cells_;  // levels * buckets, bucket-major within level
+  std::vector<std::int64_t> phi_;    // Σ c_i per cell
+  std::vector<std::int64_t> iota_;   // Σ c_i · i per cell
+  std::vector<std::uint64_t> tau_;   // Σ c_i · z^i (mod p) per cell
 };
 
 }  // namespace ccq

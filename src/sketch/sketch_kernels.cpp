@@ -1,0 +1,190 @@
+#include "sketch/sketch_kernels.hpp"
+
+#include "util/field.hpp"
+
+#if defined(__x86_64__) && !defined(CLIQUE_NO_SIMD)
+#define CCQ_HAVE_AVX2_PATH 1
+#include <immintrin.h>
+#else
+#define CCQ_HAVE_AVX2_PATH 0
+#endif
+
+namespace ccq::kernels {
+
+namespace {
+
+bool g_force_scalar = false;
+
+// ---------------------------------------------------------------- scalar --
+
+void accumulate_scalar(std::int64_t* phi, std::int64_t* iota,
+                       std::uint64_t* tau, const std::int64_t* ophi,
+                       const std::int64_t* oiota, const std::uint64_t* otau,
+                       std::size_t m) {
+  for (std::size_t i = 0; i < m; ++i) {
+    phi[i] += ophi[i];
+    iota[i] += oiota[i];
+    // Branch-free canonical form of field::add — the same integers the
+    // vector path computes (see the bit-identical guarantee in the header).
+    std::uint64_t s = tau[i] + otau[i];
+    s -= field::kPrime & (std::uint64_t{0} - (s >= field::kPrime ? 1u : 0u));
+    tau[i] = s;
+  }
+}
+
+void one_sparse_mask_scalar(const std::int64_t* phi, std::size_t m,
+                            std::uint64_t* mask_words) {
+  const std::size_t words = (m + 63) / 64;
+  for (std::size_t w = 0; w < words; ++w) mask_words[w] = 0;
+  for (std::size_t i = 0; i < m; ++i)
+    if (phi[i] == 1 || phi[i] == -1)
+      mask_words[i / 64] |= std::uint64_t{1} << (i % 64);
+}
+
+bool any_nonzero_scalar(const std::int64_t* phi, const std::int64_t* iota,
+                        const std::uint64_t* tau, std::size_t m) {
+  std::uint64_t acc = 0;
+  for (std::size_t i = 0; i < m; ++i)
+    acc |= static_cast<std::uint64_t>(phi[i]) |
+           static_cast<std::uint64_t>(iota[i]) | tau[i];
+  return acc != 0;
+}
+
+// ------------------------------------------------------------------ avx2 --
+#if CCQ_HAVE_AVX2_PATH
+
+__attribute__((target("avx2"))) void accumulate_avx2(
+    std::int64_t* phi, std::int64_t* iota, std::uint64_t* tau,
+    const std::int64_t* ophi, const std::int64_t* oiota,
+    const std::uint64_t* otau, std::size_t m) {
+  const __m256i prime = _mm256_set1_epi64x(
+      static_cast<long long>(field::kPrime));
+  // Operands are < 2^61, so sums are < 2^62: positive as signed 64-bit,
+  // making the signed compare below exact.
+  const __m256i prime_minus_1 = _mm256_set1_epi64x(
+      static_cast<long long>(field::kPrime - 1));
+  std::size_t i = 0;
+  for (; i + 4 <= m; i += 4) {
+    const __m256i p0 = _mm256_loadu_si256(
+        reinterpret_cast<const __m256i*>(phi + i));
+    const __m256i p1 = _mm256_loadu_si256(
+        reinterpret_cast<const __m256i*>(ophi + i));
+    _mm256_storeu_si256(reinterpret_cast<__m256i*>(phi + i),
+                        _mm256_add_epi64(p0, p1));
+    const __m256i q0 = _mm256_loadu_si256(
+        reinterpret_cast<const __m256i*>(iota + i));
+    const __m256i q1 = _mm256_loadu_si256(
+        reinterpret_cast<const __m256i*>(oiota + i));
+    _mm256_storeu_si256(reinterpret_cast<__m256i*>(iota + i),
+                        _mm256_add_epi64(q0, q1));
+    const __m256i t0 = _mm256_loadu_si256(
+        reinterpret_cast<const __m256i*>(tau + i));
+    const __m256i t1 = _mm256_loadu_si256(
+        reinterpret_cast<const __m256i*>(otau + i));
+    const __m256i sum = _mm256_add_epi64(t0, t1);
+    // sum >= p  <=>  sum > p - 1 (signed, both positive here).
+    const __m256i ge = _mm256_cmpgt_epi64(sum, prime_minus_1);
+    const __m256i red = _mm256_sub_epi64(sum, _mm256_and_si256(ge, prime));
+    _mm256_storeu_si256(reinterpret_cast<__m256i*>(tau + i), red);
+  }
+  if (i < m)
+    accumulate_scalar(phi + i, iota + i, tau + i, ophi + i, oiota + i,
+                      otau + i, m - i);
+}
+
+__attribute__((target("avx2"))) void one_sparse_mask_avx2(
+    const std::int64_t* phi, std::size_t m, std::uint64_t* mask_words) {
+  const std::size_t words = (m + 63) / 64;
+  for (std::size_t w = 0; w < words; ++w) mask_words[w] = 0;
+  const __m256i one = _mm256_set1_epi64x(1);
+  const __m256i minus_one = _mm256_set1_epi64x(-1);
+  std::size_t i = 0;
+  for (; i + 4 <= m; i += 4) {
+    const __m256i v = _mm256_loadu_si256(
+        reinterpret_cast<const __m256i*>(phi + i));
+    const __m256i hit = _mm256_or_si256(_mm256_cmpeq_epi64(v, one),
+                                        _mm256_cmpeq_epi64(v, minus_one));
+    const auto bits = static_cast<std::uint64_t>(
+        _mm256_movemask_pd(_mm256_castsi256_pd(hit)));
+    mask_words[i / 64] |= bits << (i % 64);
+  }
+  for (; i < m; ++i)
+    if (phi[i] == 1 || phi[i] == -1)
+      mask_words[i / 64] |= std::uint64_t{1} << (i % 64);
+}
+
+__attribute__((target("avx2"))) bool any_nonzero_avx2(
+    const std::int64_t* phi, const std::int64_t* iota,
+    const std::uint64_t* tau, std::size_t m) {
+  __m256i acc = _mm256_setzero_si256();
+  std::size_t i = 0;
+  for (; i + 4 <= m; i += 4) {
+    acc = _mm256_or_si256(acc, _mm256_loadu_si256(
+        reinterpret_cast<const __m256i*>(phi + i)));
+    acc = _mm256_or_si256(acc, _mm256_loadu_si256(
+        reinterpret_cast<const __m256i*>(iota + i)));
+    acc = _mm256_or_si256(acc, _mm256_loadu_si256(
+        reinterpret_cast<const __m256i*>(tau + i)));
+  }
+  if (!_mm256_testz_si256(acc, acc)) return true;
+  return i < m ? any_nonzero_scalar(phi + i, iota + i, tau + i, m - i)
+               : false;
+}
+
+bool cpu_has_avx2() {
+  static const bool has = __builtin_cpu_supports("avx2");
+  return has;
+}
+
+#endif  // CCQ_HAVE_AVX2_PATH
+
+bool use_simd() {
+#if CCQ_HAVE_AVX2_PATH
+  return !g_force_scalar && cpu_has_avx2();
+#else
+  return false;
+#endif
+}
+
+}  // namespace
+
+void sketch_accumulate(std::int64_t* phi, std::int64_t* iota,
+                       std::uint64_t* tau, const std::int64_t* ophi,
+                       const std::int64_t* oiota, const std::uint64_t* otau,
+                       std::size_t m) {
+#if CCQ_HAVE_AVX2_PATH
+  if (use_simd()) {
+    accumulate_avx2(phi, iota, tau, ophi, oiota, otau, m);
+    return;
+  }
+#endif
+  accumulate_scalar(phi, iota, tau, ophi, oiota, otau, m);
+}
+
+void one_sparse_mask(const std::int64_t* phi, std::size_t m,
+                     std::uint64_t* mask_words) {
+#if CCQ_HAVE_AVX2_PATH
+  if (use_simd()) {
+    one_sparse_mask_avx2(phi, m, mask_words);
+    // Zero any trailing bits the 4-wide tail loop could not have set —
+    // contract regardless of path.
+    if (m % 64 != 0) mask_words[m / 64] &= (std::uint64_t{1} << (m % 64)) - 1;
+    return;
+  }
+#endif
+  one_sparse_mask_scalar(phi, m, mask_words);
+}
+
+bool any_nonzero(const std::int64_t* phi, const std::int64_t* iota,
+                 const std::uint64_t* tau, std::size_t m) {
+#if CCQ_HAVE_AVX2_PATH
+  if (use_simd()) return any_nonzero_avx2(phi, iota, tau, m);
+#endif
+  return any_nonzero_scalar(phi, iota, tau, m);
+}
+
+const char* active_path() { return use_simd() ? "avx2" : "scalar"; }
+
+void force_scalar(bool on) { g_force_scalar = on; }
+
+}  // namespace ccq::kernels

@@ -1,0 +1,57 @@
+// SIMD kernels over structure-of-arrays 1-sparse detector state.
+//
+// L0Sketch keeps its per-(level, bucket) detectors as three flat lanes
+// (φ as int64, ι as int64, τ as uint64 in GF(2^61 - 1)) precisely so the
+// two operations the algorithms hammer — sketch addition when coordinators
+// sum per-component sketches, and the 1-sparse candidate scan inside
+// sample() — run over contiguous same-typed arrays. These kernels provide
+// runtime-dispatched AVX2 and scalar implementations of both.
+//
+// BIT-IDENTICAL GUARANTEE: every kernel computes exactly the same integers
+// on every path. φ/ι adds are two's-complement (wrap identically), and the
+// field add is the branch-free  s = a + b; s -= p · [s ≥ p]  with operands
+// < 2^61, so s < 2^62 never wraps and the signed 64-bit compare AVX2 offers
+// is exact. tests/simd_parity_test.cpp pins AVX2 == scalar on all of them;
+// a -DCLIQUE_NO_SIMD=ON build (CI job `no-simd`) forces the scalar path
+// everywhere.
+//
+// Dispatch: resolved once per process from __builtin_cpu_supports("avx2")
+// (no global -mavx2 — AVX2 bodies carry target attributes so the binary
+// stays runnable on older x86-64 and non-x86 hosts, which simply take the
+// scalar path). force_scalar() is a test hook for exercising both paths in
+// one process.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+
+namespace ccq::kernels {
+
+/// Element-wise detector accumulation:
+///   phi[i] += ophi[i];  iota[i] += oiota[i];  tau[i] = tau[i] ⊕ otau[i]
+/// with ⊕ the GF(2^61 - 1) addition. All arrays hold `m` elements.
+void sketch_accumulate(std::int64_t* phi, std::int64_t* iota,
+                       std::uint64_t* tau, const std::int64_t* ophi,
+                       const std::int64_t* oiota, const std::uint64_t* otau,
+                       std::size_t m);
+
+/// Batched 1-sparse candidate test: set bit i of mask_words (little-endian,
+/// word i/64 bit i%64) iff phi[i] == 1 or phi[i] == -1. mask_words must
+/// hold ceil(m/64) words; trailing bits of the last word are zeroed.
+void one_sparse_mask(const std::int64_t* phi, std::size_t m,
+                     std::uint64_t* mask_words);
+
+/// True iff any of phi/iota/tau has a nonzero element (appears_zero is the
+/// negation). Scans all m elements of each lane.
+bool any_nonzero(const std::int64_t* phi, const std::int64_t* iota,
+                 const std::uint64_t* tau, std::size_t m);
+
+/// Name of the dispatch path the next kernel call will take ("avx2" or
+/// "scalar") — surfaced in bench output and the parity test.
+const char* active_path();
+
+/// Test hook: force the scalar path (true) or restore runtime dispatch
+/// (false). Not thread-safe; parity tests flip it around kernel calls.
+void force_scalar(bool on);
+
+}  // namespace ccq::kernels

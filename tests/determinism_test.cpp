@@ -10,6 +10,8 @@
 
 #include "clique/engine.hpp"
 #include "clique/round_buffer.hpp"
+#include "clique/trace.hpp"
+#include "clique/trace_export.hpp"
 #include "core/gc.hpp"
 #include "graph/generators.hpp"
 #include "lotker/cc_mst.hpp"
@@ -105,6 +107,147 @@ TEST(Determinism, ParallelProtocolErrorMatchesSerial) {
   EXPECT_THROW(parallel.round_arena(violate), ProtocolError);
   expect_same_metrics(parallel.metrics(), serial.metrics());
   EXPECT_EQ(serial.metrics().rounds, 0u);
+}
+
+void expect_same_arena(const RoundBuffer& a, const RoundBuffer& b) {
+  ASSERT_EQ(a.n(), b.n());
+  for (VertexId v = 0; v < a.n(); ++v) {
+    const auto ia = a.inbox(v);
+    const auto ib = b.inbox(v);
+    ASSERT_EQ(ia.size(), ib.size()) << "inbox " << v;
+    for (std::size_t i = 0; i < ia.size(); ++i) {
+      EXPECT_EQ(ia[i].src, ib[i].src);
+      EXPECT_EQ(ia[i].dst, ib[i].dst);
+      EXPECT_EQ(ia[i].tag, ib[i].tag);
+      ASSERT_EQ(ia[i].count, ib[i].count);
+      for (std::size_t w = 0; w < kMaxWords; ++w)
+        EXPECT_EQ(ia[i].words[w], ib[i].words[w]);
+    }
+  }
+}
+
+TEST(Determinism, PackedDeliveryMatchesUnpackedBitForBit) {
+  // The packed wire format is a pure transport change: inboxes (including
+  // the zeroed words beyond count), Metrics, and delivery order must be
+  // identical to the legacy 48-byte layout, serial and sharded alike.
+  for (const std::uint32_t threads : {1u, 8u}) {
+    CliqueEngine unpacked{{.n = 512, .threads = threads, .packed = false}};
+    CliqueEngine packed{{.n = 512, .threads = threads, .packed = true}};
+    for (int round = 0; round < 3; ++round) {
+      const RoundBuffer& a = unpacked.round_arena(skewed_send);
+      const RoundBuffer& b = packed.round_arena(skewed_send);
+      expect_same_arena(a, b);
+    }
+    expect_same_metrics(packed.metrics(), unpacked.metrics());
+  }
+}
+
+TEST(Determinism, PackedWidthExtremesSurviveDelivery) {
+  // Messages chosen to hit every width code in one round: zero tags, wide
+  // tags, 0..4 words, and 2^8/2^16/2^32 payload boundaries.
+  const auto extremes = [](VertexId u, Outbox& out) {
+    const VertexId dst = (u + 1) % 256;
+    switch (u % 5) {
+      case 0: out.send(dst, msg0(0)); break;
+      case 1: out.send(dst, msg1(0xFFFFFFFFu, ~0ull)); break;
+      case 2: out.send(dst, msg2(0xFFu, 0x100ull, 0xFFull)); break;
+      case 3: out.send(dst, msg4(0x10000u, 0xFFFFull, 0x10000ull,
+                                 0xFFFFFFFFull, 0x100000000ull)); break;
+      default: out.send(dst, msg1(1, 0)); break;
+    }
+  };
+  CliqueEngine unpacked{{.n = 256, .threads = 1, .packed = false}};
+  CliqueEngine packed{{.n = 256, .threads = 1, .packed = true}};
+  expect_same_arena(unpacked.round_arena(extremes),
+                    packed.round_arena(extremes));
+  expect_same_metrics(packed.metrics(), unpacked.metrics());
+}
+
+TEST(Determinism, FusedWindowMatchesUnfusedRounds) {
+  // A static k-round schedule run through fused_rounds_arena must yield the
+  // same per-round inboxes, Metrics, and trace NDJSON as k generic rounds
+  // driving the same schedule — fusion is an execution detail, not a model
+  // change.
+  constexpr std::uint32_t kN = 96;
+  constexpr std::uint32_t kRounds = 4;
+  const auto schedule = [](VertexId u, std::uint32_t r, Outbox& out) {
+    const std::uint32_t fanout = (u + r) % 5;
+    for (std::uint32_t i = 0; i < fanout; ++i) {
+      const VertexId dst = (u * 31 + r * 17 + i) % kN;
+      if (dst != u) out.send(dst, msg2(r, u, i));
+    }
+  };
+
+  Trace unfused_trace, fused_trace;
+  CliqueEngine unfused{{.n = kN, .threads = 1}};
+  CliqueEngine fused{{.n = kN, .threads = 1}};
+  unfused.set_trace(&unfused_trace);
+  fused.set_trace(&fused_trace);
+
+  std::vector<std::vector<std::vector<Message>>> unfused_rounds;
+  {
+    TraceScope scope{unfused, "fusion-parity"};
+    for (std::uint32_t r = 0; r < kRounds; ++r)
+      unfused_rounds.push_back(unfused.round(
+          [&](VertexId u, Outbox& out) { schedule(u, r, out); }));
+  }
+  const RoundBuffer* arena = nullptr;
+  {
+    TraceScope scope{fused, "fusion-parity"};
+    arena = &fused.fused_rounds_arena(kRounds, schedule);
+  }
+
+  for (std::uint32_t r = 0; r < kRounds; ++r) {
+    for (VertexId v = 0; v < kN; ++v) {
+      const auto in = arena->inbox_round(v, r);
+      const auto& expect = unfused_rounds[r][v];
+      ASSERT_EQ(in.size(), expect.size()) << "round " << r << " inbox " << v;
+      for (std::size_t i = 0; i < in.size(); ++i) {
+        EXPECT_EQ(in[i].src, expect[i].src);
+        EXPECT_EQ(in[i].dst, expect[i].dst);
+        EXPECT_EQ(in[i].tag, expect[i].tag);
+        ASSERT_EQ(in[i].count, expect[i].count);
+        for (std::size_t w = 0; w < in[i].count; ++w)
+          EXPECT_EQ(in[i].words[w], expect[i].words[w]);
+      }
+    }
+  }
+  expect_same_metrics(fused.metrics(), unfused.metrics());
+  // The observability layer must not see the fusion either: per-round
+  // records and the exported NDJSON are byte-identical.
+  TraceExportOptions opts;
+  opts.include_rounds = true;
+  EXPECT_EQ(trace_to_ndjson(fused_trace, opts),
+            trace_to_ndjson(unfused_trace, opts));
+}
+
+TEST(Determinism, FusedSubsetWindowMatchesUnfused) {
+  constexpr std::uint32_t kN = 128;
+  constexpr std::uint32_t kRounds = 3;
+  std::vector<VertexId> senders;
+  for (VertexId u = 0; u < kN; u += 2) senders.push_back(u);
+  const auto schedule = [](VertexId u, std::uint32_t r, Outbox& out) {
+    out.send((u + r + 1) % kN, msg1(r, u));
+  };
+  CliqueEngine unfused{{.n = kN, .threads = 8}};
+  CliqueEngine fused{{.n = kN, .threads = 8}};
+  std::vector<std::vector<std::vector<Message>>> unfused_rounds;
+  for (std::uint32_t r = 0; r < kRounds; ++r)
+    unfused_rounds.push_back(unfused.round_of(
+        senders, [&](VertexId u, Outbox& out) { schedule(u, r, out); }));
+  const RoundBuffer& arena = fused.fused_rounds_of_arena(
+      {senders.data(), senders.size()}, kRounds, schedule);
+  for (std::uint32_t r = 0; r < kRounds; ++r)
+    for (VertexId v = 0; v < kN; ++v) {
+      const auto in = arena.inbox_round(v, r);
+      const auto& expect = unfused_rounds[r][v];
+      ASSERT_EQ(in.size(), expect.size()) << "round " << r << " inbox " << v;
+      for (std::size_t i = 0; i < in.size(); ++i) {
+        EXPECT_EQ(in[i].src, expect[i].src);
+        EXPECT_EQ(in[i].tag, expect[i].tag);
+      }
+    }
+  expect_same_metrics(fused.metrics(), unfused.metrics());
 }
 
 TEST(Determinism, GcIdenticalAcrossThreadCounts) {

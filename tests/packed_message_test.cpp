@@ -1,0 +1,185 @@
+// Round-trip property tests for the packed wire codec
+// (clique/packed_message). The engine's packed delivery mode rests on one
+// invariant: decode(encode(m)) reproduces m bit-for-bit for EVERY message
+// the Outbox accepts, at every src width. A seeded fuzz sweep drives the
+// codec across the width-code boundaries (payload words around 2^8, 2^16,
+// 2^32; tags around the same edges; zero tags; 0..4 words) and the src
+// widths the engine derives from n - 1.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <vector>
+
+#include "clique/message.hpp"
+#include "clique/packed_message.hpp"
+#include "util/random.hpp"
+
+namespace ccq {
+namespace {
+
+void expect_roundtrip(const Message& m, VertexId src, std::uint32_t src_w) {
+  std::uint8_t buf[packed::kBufferSlack] = {};
+  const std::size_t enc_len = packed::encode(m, src, src_w, buf);
+  ASSERT_LE(enc_len, packed::kMaxRecordBytes);
+  EXPECT_EQ(enc_len, packed::record_len(buf, src_w));
+  EXPECT_EQ(packed::record_count(buf), m.count);
+  EXPECT_EQ(packed::record_src(buf, src_w), src);
+  Message out;
+  const std::size_t dec_len = packed::decode(buf, src_w, m.dst, out);
+  EXPECT_EQ(dec_len, enc_len);
+  EXPECT_EQ(out.src, src);
+  EXPECT_EQ(out.dst, m.dst);
+  EXPECT_EQ(out.tag, m.tag);
+  ASSERT_EQ(out.count, m.count);
+  // Decode zeroes words beyond count, matching make_message: all kMaxWords
+  // words must agree, not just the live ones.
+  for (std::uint32_t w = 0; w < kMaxWords; ++w)
+    EXPECT_EQ(out.words[w], m.words[w]) << "word " << w;
+}
+
+TEST(PackedMessage, SrcWidthFollowsMaxId) {
+  EXPECT_EQ(packed::src_width(2), 1u);
+  EXPECT_EQ(packed::src_width(256), 1u);    // max id 255 still one byte
+  EXPECT_EQ(packed::src_width(257), 2u);
+  EXPECT_EQ(packed::src_width(65536), 2u);  // max id 65535
+  EXPECT_EQ(packed::src_width(65537), 4u);
+}
+
+TEST(PackedMessage, WidthCodeBoundaryValuesRoundTrip) {
+  // Payload words straddling every width-code boundary, including the
+  // extremes of the 8-byte code.
+  const std::uint64_t words[] = {
+      0,          1,          0xFFull,       0x100ull,
+      0xFFFFull,  0x10000ull, 0xFFFFFFFFull, 0x100000000ull,
+      ~0ull - 1,  ~0ull,
+  };
+  const std::uint32_t tags[] = {0u,       1u,       0xFFu,
+                                0x100u,   0xFFFFu,  0x10000u,
+                                0xFFFFFFFFu};
+  for (const std::uint32_t src_w : {1u, 2u, 4u}) {
+    const VertexId src = src_w == 1 ? 255u : (src_w == 2 ? 65535u : ~0u);
+    for (const std::uint64_t w : words) {
+      for (const std::uint32_t tag : tags) {
+        for (std::uint8_t count = 0; count <= kMaxWords; ++count) {
+          Message m{};
+          m.dst = 7;
+          m.tag = tag;
+          m.count = count;
+          for (std::uint8_t i = 0; i < count; ++i) m.words[i] = w;
+          expect_roundtrip(m, src, src_w);
+        }
+      }
+    }
+  }
+}
+
+TEST(PackedMessage, SrcBoundariesAtEveryWidth) {
+  // Sender ids at the n - 1 edges of each width bucket: the codec must
+  // round-trip the largest id a width can carry and the smallest that
+  // forces the next width up.
+  const struct {
+    std::uint32_t n;
+    VertexId src;
+  } cases[] = {
+      {2, 1},          {255, 254},      {256, 255},     {257, 256},
+      {65535, 65534},  {65536, 65535},  {65537, 65536}, {1u << 20, 999999},
+  };
+  for (const auto& c : cases) {
+    const std::uint32_t src_w = packed::src_width(c.n);
+    Message m = msg2(42, 0x1234ull, 0x56789abcdef0ull);
+    m.dst = 0;
+    expect_roundtrip(m, c.src, src_w);
+  }
+}
+
+TEST(PackedMessage, SeededFuzzRoundTrip) {
+  Rng rng{0xC11CC11Cull};
+  for (int iter = 0; iter < 20000; ++iter) {
+    const std::uint32_t n = static_cast<std::uint32_t>(
+        rng.next_in(2, 1 << 20));
+    const std::uint32_t src_w = packed::src_width(n);
+    const auto src = static_cast<VertexId>(rng.next_below(n));
+    Message m{};
+    m.dst = static_cast<VertexId>(rng.next_below(n));
+    // Bias tags and words toward width-code edges.
+    const auto edgy = [&rng]() -> std::uint64_t {
+      const std::uint64_t edges[] = {0,          0xFFull,       0x100ull,
+                                     0xFFFFull,  0x10000ull,    0xFFFFFFFFull,
+                                     0x100000000ull, ~0ull};
+      if (rng.next_bool(0.5)) return edges[rng.next_below(8)];
+      return rng.next();
+    };
+    m.tag = static_cast<std::uint32_t>(edgy());
+    m.count = static_cast<std::uint8_t>(rng.next_below(kMaxWords + 1));
+    for (std::uint8_t i = 0; i < m.count; ++i) m.words[i] = edgy();
+    expect_roundtrip(m, src, src_w);
+  }
+}
+
+TEST(PackedMessage, StreamOfRecordsIsSelfDelimiting) {
+  // Encode a pseudo-random stream back-to-back into one PackedBuf, then
+  // walk it with record_len alone — the packed arena and the staging pass
+  // both rely on records tiling exactly.
+  Rng rng{77};
+  const std::uint32_t n = 300;  // src_w = 2
+  const std::uint32_t src_w = packed::src_width(n);
+  packed::PackedBuf buf;
+  std::vector<Message> sent;
+  std::vector<VertexId> srcs;
+  for (int i = 0; i < 500; ++i) {
+    Message m{};
+    m.dst = static_cast<VertexId>(rng.next_below(n));
+    m.tag = static_cast<std::uint32_t>(rng.next() >> (rng.next_below(4) * 16));
+    m.count = static_cast<std::uint8_t>(rng.next_below(kMaxWords + 1));
+    for (std::uint8_t w = 0; w < m.count; ++w)
+      m.words[w] = rng.next() >> rng.next_below(64);
+    const auto src = static_cast<VertexId>(rng.next_below(n));
+    const std::size_t len = packed::encode(m, src, src_w,
+                                           buf.grow_for_record());
+    buf.advance(len);
+    sent.push_back(m);
+    srcs.push_back(src);
+  }
+  std::size_t pos = 0;
+  for (std::size_t i = 0; i < sent.size(); ++i) {
+    ASSERT_LT(pos, buf.size());
+    const std::uint8_t* rec = buf.data() + pos;
+    Message out;
+    const std::size_t len = packed::decode(rec, src_w, sent[i].dst, out);
+    EXPECT_EQ(len, packed::record_len(rec, src_w));
+    EXPECT_EQ(out.src, srcs[i]);
+    EXPECT_EQ(out.tag, sent[i].tag);
+    ASSERT_EQ(out.count, sent[i].count);
+    for (std::uint8_t w = 0; w < out.count; ++w)
+      EXPECT_EQ(out.words[w], sent[i].words[w]);
+    pos += len;
+  }
+  EXPECT_EQ(pos, buf.size());  // records tile the stream exactly
+}
+
+TEST(PackedMessage, CopyRecordIsExact) {
+  // copy_record must reproduce the record and never write past len — the
+  // arena placement path interleaves records from different lanes, so a
+  // single slop byte would corrupt a neighbour. Canary bytes around the
+  // destination catch both short and long writes.
+  Rng rng{4242};
+  for (int iter = 0; iter < 2000; ++iter) {
+    Message m{};
+    m.tag = static_cast<std::uint32_t>(rng.next());
+    m.count = static_cast<std::uint8_t>(rng.next_below(kMaxWords + 1));
+    for (std::uint8_t w = 0; w < m.count; ++w) m.words[w] = rng.next();
+    const std::uint32_t src_w = 1u << rng.next_below(3);  // 1, 2 or 4
+    std::uint8_t src_buf[packed::kBufferSlack] = {};
+    const std::size_t len = packed::encode(m, 3, src_w, src_buf);
+    std::uint8_t dst_buf[packed::kMaxRecordBytes + 16];
+    for (auto& b : dst_buf) b = 0xAB;
+    packed::copy_record(dst_buf + 4, src_buf, len);
+    for (std::size_t i = 0; i < 4; ++i) EXPECT_EQ(dst_buf[i], 0xAB);
+    for (std::size_t i = 0; i < len; ++i) EXPECT_EQ(dst_buf[4 + i], src_buf[i]);
+    for (std::size_t i = 4 + len; i < sizeof(dst_buf); ++i)
+      EXPECT_EQ(dst_buf[i], 0xAB) << "slop write at offset " << i;
+  }
+}
+
+}  // namespace
+}  // namespace ccq

@@ -1,0 +1,19 @@
+// Allowed-path fixture: clique/packed_message is the engine-internal packed
+// record codec, on the CL003 allowlist — its unaligned fixed-width memcpy
+// loads/stores must not be flagged. Never compiled; linter food only.
+#include <cstdint>
+#include <cstring>
+
+namespace ccq::packed {
+
+inline std::uint64_t fixture_load_u64(const std::uint8_t* p) {
+  std::uint64_t v;
+  std::memcpy(&v, p, 8);
+  return v;
+}
+
+inline void fixture_store_u64(std::uint8_t* p, std::uint64_t v) {
+  std::memcpy(p, &v, 8);
+}
+
+}  // namespace ccq::packed

@@ -1,0 +1,13 @@
+// Allowed-path fixture: sketch/sketch_kernels holds the SIMD kernel bodies,
+// on the CL003 allowlist — intrinsic lane pointers are reinterpret_cast at
+// the call site. The linter must stay quiet. Never compiled; linter food.
+#include <cstdint>
+
+namespace ccq::kernels {
+
+std::uint64_t fixture_lane_load(const std::int64_t* phi) {
+  const auto* lanes = reinterpret_cast<const std::uint64_t*>(phi);
+  return lanes[0];
+}
+
+}  // namespace ccq::kernels

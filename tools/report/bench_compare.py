@@ -19,9 +19,9 @@ of regression are caught in CI:
     Ratios below 0.5 are printed as warnings either way.
 
 Rows are keyed (see REGISTRY); baseline rows whose key is missing from the
-fresh run fail the check unless the registry marks them optional (the
-hardware-thread row of BENCH_engine.json exists only on machines with that
-core count).
+fresh run fail the check unless the registry marks them optional.
+BENCH_engine.json rows are keyed (n, mode) over a fixed delivery-mode grid
+(serial / parallel / parallel+packed), so none are optional.
 
 Usage:
   bench_compare.py [--build-dir DIR] [--baseline-dir DIR] [--min-ratio R]
@@ -57,10 +57,13 @@ REGISTRY = {
     "BENCH_engine.json": {
         "bench": "bench_micro",
         "args": ["--benchmark_filter=NONE"],
-        "keys": ("n", "threads"),
+        # Rows are keyed by delivery mode (serial / parallel /
+        # parallel+packed), not thread count: the mode grid is fixed, so
+        # every baseline row must exist on every machine.
+        "keys": ("n", "mode"),
         "exact": (),
         "rates": ("rounds_per_sec", "messages_per_sec"),
-        "optional": lambda row: row["threads"] not in (1, 8),
+        "optional": lambda row: False,
     },
     "BENCH_gc.json": {
         "bench": "bench_gc",
