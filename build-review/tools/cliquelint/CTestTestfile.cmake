@@ -1,0 +1,26 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tools/cliquelint
+# Build directory: /root/repo/build-review/tools/cliquelint
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+add_test(cliquelint "/root/.pyenv/shims/python3" "/root/repo/tools/cliquelint/cliquelint.py" "--root" "/root/repo" "--json" "/root/repo/build-review/cliquelint_report.json" "src")
+set_tests_properties(cliquelint PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tools/cliquelint/CMakeLists.txt;17;add_test;/root/repo/tools/cliquelint/CMakeLists.txt;0;")
+add_test(cliquelint_selftest "/root/.pyenv/shims/python3" "/root/repo/tools/cliquelint/test_cliquelint.py")
+set_tests_properties(cliquelint_selftest PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tools/cliquelint/CMakeLists.txt;21;add_test;/root/repo/tools/cliquelint/CMakeLists.txt;0;")
+add_test(cliquelint_seeded_cl001_nondet_rand "/root/.pyenv/shims/python3" "/root/repo/tools/cliquelint/cliquelint.py" "--root" "/root/repo/tools/cliquelint/fixtures/bad" "--expect" "CL001" "src/core/nondet_rand.cpp")
+set_tests_properties(cliquelint_seeded_cl001_nondet_rand PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tools/cliquelint/CMakeLists.txt;25;add_test;/root/repo/tools/cliquelint/CMakeLists.txt;30;cliquelint_seeded;/root/repo/tools/cliquelint/CMakeLists.txt;0;")
+add_test(cliquelint_seeded_cl001_nondet_clock "/root/.pyenv/shims/python3" "/root/repo/tools/cliquelint/cliquelint.py" "--root" "/root/repo/tools/cliquelint/fixtures/bad" "--expect" "CL001" "src/core/nondet_clock.cpp")
+set_tests_properties(cliquelint_seeded_cl001_nondet_clock PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tools/cliquelint/CMakeLists.txt;25;add_test;/root/repo/tools/cliquelint/CMakeLists.txt;31;cliquelint_seeded;/root/repo/tools/cliquelint/CMakeLists.txt;0;")
+add_test(cliquelint_seeded_cl002_metrics "/root/.pyenv/shims/python3" "/root/repo/tools/cliquelint/cliquelint.py" "--root" "/root/repo/tools/cliquelint/fixtures/bad" "--expect" "CL002" "src/core/metrics_mutation.cpp")
+set_tests_properties(cliquelint_seeded_cl002_metrics PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tools/cliquelint/CMakeLists.txt;25;add_test;/root/repo/tools/cliquelint/CMakeLists.txt;32;cliquelint_seeded;/root/repo/tools/cliquelint/CMakeLists.txt;0;")
+add_test(cliquelint_seeded_cl003_packing "/root/.pyenv/shims/python3" "/root/repo/tools/cliquelint/cliquelint.py" "--root" "/root/repo/tools/cliquelint/fixtures/bad" "--expect" "CL003" "src/core/raw_packing.cpp")
+set_tests_properties(cliquelint_seeded_cl003_packing PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tools/cliquelint/CMakeLists.txt;25;add_test;/root/repo/tools/cliquelint/CMakeLists.txt;33;cliquelint_seeded;/root/repo/tools/cliquelint/CMakeLists.txt;0;")
+add_test(cliquelint_seeded_cl004_lowerbound "/root/.pyenv/shims/python3" "/root/repo/tools/cliquelint/cliquelint.py" "--root" "/root/repo/tools/cliquelint/fixtures/bad" "--expect" "CL004" "src/core/includes_lowerbound.cpp")
+set_tests_properties(cliquelint_seeded_cl004_lowerbound PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tools/cliquelint/CMakeLists.txt;25;add_test;/root/repo/tools/cliquelint/CMakeLists.txt;34;cliquelint_seeded;/root/repo/tools/cliquelint/CMakeLists.txt;0;")
+add_test(cliquelint_seeded_cl004_round_buffer "/root/.pyenv/shims/python3" "/root/repo/tools/cliquelint/cliquelint.py" "--root" "/root/repo/tools/cliquelint/fixtures/bad" "--expect" "CL004" "src/graph/includes_round_buffer.cpp")
+set_tests_properties(cliquelint_seeded_cl004_round_buffer PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tools/cliquelint/CMakeLists.txt;25;add_test;/root/repo/tools/cliquelint/CMakeLists.txt;35;cliquelint_seeded;/root/repo/tools/cliquelint/CMakeLists.txt;0;")
+add_test(cliquelint_seeded_cl005_trace "/root/.pyenv/shims/python3" "/root/repo/tools/cliquelint/cliquelint.py" "--root" "/root/repo/tools/cliquelint/fixtures/bad" "--expect" "CL005" "src/core/trace_mutation.cpp")
+set_tests_properties(cliquelint_seeded_cl005_trace PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tools/cliquelint/CMakeLists.txt;25;add_test;/root/repo/tools/cliquelint/CMakeLists.txt;36;cliquelint_seeded;/root/repo/tools/cliquelint/CMakeLists.txt;0;")
+add_test(cliquelint_seeded_cl006_load "/root/.pyenv/shims/python3" "/root/repo/tools/cliquelint/cliquelint.py" "--root" "/root/repo/tools/cliquelint/fixtures/bad" "--expect" "CL006" "src/core/load_mutation.cpp")
+set_tests_properties(cliquelint_seeded_cl006_load PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tools/cliquelint/CMakeLists.txt;25;add_test;/root/repo/tools/cliquelint/CMakeLists.txt;37;cliquelint_seeded;/root/repo/tools/cliquelint/CMakeLists.txt;0;")

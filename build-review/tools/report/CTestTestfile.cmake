@@ -1,0 +1,28 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tools/report
+# Build directory: /root/repo/build-review/tools/report
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+add_test(docs_trace_names "/root/.pyenv/shims/python3" "/root/repo/tools/report/check_docs.py")
+set_tests_properties(docs_trace_names PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tools/report/CMakeLists.txt;36;add_test;/root/repo/tools/report/CMakeLists.txt;0;")
+add_test(docs_experiments_fresh "/root/.pyenv/shims/python3" "/root/repo/tools/report/make_experiments.py" "--check" "--build-dir" "/root/repo/build-review")
+set_tests_properties(docs_experiments_fresh PROPERTIES  TIMEOUT "300" _BACKTRACE_TRIPLES "/root/repo/tools/report/CMakeLists.txt;42;add_test;/root/repo/tools/report/CMakeLists.txt;0;")
+add_test(docs_loadmap_fresh "/root/.pyenv/shims/python3" "/root/repo/tools/report/loadmap.py" "--check" "--build-dir" "/root/repo/build-review")
+set_tests_properties(docs_loadmap_fresh PROPERTIES  TIMEOUT "120" _BACKTRACE_TRIPLES "/root/repo/tools/report/CMakeLists.txt;47;add_test;/root/repo/tools/report/CMakeLists.txt;0;")
+add_test(bench_regression "/root/.pyenv/shims/python3" "/root/repo/tools/report/bench_compare.py" "--check" "--build-dir" "/root/repo/build-review")
+set_tests_properties(bench_regression PROPERTIES  TIMEOUT "300" _BACKTRACE_TRIPLES "/root/repo/tools/report/CMakeLists.txt;52;add_test;/root/repo/tools/report/CMakeLists.txt;0;")
+add_test(bench_compare_selftest "/root/.pyenv/shims/python3" "/root/repo/tools/report/test_bench_compare.py")
+set_tests_properties(bench_compare_selftest PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tools/report/CMakeLists.txt;57;add_test;/root/repo/tools/report/CMakeLists.txt;0;")
+add_test(theory_conformance "/root/.pyenv/shims/python3" "/root/repo/tools/report/theory_check.py" "--verify-only" "--build-dir" "/root/repo/build-review")
+set_tests_properties(theory_conformance PROPERTIES  FIXTURES_REQUIRED "sweep_data" TIMEOUT "120" _BACKTRACE_TRIPLES "/root/repo/tools/report/CMakeLists.txt;63;add_test;/root/repo/tools/report/CMakeLists.txt;0;")
+add_test(docs_bounds_fresh "/root/.pyenv/shims/python3" "/root/repo/tools/report/theory_check.py" "--check" "--build-dir" "/root/repo/build-review")
+set_tests_properties(docs_bounds_fresh PROPERTIES  FIXTURES_REQUIRED "sweep_data" TIMEOUT "120" _BACKTRACE_TRIPLES "/root/repo/tools/report/CMakeLists.txt;66;add_test;/root/repo/tools/report/CMakeLists.txt;0;")
+add_test(ndjson_validate_sweep "/root/.pyenv/shims/python3" "/root/repo/tools/report/validate_ndjson.py" "--dir" "/root/repo/build-review/sweep")
+set_tests_properties(ndjson_validate_sweep PROPERTIES  FIXTURES_REQUIRED "sweep_data" TIMEOUT "120" _BACKTRACE_TRIPLES "/root/repo/tools/report/CMakeLists.txt;69;add_test;/root/repo/tools/report/CMakeLists.txt;0;")
+add_test(theory_check_selftest "/root/.pyenv/shims/python3" "/root/repo/tools/report/test_theory_check.py")
+set_tests_properties(theory_check_selftest PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tools/report/CMakeLists.txt;77;add_test;/root/repo/tools/report/CMakeLists.txt;0;")
+add_test(ndjson_validate "/root/.pyenv/shims/python3" "/root/repo/tools/report/validate_ndjson.py" "/root/repo/build-review/tests/golden_trace_schema1.ndjson" "/root/repo/build-review/tests/golden_trace_schema2.ndjson")
+set_tests_properties(ndjson_validate PROPERTIES  FIXTURES_REQUIRED "golden_ndjson" TIMEOUT "120" _BACKTRACE_TRIPLES "/root/repo/tools/report/CMakeLists.txt;86;add_test;/root/repo/tools/report/CMakeLists.txt;0;")
+add_test(chrome_trace_smoke "/root/.pyenv/shims/python3" "/root/repo/tools/report/test_chrome_trace.py" "/root/repo/build-review/tests/golden_trace_schema1.ndjson" "/root/repo/build-review/tests/golden_trace_schema2.ndjson")
+set_tests_properties(chrome_trace_smoke PROPERTIES  FIXTURES_REQUIRED "golden_ndjson" TIMEOUT "120" _BACKTRACE_TRIPLES "/root/repo/tools/report/CMakeLists.txt;89;add_test;/root/repo/tools/report/CMakeLists.txt;0;")

@@ -1,0 +1,8 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tools/sweep
+# Build directory: /root/repo/build-review/tools/sweep
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+add_test(sweep_run "/root/.pyenv/shims/python3" "/root/repo/tools/sweep/run_sweep.py" "--build-dir" "/root/repo/build-review")
+set_tests_properties(sweep_run PROPERTIES  FIXTURES_SETUP "sweep_data" TIMEOUT "600" _BACKTRACE_TRIPLES "/root/repo/tools/sweep/CMakeLists.txt;12;add_test;/root/repo/tools/sweep/CMakeLists.txt;0;")
