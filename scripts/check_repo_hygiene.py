@@ -1,0 +1,122 @@
+#!/usr/bin/env python3
+"""Repo-hygiene gate: no build trees or binary artifacts in the index.
+
+PR 6 accidentally committed a whole configured build directory
+(`build-review/`: `CMakeCache.txt`, `.ninja_*`, object archives, compiled
+test binaries). Git happily tracks all of it, `.gitignore` only guards
+*untracked* files, and a tracked binary silently bloats every future clone —
+so the invariant is enforced here, as a ctest (`repo_hygiene`) and a CI
+step, where it fails the suite instead of a review.
+
+Checks, over `git ls-files` (the committed view, not the working tree):
+
+  1. No tracked path lives under a build tree (any top-level or nested
+     directory matching `build*/`).
+  2. No tracked path is a known build-system artifact (CMakeCache.txt,
+     CMakeFiles/, *.ninja, .ninja_deps/log, CTestTestfile.cmake,
+     cmake_install.cmake, compile_commands.json, *.o/*.a/*.so/...).
+  3. No tracked file is binary: ELF/ar/Mach-O magic, or a NUL byte in the
+     first 8 KiB. Text formats the repo legitimately commits (source, docs,
+     JSON baselines, NDJSON fixtures) never trip this.
+
+An allowlist exists for deliberate binary assets (e.g. a future committed
+graph corpus); entries are repo-relative paths in ALLOWED_BINARIES with a
+justification comment. It is empty today.
+
+Exit 0 when clean, 1 with a per-file report otherwise.
+"""
+
+from __future__ import annotations
+
+import re
+import subprocess
+import sys
+from pathlib import Path
+
+REPO = Path(__file__).resolve().parents[1]
+
+# Deliberately committed binary files (repo-relative). Add a path here only
+# with a comment saying what it is and why it must be binary.
+ALLOWED_BINARIES: set[str] = set()
+
+BUILD_DIR_RE = re.compile(r"(^|/)build[^/]*/")
+
+ARTIFACT_BASENAMES = {
+    "CMakeCache.txt",
+    "CTestTestfile.cmake",
+    "cmake_install.cmake",
+    "compile_commands.json",
+    ".ninja_deps",
+    ".ninja_log",
+    "build.ninja",
+    "rules.ninja",
+}
+ARTIFACT_SUFFIXES = {
+    ".o", ".obj", ".a", ".so", ".dylib", ".dll", ".exe", ".bin",
+    ".ninja", ".gcda", ".gcno", ".pch", ".gch",
+}
+ARTIFACT_DIRS = ("CMakeFiles/",)
+
+BINARY_MAGICS = (
+    b"\x7fELF",        # ELF executables / shared objects / .o
+    b"!<arch>\n",      # ar archives (libccq.a)
+    b"\xcf\xfa\xed\xfe",  # Mach-O (64-bit)
+    b"\xca\xfe\xba\xbe",  # Mach-O universal
+)
+
+
+def tracked_files() -> list[str]:
+    out = subprocess.run(
+        ["git", "ls-files", "-z"], cwd=REPO, check=True,
+        stdout=subprocess.PIPE)
+    return [p for p in out.stdout.decode("utf-8").split("\0") if p]
+
+
+def classify(rel: str) -> str | None:
+    """Return a human-readable reason the path is unhygienic, or None."""
+    if BUILD_DIR_RE.search(rel):
+        return "lives under a build tree (build*/)"
+    base = rel.rsplit("/", 1)[-1]
+    if base in ARTIFACT_BASENAMES:
+        return f"build-system artifact ({base})"
+    if any(f"{d}" in rel for d in ARTIFACT_DIRS):
+        return "CMake internal directory (CMakeFiles/)"
+    suffix = Path(rel).suffix
+    if suffix in ARTIFACT_SUFFIXES:
+        return f"compiled artifact suffix ({suffix})"
+    if rel in ALLOWED_BINARIES:
+        return None
+    full = REPO / rel
+    try:
+        head = full.open("rb").read(8192)
+    except OSError:
+        return None  # deleted in working tree; index content checked in CI
+    if head.startswith(BINARY_MAGICS):
+        return "binary file (executable/archive magic)"
+    if b"\0" in head:
+        return "binary file (NUL byte in first 8 KiB)"
+    return None
+
+
+def main() -> int:
+    offenders = []
+    for rel in tracked_files():
+        reason = classify(rel)
+        if reason is not None:
+            offenders.append((rel, reason))
+    if offenders:
+        print("repo hygiene: committed build artifacts detected:",
+              file=sys.stderr)
+        for rel, reason in offenders:
+            print(f"  {rel}: {reason}", file=sys.stderr)
+        print(f"repo hygiene: {len(offenders)} offending file(s) — "
+              "`git rm -r` them; .gitignore already covers build*/",
+              file=sys.stderr)
+        return 1
+    print(f"repo hygiene: {len(tracked_files())} tracked files clean "
+          "(no build trees, no binaries)")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -71,10 +71,17 @@ BoruvkaCliqueResult boruvka_clique_msf(CliqueEngine& engine,
 
     // R2: leaders -> coordinator, one MWOE each (distinct senders).
     std::vector<Packet> mwoe;
-    for (const auto& [leader, edge] : best)
-      if (edge)
+    // Iterate the ordered `members` map, not the unordered `best` map: the
+    // packet order feeds the coordinator's merge sequence, which must not
+    // depend on hash iteration for replay to stay bit-identical.
+    for (const auto& [leader, list] : members) {
+      const auto it = best.find(leader);
+      if (it != best.end() && it->second) {
+        const WeightedEdge& edge = *it->second;
         mwoe.push_back({leader, coordinator,
-                        msg3(kTagMwoe, edge->u, edge->v, edge->w)});
+                        msg3(kTagMwoe, edge.u, edge.v, edge.w)});
+      }
+    }
     if (mwoe.empty()) break;  // every remaining component is finished
     auto inbox = route_packets(engine, mwoe);
 

@@ -48,8 +48,20 @@ void euler_halve(const std::vector<std::pair<std::uint32_t, std::uint32_t>>&
   }
   std::vector<std::uint32_t> odd_left;
   std::vector<std::uint32_t> odd_right;
-  for (const auto& [v, d] : degree)
-    if (d % 2 == 1) (v < left_size ? odd_left : odd_right).push_back(v);
+  // Walk endpoints in sorted order, not hash order: the odd-left/odd-right
+  // pairing below decides which dummy edges exist, and that choice must not
+  // depend on unordered_map iteration for replay to stay bit-identical.
+  std::vector<std::uint32_t> endpoints;
+  endpoints.reserve(work.size() * 2);
+  for (const WorkEdge& e : work) {
+    endpoints.push_back(e.u);
+    endpoints.push_back(e.v);
+  }
+  std::sort(endpoints.begin(), endpoints.end());
+  endpoints.erase(std::unique(endpoints.begin(), endpoints.end()),
+                  endpoints.end());
+  for (std::uint32_t v : endpoints)
+    if (degree[v] % 2 == 1) (v < left_size ? odd_left : odd_right).push_back(v);
   std::size_t i = 0;
   for (; i < odd_left.size() && i < odd_right.size(); ++i)
     work.push_back({odd_left[i], odd_right[i], kDummy});

@@ -47,7 +47,14 @@ ComponentGraph build_impl(CliqueEngine& engine,
   }
   std::uint64_t message_count = 0;
   for (VertexId u = 0; u < n; ++u) {
-    for (const auto& [foreign_leader, edge] : lightest[u]) {
+    // Materialize the per-node row in sorted leader order: the observe /
+    // attribute_load sequence below is deterministic output, so it must not
+    // follow unordered_map hash order.
+    std::vector<std::pair<VertexId, WeightedEdge>> row(lightest[u].begin(),
+                                                       lightest[u].end());
+    std::sort(row.begin(), row.end(),
+              [](const auto& a, const auto& b) { return a.first < b.first; });
+    for (const auto& [foreign_leader, edge] : row) {
       // u can never be another component's leader, so every entry is a
       // real message u -> foreign_leader.
       ++message_count;

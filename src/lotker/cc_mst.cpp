@@ -178,7 +178,13 @@ Phase run_phase(CliqueEngine& engine, const CliqueWeights& w,
   std::uint64_t relay_hops = 0;
   {
     TraceScope relay{engine, "r2r3-candidate-relay"};
-    for (const auto& [leader, row] : best) {
+    // Iterate leaders through the ordered `members` map: the candidate list
+    // built here decides relay assignment and the coordinator's merge order,
+    // so it must not follow `best`'s hash order.
+    for (const auto& [leader, list] : members) {
+      const auto bit = best.find(leader);
+      if (bit == best.end()) continue;
+      const auto& row = bit->second;
       std::vector<std::pair<VertexId, WeightedEdge>> outgoing(row.begin(),
                                                               row.end());
       std::sort(outgoing.begin(), outgoing.end(),

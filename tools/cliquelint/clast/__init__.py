@@ -1,0 +1,25 @@
+"""clast — the lightweight C++ semantic model behind cliquelint v2.
+
+The package turns translation units into a uniform semantic IR
+(`clast.model.FileModel`): resolved include edges, scoped variable
+declarations with types, member calls with *resolved receiver types*,
+loops (including range-for sequence types), lambdas with capture lists,
+and unnamed-temporary statements. Rules (`clast.rules`) are written
+against that IR only, so they are frontend-agnostic:
+
+  frontend_internal  pure-Python C++ lexer + pragmatic semantic parser —
+                     always available, the tested default, and the one CI
+                     runs (deterministic everywhere).
+  frontend_clang     libclang (python `clang.cindex`) driven over
+                     CMAKE_EXPORT_COMPILE_COMMANDS output — full compiler
+                     fidelity when python3-clang + libclang are installed;
+                     gated on import, never required.
+
+`clast.engine` orchestrates: file discovery, compile_commands.json
+plumbing, the per-file content-hash parse cache, parallel analysis, the
+suppression baseline, and JSON/SARIF output.
+"""
+
+from clast.model import FileModel, Finding  # noqa: F401
+
+ENGINE_VERSION = "2.0"

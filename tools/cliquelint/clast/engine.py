@@ -1,0 +1,384 @@
+"""Analysis orchestration: discovery, caching, parallelism, reporting.
+
+The engine is frontend-agnostic. It discovers translation units (from
+explicit paths, a directory walk, or compile_commands.json), parses each
+into a FileModel — consulting a per-file content-hash cache so a warm
+run re-parses only edited files — merges every model's classes/aliases
+into one KnowledgeBase, resolves types against it, runs the rules, and
+applies the suppression baseline before emitting text/JSON/SARIF.
+
+Caching is deliberately parse-only: resolution and rules always re-run
+(they are cheap and depend on the *cross-file* knowledge base, which a
+per-file cache cannot key).
+"""
+
+from __future__ import annotations
+
+import datetime
+import hashlib
+import json
+import os
+from concurrent.futures import ThreadPoolExecutor
+from pathlib import Path
+from typing import Optional
+
+from clast import ENGINE_VERSION
+from clast import frontend_internal
+from clast.model import (FileModel, Finding, KnowledgeBase, builtin_kb)
+from clast import rules as rules_mod
+
+SOURCE_SUFFIXES = {".cpp", ".hpp", ".h", ".cc", ".hh"}
+
+
+# ---------------------------------------------------------------------------
+# Frontend selection
+# ---------------------------------------------------------------------------
+
+def pick_frontend(requested: str):
+    """Return (name, parse_fn). parse_fn(path, text, compile_args) -> FileModel.
+
+    'internal' is always available and is what CI runs. 'clang' needs the
+    python libclang bindings; 'auto' upgrades to clang when importable.
+    """
+    if requested in ("clang", "auto"):
+        try:
+            from clast import frontend_clang
+            if frontend_clang.available():
+                return "clang", frontend_clang.parse_file
+            if requested == "clang":
+                raise RuntimeError(
+                    "frontend 'clang' requested but python libclang "
+                    "bindings are not importable; install python3-clang "
+                    "or use --frontend internal")
+        except ImportError:
+            if requested == "clang":
+                raise
+    return "internal", (
+        lambda path, text, compile_args=None:
+        frontend_internal.parse_file(path, text))
+
+
+# ---------------------------------------------------------------------------
+# Discovery
+# ---------------------------------------------------------------------------
+
+def collect_files(root: Path, paths: list[str]) -> list[Path]:
+    files: list[Path] = []
+    for p in paths:
+        full = Path(p) if Path(p).is_absolute() else (root / p)
+        full = full.resolve()
+        if full.is_dir():
+            files.extend(sorted(
+                f for f in full.rglob("*") if f.suffix in SOURCE_SUFFIXES))
+        elif full.is_file():
+            files.append(full)
+        else:
+            raise FileNotFoundError(p)
+    # De-dup preserving order.
+    seen: set[Path] = set()
+    out = []
+    for f in files:
+        if f not in seen:
+            seen.add(f)
+            out.append(f)
+    return out
+
+
+def load_compile_commands(path: Path) -> dict[str, list[str]]:
+    """file (absolute posix) -> compiler args, from compile_commands.json."""
+    db = json.loads(path.read_text(encoding="utf-8"))
+    out: dict[str, list[str]] = {}
+    for entry in db:
+        f = Path(entry["directory"]) / entry["file"] \
+            if not Path(entry["file"]).is_absolute() else Path(entry["file"])
+        if "arguments" in entry:
+            args = list(entry["arguments"])
+        else:
+            args = entry.get("command", "").split()
+        out[f.resolve().as_posix()] = args
+    return out
+
+
+# ---------------------------------------------------------------------------
+# Parse cache
+# ---------------------------------------------------------------------------
+
+class ModelCache:
+    """content-hash -> FileModel JSON, persisted as a single JSON file."""
+
+    def __init__(self, path: Optional[Path]):
+        self.path = path
+        self.data: dict[str, dict] = {}
+        self.hits = 0
+        self.misses = 0
+        self._dirty = False
+        if path is not None and path.is_file():
+            try:
+                blob = json.loads(path.read_text(encoding="utf-8"))
+                if blob.get("engine") == ENGINE_VERSION:
+                    self.data = blob.get("models", {})
+            except (json.JSONDecodeError, OSError):
+                self.data = {}
+
+    @staticmethod
+    def key(text: str, frontend: str) -> str:
+        h = hashlib.sha256()
+        h.update(ENGINE_VERSION.encode())
+        h.update(frontend.encode())
+        h.update(text.encode("utf-8", "replace"))
+        return h.hexdigest()
+
+    def get(self, key: str) -> Optional[FileModel]:
+        d = self.data.get(key)
+        if d is None:
+            self.misses += 1
+            return None
+        self.hits += 1
+        return FileModel.from_json(d)
+
+    def put(self, key: str, fm: FileModel) -> None:
+        self.data[key] = fm.to_json()
+        self._dirty = True
+
+    def save(self) -> None:
+        if self.path is None or not self._dirty:
+            return
+        self.path.parent.mkdir(parents=True, exist_ok=True)
+        tmp = self.path.with_suffix(".tmp")
+        tmp.write_text(json.dumps(
+            {"engine": ENGINE_VERSION, "models": self.data}),
+            encoding="utf-8")
+        tmp.replace(self.path)
+
+
+# ---------------------------------------------------------------------------
+# Suppression baseline
+# ---------------------------------------------------------------------------
+
+class Baseline:
+    """Checked-in suppression list with expiry dates.
+
+    Schema: {"suppressions": [{"fingerprint": ..., "rule": ...,
+    "path": ..., "reason": ..., "expires": "YYYY-MM-DD"}]}. An expired
+    entry stops suppressing (the finding comes back) and is reported so
+    the owner either fixes the code or consciously renews the entry.
+    """
+
+    def __init__(self, path: Optional[Path],
+                 today: Optional[datetime.date] = None):
+        self.entries: list[dict] = []
+        self.expired: list[dict] = []
+        self.used: set[str] = set()
+        self.today = today or datetime.date.today()
+        if path is not None and path.is_file():
+            blob = json.loads(path.read_text(encoding="utf-8"))
+            for e in blob.get("suppressions", []):
+                exp = e.get("expires")
+                if exp:
+                    try:
+                        when = datetime.date.fromisoformat(exp)
+                    except ValueError:
+                        when = None
+                    if when is not None and when < self.today:
+                        self.expired.append(e)
+                        continue
+                self.entries.append(e)
+        self._by_fp = {e["fingerprint"]: e for e in self.entries
+                       if "fingerprint" in e}
+
+    def apply(self, findings: list[Finding]) -> None:
+        for f in findings:
+            e = self._by_fp.get(f.fingerprint)
+            if e is not None and e.get("rule", f.rule) == f.rule:
+                f.suppressed = True
+                self.used.add(f.fingerprint)
+
+    def unused(self) -> list[dict]:
+        return [e for e in self.entries
+                if e.get("fingerprint") and e["fingerprint"] not in self.used]
+
+
+def fingerprint_findings(findings: list[Finding]) -> None:
+    """Stable suppression keys: rule + path + message, with an occurrence
+    counter so duplicates stay distinct but line drift does not churn."""
+    counts: dict[str, int] = {}
+    for f in findings:
+        base = f"{f.rule}|{f.path}|{f.message}"
+        n = counts.get(base, 0)
+        counts[base] = n + 1
+        h = hashlib.sha256(f"{base}|{n}".encode()).hexdigest()[:16]
+        f.fingerprint = h
+
+
+# ---------------------------------------------------------------------------
+# Include resolution (feeds CL004's graph rules)
+# ---------------------------------------------------------------------------
+
+def resolve_includes(models: list[FileModel], root: Path,
+                     include_dirs: list[str]) -> None:
+    known = {fm.path for fm in models}
+    for fm in models:
+        src_dir = Path(fm.path).parent
+        for inc in fm.includes:
+            if inc.angled:
+                continue
+            candidates = [
+                (src_dir / inc.target).as_posix(),
+            ] + [f"{d}/{inc.target}" for d in include_dirs]
+            for cand in candidates:
+                cand = os.path.normpath(cand).replace("\\", "/")
+                if cand in known or (root / cand).is_file():
+                    inc.resolved = cand
+                    break
+
+
+# ---------------------------------------------------------------------------
+# Analysis driver
+# ---------------------------------------------------------------------------
+
+class AnalysisResult:
+    def __init__(self) -> None:
+        self.findings: list[Finding] = []
+        self.models: list[FileModel] = []
+        self.frontend = "internal"
+        self.files_scanned = 0
+        self.cache_hits = 0
+        self.cache_misses = 0
+        self.parse_errors: list[str] = []
+        self.expired_suppressions: list[dict] = []
+        self.unused_suppressions: list[dict] = []
+
+    @property
+    def active(self) -> list[Finding]:
+        return [f for f in self.findings if not f.suppressed]
+
+
+def analyze(root: Path, files: list[Path], *,
+            frontend: str = "internal",
+            cache: Optional[ModelCache] = None,
+            baseline: Optional[Baseline] = None,
+            compile_args: Optional[dict[str, list[str]]] = None,
+            jobs: Optional[int] = None) -> AnalysisResult:
+    res = AnalysisResult()
+    name, parse_fn = pick_frontend(frontend)
+    res.frontend = name
+    cache = cache or ModelCache(None)
+    jobs = jobs or min(32, (os.cpu_count() or 4))
+
+    def load_one(f: Path) -> Optional[FileModel]:
+        try:
+            rel = f.relative_to(root).as_posix()
+        except ValueError:
+            rel = f.as_posix()
+        try:
+            text = f.read_text(encoding="utf-8", errors="replace")
+        except OSError as e:
+            res.parse_errors.append(f"{rel}: {e}")
+            return None
+        key = ModelCache.key(text, name)
+        fm = cache.get(key)
+        if fm is None:
+            fm = parse_fn(rel, text,
+                          (compile_args or {}).get(f.as_posix()))
+            fm.path = rel
+            cache.put(key, fm)
+        else:
+            fm.path = rel
+        return fm
+
+    with ThreadPoolExecutor(max_workers=jobs) as pool:
+        models = [fm for fm in pool.map(load_one, files) if fm is not None]
+
+    res.models = models
+    res.files_scanned = len(models)
+    res.cache_hits = cache.hits
+    res.cache_misses = cache.misses
+    for fm in models:
+        res.parse_errors.extend(f"{fm.path}: {e}" for e in fm.parse_errors)
+
+    kb = builtin_kb()
+    for fm in models:
+        for c in fm.classes:
+            kb.add_class(c)
+        kb.add_aliases(fm.aliases)
+    resolve_includes(models, root, include_dirs=["src"])
+    with ThreadPoolExecutor(max_workers=jobs) as pool:
+        list(pool.map(lambda fm: frontend_internal.resolve_model(fm, kb),
+                      models))
+
+    res.findings = rules_mod.run_rules(models, kb)
+    fingerprint_findings(res.findings)
+    if baseline is not None:
+        baseline.apply(res.findings)
+        res.expired_suppressions = baseline.expired
+        res.unused_suppressions = baseline.unused()
+    cache.save()
+    return res
+
+
+# ---------------------------------------------------------------------------
+# Reports
+# ---------------------------------------------------------------------------
+
+def json_report(res: AnalysisResult, root: Path) -> dict:
+    return {
+        "tool": "cliquelint",
+        "engine": ENGINE_VERSION,
+        "frontend": res.frontend,
+        "root": str(root),
+        "files_scanned": res.files_scanned,
+        "cache": {"hits": res.cache_hits, "misses": res.cache_misses},
+        "violations": [f.as_dict() for f in res.active],
+        "suppressed": [f.as_dict() for f in res.findings if f.suppressed],
+        "expired_suppressions": res.expired_suppressions,
+        "unused_suppressions": res.unused_suppressions,
+        "parse_errors": res.parse_errors,
+        "clean": not res.active,
+    }
+
+
+def sarif_report(res: AnalysisResult) -> dict:
+    """SARIF 2.1.0: one run, one rule descriptor per CLxxx family."""
+    rule_ids = sorted(rules_mod.RULE_DOCS)
+    results = []
+    for f in res.findings:
+        results.append({
+            "ruleId": f.rule,
+            "ruleIndex": rule_ids.index(f.rule) if f.rule in rule_ids else 0,
+            "level": "error",
+            "message": {"text": f.message},
+            "locations": [{
+                "physicalLocation": {
+                    "artifactLocation": {"uri": f.path,
+                                         "uriBaseId": "SRCROOT"},
+                    "region": {"startLine": max(f.line, 1),
+                               "startColumn": max(f.col, 1)},
+                },
+            }],
+            "partialFingerprints": {"cliquelint/v2": f.fingerprint},
+            "suppressions": (
+                [{"kind": "external",
+                  "justification": "baseline.json entry"}]
+                if f.suppressed else []),
+        })
+    return {
+        "$schema": ("https://raw.githubusercontent.com/oasis-tcs/"
+                    "sarif-spec/master/Schemata/sarif-schema-2.1.0.json"),
+        "version": "2.1.0",
+        "runs": [{
+            "tool": {"driver": {
+                "name": "cliquelint",
+                "version": ENGINE_VERSION,
+                "informationUri":
+                    "https://github.com/congested-clique/ccq",
+                "rules": [{
+                    "id": rid,
+                    "shortDescription": {"text": rules_mod.RULE_DOCS[rid]},
+                    "defaultConfiguration": {"level": "error"},
+                } for rid in rule_ids],
+            }},
+            "columnKind": "utf16CodeUnits",
+            "originalUriBaseIds": {"SRCROOT": {"uri": "file:///"}},
+            "results": results,
+        }],
+    }

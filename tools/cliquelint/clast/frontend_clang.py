@@ -1,0 +1,210 @@
+"""libclang frontend: clang.cindex -> FileModel.
+
+Full-fidelity alternative to frontend_internal when the python libclang
+bindings (`python3-clang` + a matching libclang.so) are installed. The
+container CI image ships GCC only, so this frontend is *gated on
+import*: `available()` reports whether the bindings load and can find a
+library, and the engine silently falls back to the internal frontend
+under `--frontend auto`. Nothing in the repo's gates requires it — it
+exists so developers with an LLVM toolchain get macro-expanded,
+compiler-resolved types for free, driven over the exact flags recorded
+in CMAKE_EXPORT_COMPILE_COMMANDS output.
+
+The produced FileModel uses the same IR and the same downstream
+resolution pass; where clang already resolved a type, the resolver's
+var-table lookup simply never overrides it (resolved fields are only
+filled when empty).
+"""
+
+from __future__ import annotations
+
+from clast.model import (Capture, CastUse, ClassDef, FileModel, FreeCall,
+                         Include, LambdaExpr, Loop, MemberCall, MemberWrite,
+                         UnnamedTemp, VarDecl)
+
+_cindex = None
+_load_error: str | None = None
+
+
+def _load():
+    global _cindex, _load_error
+    if _cindex is not None or _load_error is not None:
+        return _cindex
+    try:
+        from clang import cindex  # type: ignore[import-not-found]
+        cindex.Index.create()  # verifies libclang.so is locatable
+        _cindex = cindex
+    except Exception as e:  # ImportError or LibclangError
+        _load_error = str(e)
+    return _cindex
+
+
+def available() -> bool:
+    return _load() is not None
+
+
+def load_error() -> str:
+    _load()
+    return _load_error or ""
+
+
+def _spell(t) -> str:
+    return t.spelling if t is not None else ""
+
+
+def parse_file(path: str, text: str,
+               compile_args: list[str] | None = None) -> FileModel:
+    cindex = _load()
+    if cindex is None:
+        raise RuntimeError(f"libclang unavailable: {_load_error}")
+    fm = FileModel(path=path, frontend="clang")
+    args = [a for a in (compile_args or [])[1:]
+            if not a.endswith((".cpp", ".o", ".cc")) and a not in ("-c",
+                                                                   "-o")]
+    if not any(a.startswith("-std=") for a in args):
+        args.append("-std=c++20")
+    index = cindex.Index.create()
+    try:
+        tu = index.parse(path, args=args,
+                         unsaved_files=[(path, text)],
+                         options=cindex.TranslationUnit
+                         .PARSE_DETAILED_PROCESSING_RECORD)
+    except cindex.TranslationUnitLoadError as e:
+        fm.parse_errors.append(str(e))
+        return fm
+    for d in tu.diagnostics:
+        if d.severity >= cindex.Diagnostic.Fatal:
+            fm.parse_errors.append(d.spelling)
+
+    K = cindex.CursorKind
+    loop_stack: list[int] = []
+    func_stack: list[str] = []
+
+    def in_main_file(c) -> bool:
+        return c.location.file is not None and \
+            c.location.file.name == path
+
+    def walk(c) -> None:
+        pushed_loop = pushed_func = False
+        if in_main_file(c):
+            line, col = c.location.line, c.location.column
+            k = c.kind
+            if k == K.INCLUSION_DIRECTIVE:
+                fm.includes.append(Include(line=line, target=c.spelling,
+                                           angled=False))
+            elif k in (K.FUNCTION_DECL, K.CXX_METHOD, K.CONSTRUCTOR,
+                       K.DESTRUCTOR, K.FUNCTION_TEMPLATE):
+                name = c.spelling
+                parent = c.semantic_parent
+                if parent is not None and parent.kind in (
+                        K.CLASS_DECL, K.STRUCT_DECL):
+                    name = f"{parent.spelling}::{name}"
+                func_stack.append(name)
+                pushed_func = True
+            elif k in (K.CLASS_DECL, K.STRUCT_DECL) and c.is_definition():
+                cd = ClassDef(name=c.spelling, line=line)
+                for ch in c.get_children():
+                    if ch.kind == K.FIELD_DECL:
+                        cd.fields[ch.spelling] = _spell(ch.type)
+                    elif ch.kind == K.CXX_METHOD:
+                        cd.methods[ch.spelling] = _spell(ch.result_type)
+                fm.classes.append(cd)
+            elif k in (K.TYPE_ALIAS_DECL, K.TYPEDEF_DECL):
+                fm.aliases[c.spelling] = _spell(
+                    c.underlying_typedef_type)
+            elif k in (K.FOR_STMT, K.WHILE_STMT, K.DO_STMT,
+                       K.CXX_FOR_RANGE_STMT):
+                lid = len(fm.loops)
+                kind = {K.FOR_STMT: "for", K.WHILE_STMT: "while",
+                        K.DO_STMT: "do",
+                        K.CXX_FOR_RANGE_STMT: "range-for"}[k]
+                lp = Loop(id=lid, line=line, kind=kind,
+                          parent=loop_stack[-1] if loop_stack else -1,
+                          func=func_stack[-1] if func_stack else "")
+                if k == K.CXX_FOR_RANGE_STMT:
+                    kids = list(c.get_children())
+                    if len(kids) >= 2:
+                        seq = kids[-2]
+                        lp.seq_expr = " ".join(
+                            t.spelling for t in seq.get_tokens())
+                        lp.seq_type = _spell(seq.type)
+                fm.loops.append(lp)
+                loop_stack.append(lid)
+                pushed_loop = True
+            elif k == K.VAR_DECL:
+                fm.decls.append(VarDecl(
+                    name=c.spelling, type=_spell(c.type), line=line,
+                    scope=0,
+                    loop=loop_stack[-1] if loop_stack else -1,
+                    func=func_stack[-1] if func_stack else ""))
+            elif k == K.CALL_EXPR:
+                callee = c.referenced
+                recv_type = ""
+                if callee is not None and callee.kind == K.CXX_METHOD:
+                    parent = callee.semantic_parent
+                    recv_type = parent.spelling if parent else ""
+                    fm.member_calls.append(MemberCall(
+                        line=line, col=col, receiver="",
+                        receiver_type=recv_type, method=c.spelling,
+                        args="",
+                        arg_types=[_spell(a.type)
+                                   for a in c.get_arguments()],
+                        loop=loop_stack[-1] if loop_stack else -1,
+                        func=func_stack[-1] if func_stack else ""))
+                else:
+                    fm.free_calls.append(FreeCall(
+                        line=line, col=col, name=c.spelling, args="",
+                        arg_types=[_spell(a.type)
+                                   for a in c.get_arguments()],
+                        loop=loop_stack[-1] if loop_stack else -1,
+                        func=func_stack[-1] if func_stack else ""))
+            elif k == K.CXX_REINTERPRET_CAST_EXPR:
+                fm.casts.append(CastUse(line=line, col=col,
+                                        kind="reinterpret_cast"))
+            elif k == K.LAMBDA_EXPR:
+                lam = LambdaExpr(
+                    line=line, col=col,
+                    loop=loop_stack[-1] if loop_stack else -1,
+                    func=func_stack[-1] if func_stack else "")
+                toks = [t.spelling for t in c.get_tokens()]
+                if toks and toks[0] == "[":
+                    cap_toks = toks[1:toks.index("]")] if "]" in toks \
+                        else []
+                    cap = "".join(cap_toks)
+                    for part in cap.split(","):
+                        part = part.strip()
+                        if part == "&":
+                            lam.captures.append(
+                                Capture(name="", by_ref=True,
+                                        blanket=True))
+                        elif part == "=":
+                            lam.captures.append(
+                                Capture(name="", by_ref=False,
+                                        blanket=True))
+                        elif part.startswith("&"):
+                            lam.captures.append(
+                                Capture(name=part[1:], by_ref=True))
+                        elif part:
+                            lam.captures.append(
+                                Capture(name=part, by_ref=False))
+                lam.body_idents = sorted({t for t in toks
+                                          if t.isidentifier()})
+                fm.lambdas.append(lam)
+        for ch in c.get_children():
+            walk(ch)
+        if pushed_loop:
+            loop_stack.pop()
+        if pushed_func:
+            func_stack.pop()
+
+    walk(tu.cursor)
+    # Unnamed RAII temporaries and member writes need statement-level
+    # context that cindex exposes awkwardly; reuse the internal frontend
+    # for those two fact families so CL002/CL009 keep full coverage.
+    from clast import frontend_internal
+    internal = frontend_internal.parse_file(path, text)
+    fm.unnamed_temps = internal.unnamed_temps
+    fm.member_writes = internal.member_writes
+    if not fm.includes:
+        fm.includes = internal.includes
+    return fm

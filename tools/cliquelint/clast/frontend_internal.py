@@ -1,0 +1,1102 @@
+"""Internal C++ semantic frontend: token stream -> FileModel.
+
+A pragmatic statement-structured parser, not a conforming C++ parser. It
+tracks exactly the structure the rules consume — scopes, functions, loops
+(with range-for sequence expressions), class definitions (field and method
+types), variable declarations (including `auto` with recorded initializers),
+member calls/writes with receiver expressions, free calls with qualified
+names, lambdas with capture lists and submission sinks, casts, and
+unnamed-temporary statements — and punts to "unknown" ('' types) anywhere
+real C++ ambiguity would force a guess. Rules are written so that unknown
+types never fire, which keeps the frontend's imprecision on the
+false-negative side, never the false-positive side.
+
+Type *resolution* is a separate pass (`resolve_model`): after the engine
+has merged every scanned file's classes/aliases into one KnowledgeBase,
+receiver expressions, argument expressions, and range-for sequences are
+resolved against declared variable types, class members, and alias
+expansions. That split is what lets parsed models live in the content-hash
+cache: parsing is per-file and cacheable, resolution is cheap and re-run
+against the current knowledge base every time.
+"""
+
+from __future__ import annotations
+
+import re
+
+from clast import lexer
+from clast.lexer import (CHR, ID, NUM, PP, PUNCT, STR, Token, match_forward,
+                         skip_template_args)
+from clast.model import (Capture, CastUse, ClassDef, FileModel, FreeCall,
+                         Include, KnowledgeBase, LambdaExpr, Loop, MemberCall,
+                         MemberWrite, UnnamedTemp, VarDecl)
+
+# C++ keywords that can never be a variable/type name we care about.
+KEYWORDS = {
+    "alignas", "alignof", "and", "asm", "auto", "bool", "break", "case",
+    "catch", "char", "char16_t", "char32_t", "char8_t", "class", "co_await",
+    "co_return", "co_yield", "concept", "const", "const_cast", "consteval",
+    "constexpr", "constinit", "continue", "decltype", "default", "delete",
+    "do", "double", "dynamic_cast", "else", "enum", "explicit", "export",
+    "extern", "false", "final", "float", "for", "friend", "goto", "if",
+    "inline", "int", "long", "mutable", "namespace", "new", "noexcept",
+    "not", "nullptr", "operator", "or", "override", "private", "protected",
+    "public", "register", "reinterpret_cast", "requires", "return", "short",
+    "signed", "sizeof", "static", "static_assert", "static_cast", "struct",
+    "switch", "template", "this", "thread_local", "throw", "true", "try",
+    "typedef", "typeid", "typename", "union", "unsigned", "using",
+    "virtual", "void", "volatile", "wchar_t", "while",
+}
+
+BUILTIN_TYPE_KW = {"auto", "bool", "char", "char8_t", "char16_t", "char32_t",
+                   "double", "float", "int", "long", "short", "signed",
+                   "unsigned", "void", "wchar_t"}
+DECL_QUALIFIERS = {"const", "constexpr", "consteval", "constinit", "extern",
+                   "inline", "mutable", "register", "static", "thread_local",
+                   "typename", "volatile"}
+FUNC_TRAILER = {"const", "noexcept", "override", "final", "mutable",
+                "volatile", "&", "&&", "->", "throw", "try", "requires"}
+MUTATION_OPS = {"++", "--", "+=", "-=", "*=", "/=", "%=", "|=", "&=", "^=",
+                "<<=", ">>=", "="}
+SCOPE_HEADS = {"if", "else", "switch", "try", "catch", "do", "for", "while",
+               "namespace", "class", "struct", "union", "enum", "extern",
+               "template"}
+# Call-shaped keywords that must not become FreeCalls.
+NOT_A_CALL = KEYWORDS - {"time"}  # `time(` IS interesting (CL001)
+
+_INCLUDE_RE = re.compile(r'#\s*include\s*(?:"([^"]+)"|<([^>]+)>)')
+
+
+def text_of(tokens: list[Token]) -> str:
+    """Single-space-joined source text of a token run (no cosmetic spaces
+    around :: . -> < > so resolved expressions stay compact)."""
+    out: list[str] = []
+    for t in tokens:
+        v = t.value
+        if out and (v in ("::", ".", "->", ",", ")", "]", ">", ";")
+                    or out[-1] in ("::", ".", "->", "(", "[", "<", "&", "*")):
+            out.append(v)
+        else:
+            out.append((" " if out else "") + v)
+    return "".join(out)
+
+
+def match_backward(tokens: list[Token], i: int) -> int:
+    """Index of the token opening the bracket closed at `i` (or i)."""
+    close = tokens[i].value
+    open_ = {")": "(", "]": "[", "}": "{"}.get(close)
+    if open_ is None:
+        return i
+    depth = 0
+    j = i
+    while j >= 0:
+        v = tokens[j].value
+        if tokens[j].kind == PUNCT:
+            if v == close:
+                depth += 1
+            elif v == open_:
+                depth -= 1
+                if depth == 0:
+                    return j
+        j -= 1
+    return i
+
+
+def split_top_level(tokens: list[Token], sep: str) -> list[list[Token]]:
+    """Split a token run on a separator at bracket depth 0."""
+    parts: list[list[Token]] = [[]]
+    depth = 0
+    i = 0
+    while i < len(tokens):
+        t = tokens[i]
+        v = t.value
+        if t.kind == PUNCT:
+            if v in ("(", "[", "{"):
+                depth += 1
+            elif v in (")", "]", "}"):
+                depth -= 1
+            elif v == "<" and sep != "<":
+                j = skip_template_args(tokens, i)
+                if j > i:
+                    parts[-1].extend(tokens[i:j])
+                    i = j
+                    continue
+            elif v == sep and depth == 0:
+                parts.append([])
+                i += 1
+                continue
+        parts[-1].append(t)
+        i += 1
+    return parts
+
+
+class _Ctx:
+    __slots__ = ("func", "cls", "loops", "scope")
+
+    def __init__(self, func: str = "", cls: str = "",
+                 loops: tuple[int, ...] = (), scope: int = 0):
+        self.func = func
+        self.cls = cls
+        self.loops = loops
+        self.scope = scope
+
+    def child(self, **kw) -> "_Ctx":
+        c = _Ctx(self.func, self.cls, self.loops, self.scope)
+        for k, v in kw.items():
+            setattr(c, k, v)
+        return c
+
+    @property
+    def loop(self) -> int:
+        return self.loops[-1] if self.loops else -1
+
+
+class Parser:
+    def __init__(self, path: str, text: str):
+        self.tokens = lexer.tokenize(text)
+        self.fm = FileModel(path=path, frontend="internal")
+        self._loop_id = 0
+        self._scope_id = 0
+
+    # ---------------------------------------------------------------- utils
+
+    def _new_scope(self) -> int:
+        self._scope_id += 1
+        return self._scope_id
+
+    def _stmt_end(self, i: int, end: int) -> tuple[int, str]:
+        """First ';' / '{' / '}' at bracket depth 0 from i. Braces nested
+        inside parens/brackets (lambda bodies, init-list args) are skipped."""
+        depth = 0
+        j = i
+        toks = self.tokens
+        while j < end:
+            t = toks[j]
+            if t.kind == PUNCT:
+                v = t.value
+                if v in ("(", "["):
+                    depth += 1
+                elif v in (")", "]"):
+                    depth -= 1
+                elif depth == 0:
+                    if v in (";", "{", "}"):
+                        return j, v
+                elif v == "{":
+                    j = match_forward(toks, j, "{", "}")
+            j += 1
+        return end, ""
+
+    # ---------------------------------------------------------------- parse
+
+    def parse(self) -> FileModel:
+        try:
+            self.scan_region(0, len(self.tokens), _Ctx())
+        except RecursionError:  # pathological nesting: keep what we have
+            self.fm.parse_errors.append("recursion limit during parse")
+        return self.fm
+
+    def scan_region(self, i: int, end: int, ctx: _Ctx) -> None:
+        toks = self.tokens
+        while i < end:
+            t = toks[i]
+            if t.kind == PP:
+                self.handle_pp(t)
+                i += 1
+                continue
+            if t.kind == PUNCT and t.value in (";", "}"):
+                i += 1
+                continue
+            # Access specifiers inside class bodies.
+            if (t.kind == ID and t.value in ("public", "private", "protected")
+                    and i + 1 < end and toks[i + 1].value == ":"):
+                i += 2
+                continue
+            # template<...> prefix: skip the parameter list, classify rest.
+            if t.kind == ID and t.value == "template" and i + 1 < end \
+                    and toks[i + 1].value == "<":
+                i = skip_template_args(toks, i + 1)
+                continue
+            j, term = self._stmt_end(i, end)
+            head = toks[i:j]
+            if term != "{":
+                self.handle_statement(head, ctx)
+                i = j + 1
+                continue
+            kind = self._classify_brace(head)
+            close = match_forward(toks, j, "{", "}")
+            if kind == "init":
+                # Brace is part of the statement (brace-init / return Foo{}):
+                # gather through it and any further braces up to the ';'.
+                stmt = list(head) + list(toks[j:close + 1])
+                k = close + 1
+                while k < end:
+                    j2, term2 = self._stmt_end(k, end)
+                    stmt += toks[k:j2]
+                    if term2 == "{" and self._classify_brace(stmt) == "init":
+                        close2 = match_forward(toks, j2, "{", "}")
+                        stmt += toks[j2:close2 + 1]
+                        k = close2 + 1
+                        continue
+                    k = j2
+                    break
+                self.handle_statement(stmt, ctx)
+                i = k + 1
+                continue
+            self._open_scope(kind, head, j, close, ctx)
+            i = close + 1
+
+    def _classify_brace(self, head: list[Token]) -> str:
+        """What does a '{' after `head` open? 'block' | 'ns' | 'class' |
+        'enum' | 'ctrl' | 'loop' | 'func' | 'init'."""
+        if not head:
+            return "block"
+        first = head[0].value
+        if first == "namespace":
+            return "ns"
+        if first in ("class", "struct", "union"):
+            # `struct X {` is a definition; `struct X* p {` would be init,
+            # but that form does not occur in this codebase.
+            return "class"
+        if first == "enum":
+            return "enum"
+        if first in ("if", "else", "switch", "try", "catch"):
+            return "ctrl"
+        if first in ("for", "while", "do"):
+            return "loop"
+        if first == "extern":
+            return "ns"  # extern "C" { ... }
+        # Function definition: an ID directly before a top-level '(' whose
+        # matching ')' is followed only by trailer tokens.
+        depth = 0
+        first_open = -1
+        last_close = -1
+        for k, t in enumerate(head):
+            if t.kind != PUNCT:
+                continue
+            v = t.value
+            if v in ("(", "["):
+                if v == "(" and depth == 0 and first_open < 0 and k > 0 \
+                        and head[k - 1].kind == ID \
+                        and head[k - 1].value not in KEYWORDS:
+                    first_open = k
+                depth += 1
+            elif v in (")", "]"):
+                depth -= 1
+                if v == ")" and depth == 0:
+                    last_close = k
+        if first_open < 0 or last_close < 0:
+            return "init"
+        for t in head[last_close + 1:]:
+            if t.kind == ID and t.value in FUNC_TRAILER:
+                continue
+            if t.kind == PUNCT and t.value in ("&", "&&", "->", "*", "(",
+                                               ")", ":", ",", "::", "<", ">"):
+                continue  # ref-qualifiers, trailing return, ctor init list
+            if t.kind == ID or t.kind == NUM or t.kind == STR:
+                continue  # trailing-return type names / init-list exprs
+            return "init"
+        return "func"
+
+    def _open_scope(self, kind: str, head: list[Token], brace: int,
+                    close: int, ctx: _Ctx) -> None:
+        body = ctx.child(scope=self._new_scope())
+        if kind in ("ns", "ctrl", "block"):
+            self.scan_region(brace + 1, close, body)
+            return
+        if kind == "enum":
+            return
+        if kind == "class":
+            name = ""
+            for k, t in enumerate(head[1:], 1):
+                if t.kind == ID and t.value not in KEYWORDS:
+                    name = t.value
+                elif t.kind == PUNCT and t.value == ":":
+                    break  # base clause
+                elif t.kind == PUNCT and t.value == "<":
+                    break
+            self.parse_class(name or "<anon>", brace + 1, close, ctx)
+            return
+        if kind == "loop":
+            self._parse_loop(head, brace, close, ctx)
+            return
+        # Function definition.
+        name, params, pre = self._parse_signature(head)
+        cls = ctx.cls
+        if "::" in name:
+            cls = name.rsplit("::", 1)[0]
+            qname = name
+        elif cls:
+            qname = f"{cls}::{name}"
+        else:
+            qname = name
+        fctx = _Ctx(func=qname, cls=cls, scope=self._new_scope())
+        for p in params:
+            p.func = qname
+            p.scope = fctx.scope
+            self.fm.decls.append(p)
+        # Constructor init lists contain calls worth extracting.
+        tail = head[self._sig_close(head) + 1:]
+        if tail:
+            self.extract_exprs(tail, fctx)
+        self.scan_region(brace + 1, close, fctx)
+
+    def _sig_close(self, head: list[Token]) -> int:
+        depth = 0
+        for k, t in enumerate(head):
+            if t.kind == PUNCT:
+                if t.value == "(":
+                    depth += 1
+                elif t.value == ")":
+                    depth -= 1
+                    if depth == 0:
+                        return k
+        return len(head) - 1
+
+    def _parse_signature(self, head: list[Token]) \
+            -> tuple[str, list[VarDecl], list[Token]]:
+        """(qualified name, parameter decls, tokens before the name)."""
+        toks = head
+        depth = 0
+        open_k = -1
+        for k, t in enumerate(toks):
+            if t.kind == PUNCT and t.value == "(":
+                if depth == 0 and k > 0 and toks[k - 1].kind == ID \
+                        and toks[k - 1].value not in KEYWORDS:
+                    open_k = k
+                    break
+                depth += 1
+            elif t.kind == PUNCT and t.value == ")":
+                depth -= 1
+        if open_k < 0:
+            return "", [], []
+        # Walk the qualified-id chain backwards from the name.
+        j = open_k - 1
+        name_parts = [toks[j].value]
+        j -= 1
+        while j > 0 and toks[j].value == "::" and toks[j - 1].kind == ID:
+            name_parts.append(toks[j - 1].value)
+            j -= 2
+        name = "::".join(reversed(name_parts))
+        close_k = match_forward(toks, open_k, "(", ")")
+        params: list[VarDecl] = []
+        inner = toks[open_k + 1:close_k]
+        if inner:
+            for part in split_top_level(inner, ","):
+                d = self._parse_param(part)
+                if d is not None:
+                    params.append(d)
+        return name, params, toks[:j + 1]
+
+    def _parse_param(self, part: list[Token]) -> VarDecl | None:
+        if not part:
+            return None
+        # Drop default argument.
+        for k, t in enumerate(part):
+            if t.kind == PUNCT and t.value == "=":
+                part = part[:k]
+                break
+        if len(part) < 2 or part[-1].kind != ID \
+                or part[-1].value in KEYWORDS:
+            return None
+        return VarDecl(name=part[-1].value, type=text_of(part[:-1]),
+                       line=part[-1].line, scope=0, is_param=True)
+
+    # ---------------------------------------------------------------- class
+
+    def parse_class(self, name: str, i: int, end: int, ctx: _Ctx) -> None:
+        cdef = ClassDef(name=name,
+                        line=self.tokens[i - 1].line if i else 0)
+        toks = self.tokens
+        while i < end:
+            t = toks[i]
+            if t.kind == PP:
+                self.handle_pp(t)
+                i += 1
+                continue
+            if t.kind == PUNCT and t.value in (";", "}"):
+                i += 1
+                continue
+            if (t.kind == ID and t.value in ("public", "private", "protected")
+                    and i + 1 < end and toks[i + 1].value == ":"):
+                i += 2
+                continue
+            if t.kind == ID and t.value == "template" and i + 1 < end \
+                    and toks[i + 1].value == "<":
+                i = skip_template_args(toks, i + 1)
+                continue
+            j, term = self._stmt_end(i, end)
+            head = toks[i:j]
+            if term == "{":
+                close = match_forward(toks, j, "{", "}")
+                kind = self._classify_brace(head)
+                if kind == "class":
+                    inner = ""
+                    for t2 in head[1:]:
+                        if t2.kind == ID and t2.value not in KEYWORDS:
+                            inner = t2.value
+                    self.parse_class(inner or "<anon>", j + 1, close, ctx)
+                elif kind == "func":
+                    mname, params, pre = self._parse_signature(head)
+                    if mname and mname != name:
+                        cdef.methods[mname] = text_of(
+                            [t2 for t2 in pre
+                             if not (t2.kind == ID and
+                                     t2.value in DECL_QUALIFIERS | {
+                                         "virtual", "explicit", "friend"})])
+                    qname = f"{name}::{mname}" if mname else name
+                    fctx = _Ctx(func=qname, cls=name,
+                                scope=self._new_scope())
+                    for p in params:
+                        p.func = qname
+                        p.scope = fctx.scope
+                        self.fm.decls.append(p)
+                    self.scan_region(j + 1, close, fctx)
+                else:
+                    # Field with brace init: `int total{0};`
+                    self._class_member(head, cdef, name)
+                i = close + 1
+                continue
+            self._class_member(head, cdef, name)
+            i = j + 1
+        self.fm.classes.append(cdef)
+
+    def _class_member(self, head: list[Token], cdef: ClassDef,
+                      cls: str) -> None:
+        if not head:
+            return
+        if head[0].kind == ID and head[0].value == "using":
+            self._handle_using(head)
+            return
+        if any(t.kind == PUNCT and t.value == "(" for t in head):
+            mname, _params, pre = self._parse_signature(head)
+            if mname and mname != cls and "::" not in mname:
+                cdef.methods[mname] = text_of(
+                    [t for t in pre
+                     if not (t.kind == ID and t.value in
+                             DECL_QUALIFIERS | {"virtual", "explicit",
+                                                "friend"})])
+            return
+        # Field: qualifiers TYPE name [init]
+        d = self._try_parse_decl(head, _Ctx(cls=cls))
+        if d:
+            for v in d:
+                cdef.fields[v.name] = v.type
+
+    # ---------------------------------------------------------------- loops
+
+    def _parse_loop(self, head: list[Token], brace: int, close: int,
+                    ctx: _Ctx) -> None:
+        lid = self._make_loop(head, ctx)
+        body = ctx.child(loops=ctx.loops + (lid,),
+                         scope=self._new_scope())
+        self.fm.loops[lid].body_begin = brace + 1
+        self.fm.loops[lid].body_end = close
+        self.fm.loops[lid].end_line = self.tokens[close].line
+        self.scan_region(brace + 1, close, body)
+
+    def _make_loop(self, head: list[Token], ctx: _Ctx) -> int:
+        lid = self._loop_id
+        self._loop_id += 1
+        kw = head[0].value
+        loop = Loop(id=lid, line=head[0].line, kind=kw,
+                    parent=ctx.loop, func=ctx.func)
+        self.fm.loops.append(loop)
+        # Parse the paren clause.
+        pk = next((k for k, t in enumerate(head)
+                   if t.kind == PUNCT and t.value == "("), -1)
+        if pk < 0:
+            return lid
+        pclose = match_forward(head, pk, "(", ")")
+        inner = head[pk + 1:pclose]
+        if kw == "for":
+            colon = -1
+            depth = 0
+            for k, t in enumerate(inner):
+                if t.kind != PUNCT:
+                    continue
+                if t.value in ("(", "[", "{"):
+                    depth += 1
+                elif t.value in (")", "]", "}"):
+                    depth -= 1
+                elif t.value == "<":
+                    j = skip_template_args(inner, k)
+                    if j > k:
+                        depth += 0  # handled by scanning; keep simple
+                elif t.value == ":" and depth == 0:
+                    colon = k
+                    break
+            if colon >= 0:
+                loop.kind = "range-for"
+                seq = inner[colon + 1:]
+                loop.seq_expr = text_of(seq)
+                declpart = inner[:colon]
+                self._range_decl(declpart, lid, ctx)
+                self.extract_exprs(seq, ctx.child(loops=ctx.loops))
+            else:
+                parts = split_top_level(inner, ";")
+                if parts:
+                    lctx = ctx.child(loops=ctx.loops + (lid,))
+                    decls = self._try_parse_decl(parts[0], lctx)
+                    if decls:
+                        self.fm.decls.extend(decls)
+                    else:
+                        self.extract_exprs(parts[0], lctx)
+                    for p in parts[1:]:
+                        self.extract_exprs(p, lctx)
+        else:
+            self.extract_exprs(inner, ctx)
+        return lid
+
+    def _range_decl(self, declpart: list[Token], lid: int,
+                    ctx: _Ctx) -> None:
+        lctx = ctx.child(loops=ctx.loops + (lid,))
+        # Structured binding: ... [a, b]
+        for k, t in enumerate(declpart):
+            if t.kind == PUNCT and t.value == "[":
+                cl = match_forward(declpart, k, "[", "]")
+                for nt in declpart[k + 1:cl]:
+                    if nt.kind == ID:
+                        self.fm.decls.append(VarDecl(
+                            name=nt.value, type="", line=nt.line,
+                            scope=self._new_scope(), loop=lid,
+                            func=ctx.func))
+                return
+        if declpart and declpart[-1].kind == ID \
+                and declpart[-1].value not in KEYWORDS:
+            self.fm.decls.append(VarDecl(
+                name=declpart[-1].value, type=text_of(declpart[:-1]),
+                line=declpart[-1].line, scope=self._new_scope(), loop=lid,
+                func=ctx.func))
+
+    # ----------------------------------------------------------- statements
+
+    def handle_pp(self, t: Token) -> None:
+        m = _INCLUDE_RE.match(t.value)
+        if m:
+            target = m.group(1) or m.group(2)
+            self.fm.includes.append(Include(
+                line=t.line, target=target, angled=m.group(1) is None))
+
+    def _handle_using(self, head: list[Token]) -> None:
+        # using X = Y...;   (using namespace / using a::b; are ignored)
+        if len(head) >= 4 and head[1].kind == ID \
+                and head[2].kind == PUNCT and head[2].value == "=":
+            self.fm.aliases[head[1].value] = text_of(head[3:])
+
+    def handle_statement(self, head: list[Token], ctx: _Ctx) -> None:
+        if not head:
+            return
+        first = head[0]
+        if first.kind == ID:
+            v = first.value
+            if v == "using":
+                self._handle_using(head)
+                return
+            if v == "typedef":
+                if len(head) >= 3 and head[-1].kind == ID:
+                    self.fm.aliases[head[-1].value] = text_of(head[1:-1])
+                return
+            if v in ("return", "throw", "delete", "goto", "break",
+                     "continue", "case", "co_return", "co_yield",
+                     "static_assert", "friend"):
+                self.extract_exprs(head[1:], ctx)
+                return
+            if v in ("for", "while"):
+                # Single-statement loop body (no braces).
+                lid = self._make_loop(head, ctx)
+                pk = next((k for k, t in enumerate(head)
+                           if t.kind == PUNCT and t.value == "("), -1)
+                if pk >= 0:
+                    pclose = match_forward(head, pk, "(", ")")
+                    body = head[pclose + 1:]
+                    self.fm.loops[lid].end_line = \
+                        head[-1].line if head else first.line
+                    self.extract_exprs(
+                        body, ctx.child(loops=ctx.loops + (lid,)))
+                return
+            if v == "do":
+                self.extract_exprs(head[1:], ctx)
+                return
+            if v in ("if", "else", "switch"):
+                self.extract_exprs(head, ctx)
+                return
+        decls = self._try_parse_decl(head, ctx)
+        if decls:
+            self.fm.decls.extend(decls)
+            # Initializers can contain calls/lambdas worth extracting.
+            self.extract_exprs(head, ctx)
+            return
+        self.extract_exprs(head, ctx)
+
+    # -------------------------------------------------------- declarations
+
+    def _parse_type(self, toks: list[Token], k: int) -> int:
+        """Index just past a type spelling starting at k, or k on failure."""
+        n = len(toks)
+        start = k
+        while k < n and toks[k].kind == ID and toks[k].value in \
+                DECL_QUALIFIERS:
+            k += 1
+        if k >= n:
+            return start
+        t = toks[k]
+        if t.kind == ID and t.value in BUILTIN_TYPE_KW:
+            while k < n and toks[k].kind == ID and \
+                    toks[k].value in BUILTIN_TYPE_KW | {"const", "volatile"}:
+                k += 1
+        elif t.kind == ID and t.value not in KEYWORDS:
+            k += 1
+            while k < n:
+                if toks[k].kind == PUNCT and toks[k].value == "<":
+                    j = skip_template_args(toks, k)
+                    if j == k:
+                        break
+                    k = j
+                elif toks[k].kind == PUNCT and toks[k].value == "::" \
+                        and k + 1 < n and toks[k + 1].kind == ID:
+                    k += 2
+                else:
+                    break
+        else:
+            return start
+        while k < n and ((toks[k].kind == PUNCT and
+                          toks[k].value in ("&", "&&", "*")) or
+                         (toks[k].kind == ID and
+                          toks[k].value in ("const", "volatile"))):
+            k += 1
+        return k
+
+    def _try_parse_decl(self, head: list[Token],
+                        ctx: _Ctx) -> list[VarDecl]:
+        k = self._parse_type(head, 0)
+        if k == 0 or k >= len(head):
+            return []
+        type_text = text_of(head[:k])
+        t = head[k]
+        if t.kind == PUNCT and t.value in ("(", "{"):
+            # `Type(args);` / `Type{args};` — a temporary constructed and
+            # immediately destroyed (or a plain call; rules filter by type).
+            close = match_forward(head, k, t.value,
+                                  ")" if t.value == "(" else "}")
+            if close >= len(head) - 1:
+                self.fm.unnamed_temps.append(UnnamedTemp(
+                    line=head[0].line, col=head[0].col, type=type_text))
+            return []
+        if t.kind == PUNCT and t.value == "[":
+            # Structured binding: auto [a, b] = ...
+            close = match_forward(head, k, "[", "]")
+            out = []
+            for nt in head[k + 1:close]:
+                if nt.kind == ID:
+                    out.append(VarDecl(
+                        name=nt.value, type="", line=nt.line,
+                        scope=ctx.scope, loop=ctx.loop, func=ctx.func,
+                        init=text_of(head[close + 2:])))
+            return out
+        if t.kind != ID or t.value in KEYWORDS:
+            return []
+        decls = []
+        name = t.value
+        k += 1
+        init_toks: list[Token] = []
+        if k < len(head) and head[k].kind == PUNCT:
+            v = head[k].value
+            if v == "=":
+                part = split_top_level(head[k + 1:], ",")
+                init_toks = part[0] if part else []
+            elif v in ("(", "{"):
+                close = match_forward(head, k, v,
+                                      ")" if v == "(" else "}")
+                init_toks = head[k + 1:close]
+            elif v not in (";", ",", "[", ")"):
+                return []  # `a * b + c` style expression, not a decl
+        decls.append(VarDecl(name=name, type=type_text, line=t.line,
+                             scope=ctx.scope, loop=ctx.loop, func=ctx.func,
+                             init=text_of(init_toks)))
+        return decls
+
+    # -------------------------------------------------------- expressions
+
+    def extract_exprs(self, toks: list[Token], ctx: _Ctx) -> None:
+        n = len(toks)
+        call_spans: list[tuple[int, int, str, str]] = []  # open, close, recv, meth
+        k = 0
+        while k < n:
+            t = toks[k]
+            if t.kind == ID and t.value == "reinterpret_cast":
+                self.fm.casts.append(CastUse(line=t.line, col=t.col,
+                                             kind="reinterpret_cast"))
+                k += 1
+                continue
+            if t.kind == PUNCT and t.value in (".", "->") and k + 1 < n \
+                    and toks[k + 1].kind == ID:
+                meth = toks[k + 1].value
+                k2 = k + 2
+                if k2 < n and toks[k2].kind == PUNCT \
+                        and toks[k2].value == "<":
+                    j = skip_template_args(toks, k2)
+                    if j > k2:
+                        k2 = j
+                if k2 < n and toks[k2].kind == PUNCT \
+                        and toks[k2].value == "(":
+                    rstart = self._receiver_start(toks, k)
+                    recv = text_of(toks[rstart:k])
+                    close = match_forward(toks, k2, "(", ")")
+                    args = toks[k2 + 1:close]
+                    self.fm.member_calls.append(MemberCall(
+                        line=toks[k + 1].line, col=toks[k + 1].col,
+                        receiver=recv, receiver_type="", method=meth,
+                        args=text_of(args), loop=ctx.loop, func=ctx.func))
+                    call_spans.append((k2, close, recv, meth))
+                    k += 2
+                    continue
+                if k2 < n and toks[k2].kind == PUNCT \
+                        and toks[k2].value in MUTATION_OPS:
+                    rstart = self._receiver_start(toks, k)
+                    self.fm.member_writes.append(MemberWrite(
+                        line=toks[k + 1].line, col=toks[k + 1].col,
+                        receiver=text_of(toks[rstart:k]), receiver_type="",
+                        fieldname=meth, op=toks[k2].value,
+                        loop=ctx.loop, func=ctx.func))
+                    k += 3
+                    continue
+                k += 2
+                continue
+            if t.kind == ID and t.value not in NOT_A_CALL \
+                    and (k == 0 or not (toks[k - 1].kind == PUNCT and
+                                        toks[k - 1].value in
+                                        ("::", ".", "->"))):
+                # Qualified-id chain, then '(' or '{' => a free call.
+                j = k
+                parts = [toks[j].value]
+                j += 1
+                while j + 1 < n and toks[j].kind == PUNCT \
+                        and toks[j].value == "::" and toks[j + 1].kind == ID:
+                    parts.append(toks[j + 1].value)
+                    j += 2
+                j2 = j
+                if j2 < n and toks[j2].kind == PUNCT \
+                        and toks[j2].value == "<":
+                    jt = skip_template_args(toks, j2)
+                    if jt > j2:
+                        j2 = jt
+                if j2 < n and toks[j2].kind == PUNCT \
+                        and toks[j2].value in ("(", "{"):
+                    name = "::".join(parts)
+                    close = match_forward(
+                        toks, j2, toks[j2].value,
+                        ")" if toks[j2].value == "(" else "}")
+                    self.fm.free_calls.append(FreeCall(
+                        line=t.line, col=t.col, name=name,
+                        args=text_of(toks[j2 + 1:close]),
+                        loop=ctx.loop, func=ctx.func))
+                    if parts[-1] == "memcpy":
+                        self.fm.casts.append(CastUse(
+                            line=t.line, col=t.col, kind="memcpy"))
+                    k = j2 + 1  # descend into args for nested calls
+                    continue
+                k = j
+                continue
+            if t.kind == PUNCT and t.value == "[" and self._lambda_at(toks, k):
+                k = self._parse_lambda(toks, k, ctx, call_spans)
+                continue
+            k += 1
+
+    def _receiver_start(self, toks: list[Token], k: int) -> int:
+        """Start index of the postfix receiver expression ending at the
+        '.'/'->' at k."""
+        j = k
+        while j > 0:
+            p = toks[j - 1]
+            if p.kind == PUNCT and p.value in (")", "]"):
+                j = match_backward(toks, j - 1)
+                continue
+            if p.kind == ID and p.value not in KEYWORDS - {"this"}:
+                j -= 1
+                if j > 0 and toks[j - 1].kind == PUNCT \
+                        and toks[j - 1].value in ("::", ".", "->"):
+                    j -= 1
+                    continue
+                break
+            break
+        return j
+
+    def _lambda_at(self, toks: list[Token], k: int) -> bool:
+        if k > 0:
+            p = toks[k - 1]
+            if p.kind in (ID, NUM, STR, CHR) and p.value != "return" \
+                    and p.value not in ("=", ","):
+                return False
+            if p.kind == PUNCT and p.value in (")", "]"):
+                return False
+        # Must find a '{' after the capture list (+ optional params) soon.
+        close = match_forward(toks, k, "[", "]")
+        j = close + 1
+        if j < len(toks) and toks[j].kind == PUNCT and toks[j].value == "(":
+            j = match_forward(toks, j, "(", ")") + 1
+        steps = 0
+        while j < len(toks) and steps < 8:
+            t = toks[j]
+            if t.kind == PUNCT and t.value == "{":
+                return True
+            if t.kind == PUNCT and t.value in (";", ")", ",", "]"):
+                return False
+            j += 1
+            steps += 1
+        return False
+
+    def _parse_lambda(self, toks: list[Token], k: int, ctx: _Ctx,
+                      call_spans: list[tuple[int, int, str, str]]) -> int:
+        cap_close = match_forward(toks, k, "[", "]")
+        captures: list[Capture] = []
+        for part in split_top_level(toks[k + 1:cap_close], ","):
+            if not part:
+                continue
+            if len(part) == 1 and part[0].kind == PUNCT \
+                    and part[0].value == "&":
+                captures.append(Capture(name="", by_ref=True, blanket=True))
+            elif len(part) == 1 and part[0].kind == PUNCT \
+                    and part[0].value == "=":
+                captures.append(Capture(name="", by_ref=False, blanket=True))
+            elif part[0].kind == PUNCT and part[0].value == "&" \
+                    and len(part) >= 2 and part[1].kind == ID:
+                captures.append(Capture(name=part[1].value, by_ref=True))
+            elif part[0].kind == ID and part[0].value == "this":
+                captures.append(Capture(name="this", by_ref=True))
+            elif part[0].kind == ID:
+                captures.append(Capture(name=part[0].value, by_ref=False))
+        j = cap_close + 1
+        if j < len(toks) and toks[j].kind == PUNCT and toks[j].value == "(":
+            j = match_forward(toks, j, "(", ")") + 1
+        while j < len(toks) and not (toks[j].kind == PUNCT
+                                     and toks[j].value == "{"):
+            if toks[j].kind == PUNCT and toks[j].value in (";", ")"):
+                return cap_close + 1
+            j += 1
+        if j >= len(toks):
+            return cap_close + 1
+        body_close = match_forward(toks, j, "{", "}")
+        idents = sorted({t.value for t in toks[j + 1:body_close]
+                         if t.kind == ID and t.value not in KEYWORDS})
+        lam = LambdaExpr(line=toks[k].line, col=toks[k].col,
+                         captures=captures, loop=ctx.loop, func=ctx.func,
+                         body_idents=idents)
+        for (o, c, recv, meth) in reversed(call_spans):
+            if o < k < c:
+                lam.sink_call = meth
+                lam.sink_receiver_type = ""  # resolved later
+                lam.stored_into = recv
+                break
+        self.fm.lambdas.append(lam)
+        return j + 1  # main loop continues into the body tokens
+
+
+def parse_file(path: str, text: str) -> FileModel:
+    return Parser(path, text).parse()
+
+
+# ==========================================================================
+# Resolution pass: annotate a parsed model against the merged KnowledgeBase.
+# ==========================================================================
+
+_SEQ_CONTAINERS = ("std::vector", "std::array", "std::span", "std::deque",
+                   "std::initializer_list")
+
+
+class TypeEnv:
+    def __init__(self, fm: FileModel, kb: KnowledgeBase):
+        self.kb = kb
+        self.by_func: dict[str, dict[str, list[VarDecl]]] = {}
+        self.file_scope: dict[str, VarDecl] = {}
+        for d in fm.decls:
+            if d.func:
+                self.by_func.setdefault(d.func, {}) \
+                    .setdefault(d.name, []).append(d)
+            else:
+                self.file_scope[d.name] = d
+
+    def var_type(self, name: str, func: str, line: int) -> str:
+        cands = self.by_func.get(func, {}).get(name)
+        if cands:
+            before = [d for d in cands if d.line <= line or d.is_param]
+            pick = max(before, key=lambda d: d.line) if before else cands[0]
+            t = pick.type
+            if t and self.kb.canonical(t) == "auto" and pick.init:
+                t = self.resolve(pick.init, func, pick.line)
+            return t
+        if name in self.file_scope:
+            return self.file_scope[name].type
+        # Enclosing class field?
+        if "::" in func:
+            cls = func.rsplit("::", 1)[0]
+            t = self.kb.member_type(self.kb.canonical(cls), name)
+            if t:
+                return t
+        return ""
+
+    def element_type(self, type_text: str) -> str:
+        full = self.kb.expand(type_text)
+        head = self.kb.canonical(full)
+        args = template_args(full)
+        if not args:
+            return ""
+        if any(head == c or head == c[len("std::"):]
+               for c in _SEQ_CONTAINERS):
+            return args[0]
+        if "map" in head and len(args) >= 2:
+            return args[1]
+        if "set" in head:
+            return args[0]
+        return ""
+
+    def resolve(self, expr: str, func: str, line: int,
+                depth: int = 0) -> str:
+        """Static type text of an expression ('' when unknown)."""
+        if depth > 8 or not expr:
+            return ""
+        toks = lexer.tokenize(expr)
+        return self._resolve_toks(toks, func, line, depth)
+
+    def _resolve_toks(self, toks: list[Token], func: str, line: int,
+                      depth: int) -> str:
+        k = 0
+        n = len(toks)
+        while k < n and toks[k].kind == PUNCT \
+                and toks[k].value in ("*", "&", "!", "~", "+", "-"):
+            k += 1
+        if k >= n:
+            return ""
+        t = toks[k]
+        cur = ""
+        if t.kind == PUNCT and t.value == "(":
+            close = match_forward(toks, k, "(", ")")
+            cur = self._resolve_toks(toks[k + 1:close], func, line,
+                                     depth + 1)
+            k = close + 1
+        elif t.kind == ID and t.value in ("static_cast", "const_cast",
+                                          "dynamic_cast",
+                                          "reinterpret_cast"):
+            if k + 1 < n and toks[k + 1].value == "<":
+                j = skip_template_args(toks, k + 1)
+                cur = text_of(toks[k + 2:j - 1])
+                k = j
+                if k < n and toks[k].kind == PUNCT and toks[k].value == "(":
+                    k = match_forward(toks, k, "(", ")") + 1
+            else:
+                return ""
+        elif t.kind == ID and t.value == "this":
+            cur = func.rsplit("::", 1)[0] if "::" in func else ""
+            k += 1
+        elif t.kind == ID and t.value not in KEYWORDS:
+            # Qualified-id chain.
+            parts = [t.value]
+            j = k + 1
+            while j + 1 < n and toks[j].kind == PUNCT \
+                    and toks[j].value == "::" and toks[j + 1].kind == ID:
+                parts.append(toks[j + 1].value)
+                j += 2
+            name = "::".join(parts)
+            k = j
+            if k < n and toks[k].kind == PUNCT and toks[k].value == "(":
+                # Call: method of the enclosing class, or unknown free fn.
+                close = match_forward(toks, k, "(", ")")
+                k = close + 1
+                cls = func.rsplit("::", 1)[0] if "::" in func else ""
+                cur = self.kb.member_type(self.kb.canonical(cls), name) \
+                    if cls and len(parts) == 1 else ""
+            else:
+                cur = self.var_type(name, func, line) \
+                    if len(parts) == 1 else ""
+                if not cur and name in self.kb.aliases:
+                    cur = name  # a type name used as an expression head
+        elif t.kind in (NUM, STR, CHR):
+            return ""
+        else:
+            return ""
+        # Postfix chain.
+        while k < n and cur:
+            t = toks[k]
+            if t.kind == PUNCT and t.value in (".", "->") and k + 1 < n \
+                    and toks[k + 1].kind == ID:
+                member = toks[k + 1].value
+                head = self.kb.canonical(cur)
+                if head in ("std::unique_ptr", "std::shared_ptr",
+                            "std::optional", "unique_ptr", "shared_ptr"):
+                    inner = template_args(self.kb.expand(cur))
+                    if inner:
+                        cur = inner[0]
+                        head = self.kb.canonical(cur)
+                cur = self.kb.member_type(head, member)
+                k += 2
+                if k < n and toks[k].kind == PUNCT and toks[k].value == "(":
+                    k = match_forward(toks, k, "(", ")") + 1
+            elif t.kind == PUNCT and t.value == "[":
+                close = match_forward(toks, k, "[", "]")
+                cur = self.element_type(cur)
+                k = close + 1
+            else:
+                break
+        return cur
+
+
+def template_args(type_text: str) -> list[str]:
+    text = type_text.replace(" ", "")
+    lt = text.find("<")
+    if lt < 0 or not text.endswith(">"):
+        if lt < 0:
+            return []
+        gt = text.rfind(">")
+        if gt < lt:
+            return []
+        text = text[:gt + 1]
+    inner = text[lt + 1:-1]
+    args: list[str] = []
+    depth = 0
+    cur = ""
+    for ch in inner:
+        if ch == "<":
+            depth += 1
+        elif ch == ">":
+            depth -= 1
+        elif ch == "," and depth == 0:
+            args.append(cur)
+            cur = ""
+            continue
+        cur += ch
+    if cur:
+        args.append(cur)
+    return args
+
+
+def resolve_model(fm: FileModel, kb: KnowledgeBase) -> None:
+    """Annotate receiver/arg/sequence types against the merged KB."""
+    env = TypeEnv(fm, kb)
+    for c in fm.member_calls:
+        full = env.resolve(c.receiver, c.func, c.line)
+        c.receiver_type = kb.canonical(full) if full else ""
+        c.arg_types = [
+            kb.canonical(env.resolve(a, c.func, c.line)) if a else ""
+            for a in _split_args(c.args)]
+    for w in fm.member_writes:
+        full = env.resolve(w.receiver, w.func, w.line)
+        w.receiver_type = kb.canonical(full) if full else ""
+    for f in fm.free_calls:
+        f.arg_types = [
+            kb.canonical(env.resolve(a, f.func, f.line)) if a else ""
+            for a in _split_args(f.args)]
+    for lp in fm.loops:
+        if lp.seq_expr:
+            lp.seq_type = kb.expand(
+                env.resolve(lp.seq_expr, lp.func, lp.line))
+    for lam in fm.lambdas:
+        if lam.stored_into:
+            full = env.resolve(lam.stored_into, lam.func, lam.line)
+            lam.sink_receiver_type = kb.canonical(full) if full else ""
+            lam.stored_type = full
+
+
+def _split_args(args_text: str) -> list[str]:
+    if not args_text.strip():
+        return []
+    toks = lexer.tokenize(args_text)
+    return [text_of(p) for p in split_top_level(toks, ",") if p]

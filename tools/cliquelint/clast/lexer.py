@@ -1,0 +1,184 @@
+"""C++ tokenizer for the internal frontend.
+
+Produces a flat token stream with exact line/column positions. Comments
+and whitespace are dropped (rules can never fire on documentation);
+string/char literals survive as single STR/CHR tokens so call-argument
+spans keep their shape without exposing literal *content* to token rules.
+Preprocessor directives (with line continuations folded) become single PP
+tokens carrying the raw directive text — the include-graph builder and
+the conditional-compilation tracker consume those.
+
+This is a lexer, not a preprocessor: macros are not expanded. The
+semantic layer compensates where it matters (the repo's own macros are
+annotation-shaped: CLIQUE_ALWAYS_INLINE, CLIQUE_DCHECK, ...).
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass
+
+# Token kinds.
+ID = "id"        # identifiers and keywords
+NUM = "num"      # numeric literals
+STR = "str"      # string literal (value is a placeholder, not the content)
+CHR = "chr"      # char literal
+PUNCT = "punct"  # operators / punctuation, longest-match
+PP = "pp"        # one whole preprocessor directive, continuations folded
+
+
+@dataclass(frozen=True)
+class Token:
+    kind: str
+    value: str
+    line: int
+    col: int
+
+    def __repr__(self) -> str:  # compact for debugging
+        return f"{self.kind}:{self.value!r}@{self.line}:{self.col}"
+
+
+# Longest-first so |= is not read as | then =, <<= not as << then =, etc.
+_PUNCTS = sorted(
+    ["<<=", ">>=", "...", "->*", "::", "->", "++", "--", "<<", ">>",
+     "<=", ">=", "==", "!=", "&&", "||", "+=", "-=", "*=", "/=", "%=",
+     "&=", "|=", "^=", "<=>", ".*", "+", "-", "*", "/", "%", "&", "|",
+     "^", "~", "!", "<", ">", "=", "?", ":", ";", ",", ".", "(", ")",
+     "[", "]", "{", "}"],
+    key=len, reverse=True)
+
+_TOKEN_RE = re.compile(
+    r"""
+    (?P<ws>[ \t\r\f\v]+)
+  | (?P<nl>\n)
+  | (?P<line_comment>//[^\n]*)
+  | (?P<block_comment>/\*.*?\*/)
+  | (?P<raw_str>(?:u8|u|U|L)?R"(?P<delim>[^()\s\\]{0,16})\(.*?\)(?P=delim)")
+  | (?P<str>(?:u8|u|U|L)?"(?:\\.|[^"\\\n])*")
+  | (?P<chr>(?:u8|u|U|L)?'(?:\\.|[^'\\\n])+')
+  | (?P<num>\.?\d(?:[\w.']|[eEpP][+-])*)
+  | (?P<id>[A-Za-z_]\w*)
+  | (?P<punct>""" + "|".join(re.escape(p) for p in _PUNCTS) + r""")
+    """,
+    re.VERBOSE | re.DOTALL)
+
+_PP_RE = re.compile(r"#(?:[^\n\\]|\\\n|\\[^\n])*")
+_COMMENT_IN_PP = re.compile(r"//[^\n]*|/\*.*?\*/", re.DOTALL)
+
+
+def tokenize(text: str) -> list[Token]:
+    tokens: list[Token] = []
+    pos, line, bol = 0, 1, 0  # bol = offset of start-of-line
+    n = len(text)
+    at_line_start = True
+    while pos < n:
+        if at_line_start:
+            stripped = text[pos:].lstrip(" \t")
+            if stripped.startswith("#"):
+                skip = len(text) - pos - len(stripped)
+                m = _PP_RE.match(text, pos + skip)
+                assert m is not None
+                raw = _COMMENT_IN_PP.sub(" ", m.group(0))
+                directive = raw.replace("\\\n", " ")
+                tokens.append(Token(PP, directive.strip(),
+                                    line, pos + skip - bol + 1))
+                newlines = m.group(0).count("\n")
+                line += newlines
+                pos = m.end()
+                if newlines:
+                    bol = m.group(0).rfind("\n") + m.start() + 1
+                continue
+        m = _TOKEN_RE.match(text, pos)
+        if m is None:
+            pos += 1  # unknown byte (e.g. @ in a doc block): skip
+            at_line_start = False
+            continue
+        kind = m.lastgroup
+        value = m.group(0)
+        if kind == "nl":
+            line += 1
+            bol = m.end()
+            pos = m.end()
+            at_line_start = True
+            continue
+        at_line_start = False
+        if kind in ("ws",):
+            pos = m.end()
+            continue
+        col = m.start() - bol + 1
+        if kind in ("line_comment", "block_comment"):
+            nls = value.count("\n")
+            if nls:
+                line += nls
+                bol = m.start() + value.rfind("\n") + 1
+                at_line_start = True
+            pos = m.end()
+            continue
+        if kind == "raw_str" or kind == "str":
+            tok_line = line
+            nls = value.count("\n")
+            tokens.append(Token(STR, '""', tok_line, col))
+            if nls:
+                line += nls
+                bol = m.start() + value.rfind("\n") + 1
+            pos = m.end()
+            continue
+        if kind == "chr":
+            tokens.append(Token(CHR, "''", line, col))
+            pos = m.end()
+            continue
+        if kind == "delim":
+            pos = m.end()
+            continue
+        tokens.append(Token(kind, value, line, col))
+        pos = m.end()
+    return tokens
+
+
+def match_forward(tokens: list[Token], i: int,
+                  open_: str, close: str) -> int:
+    """Index of the token closing the bracket opened at `i` (or len)."""
+    depth = 0
+    n = len(tokens)
+    while i < n:
+        v = tokens[i].value
+        if tokens[i].kind == PUNCT:
+            if v == open_:
+                depth += 1
+            elif v == close:
+                depth -= 1
+                if depth == 0:
+                    return i
+        i += 1
+    return n
+
+
+def skip_template_args(tokens: list[Token], i: int) -> int:
+    """Given tokens[i] == '<', index just past the matching '>'.
+
+    Heuristic angle matching: bails (returns i) on tokens that cannot
+    appear in a template argument list, so `a < b` comparisons are not
+    swallowed.
+    """
+    assert tokens[i].value == "<"
+    depth = 0
+    j = i
+    n = len(tokens)
+    while j < n:
+        t = tokens[j]
+        v = t.value
+        if v == "<":
+            depth += 1
+        elif v == ">":
+            depth -= 1
+            if depth == 0:
+                return j + 1
+        elif v == ">>":
+            depth -= 2
+            if depth <= 0:
+                return j + 1
+        elif v in (";", "{", "}") or (t.kind == PUNCT and v in
+                                      ("&&", "||", "+=", "-=", "==", "!=")):
+            return i  # not a template argument list
+        j += 1
+    return i

@@ -1,0 +1,372 @@
+"""Semantic IR shared by both frontends, plus the model knowledge base.
+
+Every fact a rule can consume lives in `FileModel`; the dataclasses are
+plain-JSON-serializable (asdict/fromdict) so parsed models can live in
+the content-hash cache between runs.
+
+The knowledge base (`KnowledgeBase`) maps the repo's model classes to
+their fields and method return types. It is seeded with the *contract*
+of the simulator's core classes — the exact API surface docs/MODEL.md
+specifies (Metrics counters, the Trace/LoadProfile mutation families,
+Outbox::send, CliqueEngine accessors) — and extended with every class
+definition the frontends actually parse out of the scanned files, so
+local structs with look-alike method names resolve to *their own* type
+and stay legal.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from dataclasses import dataclass, field
+from typing import Any, Optional
+
+
+# --------------------------------------------------------------------------
+# IR dataclasses
+# --------------------------------------------------------------------------
+
+@dataclass
+class Include:
+    line: int
+    target: str            # as written between quotes/brackets
+    angled: bool           # <...> vs "..."
+    resolved: Optional[str] = None  # repo-relative path when resolvable
+
+
+@dataclass
+class VarDecl:
+    name: str
+    type: str              # normalized declared type text ('' if unknown)
+    line: int
+    scope: int             # scope id (0 = file scope)
+    loop: int = -1         # innermost enclosing loop id, -1 if none
+    func: str = ""         # enclosing function name ('' at file scope)
+    is_param: bool = False
+    init: str = ""         # initializer expression text (resolves `auto`)
+
+
+@dataclass
+class ClassDef:
+    name: str
+    line: int
+    fields: dict[str, str] = field(default_factory=dict)   # name -> type
+    methods: dict[str, str] = field(default_factory=dict)  # name -> ret type
+
+
+@dataclass
+class MemberCall:
+    line: int
+    col: int
+    receiver: str          # source text of the receiver expression
+    receiver_type: str     # resolved type name ('' if unresolved)
+    method: str
+    args: str              # raw argument source text (single spaces)
+    arg_types: list[str] = field(default_factory=list)  # resolved, '' unknown
+    loop: int = -1
+    func: str = ""
+
+
+@dataclass
+class FreeCall:
+    line: int
+    col: int
+    name: str              # possibly qualified (std::time)
+    args: str
+    arg_types: list[str] = field(default_factory=list)
+    loop: int = -1
+    func: str = ""
+
+
+@dataclass
+class MemberWrite:
+    line: int
+    col: int
+    receiver: str
+    receiver_type: str
+    fieldname: str
+    op: str                # ++, +=, =, ...
+    loop: int = -1
+    func: str = ""
+
+
+@dataclass
+class Loop:
+    id: int
+    line: int
+    kind: str              # 'for' | 'range-for' | 'while' | 'do'
+    parent: int = -1
+    body_begin: int = 0    # token indices (internal frontend bookkeeping)
+    body_end: int = 0
+    end_line: int = 0
+    seq_expr: str = ""     # range-for only: the sequence expression text
+    seq_type: str = ""     # resolved type of the sequence ('' unknown)
+    func: str = ""
+
+
+@dataclass
+class Capture:
+    name: str              # '' for blanket captures
+    by_ref: bool
+    blanket: bool = False  # [&] / [=]
+
+
+@dataclass
+class LambdaExpr:
+    line: int
+    col: int
+    captures: list[Capture] = field(default_factory=list)
+    loop: int = -1         # innermost loop enclosing the lambda *expression*
+    func: str = ""
+    body_idents: list[str] = field(default_factory=list)  # identifiers used
+    sink_call: str = ""    # callee the lambda is an argument of ('' if none)
+    sink_receiver_type: str = ""
+    stored_into: str = ""  # container the lambda is pushed into ('' if none)
+    stored_type: str = ""  # that container's resolved type
+
+
+@dataclass
+class CastUse:
+    line: int
+    col: int
+    kind: str              # 'reinterpret_cast' | 'memcpy'
+
+
+@dataclass
+class UnnamedTemp:
+    line: int
+    col: int
+    type: str              # the RAII type constructed and dropped
+
+
+@dataclass
+class ContainerWrite:
+    line: int
+    container: str         # variable written through push_back/insert/...
+    method: str
+    loop: int = -1
+    func: str = ""
+
+
+@dataclass
+class FileModel:
+    path: str              # repo-relative, '/'-separated
+    frontend: str = "internal"
+    includes: list[Include] = field(default_factory=list)
+    decls: list[VarDecl] = field(default_factory=list)
+    classes: list[ClassDef] = field(default_factory=list)
+    aliases: dict[str, str] = field(default_factory=dict)  # using X = Y
+    member_calls: list[MemberCall] = field(default_factory=list)
+    free_calls: list[FreeCall] = field(default_factory=list)
+    member_writes: list[MemberWrite] = field(default_factory=list)
+    loops: list[Loop] = field(default_factory=list)
+    lambdas: list[LambdaExpr] = field(default_factory=list)
+    casts: list[CastUse] = field(default_factory=list)
+    unnamed_temps: list[UnnamedTemp] = field(default_factory=list)
+    container_writes: list[ContainerWrite] = field(default_factory=list)
+    parse_errors: list[str] = field(default_factory=list)
+
+    def to_json(self) -> dict[str, Any]:
+        return dataclasses.asdict(self)
+
+    @staticmethod
+    def from_json(d: dict[str, Any]) -> "FileModel":
+        fm = FileModel(path=d["path"], frontend=d.get("frontend", "internal"))
+        fm.includes = [Include(**x) for x in d.get("includes", [])]
+        fm.decls = [VarDecl(**x) for x in d.get("decls", [])]
+        fm.classes = [ClassDef(**x) for x in d.get("classes", [])]
+        fm.aliases = dict(d.get("aliases", {}))
+        fm.member_calls = [MemberCall(**x) for x in d.get("member_calls", [])]
+        fm.free_calls = [FreeCall(**x) for x in d.get("free_calls", [])]
+        fm.member_writes = [
+            MemberWrite(**x) for x in d.get("member_writes", [])]
+        fm.loops = [Loop(**x) for x in d.get("loops", [])]
+        fm.lambdas = [
+            LambdaExpr(captures=[Capture(**c) for c in x.pop("captures", [])],
+                       **x)
+            for x in d.get("lambdas", [])]
+        fm.casts = [CastUse(**x) for x in d.get("casts", [])]
+        fm.unnamed_temps = [UnnamedTemp(**x) for x in d.get("unnamed_temps",
+                                                            [])]
+        fm.container_writes = [
+            ContainerWrite(**x) for x in d.get("container_writes", [])]
+        fm.parse_errors = list(d.get("parse_errors", []))
+        return fm
+
+
+@dataclass
+class Finding:
+    path: str
+    line: int
+    rule: str
+    message: str
+    col: int = 1
+    fingerprint: str = ""   # stable suppression key (set by the engine)
+    suppressed: bool = False
+
+    def as_dict(self) -> dict[str, Any]:
+        return {
+            "path": self.path, "line": self.line, "col": self.col,
+            "rule": self.rule, "message": self.message,
+            "fingerprint": self.fingerprint, "suppressed": self.suppressed,
+        }
+
+    def __str__(self) -> str:
+        return f"{self.path}:{self.line}: [{self.rule}] {self.message}"
+
+
+# --------------------------------------------------------------------------
+# Knowledge base
+# --------------------------------------------------------------------------
+
+def _strip_type(t: str) -> str:
+    """Normalize a type expression to its class identity.
+
+    'const ccq::Metrics &' -> 'Metrics'; 'LoadProfile*' -> 'LoadProfile';
+    'std::unordered_map<K,V>' keeps its template head:
+    'std::unordered_map'.
+    """
+    t = t.strip()
+    for kw in ("const ", "constexpr ", "volatile ", "mutable ", "static ",
+               "inline ", "typename "):
+        while t.startswith(kw):
+            t = t[len(kw):]
+    t = t.replace(" ", "")
+    while t and t[-1] in "&*":
+        t = t[:-1]
+    if t.endswith("const"):
+        t = t[:-5]
+    if "<" in t:
+        t = t[:t.index("<")]
+    if t.startswith("ccq::"):
+        t = t[5:]
+    return t
+
+
+class KnowledgeBase:
+    """Class name -> {fields, methods} lookups with alias expansion."""
+
+    def __init__(self) -> None:
+        self.classes: dict[str, ClassDef] = {}
+        self.aliases: dict[str, str] = {}
+
+    def add_class(self, c: ClassDef) -> None:
+        existing = self.classes.get(c.name)
+        if existing is None:
+            self.classes[c.name] = ClassDef(c.name, c.line,
+                                            dict(c.fields), dict(c.methods))
+        else:
+            existing.fields.update(c.fields)
+            existing.methods.update(c.methods)
+
+    def add_aliases(self, aliases: dict[str, str]) -> None:
+        self.aliases.update(aliases)
+
+    def canonical(self, type_text: str) -> str:
+        """Resolve a declared type to a canonical class identity."""
+        t = _strip_type(type_text)
+        seen = set()
+        while t in self.aliases and t not in seen:
+            seen.add(t)
+            t = _strip_type(self.aliases[t])
+        return t
+
+    def expand(self, type_text: str) -> str:
+        """Alias-expanded full type text (template args preserved)."""
+        t = type_text.strip()
+        head = _strip_type(type_text)
+        seen = set()
+        while head in self.aliases and head not in seen:
+            seen.add(head)
+            t = self.aliases[head].strip()
+            head = _strip_type(t)
+        return t
+
+    def member_type(self, class_name: str, member: str) -> str:
+        """Type of class_name.member (field type or method return type)."""
+        c = self.classes.get(class_name)
+        if c is None:
+            return ""
+        if member in c.fields:
+            return c.fields[member]
+        if member in c.methods:
+            return c.methods[member]
+        return ""
+
+
+def builtin_kb() -> KnowledgeBase:
+    """The simulator's core API contract, as documented in docs/MODEL.md.
+
+    Seeding these lets receiver resolution work on fixture trees and on
+    TUs that reach the engine only through forward declarations; real
+    parsed definitions from the scan set are merged on top.
+    """
+    kb = KnowledgeBase()
+
+    def cls(name: str, fields: dict[str, str] | None = None,
+            methods: dict[str, str] | None = None) -> None:
+        kb.add_class(ClassDef(name, 0, fields or {}, methods or {}))
+
+    cls("Metrics",
+        fields={"rounds": "std::uint64_t", "messages": "std::uint64_t",
+                "words": "std::uint64_t",
+                "max_messages_in_round": "std::uint64_t",
+                "has_peak": "bool"},
+        methods={"to_string": "std::string"})
+    cls("MetricsScope", methods={"delta": "Metrics"})
+    cls("Trace",
+        methods={"record_round": "void", "record_silent": "void",
+                 "record_absorbed": "void", "open_scope": "std::size_t",
+                 "close_scope": "void", "bind_engine": "void",
+                 "bind_load_profile": "void", "clear": "void",
+                 "reserve_rounds": "void"})
+    cls("TraceScope")
+    cls("LoadProfile",
+        methods={"bind_engine": "void", "add_sent": "void",
+                 "add_received": "void", "add_flow": "void",
+                 "add_broadcast": "void", "add_link": "void",
+                 "record_round": "void", "record_silent": "void",
+                 "record_absorbed": "void", "checkpoint": "LoadCheckpoint",
+                 "set_track_links": "void", "clear": "void",
+                 "max_link": "std::uint64_t",
+                 "total_sent_messages": "std::uint64_t"})
+    cls("Outbox", methods={"send": "void"})
+    cls("CliqueEngine",
+        methods={"metrics": "Metrics&", "trace": "Trace*",
+                 "load_profile": "LoadProfile*", "n": "std::uint32_t",
+                 "messages_per_link": "std::size_t",
+                 "charge_round": "void", "charge_verified_round": "void",
+                 "attribute_load": "void", "attribute_broadcast": "void",
+                 "observe": "void", "wants_load": "bool",
+                 "has_observer": "bool"})
+    cls("ThreadPool", methods={"run": "void", "size": "unsigned",
+                               "hardware_threads": "unsigned"})
+    # std:: RAII types CL009 knows about (identity only).
+    for t in ("std::lock_guard", "std::scoped_lock", "std::unique_lock",
+              "std::shared_lock"):
+        cls(t)
+    return kb
+
+
+# Width/category table for CL008: model words are O(log n)-bit quantities
+# carried in uint64 lanes; anything statically wider (or non-integral)
+# cannot be a model word.
+INT_WIDTHS = {
+    "bool": 1, "char": 8, "signedchar": 8, "unsignedchar": 8,
+    "std::uint8_t": 8, "std::int8_t": 8, "uint8_t": 8, "int8_t": 8,
+    "short": 16, "unsignedshort": 16,
+    "std::uint16_t": 16, "std::int16_t": 16, "uint16_t": 16, "int16_t": 16,
+    "int": 32, "unsigned": 32, "unsignedint": 32, "long": 64,
+    "unsignedlong": 64, "longlong": 64, "unsignedlonglong": 64,
+    "std::uint32_t": 32, "std::int32_t": 32, "uint32_t": 32, "int32_t": 32,
+    "std::uint64_t": 64, "std::int64_t": 64, "uint64_t": 64, "int64_t": 64,
+    "std::size_t": 64, "size_t": 64, "std::ptrdiff_t": 64,
+    "VertexId": 64, "std::uintptr_t": 64, "char32_t": 32, "char16_t": 16,
+    "wchar_t": 32,
+}
+OVERWIDE_TYPES = {"__int128", "unsigned__int128", "__int128_t",
+                  "__uint128_t", "__m128i", "__m256i", "__m512i"}
+FLOAT_TYPES = {"float", "double", "longdouble"}
+
+UNORDERED_HEADS = ("std::unordered_map", "std::unordered_set",
+                   "std::unordered_multimap", "std::unordered_multiset",
+                   "absl::flat_hash_map", "absl::flat_hash_set")

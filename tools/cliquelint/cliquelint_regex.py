@@ -1,0 +1,415 @@
+#!/usr/bin/env python3
+"""cliquelint — model-conformance static analysis for the congested-clique repo.
+
+The test suite certifies the paper's counting claims (rounds, messages,
+bandwidth feasibility; Hegeman et al., PODC'15 Section 1.2) only as long as
+every algorithm module plays by the simulator's rules. This linter machine-
+checks the rules that the compiler cannot:
+
+  CL001  determinism   Nondeterminism sources (rand/srand, std::random_device,
+                       time(), <chrono> clock ::now()) are confined to
+                       src/util/random and src/comm/shared_random. Everything
+                       else must draw randomness through those seeded APIs, or
+                       tests/determinism_test.cpp's bit-identical replay breaks.
+  CL002  metrics       Metrics counter fields (rounds / messages / words /
+                       max_messages_in_round) are mutated only inside
+                       src/clique and src/comm. Algorithm modules observe
+                       metrics; only the engine and the comm layer may account.
+  CL003  wire-packing  reinterpret_cast / memcpy payload packing is confined to
+                       src/sketch/wire (byte layout of every word that crosses
+                       a link), src/clique/packed_message (the engine-internal
+                       packed delivery codec), and src/sketch/sketch_kernels
+                       (SIMD lane loads/stores over detector arrays). Three
+                       audited modules; everything else goes through them.
+  CL004  layering      Include-graph rules: algorithm layers (core, lotker,
+                       kt1, baseline, sketch, convert) must not include
+                       lowerbound/ headers (the adversary constructions are a
+                       leaf, not a dependency), and clique/round_buffer.hpp —
+                       the engine's internal arena — is includable only from
+                       src/clique and src/comm.
+  CL005  tracing       Phase-trace state (clique/trace) is mutated only via
+                       RAII TraceScope objects. Direct calls to the Trace
+                       record/bookkeeping methods (record_round,
+                       record_silent, record_absorbed, open_scope,
+                       close_scope, bind_engine) are confined to src/clique:
+                       a stray record_* from an algorithm module would let a
+                       trace disagree with the engine's Metrics, breaking the
+                       traced == untraced guarantee docs/TRACING.md promises.
+  CL006  load         Congestion-profile state (clique/load_profile) is
+                       mutated only inside src/clique and src/comm (the comm
+                       layer attributes its routing schedules directly, with
+                       the profile pointer hoisted out of per-edge loops).
+                       Algorithm modules attribute their fast-path charges
+                       through the engine's attribute_load /
+                       attribute_broadcast wrappers; a direct LoadProfile
+                       write from an algorithm module could break the
+                       conservation identity (sum sent == sum received ==
+                       Metrics::messages) that tests/load_profile_test.cpp
+                       certifies.
+
+CL001's allowlist also contains src/util/clock: the one audited wall-clock
+source (TraceScope wall-time snapshots). Wall time never reaches model
+counters or canonical NDJSON output, so seeded replay stays bit-identical.
+
+Usage:
+  cliquelint.py [--root DIR] [--json FILE] [--expect RULE] [PATH ...]
+
+PATHs (files or directories, default: src) are resolved relative to --root
+(default: the repository root, two levels above this script). Exit status is
+0 when clean, 1 on violations, 2 on usage errors. --expect RULE inverts the
+contract for seeded-violation fixtures: exit 0 iff the scan finds at least
+one violation and every violation is of RULE.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import re
+import sys
+from pathlib import Path
+
+SOURCE_SUFFIXES = {".cpp", ".hpp", ".h", ".cc", ".hh"}
+
+# --------------------------------------------------------------------------
+# Rule tables. Paths are repo-root-relative, '/'-separated prefixes.
+# --------------------------------------------------------------------------
+
+NONDET_ALLOWED = ("src/util/random", "src/comm/shared_random",
+                  "src/util/clock")
+NONDET_PATTERNS = [
+    (re.compile(r"\bstd\s*::\s*random_device\b"), "std::random_device"),
+    (re.compile(r"\bs?rand\s*\("), "rand()/srand()"),
+    (re.compile(r"\btime\s*\("), "time()"),
+    (re.compile(r"\b\w*_clock\s*::\s*now\s*\("), "<chrono> clock ::now()"),
+]
+
+METRICS_ALLOWED = ("src/clique/", "src/comm/")
+METRICS_MUTATION = re.compile(
+    r"(?:\.|->)\s*(rounds|messages|words|max_messages_in_round)\b\s*"
+    r"(?:\+\+|--|\+=|-=|\*=|/=|%=|\|=|&=|\^=|<<=|>>=|=(?!=))"
+)
+# A counter-looking field name alone is not enough (algorithm result structs
+# legitimately have .messages fields); the receiver expression must reference
+# the metrics object (metrics_, engine.metrics(), a Metrics& alias). This is
+# a heuristic: an alias without "metrics" in its name escapes the lint, but
+# the canonical access paths are all covered.
+METRICS_RECEIVER = re.compile(r"\bmetrics\b", re.IGNORECASE)
+
+TRACE_ALLOWED = ("src/clique/",)
+TRACE_MUTATION = re.compile(
+    r"(?:\.|->)\s*(record_round|record_silent|record_absorbed|open_scope|"
+    r"close_scope|bind_engine)\s*\(")
+# Same receiver heuristic as CL002: the expression must reference a trace
+# object (trace_, engine.trace(), a Trace& parameter). A look-alike method on
+# an unrelated struct does not fire. Substring match (not \b-anchored) so
+# decorated names like trace_ and phase_trace still count.
+TRACE_RECEIVER = re.compile(r"trace", re.IGNORECASE)
+
+LOAD_ALLOWED = ("src/clique/", "src/comm/")
+LOAD_MUTATION = re.compile(
+    r"(?:\.|->)\s*(bind_engine|add_sent|add_received|add_flow|"
+    r"add_broadcast|add_link|record_round|record_silent|record_absorbed|"
+    r"checkpoint)\s*\(")
+# Receiver heuristic, mirroring CL002/CL005: the expression must reference a
+# load-profile object (profile_, engine.load_profile(), a LoadProfile&
+# alias). Method names overlap CL005's record_* family on purpose — the
+# receiver regexes ("trace" vs "load|profile") disambiguate which rule a
+# given call belongs to.
+LOAD_RECEIVER = re.compile(r"load|profile", re.IGNORECASE)
+
+PACKING_ALLOWED = (
+    "src/sketch/wire",
+    # Engine-internal packed record codec: bit-packs Message structs for the
+    # delivery hot path. Unaligned fixed-width loads/stores are the whole
+    # point; the header centralizes them behind encode/decode/copy helpers.
+    "src/clique/packed_message",
+    # Vector kernel bodies: _mm256_loadu/storeu intrinsics take __m256i*,
+    # so the lane pointers are reinterpret_cast at the call site.
+    "src/sketch/sketch_kernels",
+)
+PACKING_PATTERNS = [
+    (re.compile(r"\breinterpret_cast\s*<"), "reinterpret_cast"),
+    (re.compile(r"\b(?:std\s*::\s*)?memcpy\s*\("), "memcpy"),
+]
+
+# (source-path prefixes the restriction applies to, forbidden include prefix)
+LAYERING_NO_LOWERBOUND_FROM = (
+    "src/core/", "src/lotker/", "src/kt1/", "src/baseline/", "src/sketch/",
+    "src/convert/", "src/clique/", "src/comm/", "src/graph/", "src/hash/",
+    "src/util/",
+)
+ROUND_BUFFER_HEADER = "clique/round_buffer.hpp"
+ROUND_BUFFER_ALLOWED = ("src/clique/", "src/comm/")
+
+INCLUDE_RE = re.compile(r'^\s*#\s*include\s*"([^"]+)"')
+
+
+class Violation:
+    def __init__(self, path: str, line: int, rule: str, message: str):
+        self.path = path
+        self.line = line
+        self.rule = rule
+        self.message = message
+
+    def as_dict(self) -> dict:
+        return {
+            "path": self.path,
+            "line": self.line,
+            "rule": self.rule,
+            "message": self.message,
+        }
+
+    def __str__(self) -> str:
+        return f"{self.path}:{self.line}: [{self.rule}] {self.message}"
+
+
+def strip_comments_and_strings(text: str) -> str:
+    """Blank out comments and string/char literals, preserving line structure.
+
+    Token rules must not fire on documentation ("never call rand() here") or
+    on log strings. Newlines survive so reported line numbers stay exact.
+    """
+    out = []
+    i, n = 0, len(text)
+    state = "code"  # code | line_comment | block_comment | string | char | raw
+    raw_terminator = ""
+    while i < n:
+        c = text[i]
+        nxt = text[i + 1] if i + 1 < n else ""
+        if state == "code":
+            if c == "/" and nxt == "/":
+                state = "line_comment"
+                out.append("  ")
+                i += 2
+            elif c == "/" and nxt == "*":
+                state = "block_comment"
+                out.append("  ")
+                i += 2
+            elif c == '"' and re.search(r'R\s*$', "".join(out[-2:]) or ""):
+                # raw string literal R"delim( ... )delim"
+                m = re.match(r'"([^()\s\\]{0,16})\(', text[i:])
+                if m:
+                    raw_terminator = ")" + m.group(1) + '"'
+                    state = "raw"
+                    out.append(" " * (1 + len(m.group(1)) + 1))
+                    i += 1 + len(m.group(1)) + 1
+                else:
+                    state = "string"
+                    out.append(" ")
+                    i += 1
+            elif c == '"':
+                state = "string"
+                out.append(" ")
+                i += 1
+            elif c == "'":
+                state = "char"
+                out.append(" ")
+                i += 1
+            else:
+                out.append(c)
+                i += 1
+        elif state == "line_comment":
+            if c == "\n":
+                state = "code"
+                out.append("\n")
+            else:
+                out.append(" ")
+            i += 1
+        elif state == "block_comment":
+            if c == "*" and nxt == "/":
+                state = "code"
+                out.append("  ")
+                i += 2
+            else:
+                out.append("\n" if c == "\n" else " ")
+                i += 1
+        elif state == "string":
+            if c == "\\":
+                out.append("  ")
+                i += 2
+            elif c == '"':
+                state = "code"
+                out.append(" ")
+                i += 1
+            else:
+                out.append("\n" if c == "\n" else " ")
+                i += 1
+        elif state == "char":
+            if c == "\\":
+                out.append("  ")
+                i += 2
+            elif c == "'":
+                state = "code"
+                out.append(" ")
+                i += 1
+            else:
+                out.append(" ")
+                i += 1
+        elif state == "raw":
+            if text.startswith(raw_terminator, i):
+                state = "code"
+                out.append(" " * len(raw_terminator))
+                i += len(raw_terminator)
+            else:
+                out.append("\n" if c == "\n" else " ")
+                i += 1
+    return "".join(out)
+
+
+def _under(rel: str, prefixes) -> bool:
+    return any(rel.startswith(p) for p in prefixes)
+
+
+def lint_file(rel: str, text: str) -> list[Violation]:
+    violations: list[Violation] = []
+    raw_lines = text.splitlines()
+    code_lines = strip_comments_and_strings(text).splitlines()
+
+    # CL004 works on the raw lines: include paths live inside string quotes.
+    for lineno, line in enumerate(raw_lines, 1):
+        m = INCLUDE_RE.match(line)
+        if not m:
+            continue
+        inc = m.group(1)
+        if inc.startswith("lowerbound/") and _under(
+                rel, LAYERING_NO_LOWERBOUND_FROM):
+            violations.append(Violation(
+                rel, lineno, "CL004",
+                f'layer violation: "{inc}" — lowerbound/ is a leaf layer; '
+                "algorithm and engine modules must not depend on the "
+                "adversary constructions"))
+        if inc == ROUND_BUFFER_HEADER and rel.startswith("src/") and \
+                not _under(rel, ROUND_BUFFER_ALLOWED):
+            violations.append(Violation(
+                rel, lineno, "CL004",
+                f'layer violation: "{inc}" is the engine-internal arena; '
+                "only src/clique and src/comm may include it"))
+
+    # Token rules work on comment/string-stripped code.
+    nondet_ok = _under(rel, NONDET_ALLOWED)
+    packing_ok = _under(rel, PACKING_ALLOWED)
+    metrics_ok = _under(rel, METRICS_ALLOWED)
+    trace_ok = _under(rel, TRACE_ALLOWED)
+    load_ok = _under(rel, LOAD_ALLOWED)
+    for lineno, line in enumerate(code_lines, 1):
+        if not nondet_ok:
+            for pat, what in NONDET_PATTERNS:
+                if pat.search(line):
+                    violations.append(Violation(
+                        rel, lineno, "CL001",
+                        f"nondeterminism source {what}: draw randomness via "
+                        "util/random (local) or comm/shared_random (shared) "
+                        "so seeded runs stay bit-identical"))
+        if not metrics_ok:
+            m = METRICS_MUTATION.search(line)
+            if m and METRICS_RECEIVER.search(line[:m.end()]):
+                violations.append(Violation(
+                    rel, lineno, "CL002",
+                    f"Metrics field '{m.group(1)}' mutated outside "
+                    "src/clique|src/comm: algorithms observe the engine's "
+                    "accounting, they do not write it"))
+        if not trace_ok:
+            m = TRACE_MUTATION.search(line)
+            if m and TRACE_RECEIVER.search(line[:m.end()]):
+                violations.append(Violation(
+                    rel, lineno, "CL005",
+                    f"Trace method '{m.group(1)}' called outside src/clique: "
+                    "algorithm modules attribute cost through RAII "
+                    "TraceScope objects, never by writing trace records "
+                    "directly"))
+        if not load_ok:
+            m = LOAD_MUTATION.search(line)
+            if m and LOAD_RECEIVER.search(line[:m.end()]):
+                violations.append(Violation(
+                    rel, lineno, "CL006",
+                    f"LoadProfile method '{m.group(1)}' called outside "
+                    "src/clique|src/comm: algorithm modules attribute load "
+                    "through CliqueEngine::attribute_load / "
+                    "attribute_broadcast, never by writing the profile "
+                    "directly"))
+        if not packing_ok:
+            for pat, what in PACKING_PATTERNS:
+                if pat.search(line):
+                    violations.append(Violation(
+                        rel, lineno, "CL003",
+                        f"raw payload packing ({what}) outside "
+                        "src/sketch/wire: route byte-level encoding through "
+                        "the audited wire module"))
+    return violations
+
+
+def collect_files(root: Path, paths: list[str]) -> list[Path]:
+    files: list[Path] = []
+    for p in paths:
+        full = (root / p).resolve() if not Path(p).is_absolute() else Path(p)
+        if full.is_dir():
+            files.extend(sorted(
+                f for f in full.rglob("*") if f.suffix in SOURCE_SUFFIXES))
+        elif full.is_file():
+            files.append(full)
+        else:
+            print(f"cliquelint: no such path: {p}", file=sys.stderr)
+            sys.exit(2)
+    return files
+
+
+def main(argv: list[str]) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("paths", nargs="*", default=None,
+                        help="files or directories to scan (default: src)")
+    parser.add_argument("--root", type=Path,
+                        default=Path(__file__).resolve().parents[2],
+                        help="repository root used to resolve rule paths")
+    parser.add_argument("--json", type=Path, default=None, metavar="FILE",
+                        help="write a JSON report to FILE")
+    parser.add_argument("--expect", default=None, metavar="RULE",
+                        help="fixture mode: succeed iff the scan finds >=1 "
+                             "violation and all violations are of RULE")
+    args = parser.parse_args(argv)
+
+    root = args.root.resolve()
+    files = collect_files(root, args.paths or ["src"])
+
+    violations: list[Violation] = []
+    for f in files:
+        try:
+            rel = f.resolve().relative_to(root).as_posix()
+        except ValueError:
+            rel = f.as_posix()
+        violations.extend(lint_file(rel, f.read_text(encoding="utf-8")))
+
+    for v in violations:
+        print(v)
+
+    if args.json:
+        report = {
+            "tool": "cliquelint",
+            "root": str(root),
+            "files_scanned": len(files),
+            "violations": [v.as_dict() for v in violations],
+            "clean": not violations,
+        }
+        args.json.write_text(json.dumps(report, indent=2) + "\n",
+                             encoding="utf-8")
+
+    if args.expect is not None:
+        rules_found = {v.rule for v in violations}
+        if rules_found == {args.expect}:
+            print(f"cliquelint: seeded violation of {args.expect} caught "
+                  f"({len(violations)} finding(s)) — rule is live")
+            return 0
+        print(f"cliquelint: FIXTURE FAILURE: expected only {args.expect}, "
+              f"found {sorted(rules_found) or 'nothing'}", file=sys.stderr)
+        return 1
+
+    if violations:
+        print(f"cliquelint: {len(violations)} violation(s) in "
+              f"{len(files)} file(s)", file=sys.stderr)
+        return 1
+    print(f"cliquelint: {len(files)} file(s) clean")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv[1:]))

@@ -1,0 +1,16 @@
+// Seeded CL002 violation through an aliased receiver: the counters are
+// mutated via an `auto&` bound to engine.metrics(), so no "metrics" token
+// appears on the mutation lines. Receiver-type resolution still sees
+// Metrics.
+#include "clique/engine.hpp"
+
+namespace ccq {
+
+void cook_the_books_quietly(CliqueEngine& engine) {
+  auto& m = engine.metrics();
+  m.rounds += 2;
+  m.messages = 0;
+  m.words -= 7;
+}
+
+}  // namespace ccq

@@ -1,0 +1,16 @@
+// Seeded CL005 violation through a tersely named pointer: `t` carries no
+// "trace" substring, defeating the regex receiver heuristic. The declared
+// type Trace* resolves regardless of spelling.
+#include "clique/engine.hpp"
+
+namespace ccq {
+
+void scribble_on_the_trace(CliqueEngine& engine) {
+  Trace* t = engine.trace();
+  if (t != nullptr) {
+    t->record_round(3);
+    t->record_silent(1);
+  }
+}
+
+}  // namespace ccq

@@ -1,0 +1,14 @@
+// Seeded CL006 violation through `auto*`: the profile pointer is named
+// `p`, so the regex receiver heuristic (load|profile) never fires; the
+// initializer type engine.load_profile() -> LoadProfile* resolves it.
+#include "clique/engine.hpp"
+
+namespace ccq {
+
+void charge_directly(CliqueEngine& engine) {
+  auto* p = engine.load_profile();
+  p->add_sent(1, 2);
+  p->add_received(2, 1);
+}
+
+}  // namespace ccq

@@ -1,0 +1,21 @@
+// Seeded CL007 violation: ordered accumulation (push_back into a vector
+// declared outside the loop) from unordered iteration. The vector's element
+// order — hence everything downstream that consumes it positionally —
+// inherits hash-order nondeterminism.
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "graph/graph.hpp"
+
+namespace ccq {
+
+void collect_heavy_components(
+    const std::unordered_map<VertexId, std::uint64_t>& component_size,
+    std::vector<std::uint64_t>& heavy) {
+  for (const auto& [leader, size] : component_size) {
+    if (size > 1) heavy.push_back(size);
+  }
+}
+
+}  // namespace ccq

@@ -1,0 +1,22 @@
+// Seeded CL007 violation: hash-order iteration drives Outbox::send and the
+// engine's observe/attribute accounting. The message *set* is right but the
+// emission order follows std::unordered_map, so bit-identical replay and
+// observer sequences break across libstdc++ versions or seeds.
+#include <cstdint>
+#include <unordered_map>
+
+#include "clique/engine.hpp"
+#include "clique/message.hpp"
+
+namespace ccq {
+
+void broadcast_labels(
+    CliqueEngine& engine, Outbox& outbox,
+    const std::unordered_map<VertexId, std::uint64_t>& next_label) {
+  for (const auto& [v, label] : next_label) {
+    outbox.send(v, msg1(7, label));
+    engine.observe(0, v);
+  }
+}
+
+}  // namespace ccq

@@ -1,0 +1,31 @@
+// Seeded CL008 violations: payloads statically wider than the O(log n)-bit
+// model word reaching the send path — a raw struct handed to Outbox::send,
+// a double and an __int128 stuffed into msg1() words. Hegeman et al.
+// (PODC'15 Section 1.2) charge bandwidth per O(log n)-bit word; anything
+// wider must go through the audited sketch/wire or packed_message codecs.
+#include <cstdint>
+
+#include "clique/engine.hpp"
+#include "clique/message.hpp"
+
+namespace ccq {
+
+struct EdgeBlob {
+  std::uint64_t u;
+  std::uint64_t v;
+  std::uint64_t w;
+  double quality;
+};
+
+void leak_wide_payloads(Outbox& outbox) {
+  EdgeBlob blob{1, 2, 3, 0.5};
+  outbox.send(4, blob);
+
+  double average_weight = 2.5;
+  outbox.send(5, msg1(9, average_weight));
+
+  __int128 wide_accumulator = 1;
+  outbox.send(6, msg1(10, wide_accumulator));
+}
+
+}  // namespace ccq

@@ -1,0 +1,21 @@
+// Seeded CL009 violations: unnamed RAII temporaries. Each object is
+// destroyed at the end of its full-expression, so the "guarded" region is
+// empty — the trace scope closes instantly and the mutex is released
+// before the critical section begins.
+#include <mutex>
+
+#include "clique/engine.hpp"
+#include "clique/trace.hpp"
+
+namespace ccq {
+
+std::mutex g_mu;
+
+void guard_nothing(CliqueEngine& engine) {
+  TraceScope(engine, "phase-1");
+  TraceScope{engine, "phase-2"};
+  std::lock_guard<std::mutex>(g_mu);
+  std::scoped_lock{g_mu};
+}
+
+}  // namespace ccq

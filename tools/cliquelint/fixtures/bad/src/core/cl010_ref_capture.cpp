@@ -1,0 +1,26 @@
+// Seeded CL010 violations: lambdas submitted to ThreadPool::run from
+// inside a loop while capturing loop-local state by reference — both via a
+// blanket [&] and via an explicit &offset. The task may run after the
+// iteration has moved on (or the variable is dead), reading garbage.
+#include <cstdint>
+#include <vector>
+
+#include "util/thread_pool.hpp"
+
+namespace ccq {
+
+void schedule_blocks(ThreadPool& pool, std::vector<std::uint64_t>& results) {
+  for (unsigned block = 0; block < 8; ++block) {
+    std::uint64_t offset = block * 64ull;
+    pool.run(4, [&](unsigned lane) { results[offset + lane] += 1; });
+  }
+}
+
+void schedule_explicit(ThreadPool& pool, std::vector<std::uint64_t>& out) {
+  for (unsigned round = 0; round < 4; ++round) {
+    std::uint64_t base = round * 16ull;
+    pool.run(2, [&base, &out](unsigned lane) { out[base + lane] = lane; });
+  }
+}
+
+}  // namespace ccq

@@ -1,0 +1,12 @@
+// Seeded CL004 violation (with cycle_b.hpp): an include cycle. The regex
+// engine checked individual include lines against prefix rules; only the
+// resolved include graph can see that these two headers depend on each
+// other.
+#pragma once
+#include "core/cycle_b.hpp"
+
+namespace ccq {
+struct CycleA {
+  int a = 0;
+};
+}  // namespace ccq

@@ -1,0 +1,9 @@
+// Second half of the seeded include cycle; see cycle_a.hpp.
+#pragma once
+#include "core/cycle_a.hpp"
+
+namespace ccq {
+struct CycleB {
+  int b = 0;
+};
+}  // namespace ccq

@@ -1,0 +1,39 @@
+// CL007 false-positive guards: every legal pattern near the rule's edge.
+//   - std::map iteration feeding sends: ordered, deterministic, legal.
+//   - pure min-reduction over an unordered map: order-independent, legal.
+//   - keyed insertion into an associative container from unordered
+//     iteration: result is order-independent, legal.
+#include <cstdint>
+#include <map>
+#include <unordered_map>
+
+#include "clique/engine.hpp"
+#include "clique/message.hpp"
+
+namespace ccq {
+
+void ordered_broadcast(CliqueEngine& engine, Outbox& outbox,
+                       const std::map<VertexId, std::uint64_t>& next_label) {
+  for (const auto& [v, label] : next_label) {
+    outbox.send(v, msg1(7, label));
+    engine.observe(0, v);
+  }
+}
+
+std::uint64_t min_component_size(
+    const std::unordered_map<VertexId, std::uint64_t>& component_size) {
+  std::uint64_t best = ~0ull;
+  for (const auto& [leader, size] : component_size) {
+    if (size < best) best = size;
+  }
+  return best;
+}
+
+void invert_labels(const std::unordered_map<VertexId, VertexId>& label,
+                   std::map<VertexId, VertexId>& inverse) {
+  for (const auto& [v, leader] : label) {
+    inverse.insert_or_assign(leader, v);
+  }
+}
+
+}  // namespace ccq

@@ -1,0 +1,20 @@
+// CL008 false-positive guards: the sanctioned payload shapes. Model words
+// (uint64/uint32/VertexId) through the msg0..msg4 builders, and a built
+// Message handed to Outbox::send — the audited wire unit.
+#include <cstdint>
+
+#include "clique/engine.hpp"
+#include "clique/message.hpp"
+
+namespace ccq {
+
+void send_model_words(Outbox& outbox, VertexId dst) {
+  std::uint64_t weight = 42;
+  std::uint32_t tag = 3;
+  outbox.send(dst, msg2(tag, dst, weight));
+
+  Message m = msg3(4, 1, 2, 3);
+  outbox.send(dst, m);
+}
+
+}  // namespace ccq

@@ -1,0 +1,20 @@
+// CL009 false-positive guards: *named* RAII objects (the correct idiom)
+// and unnamed temporaries of non-RAII types (plain constructor calls),
+// neither of which may fire.
+#include <mutex>
+#include <string>
+
+#include "clique/engine.hpp"
+#include "clique/trace.hpp"
+
+namespace ccq {
+
+std::mutex g_mu;
+
+void guard_properly(CliqueEngine& engine) {
+  TraceScope phase{engine, "phase-1"};
+  std::lock_guard<std::mutex> lock(g_mu);
+  std::string("not RAII, just a discarded temporary");
+}
+
+}  // namespace ccq

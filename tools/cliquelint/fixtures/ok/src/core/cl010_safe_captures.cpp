@@ -1,0 +1,37 @@
+// CL010 false-positive guards:
+//   - loop-local state captured BY VALUE into a pool task: safe.
+//   - by-reference capture of function-scope (not loop-local) state: safe.
+//   - by-reference capture of loop-locals in a lambda that is invoked
+//     inline, never submitted to the pool: safe.
+#include <cstdint>
+#include <vector>
+
+#include "util/thread_pool.hpp"
+
+namespace ccq {
+
+void schedule_by_value(ThreadPool& pool,
+                       std::vector<std::uint64_t>& results) {
+  for (unsigned block = 0; block < 8; ++block) {
+    const std::uint64_t offset = block * 64ull;
+    pool.run(4, [&results, offset](unsigned lane) {
+      results[offset + lane] += 1;
+    });
+  }
+}
+
+void fan_out_once(ThreadPool& pool, std::vector<std::uint64_t>& data) {
+  std::uint64_t base = 7;
+  pool.run(4, [&](unsigned lane) { data[lane] = base + lane; });
+}
+
+std::uint64_t sum_inline(const std::vector<std::uint64_t>& xs) {
+  std::uint64_t total = 0;
+  for (unsigned i = 0; i < 4; ++i) {
+    auto add = [&](std::uint64_t x) { total += x; };
+    add(xs[i]);
+  }
+  return total;
+}
+
+}  // namespace ccq
