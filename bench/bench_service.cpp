@@ -1,0 +1,264 @@
+// bench_service: the streaming ConnectivityService under load.
+//
+// Four tables:
+//   1. Deterministic churn-ingest counters + engine-mode recompute cost
+//      (rounds/messages are exact model quantities -> GENERATED block in
+//      EXPERIMENTS.md, byte-identical run-to-run).
+//   2. Cold vs warm ingest throughput: first sight of a coordinate pays the
+//      k-wise hash + field::pow signature computation; warm updates replay
+//      cached signatures through the SoA lanes (docs/SERVICE.md).
+//   3. Query latency (p50/p99/max) from two query threads racing a mutator
+//      thread -- the serving scenario, local index mode.
+//   4. Snapshot serialize/restore round-trip size and timing.
+//
+// Self-checks (loud, nonzero exit): serial (threads=1) and parallel
+// (threads=4) ingest of the same stream produce byte-identical snapshots,
+// snapshot round-trips are byte-identical, and the warm ingest path
+// sustains >= 1M edge-updates/sec at some measured size.
+#include <algorithm>
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <span>
+#include <thread>
+#include <unordered_set>
+#include <vector>
+
+#include "bench_util.hpp"
+#include "service/connectivity_service.hpp"
+#include "util/clock.hpp"
+#include "util/random.hpp"
+
+namespace {
+
+using namespace ccq;
+
+/// Distinct random edges on n vertices (canonical u < v), seeded.
+std::vector<EdgeUpdate> random_edge_set(std::uint32_t n, std::size_t count,
+                                        std::uint64_t seed, EdgeOp op) {
+  Rng rng{seed};
+  std::unordered_set<std::uint64_t> seen;
+  std::vector<EdgeUpdate> out;
+  out.reserve(count);
+  while (out.size() < count) {
+    const auto u = static_cast<VertexId>(rng.next_below(n));
+    const auto v = static_cast<VertexId>(rng.next_below(n));
+    if (u == v) continue;
+    const VertexId lo = std::min(u, v), hi = std::max(u, v);
+    if (!seen.insert(std::uint64_t{lo} * n + hi).second) continue;
+    out.push_back({lo, hi, op});
+  }
+  return out;
+}
+
+std::vector<EdgeUpdate> with_op(std::vector<EdgeUpdate> updates, EdgeOp op) {
+  for (EdgeUpdate& u : updates) u.op = op;
+  return updates;
+}
+
+void apply_stream(ConnectivityService& service,
+                  std::span<const EdgeUpdate> updates, std::size_t batch) {
+  std::size_t at = 0;
+  while (at < updates.size()) {
+    const std::size_t take = std::min(batch, updates.size() - at);
+    service.apply_batch(updates.subspan(at, take));
+    at += take;
+  }
+}
+
+/// Table 1: deterministic churn counters + engine recompute accounting.
+void table_churn_ingest() {
+  bench::Table table{"streaming churn ingest, engine-mode recompute",
+                     {"n", "updates", "live edges", "components",
+                      "boruvka rounds", "engine rounds", "engine messages"}};
+  for (const std::uint32_t n : {64u, 128u, 256u}) {
+    ServiceConfig config;
+    config.n = n;
+    config.tuning.index_mode = IndexMode::kEngine;
+    ConnectivityService service{config};
+    const EdgeStream stream = generate_churn_stream(n, 4 * n, 4 * n, 7);
+    apply_stream(service, stream.updates, 1024);
+    const std::uint64_t rounds_before = service.metrics().rounds;
+    const std::uint64_t messages_before = service.metrics().messages;
+    const std::uint32_t components = service.num_components();
+    const ServiceStats stats = service.stats();
+    bench::expect(stats.monte_carlo_ok,
+                  "churn recompute exhausted its sketch copies");
+    table.row({bench::fmt(n), bench::fmt(stats.updates),
+               bench::fmt(stats.live_edges), bench::fmt(components),
+               bench::fmt(stats.boruvka_rounds),
+               bench::fmt(service.metrics().rounds - rounds_before),
+               bench::fmt(service.metrics().messages - messages_before)});
+  }
+  table.print();
+}
+
+/// Table 2: cold vs warm ingest throughput (wall clock; NOT generated).
+void table_ingest_throughput() {
+  bench::Table table{"ingest throughput: cold (signature build) vs warm "
+                     "(cached signatures), batch=8192",
+                     {"n", "working set", "cold updates/s", "warm updates/s",
+                      "sig cache entries"}};
+  double best_warm = 0.0;
+  for (const std::uint32_t n : {128u, 256u, 512u}) {
+    ServiceConfig config;
+    config.n = n;
+    config.tuning.index_mode = IndexMode::kLocal;
+    ConnectivityService service{config};
+    // Cap the working set at half the edge universe so the distinct-edge
+    // sampler always terminates (n=128 has only 8128 possible edges).
+    const std::size_t working = std::min<std::size_t>(
+        8192, std::uint64_t{n} * (n - 1) / 4);
+    const std::vector<EdgeUpdate> inserts =
+        random_edge_set(n, working, 1234, EdgeOp::kInsert);
+    const std::vector<EdgeUpdate> deletes = with_op(inserts, EdgeOp::kDelete);
+
+    const std::uint64_t t0 = monotonic_ns();
+    apply_stream(service, inserts, 8192);
+    const std::uint64_t t1 = monotonic_ns();
+    const double cold_rate =
+        static_cast<double>(working) * 1e9 / static_cast<double>(t1 - t0);
+
+    // Warm: alternate full-delete / full-reinsert batches of the same
+    // working set. Alternating keeps insert/delete pairs in *separate*
+    // batches so nothing cancels in the netting pre-pass -- every update
+    // does real lane work through its cached signature.
+    const std::size_t rounds = 8;
+    const std::uint64_t t2 = monotonic_ns();
+    for (std::size_t r = 0; r < rounds; ++r) {
+      apply_stream(service, deletes, 8192);
+      apply_stream(service, inserts, 8192);
+    }
+    const std::uint64_t t3 = monotonic_ns();
+    const double warm_updates = static_cast<double>(2 * rounds * working);
+    const double warm_rate = warm_updates * 1e9 / static_cast<double>(t3 - t2);
+    best_warm = std::max(best_warm, warm_rate);
+
+    const ServiceStats stats = service.stats();
+    table.row({bench::fmt(n), bench::fmt(std::uint64_t{working}),
+               bench::fmt_double(cold_rate, 0), bench::fmt_double(warm_rate, 0),
+               bench::fmt(stats.sig_cache_entries)});
+    bench::expect(stats.sig_cache_misses == working,
+                  "warm batches recomputed signatures that should be cached");
+  }
+  table.print();
+  bench::expect(best_warm >= 1e6,
+                "warm ingest fell below 1M edge-updates/sec");
+}
+
+/// Table 3: query latency under concurrent ingest (wall clock).
+void table_query_latency() {
+  const std::uint32_t n = 256;
+  ServiceConfig config;
+  config.n = n;
+  config.tuning.index_mode = IndexMode::kLocal;
+  ConnectivityService service{config};
+
+  const std::size_t working = 2048;
+  const std::vector<EdgeUpdate> inserts =
+      random_edge_set(n, working, 99, EdgeOp::kInsert);
+  const std::vector<EdgeUpdate> deletes = with_op(inserts, EdgeOp::kDelete);
+  service.apply_batch(inserts);
+  (void)service.num_components();  // index warm before the race starts
+
+  std::atomic<bool> done{false};
+  const int kQueryThreads = 2;
+  std::vector<std::vector<std::uint64_t>> lat(kQueryThreads);
+  std::vector<std::thread> queriers;
+  queriers.reserve(kQueryThreads);
+  for (int q = 0; q < kQueryThreads; ++q) {
+    queriers.emplace_back([&, q] {
+      Rng rng{static_cast<std::uint64_t>(1000 + q)};
+      while (!done.load(std::memory_order_relaxed)) {
+        const auto u = static_cast<VertexId>(rng.next_below(n));
+        const auto v = static_cast<VertexId>(rng.next_below(n));
+        if (u == v) continue;
+        const std::uint64_t a = monotonic_ns();
+        (void)service.connected(u, v);
+        const std::uint64_t b = monotonic_ns();
+        lat[static_cast<std::size_t>(q)].push_back(b - a);
+      }
+    });
+  }
+
+  const std::size_t mutator_batches = 48;
+  const std::uint64_t m0 = monotonic_ns();
+  for (std::size_t r = 0; r < mutator_batches; ++r)
+    service.apply_batch(r % 2 == 0 ? deletes : inserts);
+  const std::uint64_t m1 = monotonic_ns();
+  done.store(true, std::memory_order_relaxed);
+  for (std::thread& t : queriers) t.join();
+
+  std::vector<std::uint64_t> all;
+  for (const auto& v : lat) all.insert(all.end(), v.begin(), v.end());
+  bench::expect(!all.empty(), "query threads recorded no latencies");
+  std::sort(all.begin(), all.end());
+  const auto pct = [&](int p) {
+    return all[(all.size() - 1) * static_cast<std::size_t>(p) / 100];
+  };
+  const double ingest_rate = static_cast<double>(mutator_batches * working) *
+                             1e9 / static_cast<double>(m1 - m0);
+
+  bench::Table table{"connected(u,v) latency under concurrent ingest "
+                     "(n=256, local index, 2 query threads)",
+                     {"queries", "p50 us", "p99 us", "max us",
+                      "concurrent ingest updates/s"}};
+  table.row({bench::fmt(std::uint64_t{all.size()}),
+             bench::fmt_double(static_cast<double>(pct(50)) / 1e3, 1),
+             bench::fmt_double(static_cast<double>(pct(99)) / 1e3, 1),
+             bench::fmt_double(static_cast<double>(all.back()) / 1e3, 1),
+             bench::fmt_double(ingest_rate, 0)});
+  table.print();
+}
+
+/// Table 4 + self-checks: snapshot round-trip and ingest determinism.
+void table_snapshot() {
+  const std::uint32_t n = 128;
+  const EdgeStream stream = generate_churn_stream(n, 1024, 1024, 5);
+
+  // Serial vs parallel ingest of the same stream: byte-identical state.
+  ServiceConfig serial_config;
+  serial_config.n = n;
+  serial_config.tuning.threads = 1;
+  ConnectivityService serial{serial_config};
+  ServiceConfig parallel_config = serial_config;
+  parallel_config.tuning.threads = 4;
+  ConnectivityService parallel{parallel_config};
+  apply_stream(serial, stream.updates, 512);
+  apply_stream(parallel, stream.updates, 512);
+  bench::expect(serial.component_labels() == parallel.component_labels(),
+                "serial and parallel ingest disagree on components");
+  const std::vector<std::uint8_t> bytes = serial.serialize();
+  bench::expect(bytes == parallel.serialize(),
+                "serial and parallel ingest produced different snapshots");
+
+  // Round trip: restore and re-serialize, byte-identical.
+  const std::uint64_t t0 = monotonic_ns();
+  const std::unique_ptr<ConnectivityService> restored =
+      ConnectivityService::restore(bytes);
+  const std::uint64_t t1 = monotonic_ns();
+  bench::expect(restored->serialize() == bytes,
+                "snapshot round-trip is not byte-identical");
+  bench::expect(restored->num_components() == serial.num_components(),
+                "restored service disagrees on component count");
+
+  bench::Table table{"snapshot round-trip (n=128 after churn)",
+                     {"snapshot bytes", "live edges", "components",
+                      "restore ms"}};
+  table.row({bench::fmt(std::uint64_t{bytes.size()}),
+             bench::fmt(serial.stats().live_edges),
+             bench::fmt(std::uint64_t{serial.num_components()}),
+             bench::fmt_double(static_cast<double>(t1 - t0) / 1e6, 2)});
+  table.print();
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  ccq::bench::init(argc, argv, "bench_service");
+  table_churn_ingest();
+  table_ingest_throughput();
+  table_query_latency();
+  table_snapshot();
+  return 0;
+}

@@ -19,9 +19,9 @@ Checks, over `git ls-files` (the committed view, not the working tree):
      first 8 KiB. Text formats the repo legitimately commits (source, docs,
      JSON baselines, NDJSON fixtures) never trip this.
 
-An allowlist exists for deliberate binary assets (e.g. a future committed
-graph corpus); entries are repo-relative paths in ALLOWED_BINARIES with a
-justification comment. It is empty today.
+An allowlist exists for deliberate binary assets; entries are repo-relative
+paths in ALLOWED_BINARIES with a justification comment. Today it holds one
+file: the golden service-snapshot fixture tests/service_test.cpp pins.
 
 Exit 0 when clean, 1 with a per-file report otherwise.
 """
@@ -37,7 +37,12 @@ REPO = Path(__file__).resolve().parents[1]
 
 # Deliberately committed binary files (repo-relative). Add a path here only
 # with a comment saying what it is and why it must be binary.
-ALLOWED_BINARIES: set[str] = set()
+ALLOWED_BINARIES: set[str] = {
+    # Golden CCQSNAP1 snapshot fixture: tests/service_test.cpp restores it
+    # to pin cross-build snapshot compatibility (docs/SERVICE.md, "Snapshot
+    # format"). Regenerate with the command in that test's comment.
+    "tests/data/golden_service.snap",
+}
 
 BUILD_DIR_RE = re.compile(r"(^|/)build[^/]*/")
 

@@ -1,0 +1,137 @@
+// Little-endian byte codecs for the service's durable formats (snapshots,
+// edge streams).
+//
+// Everything the service persists goes through these two helpers so the
+// on-disk formats are byte-deterministic and platform-independent: fields
+// are written as explicit little-endian byte shifts (no reinterpret_cast /
+// memcpy — those stay confined to the audited wire codecs, cliquelint
+// CL003), signed lanes travel as two's-complement 64-bit words, and every
+// file ends in a FNV-1a checksum of the preceding bytes so truncation and
+// bit rot fail loudly at read time instead of corrupting sketch state.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "service/service_error.hpp"
+
+namespace ccq {
+
+/// FNV-1a 64-bit hash of a byte range (the trailing-checksum primitive).
+inline std::uint64_t fnv1a(std::span<const std::uint8_t> bytes) {
+  std::uint64_t h = 14695981039346656037ULL;
+  for (std::uint8_t b : bytes) {
+    h ^= b;
+    h *= 1099511628211ULL;
+  }
+  return h;
+}
+
+/// Append-only little-endian byte sink.
+class ByteWriter {
+ public:
+  void put_u8(std::uint8_t v) { out_.push_back(v); }
+
+  void put_u32(std::uint32_t v) {
+    for (int i = 0; i < 4; ++i)
+      out_.push_back(static_cast<std::uint8_t>(v >> (8 * i)));
+  }
+
+  void put_u64(std::uint64_t v) {
+    for (int i = 0; i < 8; ++i)
+      out_.push_back(static_cast<std::uint8_t>(v >> (8 * i)));
+  }
+
+  void put_i64(std::int64_t v) { put_u64(static_cast<std::uint64_t>(v)); }
+
+  void put_u64_span(std::span<const std::uint64_t> words) {
+    for (std::uint64_t w : words) put_u64(w);
+  }
+
+  void put_i64_span(std::span<const std::int64_t> words) {
+    for (std::int64_t w : words) put_i64(w);
+  }
+
+  /// Append the FNV-1a checksum of everything written so far.
+  void put_checksum() { put_u64(fnv1a(out_)); }
+
+  std::size_t size() const { return out_.size(); }
+  const std::vector<std::uint8_t>& bytes() const { return out_; }
+  std::vector<std::uint8_t> take() { return std::move(out_); }
+
+ private:
+  std::vector<std::uint8_t> out_;
+};
+
+/// Checked little-endian reader over a byte buffer. Reads past the end
+/// throw ServiceError naming the format (`label`), so a truncated file is
+/// an actionable error rather than UB.
+class ByteReader {
+ public:
+  ByteReader(std::span<const std::uint8_t> bytes, std::string label)
+      : bytes_(bytes), label_(std::move(label)) {}
+
+  std::uint8_t get_u8() {
+    need(1);
+    return bytes_[pos_++];
+  }
+
+  std::uint32_t get_u32() {
+    need(4);
+    std::uint32_t v = 0;
+    for (int i = 0; i < 4; ++i)
+      v |= static_cast<std::uint32_t>(bytes_[pos_++]) << (8 * i);
+    return v;
+  }
+
+  std::uint64_t get_u64() {
+    need(8);
+    std::uint64_t v = 0;
+    for (int i = 0; i < 8; ++i)
+      v |= static_cast<std::uint64_t>(bytes_[pos_++]) << (8 * i);
+    return v;
+  }
+
+  std::int64_t get_i64() { return static_cast<std::int64_t>(get_u64()); }
+
+  void get_u64_into(std::span<std::uint64_t> words) {
+    for (std::uint64_t& w : words) w = get_u64();
+  }
+
+  void get_i64_into(std::span<std::int64_t> words) {
+    for (std::int64_t& w : words) w = get_i64();
+  }
+
+  /// Verify the trailing checksum covers [0, pos) and consume it.
+  void check_trailing_checksum() {
+    const std::uint64_t expect = fnv1a(bytes_.subspan(0, pos_));
+    const std::uint64_t got = get_u64();
+    if (got != expect)
+      throw ServiceError(label_ + ": checksum mismatch (file corrupt or "
+                         "truncated mid-write)");
+  }
+
+  std::size_t pos() const { return pos_; }
+  std::size_t remaining() const { return bytes_.size() - pos_; }
+
+  void expect_end() const {
+    if (pos_ != bytes_.size())
+      throw ServiceError(label_ + ": trailing bytes after payload");
+  }
+
+ private:
+  void need(std::size_t count) const {
+    if (bytes_.size() - pos_ < count)
+      throw ServiceError(label_ + ": truncated (wanted " +
+                         std::to_string(count) + " more bytes at offset " +
+                         std::to_string(pos_) + ")");
+  }
+
+  std::span<const std::uint8_t> bytes_;
+  std::string label_;
+  std::size_t pos_{0};
+};
+
+}  // namespace ccq

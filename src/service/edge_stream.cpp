@@ -1,0 +1,141 @@
+#include "service/edge_stream.hpp"
+
+#include <fstream>
+#include <unordered_set>
+
+#include "service/binary_io.hpp"
+#include "util/random.hpp"
+
+namespace ccq {
+
+namespace {
+
+// "CCQSTRM1" as a little-endian u64.
+constexpr std::uint64_t kStreamMagic = 0x314D525453514343ULL;
+constexpr std::size_t kRecordBytes = 9;  // u32 + u32 + u8
+
+std::string bytes_to_chars(std::span<const std::uint8_t> bytes) {
+  std::string s(bytes.size(), '\0');
+  for (std::size_t i = 0; i < bytes.size(); ++i)
+    s[i] = static_cast<char>(bytes[i]);
+  return s;
+}
+
+std::vector<std::uint8_t> chars_to_bytes(const std::string& s) {
+  std::vector<std::uint8_t> bytes(s.size());
+  for (std::size_t i = 0; i < s.size(); ++i)
+    bytes[i] = static_cast<std::uint8_t>(s[i]);
+  return bytes;
+}
+
+}  // namespace
+
+std::vector<std::uint8_t> encode_edge_stream(const EdgeStream& stream) {
+  ByteWriter w;
+  w.put_u64(kStreamMagic);
+  w.put_u32(kEdgeStreamVersion);
+  w.put_u32(stream.n);
+  w.put_u64(stream.updates.size());
+  for (const EdgeUpdate& up : stream.updates) {
+    w.put_u32(up.u);
+    w.put_u32(up.v);
+    w.put_u8(static_cast<std::uint8_t>(up.op));
+  }
+  w.put_checksum();
+  return w.take();
+}
+
+EdgeStream decode_edge_stream(std::span<const std::uint8_t> bytes) {
+  ByteReader r{bytes, "edge stream"};
+  if (r.get_u64() != kStreamMagic)
+    throw ServiceError("edge stream: bad magic (not a CCQSTRM1 file)");
+  const std::uint32_t version = r.get_u32();
+  if (version != kEdgeStreamVersion)
+    throw ServiceError(
+        "edge stream: unsupported version " + std::to_string(version) +
+        " (this build reads version " + std::to_string(kEdgeStreamVersion) +
+        "; regenerate with tools/stream/gen_stream)");
+  EdgeStream out;
+  out.n = r.get_u32();
+  if (out.n == 0) throw ServiceError("edge stream: empty vertex universe");
+  const std::uint64_t count = r.get_u64();
+  if (count * kRecordBytes + 8 > r.remaining())
+    throw ServiceError("edge stream: record count exceeds file size");
+  out.updates.reserve(count);
+  for (std::uint64_t i = 0; i < count; ++i) {
+    EdgeUpdate up;
+    up.u = r.get_u32();
+    up.v = r.get_u32();
+    const std::uint8_t op = r.get_u8();
+    if (op > 1)
+      throw ServiceError("edge stream: bad op byte at record " +
+                         std::to_string(i));
+    up.op = static_cast<EdgeOp>(op);
+    out.updates.push_back(up);
+  }
+  r.check_trailing_checksum();
+  r.expect_end();
+  return out;
+}
+
+void write_edge_stream_file(const std::string& path, const EdgeStream& s) {
+  const auto bytes = encode_edge_stream(s);
+  std::ofstream file{path, std::ios::binary | std::ios::trunc};
+  if (!file) throw ServiceError("edge stream: cannot open for write: " + path);
+  file << bytes_to_chars(bytes);
+  if (!file) throw ServiceError("edge stream: write failed: " + path);
+}
+
+EdgeStream read_edge_stream_file(const std::string& path) {
+  std::ifstream file{path, std::ios::binary};
+  if (!file) throw ServiceError("edge stream: cannot open: " + path);
+  std::string contents{std::istreambuf_iterator<char>(file),
+                       std::istreambuf_iterator<char>()};
+  return decode_edge_stream(chars_to_bytes(contents));
+}
+
+EdgeStream generate_churn_stream(std::uint32_t n, std::size_t initial,
+                                 std::size_t churn, std::uint64_t seed) {
+  if (n < 2) throw ServiceError("generate_churn_stream: need n >= 2");
+  Rng rng{seed};
+  EdgeStream out;
+  out.n = n;
+  out.updates.reserve(initial + 2 * churn);
+  std::vector<std::uint64_t> live;          // edge keys, insertion order
+  std::unordered_set<std::uint64_t> member; // same keys, for O(1) lookup
+  const std::size_t max_edges =
+      static_cast<std::size_t>(n) * (n - 1) / 2;
+  const auto draw_fresh = [&]() -> Edge {
+    for (;;) {
+      const auto a = static_cast<VertexId>(rng.next_below(n));
+      const auto b = static_cast<VertexId>(rng.next_below(n));
+      if (a == b) continue;
+      const Edge e{a, b};
+      if (!member.contains(edge_index(e.u, e.v, n))) return e;
+    }
+  };
+  const auto insert_fresh = [&]() {
+    const Edge e = draw_fresh();
+    const std::uint64_t key = edge_index(e.u, e.v, n);
+    live.push_back(key);
+    member.insert(key);
+    out.updates.push_back({e.u, e.v, EdgeOp::kInsert});
+  };
+  for (std::size_t i = 0; i < initial && live.size() < max_edges; ++i)
+    insert_fresh();
+  for (std::size_t i = 0; i < churn; ++i) {
+    if (!live.empty()) {
+      const std::size_t pick = rng.next_below(live.size());
+      const std::uint64_t key = live[pick];
+      live[pick] = live.back();
+      live.pop_back();
+      member.erase(key);
+      const Edge e = edge_from_index(key, n);
+      out.updates.push_back({e.u, e.v, EdgeOp::kDelete});
+    }
+    if (live.size() < max_edges) insert_fresh();
+  }
+  return out;
+}
+
+}  // namespace ccq

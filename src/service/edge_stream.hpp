@@ -1,0 +1,67 @@
+// Edge-update streams: the service's input format.
+//
+// A stream is an ordered list of insert/delete operations on edges of the
+// n-vertex clique's spanning subgraph. The service consumes streams in
+// batches (service/connectivity_service); tools/stream generates and
+// replays them from the durable binary format defined here:
+//
+//   magic   u64   "CCQSTRM1" (little-endian bytes)
+//   version u32   1
+//   n       u32   vertex-universe size
+//   count   u64   number of update records
+//   records count x { u u32, v u32, op u8 }   (op: 0 insert, 1 delete)
+//   checksum u64  FNV-1a of all preceding bytes
+//
+// The format is deliberately dumb — fixed 9-byte records, no compression —
+// so generators in any language can emit it and replay cost is one
+// sequential read.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "graph/graph.hpp"
+
+namespace ccq {
+
+enum class EdgeOp : std::uint8_t { kInsert = 0, kDelete = 1 };
+
+/// One stream record. Endpoints need not be in canonical (u < v) order;
+/// the service canonicalizes on ingest.
+struct EdgeUpdate {
+  VertexId u{0};
+  VertexId v{0};
+  EdgeOp op{EdgeOp::kInsert};
+
+  friend bool operator==(const EdgeUpdate&, const EdgeUpdate&) = default;
+};
+
+/// A decoded stream: the vertex universe plus its ordered updates.
+struct EdgeStream {
+  std::uint32_t n{0};
+  std::vector<EdgeUpdate> updates;
+};
+
+inline constexpr std::uint32_t kEdgeStreamVersion = 1;
+
+/// Serialize a stream to the durable byte format above.
+std::vector<std::uint8_t> encode_edge_stream(const EdgeStream& stream);
+
+/// Parse a stream; throws ServiceError on bad magic, unsupported version,
+/// truncation, or checksum mismatch.
+EdgeStream decode_edge_stream(std::span<const std::uint8_t> bytes);
+
+/// File convenience wrappers (throw ServiceError on I/O failure).
+void write_edge_stream_file(const std::string& path, const EdgeStream& s);
+EdgeStream read_edge_stream_file(const std::string& path);
+
+/// Deterministically generate a churn workload: `initial` random distinct
+/// edge inserts, then `churn` update pairs alternating deletes of live
+/// edges with inserts of fresh ones (the steady-state shape a long-lived
+/// service ingests). All randomness flows from `seed`.
+EdgeStream generate_churn_stream(std::uint32_t n, std::size_t initial,
+                                 std::size_t churn, std::uint64_t seed);
+
+}  // namespace ccq

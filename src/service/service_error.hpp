@@ -1,0 +1,25 @@
+// Error type for the long-lived connectivity service layer.
+//
+// The service wraps the Congested Clique simulator behind a mutable-state
+// API (batched edge updates, queries, snapshots), so its failure modes are
+// *operational* rather than model violations: a caller handing us an
+// out-of-range node, a strict-mode double-delete, a truncated or
+// version-skewed snapshot. Those surface as ServiceError with an actionable
+// message; genuine model violations inside a recompute still surface as
+// ProtocolError from the engine (docs/SERVICE.md, "Failure modes").
+#pragma once
+
+#include <stdexcept>
+#include <string>
+
+namespace ccq {
+
+/// Thrown on invalid service requests and malformed/incompatible
+/// serialized state. Never thrown for model-contract violations — those
+/// remain ProtocolError.
+class ServiceError : public std::runtime_error {
+ public:
+  explicit ServiceError(const std::string& what) : std::runtime_error(what) {}
+};
+
+}  // namespace ccq

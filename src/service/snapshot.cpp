@@ -1,0 +1,164 @@
+#include "service/snapshot.hpp"
+
+#include <algorithm>
+#include <bit>
+#include <fstream>
+
+#include "service/binary_io.hpp"
+#include "util/error.hpp"
+
+namespace ccq {
+
+namespace {
+
+// "CCQSNAP1" as a little-endian u64.
+constexpr std::uint64_t kSnapshotMagic = 0x3150414E53514343ULL;
+
+std::string bytes_to_chars(std::span<const std::uint8_t> bytes) {
+  std::string s(bytes.size(), '\0');
+  for (std::size_t i = 0; i < bytes.size(); ++i)
+    s[i] = static_cast<char>(bytes[i]);
+  return s;
+}
+
+std::vector<std::uint8_t> chars_to_bytes(const std::string& s) {
+  std::vector<std::uint8_t> bytes(s.size());
+  for (std::size_t i = 0; i < s.size(); ++i)
+    bytes[i] = static_cast<std::uint8_t>(s[i]);
+  return bytes;
+}
+
+}  // namespace
+
+std::vector<std::uint8_t> encode_snapshot(const ServiceSnapshot& snap) {
+  const std::size_t cells = static_cast<std::size_t>(snap.copies) *
+                            snap.levels * snap.buckets;
+  check(snap.phi.size() == cells * snap.n &&
+            snap.iota.size() == snap.phi.size() &&
+            snap.tau.size() == snap.phi.size(),
+        "encode_snapshot: lane sizes inconsistent with header");
+  check(snap.labels.size() == snap.n,
+        "encode_snapshot: label count != n");
+  check(std::is_sorted(snap.edge_keys.begin(), snap.edge_keys.end()),
+        "encode_snapshot: edge keys must be sorted");
+  ByteWriter w;
+  w.put_u64(kSnapshotMagic);
+  w.put_u32(kSnapshotVersion);
+  w.put_u32(snap.n);
+  w.put_u64(snap.seed);
+  w.put_u32(snap.copies);
+  w.put_u32(snap.buckets);
+  w.put_u32(snap.levels);
+  w.put_u32(0);  // reserved
+  w.put_u64(snap.generation);
+  w.put_u64(snap.index_generation);
+  w.put_u32(snap.num_components);
+  w.put_u32(snap.monte_carlo_ok ? 1 : 0);
+  w.put_u64(snap.seed_words.size());
+  w.put_u64(snap.edge_keys.size());
+  w.put_u64_span(snap.seed_words);
+  w.put_u64_span(snap.edge_keys);
+  for (std::uint32_t v = 0; v < snap.n; ++v) {
+    const std::size_t base = static_cast<std::size_t>(v) * cells;
+    w.put_i64_span(std::span{snap.phi}.subspan(base, cells));
+    w.put_i64_span(std::span{snap.iota}.subspan(base, cells));
+    w.put_u64_span(std::span{snap.tau}.subspan(base, cells));
+  }
+  for (VertexId label : snap.labels) w.put_u32(label);
+  w.put_checksum();
+  return w.take();
+}
+
+ServiceSnapshot decode_snapshot(std::span<const std::uint8_t> bytes) {
+  ByteReader r{bytes, "snapshot"};
+  if (r.get_u64() != kSnapshotMagic)
+    throw ServiceError("snapshot: bad magic (not a CCQSNAP1 file)");
+  const std::uint32_t version = r.get_u32();
+  if (version != kSnapshotVersion)
+    throw ServiceError(
+        "snapshot: schema version " + std::to_string(version) +
+        " is not supported by this build (reads version " +
+        std::to_string(kSnapshotVersion) +
+        "); restore with a matching build or re-snapshot from the live "
+        "service");
+  ServiceSnapshot out;
+  out.n = r.get_u32();
+  out.seed = r.get_u64();
+  out.copies = r.get_u32();
+  out.buckets = r.get_u32();
+  out.levels = r.get_u32();
+  const std::uint32_t reserved = r.get_u32();
+  out.generation = r.get_u64();
+  out.index_generation = r.get_u64();
+  out.num_components = r.get_u32();
+  out.monte_carlo_ok = r.get_u32() != 0;
+  const std::uint64_t seed_word_count = r.get_u64();
+  const std::uint64_t edge_count = r.get_u64();
+  if (out.n == 0) throw ServiceError("snapshot: empty vertex universe");
+  if (out.copies == 0 || out.buckets == 0 || out.levels == 0)
+    throw ServiceError("snapshot: degenerate sketch geometry in header");
+  if (reserved != 0)
+    throw ServiceError("snapshot: nonzero reserved header field");
+  // Expected level count for universe n^2 (SketchParams::for_universe).
+  const std::uint64_t universe =
+      static_cast<std::uint64_t>(out.n) * out.n;
+  const auto expect_levels =
+      static_cast<std::uint32_t>(std::bit_width(universe)) + 2;
+  if (out.levels != expect_levels)
+    throw ServiceError("snapshot: level count " +
+                       std::to_string(out.levels) + " does not match n=" +
+                       std::to_string(out.n) + " (expected " +
+                       std::to_string(expect_levels) + ")");
+  const std::size_t cells = static_cast<std::size_t>(out.copies) *
+                            out.levels * out.buckets;
+  const std::uint64_t body_words = seed_word_count + edge_count +
+                                   3 * cells * out.n;
+  if (body_words * 8 + out.n * 4 + 8 > r.remaining())
+    throw ServiceError("snapshot: header sizes exceed file size");
+  out.seed_words.resize(seed_word_count);
+  r.get_u64_into(out.seed_words);
+  out.edge_keys.resize(edge_count);
+  r.get_u64_into(out.edge_keys);
+  for (std::size_t i = 0; i < out.edge_keys.size(); ++i) {
+    if (i > 0 && out.edge_keys[i] <= out.edge_keys[i - 1])
+      throw ServiceError("snapshot: edge keys not strictly ascending");
+    if (out.edge_keys[i] >= universe)
+      throw ServiceError("snapshot: edge key outside the n^2 universe");
+  }
+  out.phi.resize(cells * out.n);
+  out.iota.resize(cells * out.n);
+  out.tau.resize(cells * out.n);
+  for (std::uint32_t v = 0; v < out.n; ++v) {
+    const std::size_t base = static_cast<std::size_t>(v) * cells;
+    r.get_i64_into(std::span{out.phi}.subspan(base, cells));
+    r.get_i64_into(std::span{out.iota}.subspan(base, cells));
+    r.get_u64_into(std::span{out.tau}.subspan(base, cells));
+  }
+  out.labels.resize(out.n);
+  for (VertexId& label : out.labels) {
+    label = r.get_u32();
+    if (label >= out.n)
+      throw ServiceError("snapshot: component label out of range");
+  }
+  r.check_trailing_checksum();
+  r.expect_end();
+  return out;
+}
+
+void write_snapshot_file(const std::string& path, const ServiceSnapshot& s) {
+  const auto bytes = encode_snapshot(s);
+  std::ofstream file{path, std::ios::binary | std::ios::trunc};
+  if (!file) throw ServiceError("snapshot: cannot open for write: " + path);
+  file << bytes_to_chars(bytes);
+  if (!file) throw ServiceError("snapshot: write failed: " + path);
+}
+
+ServiceSnapshot read_snapshot_file(const std::string& path) {
+  std::ifstream file{path, std::ios::binary};
+  if (!file) throw ServiceError("snapshot: cannot open: " + path);
+  std::string contents{std::istreambuf_iterator<char>(file),
+                       std::istreambuf_iterator<char>()};
+  return decode_snapshot(chars_to_bytes(contents));
+}
+
+}  // namespace ccq

@@ -1,0 +1,79 @@
+// Versioned binary snapshots of the connectivity service's full state.
+//
+// A snapshot is self-contained: it stores the shared seed words the sketch
+// families were built from, so restore rebuilds bit-identical families
+// without replaying the Theorem 1 shared-randomness protocol, and the
+// restored service continues ingesting exactly where the saved one stopped
+// (linearity makes sketch state order-free, so "where it stopped" is fully
+// captured by the lanes). Round-trip is byte-identical:
+// encode(decode(encode(x))) == encode(x) — pinned by tests/service_test.
+//
+// Field-by-field layout (all little-endian; docs/SERVICE.md mirrors this
+// table and must stay in sync):
+//
+//   magic            u64   "CCQSNAP1"
+//   version          u32   kSnapshotVersion (readers reject newer)
+//   n                u32   vertex-universe size
+//   seed             u64   service seed (identity only; families come from
+//                          the stored seed words, not from re-deriving)
+//   copies           u32   t = independent sketch families
+//   buckets          u32   detectors per level (Cormode-Firmani layout)
+//   levels           u32   geometric levels (cross-check vs n)
+//   reserved         u32   0
+//   generation       u64   state generation counter
+//   index_generation u64   generation the stored labels correspond to
+//   num_components   u32   component count at index_generation
+//   monte_carlo_ok   u32   0/1: last recompute sampled without exhaustion
+//   seed_word_count  u64   shared seed words stored
+//   edge_count       u64   live edges stored
+//   seed_words       seed_word_count x u64
+//   edge_keys        edge_count x u64, strictly ascending edge_index keys
+//   lanes            per vertex v in 0..n-1: phi then iota then tau, each
+//                    copies*levels*buckets words (i64, i64, u64)
+//   labels           n x u32 component labels (smallest member id)
+//   checksum         u64   FNV-1a of all preceding bytes
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "graph/graph.hpp"
+
+namespace ccq {
+
+inline constexpr std::uint32_t kSnapshotVersion = 1;
+
+/// Decoded snapshot payload (the plain-data mirror of a running service's
+/// persistent state; ConnectivityService converts to/from this).
+struct ServiceSnapshot {
+  std::uint32_t n{0};
+  std::uint64_t seed{0};
+  std::uint32_t copies{0};
+  std::uint32_t buckets{0};
+  std::uint32_t levels{0};
+  std::uint64_t generation{0};
+  std::uint64_t index_generation{0};
+  std::uint32_t num_components{0};
+  bool monte_carlo_ok{true};
+  std::vector<std::uint64_t> seed_words;
+  std::vector<std::uint64_t> edge_keys;  // strictly ascending
+  std::vector<std::int64_t> phi;         // n * copies * levels * buckets
+  std::vector<std::int64_t> iota;
+  std::vector<std::uint64_t> tau;
+  std::vector<VertexId> labels;          // n entries
+};
+
+std::vector<std::uint8_t> encode_snapshot(const ServiceSnapshot& snap);
+
+/// Parse and validate; throws ServiceError with an actionable message on
+/// bad magic, a newer version, truncation, checksum mismatch, or
+/// internally inconsistent sizes.
+ServiceSnapshot decode_snapshot(std::span<const std::uint8_t> bytes);
+
+/// File convenience wrappers (throw ServiceError on I/O failure).
+void write_snapshot_file(const std::string& path, const ServiceSnapshot& s);
+ServiceSnapshot read_snapshot_file(const std::string& path);
+
+}  // namespace ccq

@@ -1,5 +1,6 @@
 #include "sketch/l0_sketch.hpp"
 
+#include <algorithm>
 #include <bit>
 #include <cmath>
 
@@ -216,6 +217,20 @@ L0Sketch L0Sketch::from_words(const SketchFamily& family,
     out.iota_[c] = zigzag_decode(words[3 * c + 1]);
     out.tau_[c] = words[3 * c + 2];
   }
+  return out;
+}
+
+L0Sketch L0Sketch::from_lanes(const SketchFamily& family,
+                              std::span<const std::int64_t> phi,
+                              std::span<const std::int64_t> iota,
+                              std::span<const std::uint64_t> tau) {
+  L0Sketch out{family};
+  if (phi.size() != out.phi_.size() || iota.size() != out.iota_.size() ||
+      tau.size() != out.tau_.size())
+    throw InvalidArgument("L0Sketch::from_lanes: wrong lane size");
+  std::copy(phi.begin(), phi.end(), out.phi_.begin());
+  std::copy(iota.begin(), iota.end(), out.iota_.begin());
+  std::copy(tau.begin(), tau.end(), out.tau_.begin());
   return out;
 }
 

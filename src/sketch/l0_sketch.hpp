@@ -124,6 +124,15 @@ class L0Sketch {
   static L0Sketch from_words(const SketchFamily& family,
                              std::span<const std::uint64_t> words);
 
+  /// Build a sketch by copying raw detector lanes (cell order, one value
+  /// per level*buckets cell). This is the bridge for callers that keep
+  /// sketch state in flat SoA arenas — the connectivity service's resident
+  /// per-vertex state — and only materialize L0Sketch objects to sample.
+  static L0Sketch from_lanes(const SketchFamily& family,
+                             std::span<const std::int64_t> phi,
+                             std::span<const std::int64_t> iota,
+                             std::span<const std::uint64_t> tau);
+
   /// Words occupied by one serialized sketch.
   static std::size_t word_size(const SketchParams& params);
 

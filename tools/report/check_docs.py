@@ -9,6 +9,10 @@ stale EXPERIMENTS.md tables — is make_experiments.py --check):
     syntaxes: `TraceScope x{engine, "name"}` / `TraceScope x{trace,
     "name"}` and the deferred `opt.emplace(engine, "name")`) must appear
     in a code span (backticks) in docs/TRACING.md;
+  - service scopes: every scope-name literal used under src/service/ must
+    *additionally* appear in a code span in docs/SERVICE.md (the service
+    contract documents its own observability surface, not just the global
+    inventory);
   - NDJSON fields: every JSON key the exporter emits (extracted from the
     `"key":` string literals in src/clique/trace_export.cpp, schema 1 and
     schema 2 alike) must appear in docs/TRACING.md, either in backticks or
@@ -36,6 +40,18 @@ EMPLACE_RE = re.compile(r'\.emplace\(\s*engine\s*,\s*"([^"]+)"')
 # Exporter key literals: `"\"messages\":"` in trace_export.cpp source reads
 # `\"key\":` — match the escaped quotes around the key name.
 EXPORT_KEY_RE = re.compile(r'\\"(\w+)\\":')
+
+
+def inline_code_spans(md_text: str) -> set[str]:
+    """Contents of every inline `code` span, fenced blocks excluded.
+
+    A ``` fence contributes an odd number of backticks, so pairing single
+    backticks across the raw text desynchronizes after the first fence —
+    strip fenced blocks before extracting spans.
+    """
+    prose = re.sub(r"^```.*?^```", "", md_text,
+                   flags=re.MULTILINE | re.DOTALL)
+    return set(re.findall(r"`([^`\n]+)`", prose))
 
 
 def scope_names(src: Path) -> dict[str, list[str]]:
@@ -67,7 +83,7 @@ def main() -> int:
         return 2
 
     md_text = tracing_md.read_text(encoding="utf-8")
-    documented = set(re.findall(r"`([^`]+)`", md_text))
+    documented = inline_code_spans(md_text)
     missing = {n: uses for n, uses in names.items() if n not in documented}
     if missing:
         print("check_docs: trace scope names used in src/ but not "
@@ -78,6 +94,33 @@ def main() -> int:
         print("add each name (in backticks) to the scope inventory in "
               "docs/TRACING.md", file=sys.stderr)
         return 1
+
+    # The service page must document the service's own scope literals too:
+    # SERVICE.md is the contract a service consumer reads, and its
+    # observability section would silently rot if only TRACING.md's global
+    # inventory were checked.
+    service_md = repo / "docs" / "SERVICE.md"
+    service_names = {n: uses for n, uses in names.items()
+                     if any(u.startswith("src/service/") for u in uses)}
+    if service_names:
+        if not service_md.is_file():
+            print(f"check_docs: missing {service_md} (src/service/ uses "
+                  "trace scopes that must be documented there)",
+                  file=sys.stderr)
+            return 1
+        service_documented = inline_code_spans(
+            service_md.read_text(encoding="utf-8"))
+        service_missing = {n: uses for n, uses in service_names.items()
+                           if n not in service_documented}
+        if service_missing:
+            print("check_docs: trace scope names used in src/service/ but "
+                  "not documented in docs/SERVICE.md:", file=sys.stderr)
+            for name in sorted(service_missing):
+                print(f"  \"{name}\"  ({', '.join(service_missing[name])})",
+                      file=sys.stderr)
+            print("add each name (in backticks) to the observability "
+                  "section of docs/SERVICE.md", file=sys.stderr)
+            return 1
 
     exporter = repo / "src" / "clique" / "trace_export.cpp"
     emitted = set(EXPORT_KEY_RE.findall(

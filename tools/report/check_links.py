@@ -1,0 +1,166 @@
+#!/usr/bin/env python3
+"""check_links — every doc cross-link and path reference must resolve.
+
+The documentation spine (README.md plus docs/*.md) is navigated two ways:
+markdown links between the pages, and `file.cpp`-style path references
+into the tree. Both rot silently when files move — a rename that updates
+`#include` lines but not the docs leaves the map pointing at nothing.
+This gate (ctest `docs_links`, plus a lint-job CI step) makes that a
+failure instead of a papercut:
+
+  1. Markdown links: every relative `[text](target)` in a scanned page
+     must resolve against the page's own directory (external http(s):,
+     mailto: and pure-#anchor links are skipped; anchor fragments are
+     stripped before the existence check).
+  2. Path references: every path-shaped token with a known source
+     extension — in prose, backticks, or fenced blocks — must exist.
+     Repo-relative paths (`src/service/snapshot.cpp`) resolve at the
+     repo root; the docs' module-relative shorthand (`lotker/cc_mst.cpp`)
+     resolves under src/; an optional trailing `:<line>` (the clickable
+     reference style) is ignored. Tokens under directories the repo does
+     not track (`build/...`, generated artifact names like `out.ndjson`)
+     are not path references and are skipped.
+  3. Orphan pages: every docs/*.md must be linked from at least one
+     scanned page, so new documentation is reachable from the README.
+
+Exit status: 0 all resolve, 1 broken references, 2 usage errors.
+"""
+
+from __future__ import annotations
+
+import re
+import sys
+from pathlib import Path
+
+REPO = Path(__file__).resolve().parents[2]
+
+# Pages whose links and path references are checked.
+def scanned_pages() -> list[Path]:
+    pages = [REPO / "README.md"]
+    pages += sorted((REPO / "docs").glob("*.md"))
+    return [p for p in pages if p.is_file()]
+
+
+MD_LINK_RE = re.compile(r"\[[^\]]*\]\(([^)\s]+)\)")
+
+# A path-shaped token: optional directory segments, then a basename with a
+# source/doc extension, then an optional `:line` (or bare trailing colon —
+# the `file.cpp:` reference style).
+PATH_TOKEN_RE = re.compile(
+    r"([A-Za-z0-9_.\-/]+\.(?:cpp|hpp|h|py|md|json|ndjson|yml|yaml|sh|"
+    r"cmake|snap|stream|txt))((?::\d+)?:?)")
+
+# Bare basenames (no `/`) are only required to exist for source files —
+# `out.ndjson` or `state.snap` in a shell example is an artifact name,
+# but a dangling `foo_test.cpp` mention is a doc bug.
+BARE_CHECK_EXTS = {".cpp", ".hpp", ".py"}
+
+STRIP_CHARS = "`\"'()[]{}<>,;*"
+
+
+def tracked_top_dirs() -> set[str]:
+    """Top-level directories that exist in the working tree."""
+    return {p.name for p in REPO.iterdir() if p.is_dir()}
+
+
+def check_md_links(page: Path, text: str, errors: list[str],
+                   linked_targets: set[Path]) -> None:
+    for m in MD_LINK_RE.finditer(text):
+        target = m.group(1)
+        if target.startswith(("http://", "https://", "mailto:", "#")):
+            continue
+        target = target.split("#", 1)[0]
+        if not target:
+            continue
+        resolved = (page.parent / target).resolve()
+        if resolved.exists():
+            linked_targets.add(resolved)
+        else:
+            errors.append(
+                f"{page.relative_to(REPO)}: broken markdown link "
+                f"({target!r} does not exist relative to "
+                f"{page.parent.relative_to(REPO) or '.'})")
+
+
+def check_path_tokens(page: Path, text: str, top_dirs: set[str],
+                      basenames: dict[str, int],
+                      errors: list[str]) -> None:
+    src = REPO / "src"
+    for raw in text.split():
+        token = raw.strip(STRIP_CHARS)
+        m = PATH_TOKEN_RE.fullmatch(token)
+        if not m:
+            continue
+        path = m.group(1)
+        if path.startswith("./"):
+            path = path[2:]
+        if "/" in path:
+            first = path.split("/", 1)[0]
+            if (REPO / path).exists() or (src / path).exists():
+                continue
+            # Only a reference into a tracked top-level dir or a src/
+            # module can be *broken*; anything else (build/, artifact
+            # paths, external repo slugs) is not a repo path reference.
+            if first in top_dirs or (src / first).is_dir():
+                errors.append(
+                    f"{page.relative_to(REPO)}: path reference "
+                    f"`{path}` does not exist (checked repo root and src/)")
+        else:
+            if Path(path).suffix in BARE_CHECK_EXTS and \
+                    basenames.get(path, 0) == 0:
+                errors.append(
+                    f"{page.relative_to(REPO)}: file reference "
+                    f"`{path}` matches no file in the repo")
+
+
+def main() -> int:
+    pages = scanned_pages()
+    if len(pages) < 2:
+        print("check_links: found fewer than 2 pages to scan "
+              "(README.md + docs/*.md) — wrong working tree?",
+              file=sys.stderr)
+        return 2
+
+    top_dirs = tracked_top_dirs() - {"build"}  # never trust build trees
+    basenames: dict[str, int] = {}
+    for ext in BARE_CHECK_EXTS:
+        for p in REPO.rglob(f"*{ext}"):
+            if "build" in p.parts or ".git" in p.parts:
+                continue
+            basenames[p.name] = basenames.get(p.name, 0) + 1
+
+    errors: list[str] = []
+    linked_targets: set[Path] = set()
+    checked_tokens = 0
+    for page in pages:
+        text = page.read_text(encoding="utf-8")
+        check_md_links(page, text, errors, linked_targets)
+        before = len(errors)
+        check_path_tokens(page, text, top_dirs, basenames, errors)
+        checked_tokens += len(errors) == before  # cheap progress signal
+
+    # Orphan detection: every docs page must be reachable from the scanned
+    # set (README links the hubs; hubs link the leaves).
+    for page in pages:
+        if page.parent.name != "docs":
+            continue
+        if page.resolve() not in linked_targets:
+            errors.append(
+                f"{page.relative_to(REPO)}: orphan page — no scanned page "
+                "links to it (add a link from README.md or another doc)")
+
+    if errors:
+        print("check_links: broken documentation references:",
+              file=sys.stderr)
+        for e in errors:
+            print(f"  {e}", file=sys.stderr)
+        print(f"check_links: {len(errors)} broken reference(s)",
+              file=sys.stderr)
+        return 1
+    print(f"check_links: {len(pages)} page(s) scanned, all markdown links "
+          "and path references resolve, no orphan docs")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

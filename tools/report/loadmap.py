@@ -182,7 +182,9 @@ def main(argv: list[str]) -> int:
     exp_file = (args.file or repo / "EXPERIMENTS.md").resolve()
     binary = build / "examples" / "quickstart"
     if not binary.is_file():
-        fail(f"quickstart binary not found: {binary} (build first)")
+        fail(f"quickstart binary not found: {binary} — build it with: "
+             f"cmake --build {build} --target quickstart, then rerun "
+             "python3 tools/report/loadmap.py to regenerate the load block")
     if not exp_file.is_file():
         fail(f"no such file: {exp_file}")
 

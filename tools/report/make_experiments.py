@@ -152,7 +152,8 @@ def main(argv: list[str]) -> int:
         for bench in benches:
             binary = build / "bench" / bench
             if not binary.is_file():
-                fail(f"bench binary not found: {binary} (build first)")
+                fail(f"bench binary not found: {binary} — build it with: "
+                     f"cmake --build {build} --target {bench}")
             out = Path(tmp) / f"{bench}.ndjson"
             print(f"make_experiments: running {bench} ...")
             run_bench(binary, out)
@@ -173,6 +174,25 @@ def main(argv: list[str]) -> int:
         new_lines[block["begin"] + 1:block["end"]] = render_table(columns,
                                                                   rows)
         regenerated += 1
+
+    # Never skip silently: name every block this invocation left alone and
+    # the exact command that regenerates it, so a narrowed --only run can't
+    # masquerade as a full refresh.
+    skipped = sorted({b["bench"] for b in blocks
+                      if wanted is not None and b["bench"] not in wanted})
+    for bench in skipped:
+        print(f"make_experiments: warning: {bench} block(s) left untouched "
+              f"(not in --only) — regenerate with: python3 "
+              f"tools/report/make_experiments.py --only {bench}",
+              file=sys.stderr)
+    # ... and the mirror direction: a bench table nothing splices is a
+    # measurement the narrative silently omits.
+    referenced = {(b["bench"], b["title"]) for b in blocks}
+    for bench, title in sorted(k for k in records if k not in referenced):
+        print(f"make_experiments: warning: {bench} emitted table "
+              f"'{title}' with no GENERATED block in {exp_file.name} — "
+              f"add '<!-- BEGIN GENERATED: {bench}:{title} -->' / "
+              f"'{END_LINE}' markers to splice it", file=sys.stderr)
 
     new_text = "\n".join(new_lines) + "\n"
     if args.check:

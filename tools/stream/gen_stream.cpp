@@ -1,0 +1,54 @@
+// Deterministic edge-stream generator (the service's workload tool).
+//
+// Emits the binary CCQSTRM1 format (src/service/edge_stream.hpp): an
+// initial build-up of random inserts followed by steady-state churn
+// (delete a live edge, insert a fresh one). Everything derives from
+// --seed, so two invocations with the same flags are byte-identical.
+//
+//   ./tools/stream/gen_stream OUT.stream [--n N] [--initial K]
+//                             [--churn C] [--seed S]
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+
+#include "service/edge_stream.hpp"
+
+namespace {
+
+std::uint64_t flag_u64(int argc, char** argv, const std::string& name,
+                       std::uint64_t fallback) {
+  for (int i = 1; i + 1 < argc; ++i)
+    if (argv[i] == "--" + name) return std::strtoull(argv[i + 1], nullptr, 10);
+  return fallback;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 2 || argv[1][0] == '-') {
+    std::fprintf(stderr,
+                 "usage: gen_stream OUT.stream [--n N] [--initial K] "
+                 "[--churn C] [--seed S]\n");
+    return 2;
+  }
+  const std::string out_path = argv[1];
+  const auto n = static_cast<std::uint32_t>(flag_u64(argc, argv, "n", 256));
+  const auto initial =
+      static_cast<std::size_t>(flag_u64(argc, argv, "initial", 4096));
+  const auto churn =
+      static_cast<std::size_t>(flag_u64(argc, argv, "churn", 4096));
+  const std::uint64_t seed = flag_u64(argc, argv, "seed", 42);
+  try {
+    const ccq::EdgeStream stream =
+        ccq::generate_churn_stream(n, initial, churn, seed);
+    ccq::write_edge_stream_file(out_path, stream);
+    std::printf("gen_stream: wrote %zu updates (n=%u, initial=%zu, "
+                "churn=%zu, seed=%llu) to %s\n",
+                stream.updates.size(), n, initial, churn,
+                static_cast<unsigned long long>(seed), out_path.c_str());
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "gen_stream: %s\n", e.what());
+    return 1;
+  }
+  return 0;
+}

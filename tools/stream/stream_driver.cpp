@@ -1,0 +1,155 @@
+// Replay a binary edge stream through a live ConnectivityService.
+//
+// The operational entry point for the service: boots (or restores) a
+// service, ingests the stream in batches, answers a component census, and
+// optionally snapshots the resulting state. Observability mirrors
+// examples/quickstart: set CLIQUE_TRACE=out.ndjson for the per-phase trace
+// of every recompute (docs/TRACING.md), CLIQUE_LOAD=load.ndjson for the
+// schema-2 congestion profile (CLIQUE_LOAD_LINKS=1 adds the link matrix).
+//
+//   ./tools/stream/stream_driver STREAM [--batch B] [--threads T]
+//       [--mode engine|local] [--strict] [--restore IN.snap]
+//       [--snapshot OUT.snap]
+#include <cstdio>
+#include <cstdlib>
+#include <memory>
+#include <string>
+
+#include "clique/load_profile.hpp"
+#include "clique/trace.hpp"
+#include "clique/trace_export.hpp"
+#include "service/connectivity_service.hpp"
+#include "service/service_error.hpp"
+
+namespace {
+
+std::string flag_str(int argc, char** argv, const std::string& name,
+                     const std::string& fallback) {
+  for (int i = 1; i + 1 < argc; ++i)
+    if (argv[i] == "--" + name) return argv[i + 1];
+  return fallback;
+}
+
+std::uint64_t flag_u64(int argc, char** argv, const std::string& name,
+                       std::uint64_t fallback) {
+  for (int i = 1; i + 1 < argc; ++i)
+    if (argv[i] == "--" + name) return std::strtoull(argv[i + 1], nullptr, 10);
+  return fallback;
+}
+
+bool flag_set(int argc, char** argv, const std::string& name) {
+  for (int i = 1; i < argc; ++i)
+    if (argv[i] == "--" + name) return true;
+  return false;
+}
+
+int run(int argc, char** argv) {
+  if (argc < 2 || argv[1][0] == '-') {
+    std::fprintf(stderr,
+                 "usage: stream_driver STREAM [--batch B] [--threads T] "
+                 "[--mode engine|local] [--strict] [--restore IN.snap] "
+                 "[--snapshot OUT.snap]\n");
+    return 2;
+  }
+  const ccq::EdgeStream stream = ccq::read_edge_stream_file(argv[1]);
+  const auto batch =
+      static_cast<std::size_t>(flag_u64(argc, argv, "batch", 4096));
+  const std::string mode = flag_str(argc, argv, "mode", "engine");
+  if (mode != "engine" && mode != "local") {
+    std::fprintf(stderr, "stream_driver: --mode must be engine or local\n");
+    return 2;
+  }
+  ccq::ServiceTuning tuning;
+  tuning.threads =
+      static_cast<std::uint32_t>(flag_u64(argc, argv, "threads", 1));
+  tuning.index_mode =
+      mode == "engine" ? ccq::IndexMode::kEngine : ccq::IndexMode::kLocal;
+  tuning.strict = flag_set(argc, argv, "strict");
+
+  const std::string restore_path = flag_str(argc, argv, "restore", "");
+  std::unique_ptr<ccq::ConnectivityService> service;
+  if (!restore_path.empty()) {
+    service = ccq::ConnectivityService::restore_file(restore_path, tuning);
+    if (service->n() != stream.n)
+      throw ccq::ServiceError(
+          "stream_driver: snapshot universe n=" +
+          std::to_string(service->n()) + " but stream has n=" +
+          std::to_string(stream.n));
+    std::printf("restored: n=%u, generation=%llu from %s\n", service->n(),
+                static_cast<unsigned long long>(service->generation()),
+                restore_path.c_str());
+  } else {
+    ccq::ServiceConfig config;
+    config.n = stream.n;
+    config.tuning = tuning;
+    service = std::make_unique<ccq::ConnectivityService>(config);
+  }
+
+  // Observability sinks, wired exactly like examples/quickstart.
+  ccq::Trace trace;
+  ccq::LoadProfile profile;
+  const std::string trace_path = ccq::trace_env_path();
+  const std::string load_path = ccq::load_env_path();
+  const char* links_env = std::getenv("CLIQUE_LOAD_LINKS");
+  const bool track_links = !load_path.empty() && links_env &&
+                           std::string(links_env) != "0";
+  if (track_links) profile.set_track_links(true);
+  if (!trace_path.empty() || !load_path.empty())
+    service->engine().set_trace(&trace);
+  if (!load_path.empty()) service->engine().set_load_profile(&profile);
+
+  std::size_t at = 0;
+  while (at < stream.updates.size()) {
+    const std::size_t take = std::min(batch, stream.updates.size() - at);
+    service->apply_batch(
+        std::span{stream.updates}.subspan(at, take));
+    at += take;
+  }
+  const std::uint32_t components = service->num_components();
+  const ccq::ServiceStats stats = service->stats();
+  std::printf("ingested: %llu updates in %llu batches "
+              "(+%llu/-%llu, ignored %llu, cancelled %llu)\n",
+              static_cast<unsigned long long>(stats.updates),
+              static_cast<unsigned long long>(stats.batches),
+              static_cast<unsigned long long>(stats.inserts),
+              static_cast<unsigned long long>(stats.deletes),
+              static_cast<unsigned long long>(stats.ignored),
+              static_cast<unsigned long long>(stats.cancelled));
+  std::printf("state:    %llu live edges, generation %llu, "
+              "%u components (%s)\n",
+              static_cast<unsigned long long>(stats.live_edges),
+              static_cast<unsigned long long>(stats.generation), components,
+              stats.monte_carlo_ok ? "monte carlo ok"
+                                   : "MONTE CARLO EXHAUSTED");
+  std::printf("cost:     %s\n", service->metrics().to_string().c_str());
+
+  if (!trace_path.empty()) {
+    ccq::write_trace_ndjson_file(trace, trace_path);
+    std::printf("trace:    %zu scopes written to %s\n", trace.events().size(),
+                trace_path.c_str());
+  }
+  if (!load_path.empty()) {
+    ccq::write_trace_ndjson_file(trace, load_path,
+                                 {.include_link_matrix = track_links});
+    std::printf("load:     schema-2 profile written to %s\n",
+                load_path.c_str());
+  }
+
+  const std::string snapshot_path = flag_str(argc, argv, "snapshot", "");
+  if (!snapshot_path.empty()) {
+    service->save_file(snapshot_path);
+    std::printf("snapshot: saved to %s\n", snapshot_path.c_str());
+  }
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  try {
+    return run(argc, argv);
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "stream_driver: %s\n", e.what());
+    return 1;
+  }
+}
