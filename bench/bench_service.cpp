@@ -26,6 +26,7 @@
 
 #include "bench_util.hpp"
 #include "service/connectivity_service.hpp"
+#include "telemetry/metrics_registry.hpp"
 #include "util/clock.hpp"
 #include "util/random.hpp"
 
@@ -66,12 +67,26 @@ void apply_stream(ConnectivityService& service,
   }
 }
 
+/// Counter value in a (delta) snapshot; 0 when absent so the
+/// CLIQUE_NO_TELEMETRY build still compiles this lookup cleanly.
+std::uint64_t tm_counter(const telemetry::MetricsSnapshot& snap,
+                         std::string_view name) {
+  for (const telemetry::CounterSample& c : snap.counters)
+    if (c.name == name) return c.value;
+  return 0;
+}
+
 /// Table 1: deterministic churn counters + engine recompute accounting.
+/// Doubles as the telemetry reconciliation self-check: registry counter
+/// deltas around each run must equal the service's own ServiceStats and
+/// engine Metrics exactly -- the registry is a mirror, not an estimate.
 void table_churn_ingest() {
   bench::Table table{"streaming churn ingest, engine-mode recompute",
                      {"n", "updates", "live edges", "components",
                       "boruvka rounds", "engine rounds", "engine messages"}};
   for (const std::uint32_t n : {64u, 128u, 256u}) {
+    const telemetry::MetricsSnapshot tm_before =
+        telemetry::registry().snapshot();
     ServiceConfig config;
     config.n = n;
     config.tuning.index_mode = IndexMode::kEngine;
@@ -84,6 +99,31 @@ void table_churn_ingest() {
     const ServiceStats stats = service.stats();
     bench::expect(stats.monte_carlo_ok,
                   "churn recompute exhausted its sketch copies");
+    if (telemetry::kCompiledIn) {
+      const telemetry::MetricsSnapshot tm = telemetry::MetricsSnapshot::delta(
+          tm_before, telemetry::registry().snapshot());
+      bench::expect(tm_counter(tm, "ccq_service_updates_total") ==
+                        stats.updates,
+                    "registry updates counter != ServiceStats::updates");
+      bench::expect(tm_counter(tm, "ccq_service_batches_total") ==
+                        stats.batches,
+                    "registry batches counter != ServiceStats::batches");
+      bench::expect(tm_counter(tm, "ccq_service_inserts_total") ==
+                        stats.inserts,
+                    "registry inserts counter != ServiceStats::inserts");
+      bench::expect(tm_counter(tm, "ccq_service_deletes_total") ==
+                        stats.deletes,
+                    "registry deletes counter != ServiceStats::deletes");
+      bench::expect(tm_counter(tm, "ccq_service_cancelled_total") ==
+                        stats.cancelled,
+                    "registry cancelled counter != ServiceStats::cancelled");
+      bench::expect(tm_counter(tm, "ccq_engine_rounds_total") ==
+                        service.metrics().rounds,
+                    "registry rounds counter != engine Metrics::rounds");
+      bench::expect(tm_counter(tm, "ccq_engine_messages_total") ==
+                        service.metrics().messages,
+                    "registry messages counter != engine Metrics::messages");
+    }
     table.row({bench::fmt(n), bench::fmt(stats.updates),
                bench::fmt(stats.live_edges), bench::fmt(components),
                bench::fmt(stats.boruvka_rounds),

@@ -7,11 +7,39 @@
 
 #include "clique/load_profile.hpp"
 #include "clique/trace.hpp"
+#include "telemetry/metrics_registry.hpp"
 #include "util/error.hpp"
 
 namespace ccq {
 
 namespace {
+
+// Live telemetry (docs/TELEMETRY.md): registered once at namespace scope
+// (cliquelint CL011) and mutated per *window*, never per message — the
+// Outbox::send path stays untouched. ccq_engine_rounds_total mirrors
+// Metrics::rounds exactly (charged + silent + absorbed), which is what the
+// bench_service self-check reconciles against.
+telemetry::Counter& tm_rounds = telemetry::registry().counter(
+    "ccq_engine_rounds_total", "Engine rounds (charged + silent + absorbed)");
+telemetry::Counter& tm_messages = telemetry::registry().counter(
+    "ccq_engine_messages_total", "Messages delivered across all rounds");
+telemetry::Counter& tm_words = telemetry::registry().counter(
+    "ccq_engine_words_total", "Model words carried across all rounds");
+telemetry::Counter& tm_packed_bytes = telemetry::registry().counter(
+    "ccq_engine_packed_bytes_total", "Packed arena bytes delivered");
+telemetry::Counter& tm_windows = telemetry::registry().counter(
+    "ccq_engine_windows_total", "run_window invocations");
+telemetry::Counter& tm_fused_windows = telemetry::registry().counter(
+    "ccq_engine_fused_windows_total", "Windows fusing more than one round");
+telemetry::Counter& tm_parallel_windows = telemetry::registry().counter(
+    "ccq_engine_parallel_windows_total", "Windows run on multiple lanes");
+telemetry::Counter& tm_serial_windows = telemetry::registry().counter(
+    "ccq_engine_serial_windows_total", "Windows run on the serial path");
+telemetry::Counter& tm_silent_rounds = telemetry::registry().counter(
+    "ccq_engine_silent_rounds_total", "Rounds skipped as silent");
+telemetry::Counter& tm_absorbed_rounds = telemetry::registry().counter(
+    "ccq_engine_absorbed_rounds_total",
+    "Rounds absorbed from virtual sub-instances");
 
 /// Packed arenas at or above this size take the cache-blocked placement
 /// path: a direct placement pass over an arena much larger than the cache
@@ -559,6 +587,19 @@ const RoundBuffer& CliqueEngine::run_window(std::span<const VertexId> senders,
     }
   }
   last_round_messages_ = message_count / k;
+
+  // Live telemetry, one batch of relaxed adds per window (the per-round
+  // trace/load accounting above is authoritative; these are the scrapeable
+  // mirrors of its totals).
+  std::uint64_t window_words = 0;
+  for (std::uint32_t r = 0; r < k; ++r) window_words += round_word_totals_[r];
+  tm_rounds.add(k);
+  tm_messages.add(message_count);
+  tm_words.add(window_words);
+  if (packed) tm_packed_bytes.add(arena_.total_bytes());
+  tm_windows.add();
+  if (k > 1) tm_fused_windows.add();
+  (lanes > 1 ? tm_parallel_windows : tm_serial_windows).add();
   return arena_;
 }
 
@@ -578,6 +619,8 @@ void CliqueEngine::skip_silent_rounds(std::uint64_t k) {
     throw ProtocolError(
         "skip_silent_rounds: 64-bit round counter would overflow");
   metrics_.rounds += k;
+  tm_rounds.add(k);
+  tm_silent_rounds.add(k);
   if (trace_ && k > 0) trace_->record_silent(metrics_.rounds, k);
   if (load_ && k > 0) load_->record_silent(metrics_.rounds, k);
 }
@@ -619,6 +662,9 @@ void CliqueEngine::charge_verified_round(std::uint64_t messages,
   metrics_.words += words;
   metrics_.max_messages_in_round =
       std::max(metrics_.max_messages_in_round, messages);
+  tm_rounds.add(1);
+  tm_messages.add(messages);
+  tm_words.add(words);
   if (trace_) trace_->record_round(metrics_.rounds, messages, words);
   // Fast-path schedules use each ordered link at most `messages_per_link`
   // times per round by construction; the engine cannot see the exact
@@ -643,6 +689,10 @@ void CliqueEngine::absorb_virtual(const Metrics& sub) {
   metrics_.words += sub.words;
   metrics_.max_messages_in_round =
       std::max(metrics_.max_messages_in_round, sub.max_messages_in_round);
+  tm_rounds.add(sub.rounds);
+  tm_messages.add(sub.messages);
+  tm_words.add(sub.words);
+  tm_absorbed_rounds.add(sub.rounds);
   if (trace_ && sub.rounds > 0) trace_->record_absorbed(metrics_.rounds, sub);
   if (load_ && sub.rounds > 0) load_->record_absorbed(metrics_.rounds, sub);
 }

@@ -12,6 +12,8 @@
 #include "service/binary_io.hpp"
 #include "sketch/sketch_kernels.hpp"
 #include "sketch/wire.hpp"
+#include "telemetry/metrics_registry.hpp"
+#include "util/clock.hpp"
 #include "util/error.hpp"
 #include "util/field.hpp"
 #include "util/random.hpp"
@@ -19,6 +21,78 @@
 namespace ccq {
 
 namespace {
+
+// Live telemetry (docs/TELEMETRY.md): the service's scrapeable mirror of
+// BatchStats / ServiceStats, registered once at namespace scope
+// (cliquelint CL011). Counters reconcile exactly with the cumulative
+// ServiceStats fields (pinned by the bench_service self-check); gauges are
+// levels refreshed at batch/recompute boundaries; *_ns histograms are
+// wall-derived and therefore excluded from canonical expositions.
+telemetry::Counter& tm_batches = telemetry::registry().counter(
+    "ccq_service_batches_total", "Batches accepted by apply_batch");
+telemetry::Counter& tm_updates = telemetry::registry().counter(
+    "ccq_service_updates_total", "Edge updates ingested (pre-netting)");
+telemetry::Counter& tm_inserts = telemetry::registry().counter(
+    "ccq_service_inserts_total", "Accepted inserts");
+telemetry::Counter& tm_deletes = telemetry::registry().counter(
+    "ccq_service_deletes_total", "Accepted deletes");
+telemetry::Counter& tm_ignored = telemetry::registry().counter(
+    "ccq_service_ignored_total", "No-op updates ignored (non-strict mode)");
+telemetry::Counter& tm_cancelled = telemetry::registry().counter(
+    "ccq_service_cancelled_total", "Accepted updates annihilated in-batch");
+telemetry::Counter& tm_net_edges = telemetry::registry().counter(
+    "ccq_service_net_edges_total", "Net edge flips applied to the sketches");
+telemetry::Counter& tm_touched = telemetry::registry().counter(
+    "ccq_service_touched_vertices_total", "Vertex lanes touched by batches");
+telemetry::Counter& tm_sig_hits = telemetry::registry().counter(
+    "ccq_service_sig_hits_total", "Signature-cache hits");
+telemetry::Counter& tm_sig_misses = telemetry::registry().counter(
+    "ccq_service_sig_misses_total", "Signature-cache misses (computed)");
+telemetry::Counter& tm_queries = telemetry::registry().counter(
+    "ccq_service_queries_total",
+    "connected/component_of/num_components queries answered");
+telemetry::Counter& tm_recomputes = telemetry::registry().counter(
+    "ccq_service_recomputes_total", "Lazy index recomputes");
+telemetry::Counter& tm_recompute_rounds = telemetry::registry().counter(
+    "ccq_service_recompute_rounds_total",
+    "Engine rounds charged by recomputes");
+telemetry::Counter& tm_recompute_messages = telemetry::registry().counter(
+    "ccq_service_recompute_messages_total",
+    "Engine messages charged by recomputes");
+telemetry::Counter& tm_boruvka_rounds = telemetry::registry().counter(
+    "ccq_service_boruvka_rounds_total",
+    "Sketch-Boruvka rounds across recomputes");
+telemetry::Gauge& tm_live_edges = telemetry::registry().gauge(
+    "ccq_service_live_edges", "Edges currently present");
+telemetry::Gauge& tm_generation = telemetry::registry().gauge(
+    "ccq_service_generation", "Sketch-state generation");
+telemetry::Gauge& tm_index_generation = telemetry::registry().gauge(
+    "ccq_service_index_generation", "Generation the query index reflects");
+telemetry::Gauge& tm_staleness = telemetry::registry().gauge(
+    "ccq_service_index_staleness",
+    "Generations the query index lags the sketches");
+telemetry::Gauge& tm_components = telemetry::registry().gauge(
+    "ccq_service_components", "Components at the last index refresh");
+telemetry::Gauge& tm_sig_cache = telemetry::registry().gauge(
+    "ccq_service_sig_cache_entries", "Signatures resident in the cache");
+telemetry::Histogram& tm_batch_updates = telemetry::registry().histogram(
+    "ccq_service_batch_updates", "Updates per ingested batch");
+telemetry::Histogram& tm_batch_apply_ns = telemetry::registry().wall_histogram(
+    "ccq_service_batch_apply_ns", "apply_batch latency under the writer lock");
+telemetry::Histogram& tm_recompute_ns = telemetry::registry().wall_histogram(
+    "ccq_service_recompute_ns", "Index recompute latency");
+telemetry::Histogram& tm_query_connected_ns =
+    telemetry::registry().wall_histogram(
+        "ccq_service_query_connected_ns", "connected() latency");
+telemetry::Histogram& tm_query_component_of_ns =
+    telemetry::registry().wall_histogram(
+        "ccq_service_query_component_of_ns", "component_of() latency");
+telemetry::Histogram& tm_query_num_components_ns =
+    telemetry::registry().wall_histogram(
+        "ccq_service_query_num_components_ns", "num_components() latency");
+telemetry::Histogram& tm_query_labels_ns =
+    telemetry::registry().wall_histogram(
+        "ccq_service_query_labels_ns", "component_labels() latency");
 
 /// Tag base for the recompute's sketch routing (copy/chunk ride in the low
 /// 16 bits, see sketch/wire).
@@ -169,6 +243,7 @@ const ConnectivityService::Signature& ConnectivityService::signature_of(
 BatchStats ConnectivityService::apply_batch(
     std::span<const EdgeUpdate> updates) {
   std::unique_lock lock{mu_};
+  const std::uint64_t apply_t0 = monotonic_ns();
   TraceScope svc_scope{*engine_, "service"};
   TraceScope batch_scope{*engine_, "ingest-batch", batches_};
   BatchStats out;
@@ -350,6 +425,24 @@ BatchStats ConnectivityService::apply_batch(
   cancelled_ += out.cancelled;
   sig_hits_ += out.sig_hits;
   sig_misses_ += out.sig_misses;
+
+  tm_batches.add();
+  tm_updates.add(out.updates);
+  tm_inserts.add(out.inserts);
+  tm_deletes.add(out.deletes);
+  tm_ignored.add(out.ignored);
+  tm_cancelled.add(out.cancelled);
+  tm_net_edges.add(out.net_edges);
+  tm_touched.add(out.touched_vertices);
+  tm_sig_hits.add(out.sig_hits);
+  tm_sig_misses.add(out.sig_misses);
+  tm_batch_updates.record(out.updates);
+  tm_live_edges.set(static_cast<std::int64_t>(present_.size()));
+  tm_generation.set(static_cast<std::int64_t>(generation_));
+  tm_staleness.set(static_cast<std::int64_t>(generation_ -
+                                             index_generation_));
+  tm_sig_cache.set(static_cast<std::int64_t>(sig_cache_.size()));
+  tm_batch_apply_ns.record(monotonic_ns() - apply_t0);
   return out;
 }
 
@@ -360,55 +453,81 @@ BatchStats ConnectivityService::apply(const EdgeUpdate& update) {
 bool ConnectivityService::connected(VertexId u, VertexId v) {
   check_vertex(u, config_.n, "connected");
   check_vertex(v, config_.n, "connected");
+  const std::uint64_t t0 = monotonic_ns();
   {
     std::shared_lock lock{mu_};
     if (index_generation_ == generation_) {
       queries_.fetch_add(1, std::memory_order_relaxed);
-      return labels_[u] == labels_[v];
+      tm_queries.add();
+      const bool same = labels_[u] == labels_[v];
+      tm_query_connected_ns.record(monotonic_ns() - t0);
+      return same;
     }
   }
   std::unique_lock lock{mu_};
   refresh_index_locked();
   queries_.fetch_add(1, std::memory_order_relaxed);
+  tm_queries.add();
+  tm_query_connected_ns.record(monotonic_ns() - t0);
   return labels_[u] == labels_[v];
 }
 
 VertexId ConnectivityService::component_of(VertexId u) {
   check_vertex(u, config_.n, "component_of");
+  const std::uint64_t t0 = monotonic_ns();
   {
     std::shared_lock lock{mu_};
     if (index_generation_ == generation_) {
       queries_.fetch_add(1, std::memory_order_relaxed);
-      return labels_[u];
+      tm_queries.add();
+      const VertexId label = labels_[u];
+      tm_query_component_of_ns.record(monotonic_ns() - t0);
+      return label;
     }
   }
   std::unique_lock lock{mu_};
   refresh_index_locked();
   queries_.fetch_add(1, std::memory_order_relaxed);
+  tm_queries.add();
+  tm_query_component_of_ns.record(monotonic_ns() - t0);
   return labels_[u];
 }
 
 std::uint32_t ConnectivityService::num_components() {
+  const std::uint64_t t0 = monotonic_ns();
   {
     std::shared_lock lock{mu_};
     if (index_generation_ == generation_) {
       queries_.fetch_add(1, std::memory_order_relaxed);
-      return num_components_;
+      tm_queries.add();
+      const std::uint32_t components = num_components_;
+      tm_query_num_components_ns.record(monotonic_ns() - t0);
+      return components;
     }
   }
   std::unique_lock lock{mu_};
   refresh_index_locked();
   queries_.fetch_add(1, std::memory_order_relaxed);
+  tm_queries.add();
+  tm_query_num_components_ns.record(monotonic_ns() - t0);
   return num_components_;
 }
 
 std::vector<VertexId> ConnectivityService::component_labels() {
+  // Not counted in ccq_service_queries_total: ServiceStats::queries has
+  // never counted label dumps, and the registry mirrors it exactly.
+  const std::uint64_t t0 = monotonic_ns();
   {
     std::shared_lock lock{mu_};
-    if (index_generation_ == generation_) return labels_;
+    if (index_generation_ == generation_) {
+      std::vector<VertexId> labels = labels_;
+      tm_query_labels_ns.record(monotonic_ns() - t0);
+      return labels;
+    }
   }
   std::unique_lock lock{mu_};
   refresh_index_locked();
+  tm_query_labels_ns.record(monotonic_ns() - t0);
   return labels_;
 }
 
@@ -532,6 +651,8 @@ SketchForestResult ConnectivityService::recompute_engine_locked() {
 
 void ConnectivityService::refresh_index_locked() {
   if (index_generation_ == generation_) return;
+  const std::uint64_t t0 = monotonic_ns();
+  const Metrics engine_before = engine_->metrics();
   TraceScope svc_scope{*engine_, "service"};
   TraceScope scope{*engine_, "recompute", recomputes_};
   ++recomputes_;
@@ -559,6 +680,16 @@ void ConnectivityService::refresh_index_locked() {
   }
   num_components_ = components;
   index_generation_ = generation_;
+
+  const Metrics& engine_after = engine_->metrics();
+  tm_recomputes.add();
+  tm_recompute_rounds.add(engine_after.rounds - engine_before.rounds);
+  tm_recompute_messages.add(engine_after.messages - engine_before.messages);
+  tm_boruvka_rounds.add(forest.boruvka_rounds);
+  tm_components.set(static_cast<std::int64_t>(components));
+  tm_index_generation.set(static_cast<std::int64_t>(index_generation_));
+  tm_staleness.set(0);
+  tm_recompute_ns.record(monotonic_ns() - t0);
 }
 
 ServiceSnapshot ConnectivityService::snapshot() const {

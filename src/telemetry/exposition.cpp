@@ -1,0 +1,117 @@
+#include "telemetry/exposition.hpp"
+
+namespace ccq::telemetry {
+
+namespace {
+
+void append_u64(std::string& out, std::uint64_t v) {
+  out += std::to_string(v);
+}
+
+void append_i64(std::string& out, std::int64_t v) {
+  out += std::to_string(v);
+}
+
+/// HELP text escaping per the 0.0.4 format: backslash and newline.
+void append_help(std::string& out, const std::string& help) {
+  for (const char c : help) {
+    if (c == '\\')
+      out += "\\\\";
+    else if (c == '\n')
+      out += "\\n";
+    else
+      out += c;
+  }
+}
+
+/// Cumulative upper bound of log2 bucket b: the largest integer the bucket
+/// can hold (0 for bucket 0, 2^b - 1 otherwise; saturates at uint64 max).
+std::uint64_t bucket_upper_bound(std::size_t b) {
+  if (b == 0) return 0;
+  if (b >= 64) return ~std::uint64_t{0};
+  return (std::uint64_t{1} << b) - 1;
+}
+
+}  // namespace
+
+std::string to_prometheus(const MetricsSnapshot& snap) {
+  std::string out;
+  for (const CounterSample& c : snap.counters) {
+    out += "# HELP " + c.name + " ";
+    append_help(out, c.help);
+    out += "\n# TYPE " + c.name + " counter\n" + c.name + " ";
+    append_u64(out, c.value);
+    out += "\n";
+  }
+  for (const GaugeSample& g : snap.gauges) {
+    out += "# HELP " + g.name + " ";
+    append_help(out, g.help);
+    out += "\n# TYPE " + g.name + " gauge\n" + g.name + " ";
+    append_i64(out, g.value);
+    out += "\n";
+  }
+  for (const HistogramSample& h : snap.histograms) {
+    out += "# HELP " + h.name + " ";
+    append_help(out, h.help);
+    out += "\n# TYPE " + h.name + " histogram\n";
+    std::uint64_t cumulative = 0;
+    for (std::size_t b = 0; b < h.data.buckets.size(); ++b) {
+      cumulative += h.data.buckets[b];
+      out += h.name + "_bucket{le=\"";
+      append_u64(out, bucket_upper_bound(b));
+      out += "\"} ";
+      append_u64(out, cumulative);
+      out += "\n";
+    }
+    out += h.name + "_bucket{le=\"+Inf\"} ";
+    append_u64(out, h.data.count);
+    out += "\n" + h.name + "_sum ";
+    append_u64(out, h.data.sum);
+    out += "\n" + h.name + "_count ";
+    append_u64(out, h.data.count);
+    out += "\n";
+  }
+  return out;
+}
+
+std::string to_ndjson(const MetricsSnapshot& snap, std::uint64_t scrape) {
+  std::string out;
+  out += "{\"type\":\"telemetry\",\"schema\":3,\"scrape\":";
+  append_u64(out, scrape);
+  out += ",\"counters\":{";
+  bool first = true;
+  for (const CounterSample& c : snap.counters) {
+    if (!first) out += ",";
+    first = false;
+    out += "\"" + c.name + "\":";
+    append_u64(out, c.value);
+  }
+  out += "},\"gauges\":{";
+  first = true;
+  for (const GaugeSample& g : snap.gauges) {
+    if (!first) out += ",";
+    first = false;
+    out += "\"" + g.name + "\":";
+    append_i64(out, g.value);
+  }
+  out += "},\"histograms\":{";
+  first = true;
+  for (const HistogramSample& h : snap.histograms) {
+    if (!first) out += ",";
+    first = false;
+    out += "\"" + h.name + "\":{\"buckets\":[";
+    for (std::size_t b = 0; b < h.data.buckets.size(); ++b) {
+      if (b > 0) out += ",";
+      append_u64(out, h.data.buckets[b]);
+    }
+    out += "],\"count\":";
+    append_u64(out, h.data.count);
+    out += ",\"sum\":";
+    append_u64(out, h.data.sum);
+    out += "}";
+  }
+  out += "}}\n";
+  return out;
+}
+
+}  // namespace ccq::telemetry

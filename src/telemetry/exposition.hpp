@@ -1,0 +1,31 @@
+// Render a MetricsSnapshot for the two consumers an operator has:
+//
+//   - to_prometheus: Prometheus text exposition format 0.0.4 (# HELP /
+//     # TYPE preambles; histograms as cumulative `le` buckets with exact
+//     `_sum`/`_count`). The log2 bucket i holds integer values in
+//     [2^(i-1), 2^i), so its cumulative upper bound is le="2^i - 1" —
+//     exact, not an approximation, because observations are integers.
+//   - to_ndjson: one NDJSON record per scrape, "type":"telemetry",
+//     "schema":3 — appendable to a schema-1/2 trace file and validated by
+//     tools/report/validate_ndjson.py.
+//
+// Both renderers walk the snapshot in its (name-sorted) order and emit no
+// timestamps, so canonical snapshots (wall instruments excluded) render
+// byte-identically across repeated runs (docs/TELEMETRY.md).
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "telemetry/metrics_registry.hpp"
+
+namespace ccq::telemetry {
+
+/// Prometheus text format 0.0.4 of the whole snapshot.
+std::string to_prometheus(const MetricsSnapshot& snap);
+
+/// One newline-terminated schema-3 NDJSON record. `scrape` is the caller's
+/// scrape ordinal (0-based, strictly increasing within a file).
+std::string to_ndjson(const MetricsSnapshot& snap, std::uint64_t scrape);
+
+}  // namespace ccq::telemetry

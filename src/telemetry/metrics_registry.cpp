@@ -1,0 +1,221 @@
+#include "telemetry/metrics_registry.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace ccq::telemetry {
+
+std::size_t log2_bucket(std::uint64_t value) noexcept {
+  std::size_t bucket = 0;
+  while (value > 0) {
+    ++bucket;
+    value >>= 1;
+  }
+  return bucket;
+}
+
+std::size_t shard_slot() noexcept {
+  // Round-robin slot assignment on first touch: a pool of w worker threads
+  // lands on w distinct stripes (for w <= kShards), and reused pool
+  // threads keep their stripe for the process lifetime.
+  static std::atomic<std::size_t> next{0};
+  thread_local const std::size_t slot =
+      next.fetch_add(1, std::memory_order_relaxed) % kShards;
+  return slot;
+}
+
+std::uint64_t Counter::value() const noexcept {
+  std::uint64_t total = 0;
+  for (const detail::CounterShard& s : shards_)
+    total += s.value.load(std::memory_order_relaxed);
+  return total;
+}
+
+HistogramData Histogram::data() const {
+  HistogramData out;
+  std::array<std::uint64_t, kHistogramBuckets> merged{};
+  for (const detail::HistogramShard& s : shards_) {
+    for (std::size_t b = 0; b < kHistogramBuckets; ++b)
+      merged[b] += s.buckets[b].load(std::memory_order_relaxed);
+    out.count += s.count.load(std::memory_order_relaxed);
+    out.sum += s.sum.load(std::memory_order_relaxed);
+  }
+  std::size_t last = kHistogramBuckets;
+  while (last > 0 && merged[last - 1] == 0) --last;
+  out.buckets.assign(merged.begin(),
+                     merged.begin() + static_cast<std::ptrdiff_t>(last));
+  return out;
+}
+
+std::uint64_t quantile_upper_bound(const HistogramData& h,
+                                   double q) noexcept {
+  if (h.count == 0) return 0;
+  const double rank = std::ceil(q * static_cast<double>(h.count));
+  const auto need = static_cast<std::uint64_t>(
+      std::clamp(rank, 1.0, static_cast<double>(h.count)));
+  std::uint64_t cumulative = 0;
+  for (std::size_t b = 0; b < h.buckets.size(); ++b) {
+    cumulative += h.buckets[b];
+    if (cumulative >= need) {
+      if (b == 0) return 0;
+      if (b >= 64) return ~std::uint64_t{0};
+      return (std::uint64_t{1} << b) - 1;
+    }
+  }
+  return ~std::uint64_t{0};  // unreachable while count == sum of buckets
+}
+
+void MetricsRegistry::check_name(std::string_view name,
+                                 const char* kind) const {
+  const auto ok_head = [](char c) { return c >= 'a' && c <= 'z'; };
+  const auto ok_tail = [&](char c) {
+    return ok_head(c) || (c >= '0' && c <= '9') || c == '_';
+  };
+  const bool valid = !name.empty() && ok_head(name.front()) &&
+                     std::all_of(name.begin(), name.end(), ok_tail);
+  if (!valid)
+    throw TelemetryError(
+        "MetricsRegistry: " + std::string{kind} + " name '" +
+        std::string{name} +
+        "' must match [a-z][a-z0-9_]* (see docs/TELEMETRY.md naming)");
+}
+
+Counter& MetricsRegistry::counter(std::string_view name,
+                                  std::string_view help) {
+  std::lock_guard lock{mu_};
+  if (const auto it = counters_.find(name); it != counters_.end())
+    return *it->second;
+  if (gauges_.contains(name) || histograms_.contains(name))
+    throw TelemetryError("MetricsRegistry: '" + std::string{name} +
+                         "' is already registered as a different "
+                         "instrument kind; pick a distinct counter name");
+  check_name(name, "counter");
+  auto owned = std::unique_ptr<Counter>{
+      new Counter{std::string{name}, std::string{help}}};
+  Counter& ref = *owned;
+  counters_.emplace(std::string{name}, std::move(owned));
+  return ref;
+}
+
+Gauge& MetricsRegistry::gauge(std::string_view name, std::string_view help) {
+  std::lock_guard lock{mu_};
+  if (const auto it = gauges_.find(name); it != gauges_.end())
+    return *it->second;
+  if (counters_.contains(name) || histograms_.contains(name))
+    throw TelemetryError("MetricsRegistry: '" + std::string{name} +
+                         "' is already registered as a different "
+                         "instrument kind; pick a distinct gauge name");
+  check_name(name, "gauge");
+  auto owned =
+      std::unique_ptr<Gauge>{new Gauge{std::string{name}, std::string{help}}};
+  Gauge& ref = *owned;
+  gauges_.emplace(std::string{name}, std::move(owned));
+  return ref;
+}
+
+Histogram& MetricsRegistry::histogram(std::string_view name,
+                                      std::string_view help) {
+  std::lock_guard lock{mu_};
+  if (const auto it = histograms_.find(name); it != histograms_.end()) {
+    if (it->second->wall())
+      throw TelemetryError("MetricsRegistry: '" + std::string{name} +
+                           "' was registered via wall_histogram; a "
+                           "deterministic re-registration would change its "
+                           "canonical-exposition visibility");
+    return *it->second;
+  }
+  if (counters_.contains(name) || gauges_.contains(name))
+    throw TelemetryError("MetricsRegistry: '" + std::string{name} +
+                         "' is already registered as a different "
+                         "instrument kind; pick a distinct histogram name");
+  check_name(name, "histogram");
+  auto owned = std::unique_ptr<Histogram>{
+      new Histogram{std::string{name}, std::string{help}, false}};
+  Histogram& ref = *owned;
+  histograms_.emplace(std::string{name}, std::move(owned));
+  return ref;
+}
+
+Histogram& MetricsRegistry::wall_histogram(std::string_view name,
+                                           std::string_view help) {
+  std::lock_guard lock{mu_};
+  if (const auto it = histograms_.find(name); it != histograms_.end()) {
+    if (!it->second->wall())
+      throw TelemetryError("MetricsRegistry: '" + std::string{name} +
+                           "' was registered as a deterministic histogram; "
+                           "a wall re-registration would leak nondeterminism "
+                           "into canonical expositions");
+    return *it->second;
+  }
+  if (counters_.contains(name) || gauges_.contains(name))
+    throw TelemetryError("MetricsRegistry: '" + std::string{name} +
+                         "' is already registered as a different "
+                         "instrument kind; pick a distinct histogram name");
+  check_name(name, "histogram");
+  auto owned = std::unique_ptr<Histogram>{
+      new Histogram{std::string{name}, std::string{help}, true}};
+  Histogram& ref = *owned;
+  histograms_.emplace(std::string{name}, std::move(owned));
+  return ref;
+}
+
+MetricsSnapshot MetricsRegistry::snapshot(bool include_wall) const {
+  std::lock_guard lock{mu_};
+  MetricsSnapshot snap;
+  snap.counters.reserve(counters_.size());
+  for (const auto& [name, c] : counters_)
+    snap.counters.push_back({name, c->help(), c->value()});
+  snap.gauges.reserve(gauges_.size());
+  for (const auto& [name, g] : gauges_)
+    snap.gauges.push_back({name, g->help(), g->value()});
+  snap.histograms.reserve(histograms_.size());
+  for (const auto& [name, h] : histograms_) {
+    if (h->wall() && !include_wall) continue;
+    snap.histograms.push_back({name, h->help(), h->wall(), h->data()});
+  }
+  return snap;
+}
+
+MetricsRegistry& MetricsRegistry::global() {
+  // Construct-on-first-use so namespace-scope registrations in any TU are
+  // safe; intentionally leaked (never destroyed) so instrument references
+  // stay valid in late static destructors and detached threads.
+  static MetricsRegistry* instance = new MetricsRegistry{};
+  return *instance;
+}
+
+MetricsSnapshot MetricsSnapshot::delta(const MetricsSnapshot& before,
+                                       const MetricsSnapshot& after) {
+  MetricsSnapshot out;
+  std::map<std::string_view, std::uint64_t> base_counters;
+  for (const CounterSample& c : before.counters)
+    base_counters.emplace(c.name, c.value);
+  out.counters.reserve(after.counters.size());
+  for (const CounterSample& c : after.counters) {
+    const auto it = base_counters.find(c.name);
+    const std::uint64_t base = it == base_counters.end() ? 0 : it->second;
+    out.counters.push_back({c.name, c.help, c.value - base});
+  }
+  out.gauges = after.gauges;  // levels, not accumulations
+  std::map<std::string_view, const HistogramData*> base_hists;
+  for (const HistogramSample& h : before.histograms)
+    base_hists.emplace(h.name, &h.data);
+  out.histograms.reserve(after.histograms.size());
+  for (const HistogramSample& h : after.histograms) {
+    HistogramSample d{h.name, h.help, h.wall, h.data};
+    if (const auto it = base_hists.find(h.name); it != base_hists.end()) {
+      const HistogramData& base = *it->second;
+      for (std::size_t b = 0;
+           b < base.buckets.size() && b < d.data.buckets.size(); ++b)
+        d.data.buckets[b] -= base.buckets[b];
+      d.data.count -= base.count;
+      d.data.sum -= base.sum;
+      while (!d.data.buckets.empty() && d.data.buckets.back() == 0)
+        d.data.buckets.pop_back();
+    }
+    out.histograms.push_back(std::move(d));
+  }
+  return out;
+}
+
+}  // namespace ccq::telemetry

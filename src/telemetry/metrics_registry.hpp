@@ -1,0 +1,260 @@
+// Live runtime metrics for the long-lived service shape.
+//
+// The trace/load-profile spine (docs/TRACING.md) is *post-hoc*: it exports
+// after a run ends. This layer is the *live* counterpart an operator
+// scrapes while the process is serving: a process-global registry of named
+// instruments — monotonic counters, gauges, and log2-bucketed histograms
+// with exact count/sum (the same bucket convention trace_export.cpp uses
+// for round histograms: bucket 0 holds exactly 0, bucket i >= 1 holds
+// values in [2^(i-1), 2^i)).
+//
+// Design rules (docs/TELEMETRY.md):
+//
+//   1. hot-path mutation is wait-free — counters and histograms stripe
+//      across cache-line-padded shards of relaxed atomics, so a round loop
+//      pays one uncontended fetch_add and never a lock;
+//   2. registration is cold — name lookup takes a mutex, so instruments
+//      are registered once at namespace scope or in constructors and
+//      mutated through the returned reference (cliquelint CL011);
+//   3. scrapes are deterministic — snapshot() merges shards with
+//      order-independent sums and emits instruments sorted by name, and
+//      every wall-clock-derived instrument (latency histograms) is marked
+//      `wall` and excluded from canonical snapshots, so two identical runs
+//      produce byte-identical expositions (telemetry/exposition.hpp);
+//   4. compiling with -DCLIQUE_NO_TELEMETRY turns every mutation into a
+//      no-op while keeping the API, pinning the "pure observer" claim the
+//      overhead table in EXPERIMENTS.md measures.
+#pragma once
+
+#include <array>
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <stdexcept>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace ccq::telemetry {
+
+/// False in a -DCLIQUE_NO_TELEMETRY build: instruments still exist (so all
+/// call sites compile) but every add/set/record is a no-op and scrapes
+/// read zeros.
+#if defined(CLIQUE_NO_TELEMETRY)
+inline constexpr bool kCompiledIn = false;
+#else
+inline constexpr bool kCompiledIn = true;
+#endif
+
+/// Thrown on registration misuse: malformed instrument names or one name
+/// registered under two different kinds. Never thrown on the hot path —
+/// mutation through an instrument reference cannot fail.
+class TelemetryError : public std::runtime_error {
+ public:
+  explicit TelemetryError(const std::string& what)
+      : std::runtime_error(what) {}
+};
+
+/// Same convention as trace_export.cpp: 0 -> bucket 0; v >= 1 -> bucket
+/// floor(log2(v)) + 1, i.e. bucket i holds [2^(i-1), 2^i).
+std::size_t log2_bucket(std::uint64_t value) noexcept;
+
+/// Buckets 0..64 cover the full uint64 range under the convention above.
+inline constexpr std::size_t kHistogramBuckets = 65;
+
+/// Mutation stripes: each writing thread owns a slot (round-robin on first
+/// touch), so a steady-state pool never bounces a cache line.
+inline constexpr std::size_t kShards = 8;
+
+/// Slot of the calling thread in every instrument's shard array.
+std::size_t shard_slot() noexcept;
+
+namespace detail {
+struct alignas(64) CounterShard {
+  std::atomic<std::uint64_t> value{0};
+};
+struct alignas(64) HistogramShard {
+  std::array<std::atomic<std::uint64_t>, kHistogramBuckets> buckets{};
+  std::atomic<std::uint64_t> count{0};
+  std::atomic<std::uint64_t> sum{0};
+};
+}  // namespace detail
+
+/// Monotonic counter. add() is wait-free; value() sums the shards (exact:
+/// uint64 addition is associative and commutative, so the merge order can
+/// never show through).
+class Counter {
+ public:
+  void add(std::uint64_t by = 1) noexcept {
+    if constexpr (kCompiledIn)
+      shards_[shard_slot()].value.fetch_add(by, std::memory_order_relaxed);
+    else
+      (void)by;
+  }
+  std::uint64_t value() const noexcept;
+  const std::string& name() const noexcept { return name_; }
+  const std::string& help() const noexcept { return help_; }
+
+ private:
+  friend class MetricsRegistry;
+  Counter(std::string name, std::string help)
+      : name_(std::move(name)), help_(std::move(help)) {}
+  std::string name_;
+  std::string help_;
+  std::array<detail::CounterShard, kShards> shards_{};
+};
+
+/// Last-writer-wins level (queue depth, generation, staleness). A gauge is
+/// a single atomic — its writers are already serialized by the owning
+/// component's lock, so striping would only blur the level semantics.
+class Gauge {
+ public:
+  void set(std::int64_t value) noexcept {
+    if constexpr (kCompiledIn)
+      value_.store(value, std::memory_order_relaxed);
+    else
+      (void)value;
+  }
+  void add(std::int64_t by) noexcept {
+    if constexpr (kCompiledIn)
+      value_.fetch_add(by, std::memory_order_relaxed);
+    else
+      (void)by;
+  }
+  std::int64_t value() const noexcept {
+    return value_.load(std::memory_order_relaxed);
+  }
+  const std::string& name() const noexcept { return name_; }
+  const std::string& help() const noexcept { return help_; }
+
+ private:
+  friend class MetricsRegistry;
+  Gauge(std::string name, std::string help)
+      : name_(std::move(name)), help_(std::move(help)) {}
+  std::string name_;
+  std::string help_;
+  std::atomic<std::int64_t> value_{0};
+};
+
+/// Merged view of one histogram: trimmed log2 buckets plus the exact
+/// count/sum the buckets alone cannot reconstruct.
+struct HistogramData {
+  std::vector<std::uint64_t> buckets;  // trimmed after the last non-zero
+  std::uint64_t count{0};
+  std::uint64_t sum{0};
+};
+
+/// Upper bound of the bucket holding quantile q (0 < q <= 1): the smallest
+/// value v such that at least ceil(q * count) observations are <= v under
+/// the bucket convention. 0 when the histogram is empty.
+std::uint64_t quantile_upper_bound(const HistogramData& h, double q) noexcept;
+
+/// Log2-bucketed value/latency histogram with exact count and sum.
+/// record() is wait-free: one bucket increment plus count/sum, all relaxed.
+class Histogram {
+ public:
+  void record(std::uint64_t value) noexcept {
+    if constexpr (kCompiledIn) {
+      detail::HistogramShard& s = shards_[shard_slot()];
+      s.buckets[log2_bucket(value)].fetch_add(1, std::memory_order_relaxed);
+      s.count.fetch_add(1, std::memory_order_relaxed);
+      s.sum.fetch_add(value, std::memory_order_relaxed);
+    } else {
+      (void)value;
+    }
+  }
+  HistogramData data() const;
+  const std::string& name() const noexcept { return name_; }
+  const std::string& help() const noexcept { return help_; }
+  /// Wall-clock-derived (registered via wall_histogram): excluded from
+  /// canonical snapshots so expositions stay byte-deterministic.
+  bool wall() const noexcept { return wall_; }
+
+ private:
+  friend class MetricsRegistry;
+  Histogram(std::string name, std::string help, bool wall)
+      : name_(std::move(name)), help_(std::move(help)), wall_(wall) {}
+  std::string name_;
+  std::string help_;
+  bool wall_;
+  std::array<detail::HistogramShard, kShards> shards_{};
+};
+
+struct CounterSample {
+  std::string name;
+  std::string help;
+  std::uint64_t value{0};
+};
+
+struct GaugeSample {
+  std::string name;
+  std::string help;
+  std::int64_t value{0};
+};
+
+struct HistogramSample {
+  std::string name;
+  std::string help;
+  bool wall{false};
+  HistogramData data;
+};
+
+/// One scrape: every instrument family sorted by name (std::map order), so
+/// rendering a snapshot is deterministic by construction.
+struct MetricsSnapshot {
+  std::vector<CounterSample> counters;
+  std::vector<GaugeSample> gauges;
+  std::vector<HistogramSample> histograms;
+
+  /// after - before, matched by name: counters and histograms subtract
+  /// (monotonic, so `before` taken earlier in the same process is always a
+  /// prefix <= `after`); gauges keep the `after` level. Instruments that
+  /// appear only in `after` pass through unchanged — this is what lets a
+  /// test isolate its own contribution to the process-global registry.
+  static MetricsSnapshot delta(const MetricsSnapshot& before,
+                               const MetricsSnapshot& after);
+};
+
+/// The process-global instrument directory. Registration is idempotent:
+/// the same (name, kind) returns the same instrument forever (references
+/// are stable — instruments are never destroyed while the process lives),
+/// and a kind clash or a name outside [a-z][a-z0-9_]* throws
+/// TelemetryError. Scrapes never block mutation.
+class MetricsRegistry {
+ public:
+  Counter& counter(std::string_view name, std::string_view help);
+  Gauge& gauge(std::string_view name, std::string_view help);
+  Histogram& histogram(std::string_view name, std::string_view help);
+  /// A histogram fed from util/clock monotonic_ns deltas (or any other
+  /// wall-derived quantity): identical API, but canonical snapshots skip
+  /// it so repeated runs stay byte-identical.
+  Histogram& wall_histogram(std::string_view name, std::string_view help);
+
+  /// Merge every shard and return the sorted snapshot. include_wall=false
+  /// (canonical) drops wall-derived instruments; the watchdog scrapes with
+  /// include_wall=true because its latency rules need them.
+  MetricsSnapshot snapshot(bool include_wall = false) const;
+
+  /// The process-global registry (construct-on-first-use).
+  static MetricsRegistry& global();
+
+  MetricsRegistry() = default;
+  MetricsRegistry(const MetricsRegistry&) = delete;
+  MetricsRegistry& operator=(const MetricsRegistry&) = delete;
+
+ private:
+  void check_name(std::string_view name, const char* kind) const;
+
+  mutable std::mutex mu_;
+  std::map<std::string, std::unique_ptr<Counter>, std::less<>> counters_;
+  std::map<std::string, std::unique_ptr<Gauge>, std::less<>> gauges_;
+  std::map<std::string, std::unique_ptr<Histogram>, std::less<>> histograms_;
+};
+
+/// Shorthand for MetricsRegistry::global() — the spelling every
+/// instrumented module uses at namespace scope.
+inline MetricsRegistry& registry() { return MetricsRegistry::global(); }
+
+}  // namespace ccq::telemetry

@@ -1,0 +1,229 @@
+#include "telemetry/watchdog.hpp"
+
+#include <algorithm>
+#include <chrono>
+
+#include "util/clock.hpp"
+
+namespace ccq::telemetry {
+
+namespace {
+
+const CounterSample* find_counter(const MetricsSnapshot& snap,
+                                  const std::string& name) {
+  for (const CounterSample& c : snap.counters)
+    if (c.name == name) return &c;
+  return nullptr;
+}
+
+const GaugeSample* find_gauge(const MetricsSnapshot& snap,
+                              const std::string& name) {
+  for (const GaugeSample& g : snap.gauges)
+    if (g.name == name) return &g;
+  return nullptr;
+}
+
+const HistogramSample* find_histogram(const MetricsSnapshot& snap,
+                                      const std::string& name) {
+  for (const HistogramSample& h : snap.histograms)
+    if (h.name == name) return &h;
+  return nullptr;
+}
+
+}  // namespace
+
+std::string HealthReport::to_string() const {
+  std::string out = healthy ? "health:   OK (" : "health:   DEGRADED (";
+  out += std::to_string(scrapes) + " scrape" + (scrapes == 1 ? "" : "s");
+  if (!issues.empty())
+    out += ", " + std::to_string(issues.size()) + " issue" +
+           (issues.size() == 1 ? "" : "s");
+  out += ")";
+  for (const HealthIssue& issue : issues)
+    out += "\n  - " + issue.message +
+           (issue.fired > 1 ? " [fired " + std::to_string(issue.fired) + "x]"
+                            : "");
+  return out;
+}
+
+Watchdog::Watchdog(MetricsRegistry& reg, Config config)
+    : reg_(reg), config_(std::move(config)) {}
+
+Watchdog::~Watchdog() { stop(); }
+
+void Watchdog::start() {
+  {
+    std::lock_guard lock{mu_};
+    if (running_) return;
+    stop_requested_ = false;
+    running_ = true;
+  }
+  thread_ = std::thread([this] { thread_loop(); });
+}
+
+void Watchdog::stop() {
+  {
+    std::lock_guard lock{mu_};
+    if (!running_) return;
+    stop_requested_ = true;
+  }
+  cv_.notify_all();
+  thread_.join();
+  std::lock_guard lock{mu_};
+  running_ = false;
+}
+
+void Watchdog::thread_loop() {
+  for (;;) {
+    {
+      std::unique_lock lock{mu_};
+      cv_.wait_for(lock, std::chrono::milliseconds{config_.interval_ms},
+                   [&] { return stop_requested_; });
+      if (stop_requested_) return;
+    }
+    scrape_and_evaluate();
+  }
+}
+
+void Watchdog::scrape_once() { scrape_and_evaluate(); }
+
+void Watchdog::scrape_and_evaluate() {
+  // Scrape outside the watchdog lock: the registry has its own mutex and
+  // the merge can be sizeable; only ring/issue bookkeeping is serialized.
+  MetricsSnapshot snap = reg_.snapshot(/*include_wall=*/true);
+  const std::uint64_t now = monotonic_ns();
+  std::lock_guard lock{mu_};
+  ring_.push_back({std::move(snap), now});
+  while (ring_.size() > config_.ring_capacity) ring_.pop_front();
+  ++scrapes_;
+  evaluate_locked();
+}
+
+void Watchdog::fire_locked(const std::string& key, std::string message) {
+  HealthIssue& issue = issues_[key];
+  issue.rule = key;
+  issue.message = std::move(message);
+  ++issue.fired;
+}
+
+void Watchdog::evaluate_locked() {
+  const MetricsSnapshot& now = ring_.back().snap;
+  for (const HealthRule& rule : config_.rules) {
+    switch (rule.kind) {
+      case HealthRule::Kind::kCounterStall: {
+        const std::size_t need = static_cast<std::size_t>(rule.window) + 1;
+        if (ring_.size() < need) break;
+        const CounterSample* latest = find_counter(now, rule.instrument);
+        if (!latest) break;
+        bool stalled = true;
+        for (std::size_t i = ring_.size() - need; i + 1 < ring_.size();
+             ++i) {
+          const CounterSample* c =
+              find_counter(ring_[i].snap, rule.instrument);
+          if (!c || c->value != latest->value) {
+            stalled = false;
+            break;
+          }
+        }
+        if (stalled)
+          fire_locked(
+              "stall(" + rule.instrument + ")",
+              "watchdog: counter '" + rule.instrument + "' stalled at " +
+                  std::to_string(latest->value) + " across " +
+                  std::to_string(need) +
+                  " scrapes: no forward progress — check the ingest "
+                  "feeder, or widen --telemetry-interval if batches "
+                  "legitimately take longer than the scrape window");
+        break;
+      }
+      case HealthRule::Kind::kHistogramP99Above: {
+        const HistogramSample* h = find_histogram(now, rule.instrument);
+        if (!h || h->data.count == 0) break;
+        const std::uint64_t p99 = quantile_upper_bound(h->data, 0.99);
+        if (p99 > rule.threshold)
+          fire_locked(
+              "p99(" + rule.instrument + ")",
+              "watchdog: histogram '" + rule.instrument + "' p99 ~" +
+                  std::to_string(p99) + " exceeds threshold " +
+                  std::to_string(rule.threshold) +
+                  ": latency over budget — shrink --batch or raise "
+                  "tuning.threads");
+        break;
+      }
+      case HealthRule::Kind::kGaugeAbove: {
+        const GaugeSample* g = find_gauge(now, rule.instrument);
+        if (!g) break;
+        if (g->value > 0 &&
+            static_cast<std::uint64_t>(g->value) > rule.threshold)
+          fire_locked(
+              "gauge(" + rule.instrument + ")",
+              "watchdog: gauge '" + rule.instrument + "' at " +
+                  std::to_string(g->value) + " exceeds threshold " +
+                  std::to_string(rule.threshold) +
+                  ": level over budget — issue a query to refresh the "
+                  "index, or drain the backlog before ingesting more");
+        break;
+      }
+      case HealthRule::Kind::kSnapshotAge:
+        break;  // wall-relative: evaluated in report(), not per scrape
+    }
+  }
+}
+
+std::size_t Watchdog::ring_size() const {
+  std::lock_guard lock{mu_};
+  return ring_.size();
+}
+
+MetricsSnapshot Watchdog::latest() const {
+  std::lock_guard lock{mu_};
+  if (ring_.empty()) return {};
+  return ring_.back().snap;
+}
+
+HealthReport Watchdog::report() const {
+  std::lock_guard lock{mu_};
+  HealthReport out;
+  out.scrapes = scrapes_;
+  for (const auto& [key, issue] : issues_) out.issues.push_back(issue);
+  // Snapshot-age rules compare against *now*, so they live here rather
+  // than in the scrape path (a dead scrape thread cannot self-report).
+  for (const HealthRule& rule : config_.rules) {
+    if (rule.kind != HealthRule::Kind::kSnapshotAge || ring_.empty())
+      continue;
+    const std::uint64_t age_ms =
+        (monotonic_ns() - ring_.back().mono_ns) / 1'000'000;
+    if (age_ms > rule.threshold) {
+      HealthIssue issue;
+      issue.rule = "age";
+      issue.fired = 1;
+      issue.message =
+          "watchdog: newest snapshot is " + std::to_string(age_ms) +
+          " ms old (limit " + std::to_string(rule.threshold) +
+          " ms): the scrape thread is starved or stopped — restart the "
+          "watchdog or lower interval_ms";
+      out.issues.push_back(std::move(issue));
+    }
+  }
+  std::sort(out.issues.begin(), out.issues.end(),
+            [](const HealthIssue& a, const HealthIssue& b) {
+              return a.rule < b.rule;
+            });
+  out.healthy = out.issues.empty();
+  return out;
+}
+
+std::vector<HealthRule> Watchdog::service_rules(std::uint32_t interval_ms) {
+  std::vector<HealthRule> rules;
+  rules.push_back({HealthRule::Kind::kCounterStall,
+                   "ccq_service_updates_total", 0, 3});
+  rules.push_back({HealthRule::Kind::kHistogramP99Above,
+                   "ccq_service_batch_apply_ns", 10'000'000'000ull, 0});
+  if (interval_ms > 0)
+    rules.push_back({HealthRule::Kind::kSnapshotAge, "",
+                     std::max<std::uint64_t>(10'000, 10ull * interval_ms),
+                     0});
+  return rules;
+}
+
+}  // namespace ccq::telemetry

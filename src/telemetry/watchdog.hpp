@@ -1,0 +1,124 @@
+// Health watchdog over the live metrics registry.
+//
+// A background thread (or a caller-driven scrape_once(), which is what the
+// deterministic tests and the stream driver's final report use) scrapes
+// the registry on an interval, keeps the last ring_capacity snapshots in a
+// ring, and evaluates declarative health rules against that history:
+//
+//   kCounterStall       a progress counter whose value is identical across
+//                       the last `window`+1 scrapes — the ingest loop (or
+//                       whatever feeds the counter) has stopped advancing;
+//   kHistogramP99Above  the p99 upper bound of a (typically wall) latency
+//                       histogram exceeds `threshold`;
+//   kGaugeAbove         a level gauge exceeds `threshold`;
+//   kSnapshotAge        evaluated at report() time: the newest snapshot is
+//                       older than `threshold` ms — the scrape thread
+//                       itself is starved or dead.
+//
+// Fired rules become HealthIssues with exact actionable strings in the
+// ServiceError style (service/service_error.hpp): every message names the
+// instrument, the observed value, and the knob to turn. The watchdog
+// scrapes with wall instruments included — its latency rules need them —
+// but never writes a file; canonical expositions stay the caller's job.
+#pragma once
+
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <map>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "telemetry/metrics_registry.hpp"
+
+namespace ccq::telemetry {
+
+struct HealthRule {
+  enum class Kind : std::uint8_t {
+    kCounterStall,
+    kHistogramP99Above,
+    kGaugeAbove,
+    kSnapshotAge,
+  };
+  Kind kind{Kind::kCounterStall};
+  std::string instrument;      // unused by kSnapshotAge
+  std::uint64_t threshold{0};  // p99 ns / gauge level / age ms
+  std::uint32_t window{3};     // kCounterStall: scrapes without progress
+};
+
+struct HealthIssue {
+  std::string rule;     // "stall(ccq_service_updates_total)" etc.
+  std::string message;  // exact actionable string
+  std::uint64_t fired{0};
+};
+
+struct HealthReport {
+  bool healthy{true};
+  std::uint64_t scrapes{0};
+  std::vector<HealthIssue> issues;  // sorted by rule key
+  /// "health:   OK (3 scrapes)" or a DEGRADED block listing every issue.
+  std::string to_string() const;
+};
+
+class Watchdog {
+ public:
+  struct Config {
+    std::uint32_t interval_ms{1000};
+    std::size_t ring_capacity{64};
+    std::vector<HealthRule> rules;
+  };
+
+  Watchdog(MetricsRegistry& reg, Config config);
+  ~Watchdog();
+
+  Watchdog(const Watchdog&) = delete;
+  Watchdog& operator=(const Watchdog&) = delete;
+
+  /// Spawn the background scrape thread (idempotent).
+  void start();
+  /// Stop and join it (idempotent; the destructor calls this).
+  void stop();
+
+  /// One synchronous scrape + rule evaluation on the calling thread — the
+  /// deterministic path tests and exit-time reports use.
+  void scrape_once();
+
+  std::size_t ring_size() const;
+  /// Newest ring snapshot (empty snapshot before the first scrape).
+  MetricsSnapshot latest() const;
+  HealthReport report() const;
+
+  /// The rule set stream_driver arms for a ConnectivityService ingest:
+  /// stall on ccq_service_updates_total (window 3), batch-apply p99 over
+  /// 10 s, and — only meaningful with a live scrape thread — snapshot age
+  /// over max(10 s, 10 * interval_ms).
+  static std::vector<HealthRule> service_rules(std::uint32_t interval_ms);
+
+ private:
+  struct RingEntry {
+    MetricsSnapshot snap;
+    std::uint64_t mono_ns{0};
+  };
+
+  void thread_loop();
+  void scrape_and_evaluate();
+  void evaluate_locked();
+  void fire_locked(const std::string& key, std::string message);
+
+  MetricsRegistry& reg_;
+  const Config config_;
+
+  mutable std::mutex mu_;
+  std::condition_variable cv_;
+  bool stop_requested_{false};
+  bool running_{false};
+  std::thread thread_;
+
+  std::deque<RingEntry> ring_;
+  std::uint64_t scrapes_{0};
+  std::map<std::string, HealthIssue> issues_;
+};
+
+}  // namespace ccq::telemetry

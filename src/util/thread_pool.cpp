@@ -2,7 +2,23 @@
 
 #include <algorithm>
 
+#include "telemetry/metrics_registry.hpp"
+
 namespace ccq {
+
+namespace {
+
+// Registered once at namespace scope (cliquelint CL011); run() mutates
+// only through the bound references. The gauge is a level: the task count
+// of the run in flight, 0 while the pool is parked.
+telemetry::Counter& tm_pool_runs = telemetry::registry().counter(
+    "ccq_pool_runs_total", "ThreadPool::run invocations");
+telemetry::Counter& tm_pool_tasks = telemetry::registry().counter(
+    "ccq_pool_tasks_total", "Tasks executed across all pool runs");
+telemetry::Gauge& tm_pool_depth = telemetry::registry().gauge(
+    "ccq_pool_queue_depth", "Tasks outstanding in the current pool run");
+
+}  // namespace
 
 unsigned ThreadPool::hardware_threads() {
   return std::max(1u, std::thread::hardware_concurrency());
@@ -52,8 +68,12 @@ void ThreadPool::worker_loop() {
 void ThreadPool::run(unsigned num_tasks,
                      const std::function<void(unsigned)>& job) {
   if (num_tasks == 0) return;
+  tm_pool_runs.add();
+  tm_pool_tasks.add(num_tasks);
+  tm_pool_depth.set(num_tasks);
   if (workers_.empty() || num_tasks == 1) {
     for (unsigned t = 0; t < num_tasks; ++t) job(t);
+    tm_pool_depth.set(0);
     return;
   }
   {
@@ -74,6 +94,7 @@ void ThreadPool::run(unsigned num_tasks,
   std::unique_lock lk(mu_);
   cv_done_.wait(lk, [&] { return active_ == 0; });
   job_ = nullptr;
+  tm_pool_depth.set(0);
 }
 
 }  // namespace ccq

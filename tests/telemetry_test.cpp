@@ -1,0 +1,352 @@
+// Live telemetry layer (src/telemetry/, docs/TELEMETRY.md): bucket
+// convention, sharded-merge exactness, registration contracts, canonical
+// snapshot determinism for both exposition formats, and the watchdog's
+// health rules on seeded stall/latency/level fixtures.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "telemetry/exposition.hpp"
+#include "telemetry/metrics_registry.hpp"
+#include "telemetry/watchdog.hpp"
+
+namespace ccq::telemetry {
+namespace {
+
+TEST(TelemetryBuckets, Log2BucketBoundaries) {
+  // trace_export.cpp convention: 0 -> bucket 0, [2^(i-1), 2^i) -> bucket i.
+  EXPECT_EQ(log2_bucket(0), 0u);
+  EXPECT_EQ(log2_bucket(1), 1u);
+  EXPECT_EQ(log2_bucket(2), 2u);
+  EXPECT_EQ(log2_bucket(3), 2u);
+  EXPECT_EQ(log2_bucket(4), 3u);
+  EXPECT_EQ(log2_bucket(7), 3u);
+  EXPECT_EQ(log2_bucket(8), 4u);
+  EXPECT_EQ(log2_bucket(1023), 10u);
+  EXPECT_EQ(log2_bucket(1024), 11u);
+  EXPECT_EQ(log2_bucket(~std::uint64_t{0}), 64u);
+  EXPECT_LT(log2_bucket(~std::uint64_t{0}), kHistogramBuckets);
+}
+
+TEST(TelemetryCounter, ShardMergeMatchesSerialTotal) {
+  if (!kCompiledIn) GTEST_SKIP() << "built with CLIQUE_NO_TELEMETRY";
+  MetricsRegistry reg;
+  Counter& c = reg.counter("ccq_test_adds_total", "test");
+  constexpr int kThreads = 8;
+  constexpr std::uint64_t kPerThread = 10000;
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t)
+    threads.emplace_back([&] {
+      for (std::uint64_t i = 0; i < kPerThread; ++i) c.add(3);
+    });
+  for (std::thread& t : threads) t.join();
+  EXPECT_EQ(c.value(), 3 * kThreads * kPerThread);
+}
+
+TEST(TelemetryHistogram, ShardMergeMatchesSerialTotal) {
+  if (!kCompiledIn) GTEST_SKIP() << "built with CLIQUE_NO_TELEMETRY";
+  MetricsRegistry reg;
+  Histogram& h = reg.histogram("ccq_test_values", "test");
+  constexpr int kThreads = 8;
+  constexpr std::uint64_t kPerThread = 5000;
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t)
+    threads.emplace_back([&, t] {
+      for (std::uint64_t i = 0; i < kPerThread; ++i)
+        h.record(static_cast<std::uint64_t>(t) * kPerThread + i);
+    });
+  for (std::thread& t : threads) t.join();
+  const HistogramData data = h.data();
+  EXPECT_EQ(data.count, kThreads * kPerThread);
+  const std::uint64_t n = kThreads * kPerThread;
+  EXPECT_EQ(data.sum, n * (n - 1) / 2);  // recorded 0..n-1 exactly once
+  std::uint64_t bucket_total = 0;
+  for (const std::uint64_t b : data.buckets) bucket_total += b;
+  EXPECT_EQ(bucket_total, data.count);
+}
+
+TEST(TelemetryHistogram, DataTrimsTrailingZeroBuckets) {
+  if (!kCompiledIn) GTEST_SKIP() << "built with CLIQUE_NO_TELEMETRY";
+  MetricsRegistry reg;
+  Histogram& h = reg.histogram("ccq_test_trim", "test");
+  h.record(0);
+  h.record(1);
+  h.record(2);
+  h.record(3);
+  h.record(8);
+  const HistogramData data = h.data();
+  ASSERT_EQ(data.buckets.size(), 5u);  // last non-zero is bucket 4 (value 8)
+  EXPECT_EQ(data.buckets[0], 1u);
+  EXPECT_EQ(data.buckets[1], 1u);
+  EXPECT_EQ(data.buckets[2], 2u);
+  EXPECT_EQ(data.buckets[3], 0u);
+  EXPECT_EQ(data.buckets[4], 1u);
+  EXPECT_EQ(data.count, 5u);
+  EXPECT_EQ(data.sum, 14u);
+}
+
+TEST(TelemetryHistogram, QuantileUpperBound) {
+  HistogramData empty;
+  EXPECT_EQ(quantile_upper_bound(empty, 0.99), 0u);
+  if (!kCompiledIn) GTEST_SKIP() << "built with CLIQUE_NO_TELEMETRY";
+  MetricsRegistry reg;
+  Histogram& h = reg.histogram("ccq_test_quantiles", "test");
+  for (int i = 0; i < 99; ++i) h.record(1);
+  h.record(1000);  // bucket 10: [512, 1024)
+  const HistogramData data = h.data();
+  EXPECT_EQ(quantile_upper_bound(data, 0.50), 1u);
+  EXPECT_EQ(quantile_upper_bound(data, 0.99), 1u);
+  EXPECT_EQ(quantile_upper_bound(data, 1.0), 1023u);
+}
+
+TEST(TelemetryRegistry, RegistrationIsIdempotent) {
+  MetricsRegistry reg;
+  Counter& a = reg.counter("ccq_test_idem_total", "first");
+  Counter& b = reg.counter("ccq_test_idem_total", "second help is ignored");
+  EXPECT_EQ(&a, &b);
+  Gauge& g1 = reg.gauge("ccq_test_level", "x");
+  Gauge& g2 = reg.gauge("ccq_test_level", "x");
+  EXPECT_EQ(&g1, &g2);
+  Histogram& h1 = reg.wall_histogram("ccq_test_wall_ns", "x");
+  Histogram& h2 = reg.wall_histogram("ccq_test_wall_ns", "x");
+  EXPECT_EQ(&h1, &h2);
+  EXPECT_TRUE(h1.wall());
+}
+
+TEST(TelemetryRegistry, KindClashesAndBadNamesThrow) {
+  MetricsRegistry reg;
+  reg.counter("ccq_test_clash", "x");
+  EXPECT_THROW(reg.gauge("ccq_test_clash", "x"), TelemetryError);
+  EXPECT_THROW(reg.histogram("ccq_test_clash", "x"), TelemetryError);
+  reg.histogram("ccq_test_det_hist", "x");
+  // Re-registering a deterministic histogram as wall-derived (or vice
+  // versa) silently changing canonical output would be a trap — it throws.
+  EXPECT_THROW(reg.wall_histogram("ccq_test_det_hist", "x"), TelemetryError);
+  EXPECT_THROW(reg.counter("", "x"), TelemetryError);
+  EXPECT_THROW(reg.counter("Upper_case", "x"), TelemetryError);
+  EXPECT_THROW(reg.counter("9starts_with_digit", "x"), TelemetryError);
+  EXPECT_THROW(reg.counter("has-dash", "x"), TelemetryError);
+}
+
+TEST(TelemetrySnapshot, SortedAndCanonicalExcludesWall) {
+  MetricsRegistry reg;
+  reg.counter("ccq_zzz_total", "z");
+  reg.counter("ccq_aaa_total", "a");
+  reg.gauge("ccq_mid_level", "m");
+  reg.histogram("ccq_det_hist", "deterministic");
+  reg.wall_histogram("ccq_wall_ns", "wall latency");
+  const MetricsSnapshot canonical = reg.snapshot();
+  ASSERT_EQ(canonical.counters.size(), 2u);
+  EXPECT_EQ(canonical.counters[0].name, "ccq_aaa_total");
+  EXPECT_EQ(canonical.counters[1].name, "ccq_zzz_total");
+  ASSERT_EQ(canonical.histograms.size(), 1u);
+  EXPECT_EQ(canonical.histograms[0].name, "ccq_det_hist");
+  const MetricsSnapshot wall = reg.snapshot(/*include_wall=*/true);
+  ASSERT_EQ(wall.histograms.size(), 2u);
+  EXPECT_EQ(wall.histograms[1].name, "ccq_wall_ns");
+  EXPECT_TRUE(wall.histograms[1].wall);
+}
+
+TEST(TelemetrySnapshot, DeltaSubtractsCountersAndKeepsGaugeLevels) {
+  if (!kCompiledIn) GTEST_SKIP() << "built with CLIQUE_NO_TELEMETRY";
+  MetricsRegistry reg;
+  Counter& c = reg.counter("ccq_test_delta_total", "x");
+  Gauge& g = reg.gauge("ccq_test_delta_level", "x");
+  Histogram& h = reg.histogram("ccq_test_delta_hist", "x");
+  c.add(10);
+  g.set(5);
+  h.record(4);
+  const MetricsSnapshot before = reg.snapshot();
+  c.add(7);
+  g.set(42);
+  h.record(4);
+  h.record(100);
+  Counter& later = reg.counter("ccq_test_late_total", "registered after");
+  later.add(3);
+  const MetricsSnapshot delta =
+      MetricsSnapshot::delta(before, reg.snapshot());
+  ASSERT_EQ(delta.counters.size(), 2u);
+  EXPECT_EQ(delta.counters[0].name, "ccq_test_delta_total");
+  EXPECT_EQ(delta.counters[0].value, 7u);
+  EXPECT_EQ(delta.counters[1].name, "ccq_test_late_total");
+  EXPECT_EQ(delta.counters[1].value, 3u);  // after-only passes through
+  ASSERT_EQ(delta.gauges.size(), 1u);
+  EXPECT_EQ(delta.gauges[0].value, 42);  // level, not difference
+  ASSERT_EQ(delta.histograms.size(), 1u);
+  EXPECT_EQ(delta.histograms[0].data.count, 2u);
+  EXPECT_EQ(delta.histograms[0].data.sum, 104u);
+}
+
+TEST(TelemetryExposition, RepeatedCanonicalScrapesAreByteIdentical) {
+  MetricsRegistry reg;
+  Counter& c = reg.counter("ccq_test_repeat_total", "r");
+  Histogram& h = reg.histogram("ccq_test_repeat_hist", "r");
+  Histogram& w = reg.wall_histogram("ccq_test_repeat_wall_ns", "r");
+  c.add(17);
+  h.record(9);
+  const std::string prom1 = to_prometheus(reg.snapshot());
+  const std::string nd1 = to_ndjson(reg.snapshot(), 0);
+  // Wall-instrument churn between scrapes must not show through the
+  // canonical exposition — that is the whole determinism contract.
+  w.record(123456789);
+  const std::string prom2 = to_prometheus(reg.snapshot());
+  const std::string nd2 = to_ndjson(reg.snapshot(), 0);
+  EXPECT_EQ(prom1, prom2);
+  EXPECT_EQ(nd1, nd2);
+  EXPECT_EQ(nd1.find("ccq_test_repeat_wall_ns"), std::string::npos);
+}
+
+TEST(TelemetryExposition, NdjsonShape) {
+  if (!kCompiledIn) GTEST_SKIP() << "built with CLIQUE_NO_TELEMETRY";
+  MetricsRegistry reg;
+  reg.counter("ccq_test_shape_total", "s").add(2);
+  reg.gauge("ccq_test_shape_level", "s").set(-4);
+  reg.histogram("ccq_test_shape_hist", "s").record(3);
+  const std::string line = to_ndjson(reg.snapshot(), 7);
+  EXPECT_EQ(line.rfind("{\"type\":\"telemetry\",\"schema\":3,\"scrape\":7,",
+                       0),
+            0u);
+  EXPECT_NE(line.find("\"counters\":{\"ccq_test_shape_total\":2}"),
+            std::string::npos);
+  EXPECT_NE(line.find("\"gauges\":{\"ccq_test_shape_level\":-4}"),
+            std::string::npos);
+  EXPECT_NE(line.find("\"ccq_test_shape_hist\":{\"buckets\":[0,0,1],"
+                      "\"count\":1,\"sum\":3}"),
+            std::string::npos);
+  EXPECT_EQ(line.back(), '\n');
+}
+
+TEST(TelemetryExposition, PrometheusShape) {
+  if (!kCompiledIn) GTEST_SKIP() << "built with CLIQUE_NO_TELEMETRY";
+  MetricsRegistry reg;
+  reg.counter("ccq_test_prom_total", "a counter").add(5);
+  Histogram& h = reg.histogram("ccq_test_prom_hist", "a histogram");
+  h.record(0);
+  h.record(1);
+  h.record(3);
+  const std::string text = to_prometheus(reg.snapshot());
+  EXPECT_NE(text.find("# TYPE ccq_test_prom_total counter"),
+            std::string::npos);
+  EXPECT_NE(text.find("ccq_test_prom_total 5"), std::string::npos);
+  EXPECT_NE(text.find("# TYPE ccq_test_prom_hist histogram"),
+            std::string::npos);
+  // Cumulative buckets: le="0" holds the one zero, le="1" adds the one 1,
+  // le="3" adds the 3; +Inf equals the count.
+  EXPECT_NE(text.find("ccq_test_prom_hist_bucket{le=\"0\"} 1"),
+            std::string::npos);
+  EXPECT_NE(text.find("ccq_test_prom_hist_bucket{le=\"1\"} 2"),
+            std::string::npos);
+  EXPECT_NE(text.find("ccq_test_prom_hist_bucket{le=\"3\"} 3"),
+            std::string::npos);
+  EXPECT_NE(text.find("ccq_test_prom_hist_bucket{le=\"+Inf\"} 3"),
+            std::string::npos);
+  EXPECT_NE(text.find("ccq_test_prom_hist_sum 4"), std::string::npos);
+  EXPECT_NE(text.find("ccq_test_prom_hist_count 3"), std::string::npos);
+}
+
+TEST(TelemetryWatchdog, StallRuleFiresOnSeededStall) {
+  MetricsRegistry reg;
+  reg.counter("ccq_test_progress_total", "p");
+  Watchdog dog{reg,
+               {1000, 8,
+                {{HealthRule::Kind::kCounterStall, "ccq_test_progress_total",
+                  0, 2}}}};
+  dog.scrape_once();
+  dog.scrape_once();
+  EXPECT_TRUE(dog.report().healthy);  // ring shorter than window+1
+  dog.scrape_once();
+  const HealthReport report = dog.report();
+  EXPECT_FALSE(report.healthy);
+  ASSERT_EQ(report.issues.size(), 1u);
+  EXPECT_EQ(report.issues[0].rule, "stall(ccq_test_progress_total)");
+  EXPECT_NE(report.issues[0].message.find("stalled at 0 across 3 scrapes"),
+            std::string::npos);
+  EXPECT_NE(report.to_string().find("health:   DEGRADED"),
+            std::string::npos);
+}
+
+TEST(TelemetryWatchdog, StallRuleStaysQuietUnderProgress) {
+  if (!kCompiledIn) GTEST_SKIP() << "built with CLIQUE_NO_TELEMETRY";
+  MetricsRegistry reg;
+  Counter& c = reg.counter("ccq_test_progress_total", "p");
+  Watchdog dog{reg,
+               {1000, 8,
+                {{HealthRule::Kind::kCounterStall, "ccq_test_progress_total",
+                  0, 2}}}};
+  for (int i = 0; i < 6; ++i) {
+    c.add();
+    dog.scrape_once();
+  }
+  EXPECT_EQ(dog.ring_size(), 6u);
+  EXPECT_TRUE(dog.report().healthy);
+  EXPECT_NE(dog.report().to_string().find("health:   OK (6 scrapes)"),
+            std::string::npos);
+}
+
+TEST(TelemetryWatchdog, P99RuleFiresOnSeededLatency) {
+  if (!kCompiledIn) GTEST_SKIP() << "built with CLIQUE_NO_TELEMETRY";
+  MetricsRegistry reg;
+  Histogram& h = reg.wall_histogram("ccq_test_lat_ns", "l");
+  for (int i = 0; i < 100; ++i) h.record(5'000'000);  // p99 ~ 2^23 - 1
+  Watchdog dog{reg,
+               {1000, 8,
+                {{HealthRule::Kind::kHistogramP99Above, "ccq_test_lat_ns",
+                  1'000'000, 0}}}};
+  dog.scrape_once();
+  const HealthReport report = dog.report();
+  EXPECT_FALSE(report.healthy);
+  ASSERT_EQ(report.issues.size(), 1u);
+  EXPECT_EQ(report.issues[0].rule, "p99(ccq_test_lat_ns)");
+  EXPECT_NE(report.issues[0].message.find("exceeds threshold 1000000"),
+            std::string::npos);
+}
+
+TEST(TelemetryWatchdog, GaugeRuleFiresAboveThreshold) {
+  if (!kCompiledIn) GTEST_SKIP() << "built with CLIQUE_NO_TELEMETRY";
+  MetricsRegistry reg;
+  Gauge& g = reg.gauge("ccq_test_backlog", "b");
+  g.set(100);
+  Watchdog dog{
+      reg,
+      {1000, 8, {{HealthRule::Kind::kGaugeAbove, "ccq_test_backlog", 10, 0}}}};
+  dog.scrape_once();
+  const HealthReport report = dog.report();
+  EXPECT_FALSE(report.healthy);
+  ASSERT_EQ(report.issues.size(), 1u);
+  EXPECT_EQ(report.issues[0].rule, "gauge(ccq_test_backlog)");
+  // Repeated firing is summarized, not repeated, in the report string.
+  dog.scrape_once();
+  EXPECT_NE(dog.report().to_string().find("[fired 2x]"), std::string::npos);
+}
+
+TEST(TelemetryWatchdog, ServiceRulesShape) {
+  const std::vector<HealthRule> passive = Watchdog::service_rules(0);
+  ASSERT_EQ(passive.size(), 2u);  // no age rule without a scrape thread
+  EXPECT_EQ(passive[0].instrument, "ccq_service_updates_total");
+  EXPECT_EQ(passive[1].instrument, "ccq_service_batch_apply_ns");
+  const std::vector<HealthRule> live = Watchdog::service_rules(250);
+  ASSERT_EQ(live.size(), 3u);
+  EXPECT_EQ(live[2].kind, HealthRule::Kind::kSnapshotAge);
+  EXPECT_EQ(live[2].threshold, 10'000u);  // max(10 s, 10 * 250 ms)
+}
+
+TEST(TelemetryWatchdog, BackgroundThreadScrapesAndStops) {
+  MetricsRegistry reg;
+  reg.counter("ccq_test_bg_total", "bg");
+  Watchdog dog{reg, {1, 4, {}}};
+  dog.start();
+  while (dog.ring_size() < 2) std::this_thread::yield();
+  dog.stop();
+  const std::size_t after_stop = dog.ring_size();
+  EXPECT_GE(after_stop, 2u);
+  EXPECT_LE(after_stop, 4u);  // ring respects its capacity
+  EXPECT_TRUE(dog.report().healthy);
+}
+
+}  // namespace
+}  // namespace ccq::telemetry

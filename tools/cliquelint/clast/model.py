@@ -340,6 +340,29 @@ def builtin_kb() -> KnowledgeBase:
                  "has_observer": "bool"})
     cls("ThreadPool", methods={"run": "void", "size": "unsigned",
                                "hardware_threads": "unsigned"})
+    # Telemetry layer (src/telemetry/, rule CL011). Both spellings are
+    # seeded: code inside namespace ccq::telemetry sees the bare names,
+    # everyone else writes telemetry::X (the leading ccq:: is stripped).
+    for ns in ("", "telemetry::"):
+        cls(ns + "MetricsRegistry",
+            methods={"counter": ns + "Counter&",
+                     "gauge": ns + "Gauge&",
+                     "histogram": ns + "Histogram&",
+                     "wall_histogram": ns + "Histogram&",
+                     "snapshot": ns + "MetricsSnapshot"})
+        cls(ns + "Counter", methods={"add": "void",
+                                     "value": "std::uint64_t",
+                                     "name": "std::string",
+                                     "help": "std::string"})
+        cls(ns + "Gauge", methods={"set": "void", "add": "void",
+                                   "value": "std::int64_t",
+                                   "name": "std::string",
+                                   "help": "std::string"})
+        cls(ns + "Histogram", methods={"record": "void",
+                                       "data": ns + "HistogramData",
+                                       "wall": "bool",
+                                       "name": "std::string",
+                                       "help": "std::string"})
     # std:: RAII types CL009 knows about (identity only).
     for t in ("std::lock_guard", "std::scoped_lock", "std::unique_lock",
               "std::shared_lock"):

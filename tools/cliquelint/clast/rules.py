@@ -1,4 +1,4 @@
-"""Rule families CL001-CL010 over the clast semantic IR.
+"""Rule families CL001-CL011 over the clast semantic IR.
 
 Every rule consumes resolved facts (receiver types, sequence types,
 include targets) — never raw source lines. Unresolved types ('') never
@@ -47,6 +47,20 @@ RAII_TYPES = {"TraceScope", "MetricsScope", "std::lock_guard",
               "std::scoped_lock", "std::unique_lock", "std::shared_lock",
               "lock_guard", "scoped_lock", "unique_lock", "shared_lock"}
 
+# CL011: telemetry instrument discipline (src/telemetry/, docs/TELEMETRY.md).
+# Registration takes the registry mutex plus a map lookup, so it belongs at
+# namespace scope or in a constructor — never on a per-round path; mutation
+# through the returned instrument references is the wait-free half and is
+# a src/-internal privilege (tools and benches read snapshots instead).
+TELEMETRY_ALLOWED = ("src/telemetry/",)
+REGISTRY_TYPES = {"MetricsRegistry", "telemetry::MetricsRegistry"}
+REGISTRATION_METHODS = {"counter", "gauge", "histogram", "wall_histogram"}
+INSTRUMENT_MUTATORS = {
+    "Counter": {"add"}, "telemetry::Counter": {"add"},
+    "Gauge": {"set", "add"}, "telemetry::Gauge": {"set", "add"},
+    "Histogram": {"record"}, "telemetry::Histogram": {"record"},
+}
+
 # CL001 nondeterminism sources.
 RNG_TYPE_HEADS = {"std::random_device", "std::mt19937", "std::mt19937_64",
                   "std::default_random_engine", "std::minstd_rand",
@@ -94,6 +108,8 @@ RULE_DOCS = {
              "of full-expression",
     "CL010": "capture: by-reference lambda captures of loop-local state "
              "submitted to util/thread_pool",
+    "CL011": "telemetry: instrument registration only at namespace scope "
+             "or in constructors; instrument mutation confined to src/",
 }
 
 
@@ -495,9 +511,51 @@ def check_cl010(fm: FileModel, kb: KnowledgeBase) -> list[Finding]:
     return out
 
 
+# ---------------------------------------------------------------------------
+# CL011 — telemetry instrument discipline
+# ---------------------------------------------------------------------------
+
+def _is_constructor(func: str) -> bool:
+    """'Service::Service' (any namespace depth) — registration in a ctor
+    runs once per object, which is the sanctioned instance-scoped form."""
+    parts = func.split("::")
+    return len(parts) >= 2 and parts[-1] == parts[-2]
+
+
+def check_cl011(fm: FileModel, kb: KnowledgeBase) -> list[Finding]:
+    if _under(fm.path, TELEMETRY_ALLOWED):
+        return []
+    out = []
+    if fm.path.startswith("src/"):
+        for c in fm.member_calls:
+            if c.receiver_type in REGISTRY_TYPES and \
+                    c.method in REGISTRATION_METHODS and \
+                    c.func and not _is_constructor(c.func):
+                where = "inside a loop" if c.loop != -1 else \
+                        f"in function '{c.func}'"
+                out.append(Finding(
+                    fm.path, c.line, "CL011",
+                    f"instrument registration '{c.method}' {where}: "
+                    "registration takes the registry mutex and a name "
+                    "lookup — register once at namespace scope or in a "
+                    "constructor and mutate the returned reference",
+                    col=c.col))
+    else:
+        for c in fm.member_calls:
+            if c.method in INSTRUMENT_MUTATORS.get(c.receiver_type, ()):
+                out.append(Finding(
+                    fm.path, c.line, "CL011",
+                    f"telemetry instrument mutation "
+                    f"'{c.receiver_type}::{c.method}' outside src/: tools "
+                    "and benches observe the registry through snapshots "
+                    "(exposition/delta), they do not write instruments",
+                    col=c.col))
+    return out
+
+
 PER_FILE_CHECKS = [check_cl001, check_cl002, check_cl003, check_cl004,
                    check_cl005, check_cl006, check_cl007, check_cl008,
-                   check_cl009, check_cl010]
+                   check_cl009, check_cl010, check_cl011]
 
 
 def run_rules(models: list[FileModel], kb: KnowledgeBase) -> list[Finding]:

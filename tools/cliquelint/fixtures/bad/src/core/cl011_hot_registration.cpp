@@ -1,0 +1,19 @@
+// Seeded CL011 violations: instruments registered on the hot path — a
+// per-call `counter(...)` lookup in a function body and a per-round
+// `histogram(...)` lookup inside the loop. Every lookup takes the
+// registry mutex plus a map walk; the contract is register once (at
+// namespace scope or in a constructor) and mutate the returned reference.
+#include <cstdint>
+
+#include "telemetry/metrics_registry.hpp"
+
+namespace ccq {
+
+void charge_rounds(telemetry::MetricsRegistry& reg, std::uint64_t k) {
+  reg.counter("ccq_bad_rounds_total", "per-call lookup").add(k);
+  for (std::uint64_t r = 0; r < k; ++r) {
+    reg.histogram("ccq_bad_round_words", "per-round lookup").record(r);
+  }
+}
+
+}  // namespace ccq

@@ -1,0 +1,18 @@
+// Seeded CL011 violations: a tool writing live instruments directly.
+// Outside src/ the registry is read-only — tools and benches consume
+// snapshots (exposition or MetricsSnapshot::delta); mutation from a
+// driver would fold tool behavior into the metrics it claims to observe.
+#include <cstdint>
+
+#include "telemetry/metrics_registry.hpp"
+
+namespace ccq {
+
+void tamper(telemetry::Counter& ingested, telemetry::Gauge& depth,
+            telemetry::Histogram& latency) {
+  ingested.add(1);
+  depth.set(42);
+  latency.record(1000);
+}
+
+}  // namespace ccq

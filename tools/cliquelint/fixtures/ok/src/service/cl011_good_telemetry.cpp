@@ -1,0 +1,44 @@
+// CL011 false-positive guard: every sanctioned telemetry shape.
+//  - registration at namespace scope, mutated in functions through the
+//    bound reference (the production pattern in engine.cpp et al.);
+//  - registration in a constructor (instance-scoped instruments);
+//  - snapshot reads, which are always allowed.
+#include <cstdint>
+
+#include "telemetry/metrics_registry.hpp"
+
+namespace ccq {
+
+namespace {
+
+telemetry::Counter& tm_batches = telemetry::registry().counter(
+    "ccq_ok_batches_total", "namespace-scope registration");
+
+}  // namespace
+
+class BatchSink {
+ public:
+  explicit BatchSink(telemetry::MetricsRegistry& reg)
+      : applied_(reg.counter("ccq_ok_applied_total",
+                             "constructor registration")),
+        depth_(reg.gauge("ccq_ok_depth", "constructor registration")) {}
+
+  void apply(std::uint64_t updates) {
+    tm_batches.add();
+    applied_.add(updates);
+    depth_.set(static_cast<std::int64_t>(updates));
+  }
+
+ private:
+  telemetry::Counter& applied_;
+  telemetry::Gauge& depth_;
+};
+
+std::uint64_t scrape_total(telemetry::MetricsRegistry& reg) {
+  std::uint64_t total = 0;
+  for (const telemetry::CounterSample& c : reg.snapshot().counters)
+    total += c.value;
+  return total;
+}
+
+}  // namespace ccq

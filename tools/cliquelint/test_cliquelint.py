@@ -58,6 +58,8 @@ EXPECTED_BAD = {
     "src/core/cl008_wide_payload.cpp": ("CL008", 3),
     "src/core/cl009_unnamed_raii.cpp": ("CL009", 4),
     "src/core/cl010_ref_capture.cpp": ("CL010", 2),
+    "src/core/cl011_hot_registration.cpp": ("CL011", 2),
+    "tools/stream/cl011_mutation_outside_src.cpp": ("CL011", 3),
 }
 # Zero-finding participants of multi-file fixtures (the cycle's anchor
 # convention reports once, on the lexicographically smallest member).
@@ -71,14 +73,18 @@ ALLOWED_DIFFS: list[tuple[str, str, str, str]] = [
 
 
 def analyze_tree(root: Path, cache: ce.ModelCache | None = None,
-                 baseline: ce.Baseline | None = None) -> ce.AnalysisResult:
-    files = ce.collect_files(root, ["src"])
+                 baseline: ce.Baseline | None = None,
+                 paths: tuple[str, ...] = ("src",)) -> ce.AnalysisResult:
+    files = ce.collect_files(root, [p for p in paths
+                                    if (root / p).is_dir()])
     return ce.analyze(root, files, cache=cache or ce.ModelCache(None),
                       baseline=baseline)
 
 
 def check_fixtures(failures: list[str]) -> None:
-    res = analyze_tree(FIXTURES / "bad")
+    # CL011's mutation half only fires outside src/, so the fixture trees
+    # carry a tools/ subtree alongside src/.
+    res = analyze_tree(FIXTURES / "bad", paths=("src", "tools"))
     by_path: dict[str, list] = {}
     for f in res.findings:
         by_path.setdefault(f.path, []).append(f)
@@ -108,7 +114,7 @@ def check_fixtures(failures: list[str]) -> None:
             failures.append(f"fixtures/bad/{fm.path}: unexpected fixture, "
                             "add it to EXPECTED_BAD or HELPERS")
 
-    ok = analyze_tree(FIXTURES / "ok")
+    ok = analyze_tree(FIXTURES / "ok", paths=("src", "tools"))
     if not ok.models:
         failures.append("fixtures/ok: no fixtures scanned")
     for f in ok.findings:

@@ -21,7 +21,13 @@ stale EXPERIMENTS.md tables — is make_experiments.py --check):
     bench/baselines/bounds.json must have a `GENERATED-BOUNDS` conformance
     table in EXPERIMENTS.md (theory_check.py keeps the table contents
     fresh; this gate keeps the registry from growing sections the report
-    silently omits).
+    silently omits);
+  - telemetry instruments: every instrument name registered in src/
+    (counter/gauge/histogram/wall_histogram calls) must appear in a code
+    span in docs/TELEMETRY.md — the instrument inventory is the scrape
+    contract an operator builds dashboards against;
+  - telemetry NDJSON keys: every schema-3 key src/telemetry/exposition.cpp
+    emits must be documented in docs/TELEMETRY.md.
 
 Exit status: 0 in sync, 1 undocumented names/fields, 2 usage errors.
 """
@@ -40,6 +46,10 @@ EMPLACE_RE = re.compile(r'\.emplace\(\s*engine\s*,\s*"([^"]+)"')
 # Exporter key literals: `"\"messages\":"` in trace_export.cpp source reads
 # `\"key\":` — match the escaped quotes around the key name.
 EXPORT_KEY_RE = re.compile(r'\\"(\w+)\\":')
+# Instrument registrations wrap lines (name + help rarely fit on one), so
+# this matches across the newline after the open paren.
+INSTRUMENT_RE = re.compile(
+    r'\.(?:counter|gauge|histogram|wall_histogram)\(\s*"([^"]+)"')
 
 
 def inline_code_spans(md_text: str) -> set[str]:
@@ -65,6 +75,18 @@ def scope_names(src: Path) -> dict[str, list[str]]:
                 for m in pattern.finditer(line):
                     names.setdefault(m.group(1), []).append(
                         f"{rel}:{lineno}")
+    return names
+
+
+def instrument_names(src: Path) -> dict[str, list[str]]:
+    """Map registered instrument name -> list of 'file:line' uses."""
+    names: dict[str, list[str]] = {}
+    for path in sorted(src.rglob("*.cpp")) + sorted(src.rglob("*.hpp")):
+        rel = path.relative_to(src.parent)
+        text = path.read_text(encoding="utf-8")
+        for m in INSTRUMENT_RE.finditer(text):
+            lineno = text.count("\n", 0, m.start()) + 1
+            names.setdefault(m.group(1), []).append(f"{rel}:{lineno}")
     return names
 
 
@@ -170,9 +192,56 @@ def main() -> int:
               "and rerun tools/report/theory_check.py", file=sys.stderr)
         return 1
 
+    # Telemetry: the instrument inventory and the schema-3 key set are the
+    # live-scrape contract; both live in docs/TELEMETRY.md.
+    telemetry_md = repo / "docs" / "TELEMETRY.md"
+    instruments = instrument_names(src)
+    if not instruments:
+        print("check_docs: no instrument registrations found under src/ "
+              "(extraction regex broken?)", file=sys.stderr)
+        return 2
+    if not telemetry_md.is_file():
+        print(f"check_docs: missing {telemetry_md}", file=sys.stderr)
+        return 1
+    telemetry_text = telemetry_md.read_text(encoding="utf-8")
+    telemetry_documented = inline_code_spans(telemetry_text)
+    inst_missing = {n: uses for n, uses in instruments.items()
+                    if n not in telemetry_documented}
+    if inst_missing:
+        print("check_docs: instruments registered in src/ but not "
+              "documented in docs/TELEMETRY.md:", file=sys.stderr)
+        for name in sorted(inst_missing):
+            print(f"  \"{name}\"  ({', '.join(inst_missing[name])})",
+                  file=sys.stderr)
+        print("add each name (in backticks) to the instrument inventory "
+              "in docs/TELEMETRY.md", file=sys.stderr)
+        return 1
+
+    telemetry_exporter = repo / "src" / "telemetry" / "exposition.cpp"
+    telemetry_keys = set(EXPORT_KEY_RE.findall(
+        telemetry_exporter.read_text(encoding="utf-8")))
+    if not telemetry_keys:
+        print("check_docs: no schema-3 keys found in "
+              "telemetry/exposition.cpp (extraction regex broken?)",
+              file=sys.stderr)
+        return 2
+    telemetry_key_docs = telemetry_documented | set(
+        re.findall(r'"(\w+)":', telemetry_text))
+    telemetry_undocumented = sorted(telemetry_keys - telemetry_key_docs)
+    if telemetry_undocumented:
+        print("check_docs: schema-3 NDJSON keys emitted by "
+              "telemetry/exposition.cpp but not documented in "
+              "docs/TELEMETRY.md:", file=sys.stderr)
+        for key in telemetry_undocumented:
+            print(f"  \"{key}\"", file=sys.stderr)
+        print("document each key in the NDJSON section of "
+              "docs/TELEMETRY.md", file=sys.stderr)
+        return 1
+
     print(f"check_docs: {len(names)} trace scope name(s), "
-          f"{len(emitted)} NDJSON field(s), and {len(registered)} "
-          "theorem section(s) all documented")
+          f"{len(emitted)} NDJSON field(s), {len(registered)} theorem "
+          f"section(s), {len(instruments)} telemetry instrument(s), and "
+          f"{len(telemetry_keys)} schema-3 key(s) all documented")
     return 0
 
 

@@ -1,5 +1,5 @@
 #!/usr/bin/env python3
-"""validate_ndjson — standalone schema validator for exported trace NDJSON.
+"""validate_ndjson — standalone schema validator for exported NDJSON.
 
 Checks every line of the files produced by clique/trace_export (schemas 1
 and 2, docs/TRACING.md) plus the sweep driver's "sweep" records: required
@@ -7,6 +7,12 @@ keys present with the right JSON types, schema-version consistency (load
 records only in schema 2), cross-record invariants (scope count matches the
 header's "events", "load" lines reference an emitted scope, histogram
 totals match the window's charged+silent rounds).
+
+Also validates schema-3 "telemetry" scrape streams (docs/TELEMETRY.md,
+stream_driver --telemetry): scrape ordinals must be consecutive from 0,
+counters must be non-negative and non-decreasing across scrapes, and every
+histogram's bucket total must equal its count. Telemetry files stand alone
+— they carry no "trace" header.
 
 Run as a ctest over the golden traces trace_test / load_profile_test dump
 (fixture golden_ndjson) and over every sweep point, so the documented
@@ -32,6 +38,7 @@ NUM = (int, float)
 STR = str
 BOOL = bool
 LIST = list
+DICT = dict
 
 # type -> {key: python type}; keys marked optional in OPTIONAL below.
 REQUIRED = {
@@ -61,6 +68,8 @@ REQUIRED = {
     "round": {"round": INT, "span": INT, "messages": INT, "words": INT},
     "sweep": {"algo": STR, "n": INT, "m": INT, "density": INT, "seed": INT,
               "rounds": INT, "messages": INT, "words": INT},
+    "telemetry": {"schema": INT, "scrape": INT, "counters": DICT,
+                  "gauges": DICT, "histograms": DICT},
 }
 OPTIONAL = {
     "scope": {"absorbed_rounds": INT, "absorbed_messages": INT,
@@ -82,6 +91,8 @@ class FileValidator:
         self.header: dict | None = None
         self.scope_seqs: list[int] = []
         self.round_lines = 0
+        self.telemetry_scrapes = 0
+        self.prev_counters: dict[str, int] = {}
 
     def problem(self, lineno: int, msg: str) -> None:
         self.problems.append(f"{self.path}:{lineno}: {msg}")
@@ -108,8 +119,8 @@ class FileValidator:
                                       or isinstance(value, bool)):
                 self.problem(lineno, f"{rtype}.{key}: expected number, "
                                      f"got {value!r}")
-            elif expected in (STR, BOOL, LIST) and not isinstance(value,
-                                                                  expected):
+            elif expected in (STR, BOOL, LIST, DICT) and not isinstance(
+                    value, expected):
                 self.problem(lineno, f"{rtype}.{key}: expected "
                                      f"{expected.__name__}, got {value!r}")
 
@@ -134,6 +145,9 @@ class FileValidator:
             if self.header is not None:
                 self.problem(lineno, "\"sweep\" record after the trace "
                                      "header (the driver writes it first)")
+            return
+        if rtype == "telemetry":
+            self.check_telemetry(lineno, rec)
             return
         if self.header is None:
             self.problem(lineno, f"{rtype} record before the \"trace\" "
@@ -169,8 +183,56 @@ class FileValidator:
             if "max_link" in rec and schema != 2:
                 self.problem(lineno, "round.max_link in a schema-1 export")
 
+    def check_telemetry(self, lineno: int, rec: dict) -> None:
+        def plain_int(v) -> bool:
+            return isinstance(v, int) and not isinstance(v, bool)
+
+        if rec["schema"] != 3:
+            self.problem(lineno, f"telemetry: unknown schema "
+                                 f"{rec['schema']} (expected 3)")
+        if rec["scrape"] != self.telemetry_scrapes:
+            self.problem(lineno, f"telemetry: scrape {rec['scrape']} out "
+                                 f"of order (expected "
+                                 f"{self.telemetry_scrapes})")
+        self.telemetry_scrapes += 1
+        for name, value in rec["counters"].items():
+            if not plain_int(value) or value < 0:
+                self.problem(lineno, f"telemetry counter {name!r}: expected "
+                                     f"non-negative integer, got {value!r}")
+            elif value < self.prev_counters.get(name, 0):
+                self.problem(lineno, f"telemetry counter {name!r} decreased "
+                                     f"from {self.prev_counters[name]} to "
+                                     f"{value}: counters are monotonic")
+            else:
+                self.prev_counters[name] = value
+        for name, value in rec["gauges"].items():
+            if not plain_int(value):
+                self.problem(lineno, f"telemetry gauge {name!r}: expected "
+                                     f"integer, got {value!r}")
+        for name, h in rec["histograms"].items():
+            if (not isinstance(h, dict)
+                    or set(h) != {"buckets", "count", "sum"}
+                    or not isinstance(h.get("buckets"), list)
+                    or not plain_int(h.get("count"))
+                    or not plain_int(h.get("sum"))
+                    or any(not plain_int(b) or b < 0
+                           for b in h.get("buckets", []))):
+                self.problem(lineno, f"telemetry histogram {name!r}: "
+                                     "expected {buckets: [int...], "
+                                     "count: int, sum: int}")
+                continue
+            if sum(h["buckets"]) != h["count"]:
+                self.problem(lineno, f"telemetry histogram {name!r}: bucket "
+                                     f"total {sum(h['buckets'])} != count "
+                                     f"{h['count']}")
+
     def finish(self) -> None:
         if self.header is None:
+            # A telemetry scrape stream stands alone; only trace-shaped
+            # records require the header.
+            if self.telemetry_scrapes and not self.scope_seqs \
+                    and not self.round_lines:
+                return
             self.problems.append(f"{self.path}: no \"trace\" header")
             return
         if len(self.scope_seqs) != self.header["events"]:

@@ -6,12 +6,23 @@
 // examples/quickstart: set CLIQUE_TRACE=out.ndjson for the per-phase trace
 // of every recompute (docs/TRACING.md), CLIQUE_LOAD=load.ndjson for the
 // schema-2 congestion profile (CLIQUE_LOAD_LINKS=1 adds the link matrix).
+// Live telemetry (docs/TELEMETRY.md) rides on flags: --telemetry appends
+// one canonical schema-3 NDJSON record per batch (plus a final record
+// after the census), --prom writes a Prometheus text exposition at exit,
+// and --telemetry-interval arms the background watchdog whose HealthReport
+// prints either way. Canonical expositions exclude wall-clock instruments,
+// so two identical runs produce byte-identical files.
 //
 //   ./tools/stream/stream_driver STREAM [--batch B] [--threads T]
 //       [--mode engine|local] [--strict] [--restore IN.snap]
-//       [--snapshot OUT.snap]
+//       [--snapshot OUT.snap] [--telemetry OUT.ndjson]
+//       [--telemetry-interval MS] [--prom OUT.prom]
+//
+// Unrecognized flags are rejected with this usage string (exit 2) — a
+// typo like --bacth must never silently run with defaults.
 #include <cstdio>
 #include <cstdlib>
+#include <fstream>
 #include <memory>
 #include <string>
 
@@ -20,56 +31,102 @@
 #include "clique/trace_export.hpp"
 #include "service/connectivity_service.hpp"
 #include "service/service_error.hpp"
+#include "telemetry/exposition.hpp"
+#include "telemetry/metrics_registry.hpp"
+#include "telemetry/watchdog.hpp"
 
 namespace {
 
-std::string flag_str(int argc, char** argv, const std::string& name,
-                     const std::string& fallback) {
-  for (int i = 1; i + 1 < argc; ++i)
-    if (argv[i] == "--" + name) return argv[i + 1];
-  return fallback;
+void print_usage() {
+  std::fprintf(stderr,
+               "usage: stream_driver STREAM [--batch B] [--threads T] "
+               "[--mode engine|local] [--strict] [--restore IN.snap] "
+               "[--snapshot OUT.snap] [--telemetry OUT.ndjson] "
+               "[--telemetry-interval MS] [--prom OUT.prom]\n");
 }
 
-std::uint64_t flag_u64(int argc, char** argv, const std::string& name,
-                       std::uint64_t fallback) {
-  for (int i = 1; i + 1 < argc; ++i)
-    if (argv[i] == "--" + name) return std::strtoull(argv[i + 1], nullptr, 10);
-  return fallback;
-}
+struct Options {
+  std::string stream_path;
+  std::size_t batch = 4096;
+  std::uint32_t threads = 1;
+  std::string mode = "engine";
+  bool strict = false;
+  std::string restore_path;
+  std::string snapshot_path;
+  std::string telemetry_path;
+  std::uint32_t telemetry_interval_ms = 0;
+  std::string prom_path;
+};
 
-bool flag_set(int argc, char** argv, const std::string& name) {
-  for (int i = 1; i < argc; ++i)
-    if (argv[i] == "--" + name) return true;
-  return false;
+/// Parse argv strictly: every --flag must be known and every value-flag
+/// must have a value; exactly one positional (the stream) is accepted.
+/// Returns false after printing the usage string (caller exits 2).
+bool parse_args(int argc, char** argv, Options& opt) {
+  const auto fail = [](const std::string& why) {
+    std::fprintf(stderr, "stream_driver: %s\n", why.c_str());
+    print_usage();
+    return false;
+  };
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    const auto value = [&]() -> const char* {
+      return i + 1 < argc ? argv[++i] : nullptr;
+    };
+    if (arg == "--batch" || arg == "--threads" || arg == "--mode" ||
+        arg == "--restore" || arg == "--snapshot" || arg == "--telemetry" ||
+        arg == "--telemetry-interval" || arg == "--prom") {
+      const char* v = value();
+      if (!v) return fail("flag '" + arg + "' needs a value");
+      if (arg == "--batch")
+        opt.batch = static_cast<std::size_t>(std::strtoull(v, nullptr, 10));
+      else if (arg == "--threads")
+        opt.threads =
+            static_cast<std::uint32_t>(std::strtoull(v, nullptr, 10));
+      else if (arg == "--mode")
+        opt.mode = v;
+      else if (arg == "--restore")
+        opt.restore_path = v;
+      else if (arg == "--snapshot")
+        opt.snapshot_path = v;
+      else if (arg == "--telemetry")
+        opt.telemetry_path = v;
+      else if (arg == "--telemetry-interval")
+        opt.telemetry_interval_ms =
+            static_cast<std::uint32_t>(std::strtoull(v, nullptr, 10));
+      else
+        opt.prom_path = v;
+    } else if (arg == "--strict") {
+      opt.strict = true;
+    } else if (!arg.empty() && arg.front() == '-') {
+      return fail("unknown flag '" + arg + "'");
+    } else if (opt.stream_path.empty()) {
+      opt.stream_path = arg;
+    } else {
+      return fail("unexpected extra argument '" + arg + "'");
+    }
+  }
+  if (opt.stream_path.empty()) return fail("missing STREAM argument");
+  if (opt.mode != "engine" && opt.mode != "local")
+    return fail("--mode must be engine or local");
+  if (opt.batch == 0) return fail("--batch must be >= 1");
+  return true;
 }
 
 int run(int argc, char** argv) {
-  if (argc < 2 || argv[1][0] == '-') {
-    std::fprintf(stderr,
-                 "usage: stream_driver STREAM [--batch B] [--threads T] "
-                 "[--mode engine|local] [--strict] [--restore IN.snap] "
-                 "[--snapshot OUT.snap]\n");
-    return 2;
-  }
-  const ccq::EdgeStream stream = ccq::read_edge_stream_file(argv[1]);
-  const auto batch =
-      static_cast<std::size_t>(flag_u64(argc, argv, "batch", 4096));
-  const std::string mode = flag_str(argc, argv, "mode", "engine");
-  if (mode != "engine" && mode != "local") {
-    std::fprintf(stderr, "stream_driver: --mode must be engine or local\n");
-    return 2;
-  }
+  Options opt;
+  if (!parse_args(argc, argv, opt)) return 2;
+  const ccq::EdgeStream stream =
+      ccq::read_edge_stream_file(opt.stream_path);
   ccq::ServiceTuning tuning;
-  tuning.threads =
-      static_cast<std::uint32_t>(flag_u64(argc, argv, "threads", 1));
+  tuning.threads = opt.threads;
   tuning.index_mode =
-      mode == "engine" ? ccq::IndexMode::kEngine : ccq::IndexMode::kLocal;
-  tuning.strict = flag_set(argc, argv, "strict");
+      opt.mode == "engine" ? ccq::IndexMode::kEngine : ccq::IndexMode::kLocal;
+  tuning.strict = opt.strict;
 
-  const std::string restore_path = flag_str(argc, argv, "restore", "");
   std::unique_ptr<ccq::ConnectivityService> service;
-  if (!restore_path.empty()) {
-    service = ccq::ConnectivityService::restore_file(restore_path, tuning);
+  if (!opt.restore_path.empty()) {
+    service = ccq::ConnectivityService::restore_file(opt.restore_path,
+                                                     tuning);
     if (service->n() != stream.n)
       throw ccq::ServiceError(
           "stream_driver: snapshot universe n=" +
@@ -77,7 +134,7 @@ int run(int argc, char** argv) {
           std::to_string(stream.n));
     std::printf("restored: n=%u, generation=%llu from %s\n", service->n(),
                 static_cast<unsigned long long>(service->generation()),
-                restore_path.c_str());
+                opt.restore_path.c_str());
   } else {
     ccq::ServiceConfig config;
     config.n = stream.n;
@@ -98,15 +155,47 @@ int run(int argc, char** argv) {
     service->engine().set_trace(&trace);
   if (!load_path.empty()) service->engine().set_load_profile(&profile);
 
+  // Watchdog: the background thread only spins up when an interval was
+  // requested; the final scrape_once() below feeds the exit report either
+  // way, so fast deterministic runs still get a health verdict.
+  ccq::telemetry::Watchdog watchdog{
+      ccq::telemetry::registry(),
+      {opt.telemetry_interval_ms ? opt.telemetry_interval_ms : 1000, 64,
+       ccq::telemetry::Watchdog::service_rules(opt.telemetry_interval_ms)}};
+  if (opt.telemetry_interval_ms > 0) watchdog.start();
+
+  // Schema-3 scrape stream: records are cut at deterministic points (one
+  // per ingested batch, one after the census), never on the wall-clock
+  // interval, and canonical snapshots carry no wall instruments — so the
+  // file is byte-identical across identical runs (pinned by the
+  // telemetry_determinism ctest).
+  std::ofstream telemetry_out;
+  std::uint64_t scrape = 0;
+  const auto emit_scrape = [&] {
+    if (!telemetry_out.is_open()) return;
+    telemetry_out << ccq::telemetry::to_ndjson(
+        ccq::telemetry::registry().snapshot(), scrape++);
+  };
+  if (!opt.telemetry_path.empty()) {
+    telemetry_out.open(opt.telemetry_path,
+                       std::ios::binary | std::ios::trunc);
+    if (!telemetry_out)
+      throw ccq::ServiceError("stream_driver: cannot open --telemetry file " +
+                              opt.telemetry_path);
+  }
+
   std::size_t at = 0;
   while (at < stream.updates.size()) {
-    const std::size_t take = std::min(batch, stream.updates.size() - at);
-    service->apply_batch(
-        std::span{stream.updates}.subspan(at, take));
+    const std::size_t take =
+        std::min(opt.batch, stream.updates.size() - at);
+    service->apply_batch(std::span{stream.updates}.subspan(at, take));
     at += take;
+    emit_scrape();
   }
   const std::uint32_t components = service->num_components();
   const ccq::ServiceStats stats = service->stats();
+  emit_scrape();  // final record: includes the census recompute
+  if (opt.telemetry_interval_ms > 0) watchdog.stop();
   std::printf("ingested: %llu updates in %llu batches "
               "(+%llu/-%llu, ignored %llu, cancelled %llu)\n",
               static_cast<unsigned long long>(stats.updates),
@@ -134,11 +223,31 @@ int run(int argc, char** argv) {
     std::printf("load:     schema-2 profile written to %s\n",
                 load_path.c_str());
   }
+  if (telemetry_out.is_open()) {
+    telemetry_out.close();
+    std::printf("telemetry: %llu schema-3 scrapes written to %s\n",
+                static_cast<unsigned long long>(scrape),
+                opt.telemetry_path.c_str());
+  }
+  if (!opt.prom_path.empty()) {
+    std::ofstream prom{opt.prom_path, std::ios::binary | std::ios::trunc};
+    if (!prom)
+      throw ccq::ServiceError("stream_driver: cannot open --prom file " +
+                              opt.prom_path);
+    prom << ccq::telemetry::to_prometheus(
+        ccq::telemetry::registry().snapshot());
+    std::printf("prom:     exposition written to %s\n",
+                opt.prom_path.c_str());
+  }
 
-  const std::string snapshot_path = flag_str(argc, argv, "snapshot", "");
-  if (!snapshot_path.empty()) {
-    service->save_file(snapshot_path);
-    std::printf("snapshot: saved to %s\n", snapshot_path.c_str());
+  // Exit health verdict: one synchronous scrape so even a run that never
+  // armed the background thread reports against fresh data.
+  watchdog.scrape_once();
+  std::printf("%s\n", watchdog.report().to_string().c_str());
+
+  if (!opt.snapshot_path.empty()) {
+    service->save_file(opt.snapshot_path);
+    std::printf("snapshot: saved to %s\n", opt.snapshot_path.c_str());
   }
   return 0;
 }
