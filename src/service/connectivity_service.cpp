@@ -450,6 +450,196 @@ BatchStats ConnectivityService::apply(const EdgeUpdate& update) {
   return apply_batch(std::span<const EdgeUpdate>{&update, 1});
 }
 
+ConnectivityService::RequestTicket ConnectivityService::begin_request(
+    const RequestContext& ctx, telemetry::OpKind op, std::uint64_t args) {
+  RequestTicket ticket;
+  ticket.rid = next_rid_.fetch_add(1, std::memory_order_relaxed) + 1;
+  ticket.t0 = monotonic_ns();
+  ticket.op = op;
+  telemetry::Event e;
+  e.kind = telemetry::EventKind::kRequestBegin;
+  e.rid = ticket.rid;
+  e.request = ctx.stream_seq;
+  e.value = args;
+  e.tenant = ctx.tenant;
+  e.stream = ctx.stream;
+  e.op = op;
+  ticket.seq_begin = telemetry::flight_recorder().record(e);
+  return ticket;
+}
+
+telemetry::TenantInstruments& ConnectivityService::tenant_slot(
+    std::uint32_t tenant) {
+  std::lock_guard lock{tenant_mu_};
+  auto it = tenants_.find(tenant);
+  if (it == tenants_.end())
+    it = tenants_
+             .emplace(tenant, telemetry::tenant_instruments(
+                                  telemetry::registry(), tenant))
+             .first;
+  return it->second;
+}
+
+void ConnectivityService::note_slow_op(const RequestTicket& ticket,
+                                       const RequestContext& ctx,
+                                       std::uint64_t latency_ns,
+                                       std::uint64_t seq_end) {
+  const std::size_t cap = config_.tuning.slow_op_capacity;
+  if (cap == 0) return;
+  const SlowOp op{ticket.rid,      ctx.tenant, ctx.stream, ctx.stream_seq,
+                  ticket.op,       latency_ns, ticket.seq_begin,
+                  seq_end};
+  const auto min_heap = [](const SlowOp& a, const SlowOp& b) {
+    return a.latency_ns > b.latency_ns;
+  };
+  std::lock_guard lock{slow_mu_};
+  if (slow_ops_.size() < cap) {
+    slow_ops_.push_back(op);
+    std::push_heap(slow_ops_.begin(), slow_ops_.end(), min_heap);
+  } else if (latency_ns > slow_ops_.front().latency_ns) {
+    std::pop_heap(slow_ops_.begin(), slow_ops_.end(), min_heap);
+    slow_ops_.back() = op;
+    std::push_heap(slow_ops_.begin(), slow_ops_.end(), min_heap);
+  }
+}
+
+void ConnectivityService::end_request(const RequestTicket& ticket,
+                                      const RequestContext& ctx,
+                                      std::uint64_t result,
+                                      std::uint64_t units) {
+  const std::uint64_t latency_ns = monotonic_ns() - ticket.t0;
+  telemetry::Event e;
+  e.kind = telemetry::EventKind::kRequestEnd;
+  e.rid = ticket.rid;
+  e.request = ctx.stream_seq;
+  e.value = result;
+  e.latency_ns = latency_ns;
+  e.tenant = ctx.tenant;
+  e.stream = ctx.stream;
+  e.op = ticket.op;
+  const std::uint64_t seq_end = telemetry::flight_recorder().record(e);
+  telemetry::TenantInstruments& tm = tenant_slot(ctx.tenant);
+  tm.requests.add();
+  (ticket.op == telemetry::OpKind::kIngest ? tm.ingests : tm.queries).add();
+  tm.request_ns.record(latency_ns);
+  tm.request_units.record(units);
+  note_slow_op(ticket, ctx, latency_ns, seq_end);
+}
+
+void ConnectivityService::fail_request(const RequestTicket& ticket,
+                                       const RequestContext& ctx) {
+  const std::uint64_t latency_ns = monotonic_ns() - ticket.t0;
+  telemetry::Event e;
+  e.kind = telemetry::EventKind::kRequestEnd;
+  e.rid = ticket.rid;
+  e.request = ctx.stream_seq;
+  e.latency_ns = latency_ns;
+  e.tenant = ctx.tenant;
+  e.stream = ctx.stream;
+  e.op = ticket.op;
+  e.error = true;
+  const std::uint64_t seq_end = telemetry::flight_recorder().record(e);
+  telemetry::TenantInstruments& tm = tenant_slot(ctx.tenant);
+  tm.requests.add();
+  tm.errors.add();
+  tm.request_ns.record(latency_ns);
+  note_slow_op(ticket, ctx, latency_ns, seq_end);
+  // Dump-on-ServiceError/ProtocolError: capture the window around the
+  // failure while it is still in the rings (capped, see kMaxAutoDumps).
+  std::string reason{"service-error:"};
+  reason += telemetry::op_kind_name(ticket.op);
+  telemetry::flight_recorder().auto_dump(reason);
+}
+
+BatchStats ConnectivityService::apply_batch(
+    std::span<const EdgeUpdate> updates, const RequestContext& ctx) {
+  RequestTicket ticket =
+      begin_request(ctx, telemetry::OpKind::kIngest, updates.size());
+  try {
+    BatchStats out = apply_batch(updates);
+    telemetry::Event batch;
+    batch.kind = telemetry::EventKind::kBatchApply;
+    batch.rid = ticket.rid;
+    batch.request = ctx.stream_seq;
+    batch.value = out.updates;  // presented count: schedule-deterministic
+    batch.tenant = ctx.tenant;
+    batch.stream = ctx.stream;
+    batch.op = telemetry::OpKind::kIngest;
+    telemetry::flight_recorder().record(batch);
+    end_request(ticket, ctx, out.inserts + out.deletes, out.updates);
+    return out;
+  } catch (...) {
+    fail_request(ticket, ctx);
+    throw;
+  }
+}
+
+bool ConnectivityService::connected(VertexId u, VertexId v,
+                                    const RequestContext& ctx) {
+  RequestTicket ticket =
+      begin_request(ctx, telemetry::OpKind::kConnected,
+                    (static_cast<std::uint64_t>(u) << 32) | v);
+  try {
+    const bool same = connected(u, v);
+    end_request(ticket, ctx, same ? 1 : 0, 1);
+    return same;
+  } catch (...) {
+    fail_request(ticket, ctx);
+    throw;
+  }
+}
+
+VertexId ConnectivityService::component_of(VertexId u,
+                                           const RequestContext& ctx) {
+  RequestTicket ticket =
+      begin_request(ctx, telemetry::OpKind::kComponentOf, u);
+  try {
+    const VertexId label = component_of(u);
+    end_request(ticket, ctx, label, 1);
+    return label;
+  } catch (...) {
+    fail_request(ticket, ctx);
+    throw;
+  }
+}
+
+std::uint32_t ConnectivityService::num_components(const RequestContext& ctx) {
+  RequestTicket ticket =
+      begin_request(ctx, telemetry::OpKind::kNumComponents, 0);
+  try {
+    const std::uint32_t components = num_components();
+    end_request(ticket, ctx, components, 1);
+    return components;
+  } catch (...) {
+    fail_request(ticket, ctx);
+    throw;
+  }
+}
+
+std::vector<VertexId> ConnectivityService::component_labels(
+    const RequestContext& ctx) {
+  RequestTicket ticket =
+      begin_request(ctx, telemetry::OpKind::kComponentLabels, 0);
+  try {
+    std::vector<VertexId> labels = component_labels();
+    end_request(ticket, ctx, labels.size(), 1);
+    return labels;
+  } catch (...) {
+    fail_request(ticket, ctx);
+    throw;
+  }
+}
+
+std::vector<SlowOp> ConnectivityService::slow_ops() const {
+  std::lock_guard lock{slow_mu_};
+  std::vector<SlowOp> out = slow_ops_;
+  std::sort(out.begin(), out.end(), [](const SlowOp& a, const SlowOp& b) {
+    if (a.latency_ns != b.latency_ns) return a.latency_ns > b.latency_ns;
+    return a.rid < b.rid;
+  });
+  return out;
+}
+
 bool ConnectivityService::connected(VertexId u, VertexId v) {
   check_vertex(u, config_.n, "connected");
   check_vertex(v, config_.n, "connected");
@@ -689,7 +879,14 @@ void ConnectivityService::refresh_index_locked() {
   tm_components.set(static_cast<std::int64_t>(components));
   tm_index_generation.set(static_cast<std::int64_t>(index_generation_));
   tm_staleness.set(0);
-  tm_recompute_ns.record(monotonic_ns() - t0);
+  const std::uint64_t recompute_ns = monotonic_ns() - t0;
+  tm_recompute_ns.record(recompute_ns);
+  telemetry::Event e;
+  e.kind = telemetry::EventKind::kRecompute;
+  e.request = recomputes_;  // ordinal; which query triggers it is racy
+  e.value = index_generation_;
+  e.latency_ns = recompute_ns;
+  telemetry::flight_recorder().record(e);
 }
 
 ServiceSnapshot ConnectivityService::snapshot() const {
@@ -711,6 +908,10 @@ ServiceSnapshot ConnectivityService::snapshot() const {
   s.iota = iota_;
   s.tau = tau_;
   s.labels = labels_;
+  telemetry::Event e;
+  e.kind = telemetry::EventKind::kSnapshot;
+  e.value = generation_;
+  telemetry::flight_recorder().record(e);
   return s;
 }
 

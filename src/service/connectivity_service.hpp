@@ -44,6 +44,7 @@
 #include <atomic>
 #include <cstdint>
 #include <memory>
+#include <mutex>
 #include <shared_mutex>
 #include <span>
 #include <unordered_map>
@@ -54,9 +55,38 @@
 #include "service/edge_stream.hpp"
 #include "service/snapshot.hpp"
 #include "sketch/graph_sketch.hpp"
+#include "telemetry/flight_recorder.hpp"
+#include "telemetry/tenant_metrics.hpp"
 #include "util/thread_pool.hpp"
 
 namespace ccq {
+
+/// Caller-supplied identity of one request. Every query/ingest overload
+/// that takes a RequestContext stamps the request into the per-tenant
+/// instruments (telemetry/tenant_metrics) and the flight recorder; the
+/// service adds a process-monotonic request id (`rid`) on top. `stream` and
+/// `stream_seq` are the *deterministic* coordinates — a seeded client
+/// assigns them from its own schedule, which is what makes canonical
+/// flight-recorder dumps byte-identical across identical runs.
+struct RequestContext {
+  std::uint32_t tenant{0};
+  std::uint32_t stream{0};     // client stream id within the tenant
+  std::uint64_t stream_seq{0};  // per-stream request ordinal
+};
+
+/// One entry of the bounded slow-op log: the k worst-latency requests seen
+/// since boot, each with the flight-recorder window [seq_begin, seq_end]
+/// that brackets its events in an operational dump.
+struct SlowOp {
+  std::uint64_t rid{0};
+  std::uint32_t tenant{0};
+  std::uint32_t stream{0};
+  std::uint64_t stream_seq{0};
+  telemetry::OpKind op{telemetry::OpKind::kNone};
+  std::uint64_t latency_ns{0};
+  std::uint64_t seq_begin{0};
+  std::uint64_t seq_end{0};
+};
 
 /// How the lazy index recompute runs.
 enum class IndexMode : std::uint8_t {
@@ -85,6 +115,8 @@ struct ServiceTuning {
   /// Max coordinate signatures kept resident (~1 KiB each). Coordinates
   /// beyond the cap are recomputed per batch instead of cached.
   std::size_t sig_cache_capacity{std::size_t{1} << 17};
+  /// Worst-latency requests retained in the slow-op log (0 disables it).
+  std::size_t slow_op_capacity{16};
 };
 
 /// Identity of a service instance. n and seed pin the sketch families;
@@ -158,6 +190,10 @@ class ConnectivityService {
   /// in strict mode — in every throwing case the service state is
   /// unchanged (validation completes before the first mutation).
   BatchStats apply_batch(std::span<const EdgeUpdate> updates);
+  /// Same ingest, stamped with a request identity: per-tenant instruments,
+  /// request begin/end + batch-apply flight-recorder events, slow-op log.
+  BatchStats apply_batch(std::span<const EdgeUpdate> updates,
+                         const RequestContext& ctx);
 
   /// Convenience: one-update batch.
   BatchStats apply(const EdgeUpdate& update);
@@ -165,16 +201,25 @@ class ConnectivityService {
   /// True iff u and v are in the same component (w.h.p., see
   /// monte_carlo_ok). Refreshes the index if stale.
   bool connected(VertexId u, VertexId v);
+  bool connected(VertexId u, VertexId v, const RequestContext& ctx);
 
   /// Canonical component label of u: the smallest vertex id in u's
   /// component. Refreshes the index if stale.
   VertexId component_of(VertexId u);
+  VertexId component_of(VertexId u, const RequestContext& ctx);
 
   /// Number of connected components (isolated vertices count).
   std::uint32_t num_components();
+  std::uint32_t num_components(const RequestContext& ctx);
 
   /// Copy of all component labels (index refreshed first).
   std::vector<VertexId> component_labels();
+  std::vector<VertexId> component_labels(const RequestContext& ctx);
+
+  /// The k worst-latency requests since boot (largest first). k is
+  /// ServiceTuning::slow_op_capacity; only context-stamped overloads feed
+  /// the log.
+  std::vector<SlowOp> slow_ops() const;
 
   /// State generation: bumps once per batch that changed anything.
   std::uint64_t generation() const;
@@ -216,6 +261,23 @@ class ConnectivityService {
   struct RestoreTag {};
   ConnectivityService(const ServiceSnapshot& snap,
                       const ServiceTuning& tuning, RestoreTag);
+
+  // One in-flight stamped request: begin_request() opens it (monotonic
+  // rid, begin event, wall t0), end_request()/fail_request() close it.
+  struct RequestTicket {
+    std::uint64_t rid{0};
+    std::uint64_t t0{0};
+    std::uint64_t seq_begin{0};
+    telemetry::OpKind op{telemetry::OpKind::kNone};
+  };
+  RequestTicket begin_request(const RequestContext& ctx, telemetry::OpKind op,
+                              std::uint64_t args);
+  void end_request(const RequestTicket& ticket, const RequestContext& ctx,
+                   std::uint64_t result, std::uint64_t units);
+  void fail_request(const RequestTicket& ticket, const RequestContext& ctx);
+  telemetry::TenantInstruments& tenant_slot(std::uint32_t tenant);
+  void note_slow_op(const RequestTicket& ticket, const RequestContext& ctx,
+                    std::uint64_t latency_ns, std::uint64_t seq_end);
 
   void init_geometry();
   Signature compute_signature(std::uint64_t coord) const;
@@ -261,6 +323,15 @@ class ConnectivityService {
   std::uint64_t recomputes_{0};
   std::uint64_t boruvka_rounds_{0};
   std::atomic<std::uint64_t> queries_{0};
+  std::atomic<std::uint64_t> next_rid_{0};
+
+  // Per-tenant instrument bundles (cold registration, cached per tenant)
+  // and the bounded slow-op log, both under their own small mutexes so the
+  // reader/writer service lock is never held while touching them.
+  mutable std::mutex tenant_mu_;
+  std::unordered_map<std::uint32_t, telemetry::TenantInstruments> tenants_;
+  mutable std::mutex slow_mu_;
+  std::vector<SlowOp> slow_ops_;  // min-heap by latency_ns
 
   // Batch scratch, reused across batches (cleared per touched vertex).
   struct CoordDelta {

@@ -1,0 +1,159 @@
+// Flight recorder: a lock-free, per-thread ring of fixed-size structured
+// events, merged on demand into an ordered dump.
+//
+// Every request the ConnectivityService handles leaves a begin/end event
+// pair (tenant id, client stream, per-stream ordinal, op kind, wall
+// latency); batch applies, index recomputes, snapshot serializations, and
+// watchdog rule fires land alongside them. Recording is wait-free on the
+// hot path: each thread claims a private ring slot on first use (no lock is
+// ever taken while recording), each ring slot is a seqlock-versioned block
+// of relaxed atomics, and the ring overwrites its oldest events when full —
+// the recorder keeps the *last* window of activity, like an aircraft FDR.
+//
+// Two serializations, one schema (NDJSON `"schema":4`, validated by
+// tools/report/validate_ndjson.py):
+//
+//   dump_ndjson()       operational dump: every retained event, ordered by
+//                       the global record sequence, wall latencies
+//                       included. This is what the error/watchdog triggers
+//                       write.
+//   canonical_ndjson()  deterministic dump: only schedule-driven event
+//                       kinds (request begin/end, batch apply, snapshot),
+//                       ordered by (tenant, stream, request ordinal), with
+//                       wall latencies, global sequence numbers, and
+//                       race-dependent result values stripped. Two
+//                       identically-seeded runs produce byte-identical
+//                       canonical dumps — the flight-recorder analogue of
+//                       the registry's canonical (wall-free) snapshot.
+//
+// Dump triggers: on demand (dump_to_file), on ServiceError/ProtocolError
+// (the service calls auto_dump("service-error:...") before rethrowing),
+// and on watchdog-unhealthy (Watchdog::Config::recorder). arm_auto_dump()
+// names the file; auto dumps append and are capped at kMaxAutoDumps per
+// recorder so a flapping rule cannot fill a disk.
+//
+// A -DCLIQUE_NO_TELEMETRY build compiles record() to a no-op (dumps still
+// work and are empty), mirroring MetricsRegistry::kCompiledIn.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace ccq::telemetry {
+
+enum class EventKind : std::uint8_t {
+  kRequestBegin = 0,
+  kRequestEnd = 1,
+  kBatchApply = 2,
+  kRecompute = 3,
+  kSnapshot = 4,
+  kHealthRuleFire = 5,
+};
+
+enum class OpKind : std::uint8_t {
+  kNone = 0,
+  kConnected = 1,
+  kComponentOf = 2,
+  kNumComponents = 3,
+  kComponentLabels = 4,
+  kIngest = 5,
+};
+
+/// Stable lowercase token ("request_begin", "ingest", ...) used by the
+/// schema-4 exporter; unknown values map to "unknown".
+std::string_view event_kind_name(EventKind kind) noexcept;
+std::string_view op_kind_name(OpKind op) noexcept;
+
+struct Event {
+  std::uint64_t seq{0};         // global record order (assigned by record())
+  std::uint64_t rid{0};         // service-assigned monotonic request id
+  std::uint64_t request{0};     // caller's per-stream ordinal (deterministic)
+  std::uint64_t value{0};       // payload: args/sizes for begin, result for end
+  std::uint64_t latency_ns{0};  // wall duration (end events); 0 otherwise
+  std::uint32_t tenant{0};
+  std::uint32_t stream{0};
+  EventKind kind{EventKind::kRequestBegin};
+  OpKind op{OpKind::kNone};
+  bool error{false};
+};
+
+class FlightRecorder {
+ public:
+  struct Config {
+    std::size_t max_threads{64};     // distinct recording threads
+    std::size_t ring_capacity{16384};  // retained events per thread
+  };
+
+  /// Appended dumps per armed file before auto_dump() starts refusing.
+  static constexpr std::uint64_t kMaxAutoDumps = 8;
+
+  FlightRecorder();  // default Config
+  explicit FlightRecorder(Config config);
+  ~FlightRecorder();
+
+  FlightRecorder(const FlightRecorder&) = delete;
+  FlightRecorder& operator=(const FlightRecorder&) = delete;
+
+  /// Record one event and return the global seq it was assigned (0 when
+  /// telemetry is compiled out or more than max_threads threads record).
+  /// Wait-free after the calling thread's first event.
+  std::uint64_t record(Event e) noexcept;
+
+  /// Merge every per-thread ring into one vector ordered by global seq.
+  /// Safe to call concurrently with record(); events a writer overwrites
+  /// mid-read are skipped (they count as dropped, never torn).
+  std::vector<Event> collect() const;
+
+  /// Operational dump: every retained event + a "flight_dump" trailer.
+  std::string dump_ndjson(std::string_view reason) const;
+  /// Deterministic dump: schedule-driven kinds only, canonical order,
+  /// wall/sequence/result fields stripped (see file header).
+  std::string canonical_ndjson(std::string_view reason) const;
+  /// Write dump_ndjson (or canonical_ndjson) to `path`; false on IO error.
+  bool dump_to_file(const std::string& path, std::string_view reason,
+                    bool canonical = false) const;
+
+  /// Name the file that error/watchdog triggers append dumps to.
+  void arm_auto_dump(std::string path);
+  /// Append an operational dump to the armed file; returns false when not
+  /// armed, over the kMaxAutoDumps cap, or on IO error.
+  bool auto_dump(std::string_view reason);
+  /// Path set by arm_auto_dump (empty when unarmed).
+  std::string auto_dump_path() const;
+
+  /// Events ever recorded (including overwritten ones).
+  std::uint64_t recorded() const noexcept;
+  /// Events lost to ring overwrite or thread-slot exhaustion.
+  std::uint64_t dropped() const noexcept;
+
+  /// Process-wide recorder (leaked, like MetricsRegistry::global()).
+  static FlightRecorder& global();
+
+ private:
+  struct Slot;
+  struct ThreadRing;
+
+  ThreadRing& ensure_ring(std::size_t slot_index) const;
+  std::size_t thread_slot() const noexcept;
+
+  const Config config_;
+  std::unique_ptr<std::atomic<ThreadRing*>[]> rings_;
+  std::uint64_t id_{0};  // stable identity for the thread-local slot cache
+  mutable std::atomic<std::uint32_t> next_slot_{0};
+  std::atomic<std::uint64_t> next_seq_{0};
+  std::atomic<std::uint64_t> overflow_{0};  // events from unclaimable threads
+
+  mutable std::mutex dump_mu_;
+  std::string auto_dump_path_;
+  std::uint64_t auto_dumps_{0};
+};
+
+/// Shorthand for FlightRecorder::global().
+inline FlightRecorder& flight_recorder() { return FlightRecorder::global(); }
+
+}  // namespace ccq::telemetry

@@ -65,6 +65,24 @@ std::uint64_t quantile_upper_bound(const HistogramData& h,
   return ~std::uint64_t{0};  // unreachable while count == sum of buckets
 }
 
+std::uint64_t quantile_lower_bound(const HistogramData& h,
+                                   double q) noexcept {
+  if (h.count == 0) return 0;
+  const double rank = std::ceil(q * static_cast<double>(h.count));
+  const auto need = static_cast<std::uint64_t>(
+      std::clamp(rank, 1.0, static_cast<double>(h.count)));
+  std::uint64_t cumulative = 0;
+  for (std::size_t b = 0; b < h.buckets.size(); ++b) {
+    cumulative += h.buckets[b];
+    if (cumulative >= need) {
+      if (b == 0) return 0;  // bucket 0 holds exactly the value 0
+      if (b >= 65) return ~std::uint64_t{0};
+      return std::uint64_t{1} << (b - 1);  // bucket 64 starts at 2^63
+    }
+  }
+  return ~std::uint64_t{0};  // unreachable while count == sum of buckets
+}
+
 void MetricsRegistry::check_name(std::string_view name,
                                  const char* kind) const {
   const auto ok_head = [](char c) { return c >= 'a' && c <= 'z'; };

@@ -151,6 +151,12 @@ struct HistogramData {
 /// the bucket convention. 0 when the histogram is empty.
 std::uint64_t quantile_upper_bound(const HistogramData& h, double q) noexcept;
 
+/// Lower bound of the same bucket: the smallest value the quantile-q
+/// observation could have had. Log2 buckets cannot localize a quantile
+/// tighter than [quantile_lower_bound, quantile_upper_bound], so watchdog
+/// messages and the loadgen tables report the interval, not a point.
+std::uint64_t quantile_lower_bound(const HistogramData& h, double q) noexcept;
+
 /// Log2-bucketed value/latency histogram with exact count and sum.
 /// record() is wait-free: one bucket increment plus count/sum, all relaxed.
 class Histogram {

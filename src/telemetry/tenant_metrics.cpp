@@ -1,0 +1,33 @@
+#include "telemetry/tenant_metrics.hpp"
+
+namespace ccq::telemetry {
+
+std::string tenant_instrument_name(std::uint32_t tenant,
+                                   std::string_view suffix) {
+  std::string name = "ccq_tenant_";
+  name += std::to_string(tenant);
+  name += '_';
+  name += suffix;
+  return name;
+}
+
+TenantInstruments tenant_instruments(MetricsRegistry& reg,
+                                     std::uint32_t tenant) {
+  const std::string tag = "tenant " + std::to_string(tenant);
+  return TenantInstruments{
+      reg.counter(tenant_instrument_name(tenant, "requests_total"),
+                  "Requests issued by " + tag),
+      reg.counter(tenant_instrument_name(tenant, "queries_total"),
+                  "Read requests issued by " + tag),
+      reg.counter(tenant_instrument_name(tenant, "ingests_total"),
+                  "Ingest batches issued by " + tag),
+      reg.counter(tenant_instrument_name(tenant, "errors_total"),
+                  "Requests by " + tag + " that raised an error"),
+      reg.wall_histogram(tenant_instrument_name(tenant, "request_ns"),
+                         "Wall request latency for " + tag),
+      reg.histogram(tenant_instrument_name(tenant, "request_units"),
+                    "Deterministic request cost units for " + tag),
+  };
+}
+
+}  // namespace ccq::telemetry

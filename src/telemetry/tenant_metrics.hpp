@@ -1,0 +1,46 @@
+// Per-tenant instrument bundles over the process MetricsRegistry.
+//
+// Tenant instruments follow the naming scheme
+//   ccq_tenant_<id>_{requests_total,queries_total,ingests_total,
+//                    errors_total,request_ns,request_units}
+// (documented in docs/TELEMETRY.md "Per-tenant instruments").
+// `request_ns` is a wall histogram (excluded from canonical snapshots);
+// `request_units` is a deterministic cost histogram: an ingest records the
+// number of updates presented, a query records 1 — so per-tenant p50/p99
+// work-size quantiles survive the determinism contract and can be spliced
+// into EXPERIMENTS.md.
+//
+// Registration is idempotent in the registry, but it takes the registry
+// mutex; callers on a hot path (ConnectivityService) cache the returned
+// references per tenant. This helper lives in src/telemetry so dynamic
+// tenant registration stays inside the one subsystem cliquelint CL011
+// exempts from the cold-registration rule.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+#include "telemetry/metrics_registry.hpp"
+
+namespace ccq::telemetry {
+
+struct TenantInstruments {
+  Counter& requests;       // every request the tenant issued
+  Counter& queries;        // read requests (connected/component_of/...)
+  Counter& ingests;        // write requests (apply_batch)
+  Counter& errors;         // requests that threw ServiceError/ProtocolError
+  Histogram& request_ns;   // wall request latency
+  Histogram& request_units;  // deterministic request cost units
+};
+
+/// "ccq_tenant_<tenant>_<suffix>" — the shared spelling the watchdog's
+/// tenant SLO rules and the loadgen report use to find these instruments.
+std::string tenant_instrument_name(std::uint32_t tenant,
+                                   std::string_view suffix);
+
+/// Register-or-fetch the tenant's bundle (idempotent, cold path).
+TenantInstruments tenant_instruments(MetricsRegistry& reg,
+                                     std::uint32_t tenant);
+
+}  // namespace ccq::telemetry

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <chrono>
 
+#include "telemetry/tenant_metrics.hpp"
 #include "util/clock.hpp"
 
 namespace ccq::telemetry {
@@ -28,6 +29,17 @@ const HistogramSample* find_histogram(const MetricsSnapshot& snap,
   for (const HistogramSample& h : snap.histograms)
     if (h.name == name) return &h;
   return nullptr;
+}
+
+// "[lo, hi]" — the log2 bucket interval that localizes the p99; a point
+// estimate would overstate precision by up to 2x.
+std::string p99_interval(const HistogramData& data) {
+  std::string out{"["};
+  out += std::to_string(quantile_lower_bound(data, 0.99));
+  out += ", ";
+  out += std::to_string(quantile_upper_bound(data, 0.99));
+  out += "]";
+  return out;
 }
 
 }  // namespace
@@ -99,11 +111,22 @@ void Watchdog::scrape_and_evaluate() {
   evaluate_locked();
 }
 
-void Watchdog::fire_locked(const std::string& key, std::string message) {
+void Watchdog::fire_locked(const std::string& key, std::string message,
+                           std::uint32_t tenant) {
   HealthIssue& issue = issues_[key];
   issue.rule = key;
   issue.message = std::move(message);
   ++issue.fired;
+  if (config_.recorder != nullptr) {
+    Event e;
+    e.kind = EventKind::kHealthRuleFire;
+    e.tenant = tenant;
+    e.value = issue.fired;
+    config_.recorder->record(e);
+    // Dump once per rule, not per scrape: a flapping rule must not be able
+    // to write kMaxAutoDumps copies of the same window by itself.
+    if (issue.fired == 1) config_.recorder->auto_dump("watchdog:" + key);
+  }
 }
 
 void Watchdog::evaluate_locked() {
@@ -139,15 +162,68 @@ void Watchdog::evaluate_locked() {
       case HealthRule::Kind::kHistogramP99Above: {
         const HistogramSample* h = find_histogram(now, rule.instrument);
         if (!h || h->data.count == 0) break;
-        const std::uint64_t p99 = quantile_upper_bound(h->data, 0.99);
-        if (p99 > rule.threshold)
+        if (quantile_upper_bound(h->data, 0.99) > rule.threshold)
           fire_locked(
               "p99(" + rule.instrument + ")",
-              "watchdog: histogram '" + rule.instrument + "' p99 ~" +
-                  std::to_string(p99) + " exceeds threshold " +
+              "watchdog: histogram '" + rule.instrument + "' p99 in " +
+                  p99_interval(h->data) + " exceeds threshold " +
                   std::to_string(rule.threshold) +
                   ": latency over budget — shrink --batch or raise "
                   "tuning.threads");
+        break;
+      }
+      case HealthRule::Kind::kTenantP99Above: {
+        const HistogramSample* h = find_histogram(now, rule.instrument);
+        if (!h || h->data.count == 0) break;
+        if (quantile_upper_bound(h->data, 0.99) > rule.threshold) {
+          std::string msg = "watchdog: tenant ";
+          msg += std::to_string(rule.tenant);
+          msg += " p99 in ";
+          msg += p99_interval(h->data);
+          msg += " ns over '";
+          msg += rule.instrument;
+          msg += "' exceeds SLO ";
+          msg += std::to_string(rule.threshold);
+          msg +=
+              " ns — shed or shape this tenant's traffic, or raise its "
+              "latency budget in the SLO table";
+          fire_locked("tenant_p99(" + rule.instrument + ")", std::move(msg),
+                      rule.tenant);
+        }
+        break;
+      }
+      case HealthRule::Kind::kTenantErrorRateAbove: {
+        const std::size_t need = static_cast<std::size_t>(rule.window) + 1;
+        if (ring_.size() < need) break;
+        const MetricsSnapshot& old = ring_[ring_.size() - need].snap;
+        const CounterSample* err_now = find_counter(now, rule.instrument);
+        const CounterSample* err_old = find_counter(old, rule.instrument);
+        const std::string req_name =
+            tenant_instrument_name(rule.tenant, "requests_total");
+        const CounterSample* req_now = find_counter(now, req_name);
+        const CounterSample* req_old = find_counter(old, req_name);
+        if (!err_now || !req_now) break;
+        const std::uint64_t d_err =
+            err_now->value - (err_old ? err_old->value : 0);
+        const std::uint64_t d_req =
+            req_now->value - (req_old ? req_old->value : 0);
+        if (d_req > 0 && d_err * 1000 > rule.threshold * d_req) {
+          std::string msg = "watchdog: tenant ";
+          msg += std::to_string(rule.tenant);
+          msg += " burned ";
+          msg += std::to_string(d_err);
+          msg += " errors over ";
+          msg += std::to_string(d_req);
+          msg += " requests in the last ";
+          msg += std::to_string(rule.window);
+          msg += " scrapes, over the error budget of ";
+          msg += std::to_string(rule.threshold);
+          msg +=
+              " per-mille — inspect the flight-recorder dump for the "
+              "failing op kind and validate the tenant's feed";
+          fire_locked("tenant_errors(" + rule.instrument + ")",
+                      std::move(msg), rule.tenant);
+        }
         break;
       }
       case HealthRule::Kind::kGaugeAbove: {
@@ -223,6 +299,22 @@ std::vector<HealthRule> Watchdog::service_rules(std::uint32_t interval_ms) {
     rules.push_back({HealthRule::Kind::kSnapshotAge, "",
                      std::max<std::uint64_t>(10'000, 10ull * interval_ms),
                      0});
+  return rules;
+}
+
+std::vector<HealthRule> Watchdog::slo_rules(
+    const std::vector<TenantSlo>& table) {
+  std::vector<HealthRule> rules;
+  for (const TenantSlo& slo : table) {
+    if (slo.p99_ns > 0)
+      rules.push_back({HealthRule::Kind::kTenantP99Above,
+                       tenant_instrument_name(slo.tenant, "request_ns"),
+                       slo.p99_ns, 0, slo.tenant});
+    if (slo.error_per_mille > 0)
+      rules.push_back({HealthRule::Kind::kTenantErrorRateAbove,
+                       tenant_instrument_name(slo.tenant, "errors_total"),
+                       slo.error_per_mille, slo.burn_window, slo.tenant});
+  }
   return rules;
 }
 

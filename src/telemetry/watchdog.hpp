@@ -13,7 +13,21 @@
 //   kGaugeAbove         a level gauge exceeds `threshold`;
 //   kSnapshotAge        evaluated at report() time: the newest snapshot is
 //                       older than `threshold` ms — the scrape thread
-//                       itself is starved or dead.
+//                       itself is starved or dead;
+//   kTenantP99Above     per-tenant latency SLO: the p99 bucket interval of
+//                       the tenant's request histogram exceeds the SLO
+//                       budget;
+//   kTenantErrorRateAbove  per-tenant error budget as a burn rate: the
+//                       error/request delta ratio over the last `window`
+//                       scrapes of the ring exceeds `threshold` per-mille.
+//
+// Tenant rules are built declaratively from a TenantSlo table via
+// slo_rules(); p99 rules report the log2-bucket interval [lo, hi] rather
+// than a point (see quantile_lower_bound). When Config::recorder is set,
+// every rule fire lands a kHealthRuleFire event in the flight recorder,
+// and the first fire of each rule appends an operational dump to the
+// recorder's armed auto-dump file — the dump-on-watchdog-unhealthy
+// trigger.
 //
 // Fired rules become HealthIssues with exact actionable strings in the
 // ServiceError style (service/service_error.hpp): every message names the
@@ -31,6 +45,7 @@
 #include <thread>
 #include <vector>
 
+#include "telemetry/flight_recorder.hpp"
 #include "telemetry/metrics_registry.hpp"
 
 namespace ccq::telemetry {
@@ -41,11 +56,22 @@ struct HealthRule {
     kHistogramP99Above,
     kGaugeAbove,
     kSnapshotAge,
+    kTenantP99Above,
+    kTenantErrorRateAbove,
   };
   Kind kind{Kind::kCounterStall};
   std::string instrument;      // unused by kSnapshotAge
-  std::uint64_t threshold{0};  // p99 ns / gauge level / age ms
-  std::uint32_t window{3};     // kCounterStall: scrapes without progress
+  std::uint64_t threshold{0};  // p99 ns / gauge level / age ms / per-mille
+  std::uint32_t window{3};     // stall/burn-rate: scrapes looked back
+  std::uint32_t tenant{0};     // tenant rules: who the SLO belongs to
+};
+
+/// One row of the declarative SLO table slo_rules() compiles into rules.
+struct TenantSlo {
+  std::uint32_t tenant{0};
+  std::uint64_t p99_ns{0};           // 0: no latency SLO for this tenant
+  std::uint32_t error_per_mille{0};  // 0: no error-budget SLO
+  std::uint32_t burn_window{3};      // scrapes for the burn-rate rule
 };
 
 struct HealthIssue {
@@ -68,6 +94,9 @@ class Watchdog {
     std::uint32_t interval_ms{1000};
     std::size_t ring_capacity{64};
     std::vector<HealthRule> rules;
+    // When set: rule fires are recorded as kHealthRuleFire events, and the
+    // first fire of each rule appends a dump to the armed auto-dump file.
+    FlightRecorder* recorder{nullptr};
   };
 
   Watchdog(MetricsRegistry& reg, Config config);
@@ -96,6 +125,14 @@ class Watchdog {
   /// over max(10 s, 10 * interval_ms).
   static std::vector<HealthRule> service_rules(std::uint32_t interval_ms);
 
+  /// Compile a declarative SLO table into tenant health rules: one
+  /// kTenantP99Above per row with p99_ns > 0 (over the tenant's
+  /// ccq_tenant_<id>_request_ns wall histogram) and one
+  /// kTenantErrorRateAbove per row with error_per_mille > 0 (burn rate of
+  /// errors_total against requests_total over burn_window scrapes).
+  static std::vector<HealthRule> slo_rules(
+      const std::vector<TenantSlo>& table);
+
  private:
   struct RingEntry {
     MetricsSnapshot snap;
@@ -105,7 +142,8 @@ class Watchdog {
   void thread_loop();
   void scrape_and_evaluate();
   void evaluate_locked();
-  void fire_locked(const std::string& key, std::string message);
+  void fire_locked(const std::string& key, std::string message,
+                   std::uint32_t tenant = 0);
 
   MetricsRegistry& reg_;
   const Config config_;

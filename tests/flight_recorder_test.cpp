@@ -1,0 +1,216 @@
+// Flight recorder (src/telemetry/flight_recorder.hpp, docs/TELEMETRY.md):
+// seqlock ring semantics (overwrite keeps the newest window, never tears),
+// global-sequence merge order, schema-4 serialization of both dump
+// flavors, the canonical dump's determinism contract (same logical
+// schedule from different thread interleavings -> byte-identical bytes),
+// and the armed auto-dump path with its per-recorder cap.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "telemetry/flight_recorder.hpp"
+#include "telemetry/metrics_registry.hpp"
+
+namespace ccq::telemetry {
+namespace {
+
+Event make_event(std::uint32_t tenant, std::uint32_t stream,
+                 std::uint64_t request, EventKind kind, OpKind op,
+                 std::uint64_t value) {
+  Event e;
+  e.tenant = tenant;
+  e.stream = stream;
+  e.request = request;
+  e.kind = kind;
+  e.op = op;
+  e.value = value;
+  return e;
+}
+
+std::string read_file(const std::string& path) {
+  std::ifstream in{path, std::ios::binary};
+  std::ostringstream out;
+  out << in.rdbuf();
+  return out.str();
+}
+
+TEST(FlightRecorder, RecordAssignsIncreasingSeqAndCollectsInOrder) {
+  if (!kCompiledIn) GTEST_SKIP() << "built with CLIQUE_NO_TELEMETRY";
+  FlightRecorder rec;
+  for (std::uint64_t i = 1; i <= 5; ++i) {
+    Event e = make_event(1, 2, i, EventKind::kRequestBegin,
+                         OpKind::kConnected, i * 10);
+    e.rid = i;
+    EXPECT_EQ(rec.record(e), i);
+  }
+  const std::vector<Event> events = rec.collect();
+  ASSERT_EQ(events.size(), 5u);
+  for (std::size_t i = 0; i < events.size(); ++i) {
+    EXPECT_EQ(events[i].seq, i + 1);
+    EXPECT_EQ(events[i].request, i + 1);
+    EXPECT_EQ(events[i].value, (i + 1) * 10);
+    EXPECT_EQ(events[i].tenant, 1u);
+    EXPECT_EQ(events[i].stream, 2u);
+  }
+  EXPECT_EQ(rec.recorded(), 5u);
+  EXPECT_EQ(rec.dropped(), 0u);
+}
+
+TEST(FlightRecorder, RingOverwriteKeepsNewestWindow) {
+  if (!kCompiledIn) GTEST_SKIP() << "built with CLIQUE_NO_TELEMETRY";
+  FlightRecorder::Config config;
+  config.ring_capacity = 8;
+  FlightRecorder rec{config};
+  for (std::uint64_t i = 1; i <= 20; ++i)
+    rec.record(make_event(0, 0, i, EventKind::kRequestBegin,
+                          OpKind::kNone, 0));
+  const std::vector<Event> events = rec.collect();
+  ASSERT_EQ(events.size(), 8u);
+  // The FDR contract: the *last* window survives, oldest-first in order.
+  for (std::size_t i = 0; i < 8; ++i)
+    EXPECT_EQ(events[i].request, 13 + i);
+  EXPECT_EQ(rec.recorded(), 20u);
+  EXPECT_EQ(rec.dropped(), 12u);
+}
+
+TEST(FlightRecorder, OperationalDumpSerializesSchema4) {
+  if (!kCompiledIn) GTEST_SKIP() << "built with CLIQUE_NO_TELEMETRY";
+  FlightRecorder rec;
+  Event e = make_event(3, 7, 11, EventKind::kRequestEnd,
+                       OpKind::kComponentOf, 42);
+  e.rid = 9;
+  e.latency_ns = 1234;
+  e.error = true;
+  rec.record(e);
+  const std::string dump = rec.dump_ndjson("unit \"test\"\n");
+  EXPECT_EQ(dump,
+            "{\"type\":\"flight_event\",\"schema\":4,\"seq\":1,\"rid\":9,"
+            "\"tenant\":3,\"stream\":7,\"request\":11,"
+            "\"kind\":\"request_end\",\"op\":\"component_of\","
+            "\"value\":42,\"latency_ns\":1234,\"error\":1}\n"
+            "{\"type\":\"flight_dump\",\"schema\":4,"
+            "\"reason\":\"unit _test__\",\"events\":1,\"dropped\":0,"
+            "\"canonical\":0}\n");
+}
+
+TEST(FlightRecorder, CanonicalDumpStripsNonDeterministicFields) {
+  if (!kCompiledIn) GTEST_SKIP() << "built with CLIQUE_NO_TELEMETRY";
+  FlightRecorder rec;
+  Event begin = make_event(1, 0, 1, EventKind::kRequestBegin,
+                           OpKind::kConnected, 77);
+  begin.rid = 5;
+  rec.record(begin);
+  Event end = make_event(1, 0, 1, EventKind::kRequestEnd,
+                         OpKind::kConnected, 1);  // race-dependent result
+  end.rid = 5;
+  end.latency_ns = 999;
+  rec.record(end);
+  // Interleaving-dependent kinds never appear in a canonical dump.
+  rec.record(make_event(0, 0, 3, EventKind::kRecompute, OpKind::kNone, 1));
+  rec.record(
+      make_event(0, 0, 0, EventKind::kHealthRuleFire, OpKind::kNone, 1));
+  const std::string dump = rec.canonical_ndjson("canon");
+  EXPECT_EQ(dump,
+            "{\"type\":\"flight_event\",\"schema\":4,\"tenant\":1,"
+            "\"stream\":0,\"request\":1,\"kind\":\"request_begin\","
+            "\"op\":\"connected\",\"value\":77,\"error\":0}\n"
+            "{\"type\":\"flight_event\",\"schema\":4,\"tenant\":1,"
+            "\"stream\":0,\"request\":1,\"kind\":\"request_end\","
+            "\"op\":\"connected\",\"value\":0,\"error\":0}\n"
+            "{\"type\":\"flight_dump\",\"schema\":4,\"reason\":\"canon\","
+            "\"events\":2,\"dropped\":0,\"canonical\":1}\n");
+}
+
+// The determinism contract behind the loadgen_determinism ctest: many
+// threads, each playing a fixed per-stream schedule, in whatever order the
+// scheduler picks -> the canonical dump is byte-identical across runs.
+TEST(FlightRecorder, CanonicalDumpIsScheduleDeterministic) {
+  if (!kCompiledIn) GTEST_SKIP() << "built with CLIQUE_NO_TELEMETRY";
+  const auto run = [](unsigned spin_salt) {
+    FlightRecorder rec;
+    std::vector<std::thread> threads;
+    for (std::uint32_t stream = 0; stream < 4; ++stream)
+      threads.emplace_back([&rec, stream, spin_salt] {
+        // Perturb the interleaving between runs without touching the
+        // logical schedule.
+        for (unsigned spin = 0; spin < (stream + 1) * spin_salt; ++spin)
+          std::this_thread::yield();
+        for (std::uint64_t i = 1; i <= 50; ++i) {
+          Event b = make_event(stream % 2, stream, i,
+                               EventKind::kRequestBegin, OpKind::kConnected,
+                               i * 3);
+          b.rid = rec.record(b);  // rid differs across runs; stripped
+          Event e = make_event(stream % 2, stream, i, EventKind::kRequestEnd,
+                               OpKind::kConnected, i % 2);
+          e.latency_ns = 1 + stream;  // wall data; stripped
+          rec.record(e);
+        }
+      });
+    for (std::thread& t : threads) t.join();
+    return rec.canonical_ndjson("determinism");
+  };
+  const std::string first = run(0);
+  const std::string second = run(7);
+  EXPECT_EQ(first, second);
+  EXPECT_NE(first.find("\"events\":400"), std::string::npos);
+}
+
+TEST(FlightRecorder, ConcurrentRecordAndDumpNeverTears) {
+  if (!kCompiledIn) GTEST_SKIP() << "built with CLIQUE_NO_TELEMETRY";
+  FlightRecorder::Config config;
+  config.ring_capacity = 64;  // force constant overwrite under the reader
+  FlightRecorder rec{config};
+  std::vector<std::thread> writers;
+  for (std::uint32_t w = 0; w < 4; ++w)
+    writers.emplace_back([&rec, w] {
+      for (std::uint64_t i = 1; i <= 20000; ++i)
+        rec.record(make_event(w, w, i, EventKind::kRequestBegin,
+                              OpKind::kIngest, i));
+    });
+  for (int i = 0; i < 50; ++i) {
+    // Every surviving event must be internally consistent: the seqlock
+    // either yields the whole slot or skips it, never a torn mix.
+    for (const Event& e : rec.collect()) {
+      EXPECT_EQ(e.kind, EventKind::kRequestBegin);
+      EXPECT_EQ(e.op, OpKind::kIngest);
+      EXPECT_EQ(e.tenant, e.stream);
+      EXPECT_EQ(e.value, e.request);
+    }
+  }
+  for (std::thread& t : writers) t.join();
+  EXPECT_EQ(rec.recorded(), 80000u);
+}
+
+TEST(FlightRecorder, AutoDumpAppendsAndCaps) {
+  if (!kCompiledIn) GTEST_SKIP() << "built with CLIQUE_NO_TELEMETRY";
+  const std::string path = "flight_recorder_test_auto.ndjson";
+  std::remove(path.c_str());
+  FlightRecorder rec;
+  EXPECT_FALSE(rec.auto_dump("unarmed"));  // no-op until armed
+  rec.arm_auto_dump(path);
+  EXPECT_EQ(rec.auto_dump_path(), path);
+  rec.record(make_event(0, 0, 1, EventKind::kRequestBegin,
+                        OpKind::kConnected, 0));
+  std::uint64_t appended = 0;
+  for (std::uint64_t i = 0; i < FlightRecorder::kMaxAutoDumps + 4; ++i)
+    if (rec.auto_dump("trigger")) ++appended;
+  EXPECT_EQ(appended, FlightRecorder::kMaxAutoDumps);
+  const std::string content = read_file(path);
+  std::size_t trailers = 0, pos = 0;
+  while ((pos = content.find("\"type\":\"flight_dump\"", pos)) !=
+         std::string::npos) {
+    ++trailers;
+    ++pos;
+  }
+  EXPECT_EQ(trailers, FlightRecorder::kMaxAutoDumps);
+  std::remove(path.c_str());
+}
+
+}  // namespace
+}  // namespace ccq::telemetry

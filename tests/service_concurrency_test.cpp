@@ -1,0 +1,177 @@
+// Request-scoped service plumbing (src/service/connectivity_service.hpp,
+// docs/SERVICE.md "Multi-tenant operation"): RequestContext overloads under
+// real reader/writer concurrency (the TSan job runs this against the
+// seqlock flight recorder and the sharded tenant instruments), per-tenant
+// counter exactness, the error path (count + flight-recorder event), and
+// the bounded slow-op log. Tenant ids here are namespaced per test (the
+// registry is process-global).
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdint>
+#include <thread>
+#include <vector>
+
+#include "service/connectivity_service.hpp"
+#include "service/service_error.hpp"
+#include "telemetry/flight_recorder.hpp"
+#include "telemetry/metrics_registry.hpp"
+#include "telemetry/tenant_metrics.hpp"
+
+namespace ccq {
+namespace {
+
+ConnectivityService make_service(std::uint32_t n) {
+  ServiceConfig config;
+  config.n = n;
+  config.seed = 7;
+  config.tuning.index_mode = IndexMode::kLocal;
+  return ConnectivityService{config};
+}
+
+TEST(ServiceConcurrency, ConcurrentQueriesDuringApplyBatch) {
+  if (!telemetry::kCompiledIn)
+    GTEST_SKIP() << "built with CLIQUE_NO_TELEMETRY";
+  constexpr std::uint32_t kWriterTenant = 100;
+  constexpr std::uint32_t kReaderTenant = 101;
+  constexpr std::uint64_t kBatches = 40;
+  constexpr std::uint64_t kQueriesPerReader = 150;
+  constexpr int kReaders = 3;
+  ConnectivityService service = make_service(64);
+  const auto writer_before =
+      telemetry::tenant_instruments(telemetry::registry(), kWriterTenant)
+          .requests.value();
+  const auto reader_before =
+      telemetry::tenant_instruments(telemetry::registry(), kReaderTenant)
+          .queries.value();
+
+  std::vector<std::thread> threads;
+  threads.emplace_back([&service] {
+    std::vector<EdgeUpdate> batch;
+    for (std::uint64_t b = 1; b <= kBatches; ++b) {
+      batch.clear();
+      for (std::uint32_t k = 0; k < 8; ++k) {
+        const auto u = static_cast<VertexId>((b * 8 + k) % 64);
+        const auto v = static_cast<VertexId>((b * 8 + k + 1 + b) % 64);
+        batch.push_back({u, v == u ? (v + 1) % 64 : v, EdgeOp::kInsert});
+      }
+      (void)service.apply_batch(batch,
+                                RequestContext{kWriterTenant, 0, b});
+    }
+  });
+  for (int r = 0; r < kReaders; ++r)
+    threads.emplace_back([&service, r] {
+      const auto stream = static_cast<std::uint32_t>(1 + r);
+      for (std::uint64_t i = 1; i <= kQueriesPerReader; ++i) {
+        const RequestContext ctx{kReaderTenant, stream, i};
+        switch (i % 3) {
+          case 0: (void)service.connected(1, 2, ctx); break;
+          case 1:
+            (void)service.component_of(static_cast<VertexId>(i % 64), ctx);
+            break;
+          default: (void)service.num_components(ctx); break;
+        }
+      }
+    });
+  for (std::thread& t : threads) t.join();
+
+  const telemetry::TenantInstruments writer =
+      telemetry::tenant_instruments(telemetry::registry(), kWriterTenant);
+  const telemetry::TenantInstruments reader =
+      telemetry::tenant_instruments(telemetry::registry(), kReaderTenant);
+  EXPECT_EQ(writer.requests.value() - writer_before, kBatches);
+  EXPECT_EQ(reader.queries.value() - reader_before,
+            kQueriesPerReader * kReaders);
+  EXPECT_EQ(reader.errors.value(), 0u);
+  // Queries raced the writer but every answer had to come from a
+  // consistent index: the final census must be exact.
+  EXPECT_GE(service.num_components(), 1u);
+}
+
+TEST(ServiceRequest, PerTenantCountersAreExact) {
+  if (!telemetry::kCompiledIn)
+    GTEST_SKIP() << "built with CLIQUE_NO_TELEMETRY";
+  constexpr std::uint32_t kTenant = 110;
+  ConnectivityService service = make_service(16);
+  const std::vector<EdgeUpdate> batch{{0, 1, EdgeOp::kInsert},
+                                      {1, 2, EdgeOp::kInsert}};
+  (void)service.apply_batch(batch, RequestContext{kTenant, 0, 1});
+  (void)service.connected(0, 2, RequestContext{kTenant, 0, 2});
+  (void)service.component_of(3, RequestContext{kTenant, 0, 3});
+  (void)service.num_components(RequestContext{kTenant, 0, 4});
+  (void)service.component_labels(RequestContext{kTenant, 0, 5});
+  const telemetry::TenantInstruments t =
+      telemetry::tenant_instruments(telemetry::registry(), kTenant);
+  EXPECT_EQ(t.requests.value(), 5u);
+  EXPECT_EQ(t.queries.value(), 4u);
+  EXPECT_EQ(t.ingests.value(), 1u);
+  EXPECT_EQ(t.errors.value(), 0u);
+  // Cost histogram: 2 units for the batch, 1 per query.
+  EXPECT_EQ(t.request_units.data().count, 5u);
+  EXPECT_EQ(t.request_units.data().sum, 2u + 4u);
+}
+
+TEST(ServiceRequest, ErrorPathCountsAndRecordsTheFailure) {
+  if (!telemetry::kCompiledIn)
+    GTEST_SKIP() << "built with CLIQUE_NO_TELEMETRY";
+  constexpr std::uint32_t kTenant = 120;
+  ConnectivityService service = make_service(16);
+  EXPECT_THROW((void)service.connected(99, 0, RequestContext{kTenant, 0, 1}),
+               ServiceError);
+  const telemetry::TenantInstruments t =
+      telemetry::tenant_instruments(telemetry::registry(), kTenant);
+  EXPECT_EQ(t.requests.value(), 1u);
+  EXPECT_EQ(t.errors.value(), 1u);
+  EXPECT_EQ(t.queries.value(), 0u);
+  // The failure left an error-flagged end event in the global recorder.
+  bool found = false;
+  for (const telemetry::Event& e : telemetry::flight_recorder().collect())
+    if (e.tenant == kTenant && e.kind == telemetry::EventKind::kRequestEnd &&
+        e.error && e.op == telemetry::OpKind::kConnected)
+      found = true;
+  EXPECT_TRUE(found);
+}
+
+TEST(ServiceRequest, SlowOpLogIsBoundedAndSortedWorstFirst) {
+  if (!telemetry::kCompiledIn)
+    GTEST_SKIP() << "built with CLIQUE_NO_TELEMETRY";
+  constexpr std::uint32_t kTenant = 130;
+  ServiceConfig config;
+  config.n = 32;
+  config.seed = 7;
+  config.tuning.index_mode = IndexMode::kLocal;
+  config.tuning.slow_op_capacity = 4;
+  ConnectivityService service{config};
+  for (std::uint64_t i = 1; i <= 20; ++i)
+    (void)service.component_of(static_cast<VertexId>(i % 32),
+                               RequestContext{kTenant, 2, i});
+  const std::vector<SlowOp> slow = service.slow_ops();
+  ASSERT_EQ(slow.size(), 4u);
+  for (std::size_t i = 1; i < slow.size(); ++i)
+    EXPECT_GE(slow[i - 1].latency_ns, slow[i].latency_ns);
+  for (const SlowOp& op : slow) {
+    EXPECT_EQ(op.tenant, kTenant);
+    EXPECT_EQ(op.stream, 2u);
+    EXPECT_GE(op.stream_seq, 1u);
+    EXPECT_LE(op.stream_seq, 20u);
+    // The flight-recorder window brackets the request's events.
+    EXPECT_GE(op.seq_end, op.seq_begin);
+    EXPECT_GT(op.seq_begin, 0u);
+  }
+}
+
+TEST(ServiceRequest, SlowOpLogDisabledAtZeroCapacity) {
+  if (!telemetry::kCompiledIn)
+    GTEST_SKIP() << "built with CLIQUE_NO_TELEMETRY";
+  ServiceConfig config;
+  config.n = 16;
+  config.seed = 7;
+  config.tuning.index_mode = IndexMode::kLocal;
+  config.tuning.slow_op_capacity = 0;
+  ConnectivityService service{config};
+  (void)service.num_components(RequestContext{140, 0, 1});
+  EXPECT_TRUE(service.slow_ops().empty());
+}
+
+}  // namespace
+}  // namespace ccq

@@ -5,12 +5,16 @@
 #include <gtest/gtest.h>
 
 #include <cstdint>
+#include <cstdio>
+#include <fstream>
+#include <iterator>
 #include <string>
 #include <thread>
 #include <vector>
 
 #include "telemetry/exposition.hpp"
 #include "telemetry/metrics_registry.hpp"
+#include "telemetry/tenant_metrics.hpp"
 #include "telemetry/watchdog.hpp"
 
 namespace ccq::telemetry {
@@ -346,6 +350,130 @@ TEST(TelemetryWatchdog, BackgroundThreadScrapesAndStops) {
   EXPECT_GE(after_stop, 2u);
   EXPECT_LE(after_stop, 4u);  // ring respects its capacity
   EXPECT_TRUE(dog.report().healthy);
+}
+
+TEST(TelemetryHistogram, QuantileLowerBound) {
+  HistogramData empty;
+  EXPECT_EQ(quantile_lower_bound(empty, 0.99), 0u);
+  if (!kCompiledIn) GTEST_SKIP() << "built with CLIQUE_NO_TELEMETRY";
+  MetricsRegistry reg;
+  Histogram& h = reg.histogram("ccq_test_lb_quantiles", "test");
+  h.record(0);  // bucket 0: exactly zero
+  for (int i = 0; i < 98; ++i) h.record(1);
+  h.record(1000);  // bucket 10: [512, 1024)
+  const HistogramData data = h.data();
+  EXPECT_EQ(quantile_lower_bound(data, 0.001), 0u);
+  EXPECT_EQ(quantile_lower_bound(data, 0.50), 1u);
+  EXPECT_EQ(quantile_lower_bound(data, 1.0), 512u);
+  EXPECT_EQ(quantile_upper_bound(data, 1.0), 1023u);
+  // Interval contract: lower <= upper at every quantile.
+  for (double q : {0.01, 0.5, 0.9, 0.99, 1.0})
+    EXPECT_LE(quantile_lower_bound(data, q), quantile_upper_bound(data, q));
+  // Top bucket: the largest representable values localize to [2^63, ~0].
+  Histogram& top = reg.histogram("ccq_test_lb_top", "test");
+  top.record(~std::uint64_t{0});
+  EXPECT_EQ(quantile_lower_bound(top.data(), 1.0),
+            std::uint64_t{1} << 63);
+  EXPECT_EQ(quantile_upper_bound(top.data(), 1.0), ~std::uint64_t{0});
+}
+
+TEST(TelemetryWatchdog, SloRulesShape) {
+  const std::vector<HealthRule> none = Watchdog::slo_rules({});
+  EXPECT_TRUE(none.empty());
+  std::vector<TenantSlo> table;
+  table.push_back({3, 1'000'000, 50, 2});  // both budgets
+  table.push_back({4, 0, 10, 1});          // error budget only
+  table.push_back({5, 2'000'000, 0, 3});   // latency budget only
+  const std::vector<HealthRule> rules = Watchdog::slo_rules(table);
+  ASSERT_EQ(rules.size(), 4u);
+  EXPECT_EQ(rules[0].kind, HealthRule::Kind::kTenantP99Above);
+  EXPECT_EQ(rules[0].instrument, "ccq_tenant_3_request_ns");
+  EXPECT_EQ(rules[0].tenant, 3u);
+  EXPECT_EQ(rules[1].kind, HealthRule::Kind::kTenantErrorRateAbove);
+  EXPECT_EQ(rules[1].instrument, "ccq_tenant_3_errors_total");
+  EXPECT_EQ(rules[1].window, 2u);
+  EXPECT_EQ(rules[2].instrument, "ccq_tenant_4_errors_total");
+  EXPECT_EQ(rules[3].instrument, "ccq_tenant_5_request_ns");
+}
+
+TEST(TelemetryWatchdog, TenantP99RuleFiresAndDumpsFlightRecorder) {
+  if (!kCompiledIn) GTEST_SKIP() << "built with CLIQUE_NO_TELEMETRY";
+  MetricsRegistry reg;
+  const TenantInstruments tenant = tenant_instruments(reg, 21);
+  for (int i = 0; i < 100; ++i) tenant.request_ns.record(5'000'000);
+  FlightRecorder rec;
+  const std::string path = "telemetry_test_tenant_dump.ndjson";
+  std::remove(path.c_str());
+  rec.arm_auto_dump(path);
+  Watchdog::Config config;
+  config.rules = Watchdog::slo_rules({{21, 1'000'000, 0, 1}});
+  config.recorder = &rec;
+  Watchdog dog{reg, std::move(config)};
+  dog.scrape_once();
+  const HealthReport report = dog.report();
+  EXPECT_FALSE(report.healthy);
+  ASSERT_EQ(report.issues.size(), 1u);
+  EXPECT_EQ(report.issues[0].rule, "tenant_p99(ccq_tenant_21_request_ns)");
+  // The message names the offending tenant and localizes the p99 as a
+  // log2-bucket interval, not a fake point estimate.
+  EXPECT_NE(report.issues[0].message.find("tenant 21"), std::string::npos);
+  EXPECT_NE(report.issues[0].message.find("p99 in ["), std::string::npos);
+  // The fire landed an event and an operational dump naming the rule.
+  bool fired_event = false;
+  for (const Event& e : rec.collect())
+    if (e.kind == EventKind::kHealthRuleFire && e.tenant == 21) {
+      fired_event = true;
+    }
+  EXPECT_TRUE(fired_event);
+  std::ifstream dump{path};
+  std::string content{std::istreambuf_iterator<char>{dump},
+                      std::istreambuf_iterator<char>{}};
+  EXPECT_NE(content.find("watchdog:tenant_p99(ccq_tenant_21_request_ns)"),
+            std::string::npos);
+  std::remove(path.c_str());
+}
+
+TEST(TelemetryWatchdog, TenantErrorBudgetBurnRate) {
+  if (!kCompiledIn) GTEST_SKIP() << "built with CLIQUE_NO_TELEMETRY";
+  MetricsRegistry reg;
+  const TenantInstruments tenant = tenant_instruments(reg, 22);
+  Watchdog::Config config;
+  config.rules = Watchdog::slo_rules({{22, 0, 100, 1}});  // 10% budget
+  Watchdog dog{reg, std::move(config)};
+  tenant.requests.add(100);
+  dog.scrape_once();  // baseline: needs window + 1 scrapes to evaluate
+  EXPECT_TRUE(dog.report().healthy);
+  // Burn 5 errors over 100 requests: 50 per-mille, inside the budget.
+  tenant.requests.add(100);
+  tenant.errors.add(5);
+  dog.scrape_once();
+  EXPECT_TRUE(dog.report().healthy);
+  // Burn 30 errors over 100 requests: 300 per-mille, over budget.
+  tenant.requests.add(100);
+  tenant.errors.add(30);
+  dog.scrape_once();
+  const HealthReport report = dog.report();
+  EXPECT_FALSE(report.healthy);
+  ASSERT_EQ(report.issues.size(), 1u);
+  EXPECT_EQ(report.issues[0].rule,
+            "tenant_errors(ccq_tenant_22_errors_total)");
+  EXPECT_NE(report.issues[0].message.find("tenant 22"), std::string::npos);
+  EXPECT_NE(report.issues[0].message.find("30 errors over 100 requests"),
+            std::string::npos);
+}
+
+TEST(TelemetryTenant, InstrumentNamingAndBundle) {
+  EXPECT_EQ(tenant_instrument_name(0, "requests_total"),
+            "ccq_tenant_0_requests_total");
+  EXPECT_EQ(tenant_instrument_name(17, "request_ns"),
+            "ccq_tenant_17_request_ns");
+  if (!kCompiledIn) GTEST_SKIP() << "built with CLIQUE_NO_TELEMETRY";
+  MetricsRegistry reg;
+  const TenantInstruments a = tenant_instruments(reg, 17);
+  const TenantInstruments b = tenant_instruments(reg, 17);
+  EXPECT_EQ(&a.requests, &b.requests);  // registration is idempotent
+  EXPECT_TRUE(a.request_ns.wall());     // wall data: canonical-excluded
+  EXPECT_FALSE(a.request_units.wall());  // cost data: deterministic
 }
 
 }  // namespace

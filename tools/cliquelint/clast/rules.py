@@ -1,4 +1,4 @@
-"""Rule families CL001-CL011 over the clast semantic IR.
+"""Rule families CL001-CL012 over the clast semantic IR.
 
 Every rule consumes resolved facts (receiver types, sequence types,
 include targets) — never raw source lines. Unresolved types ('') never
@@ -61,6 +61,16 @@ INSTRUMENT_MUTATORS = {
     "Histogram": {"record"}, "telemetry::Histogram": {"record"},
 }
 
+# CL012: flight-recorder event emission (src/telemetry/flight_recorder.hpp,
+# docs/TELEMETRY.md). record() is how the *service* narrates its own
+# request lifecycle; a tool or bench emitting events would interleave
+# synthetic entries into the dump an operator reads as the service's black
+# box (and into the canonical dump the determinism gates byte-compare).
+# Tools consume dumps — dump_ndjson/canonical_ndjson/dump_to_file/collect
+# are all read-side and stay unrestricted.
+RECORDER_TYPES = {"FlightRecorder", "telemetry::FlightRecorder"}
+RECORDER_EMITTERS = {"record"}
+
 # CL001 nondeterminism sources.
 RNG_TYPE_HEADS = {"std::random_device", "std::mt19937", "std::mt19937_64",
                   "std::default_random_engine", "std::minstd_rand",
@@ -110,6 +120,9 @@ RULE_DOCS = {
              "submitted to util/thread_pool",
     "CL011": "telemetry: instrument registration only at namespace scope "
              "or in constructors; instrument mutation confined to src/",
+    "CL012": "telemetry: flight-recorder event emission (record) confined "
+             "to src/; tools and benches read dumps, they do not write "
+             "events",
 }
 
 
@@ -553,9 +566,30 @@ def check_cl011(fm: FileModel, kb: KnowledgeBase) -> list[Finding]:
     return out
 
 
+# ---------------------------------------------------------------------------
+# CL012 — flight-recorder emission discipline
+# ---------------------------------------------------------------------------
+
+def check_cl012(fm: FileModel, kb: KnowledgeBase) -> list[Finding]:
+    if fm.path.startswith("src/"):
+        return []  # emission is the service's privilege anywhere in src/
+    out = []
+    for c in fm.member_calls:
+        if c.receiver_type in RECORDER_TYPES and \
+                c.method in RECORDER_EMITTERS:
+            out.append(Finding(
+                fm.path, c.line, "CL012",
+                f"flight-recorder event emission "
+                f"'{c.receiver_type}::{c.method}' outside src/: dumps are "
+                "the service's own black box — tools and benches read "
+                "them (dump_ndjson/collect), they do not inject events",
+                col=c.col))
+    return out
+
+
 PER_FILE_CHECKS = [check_cl001, check_cl002, check_cl003, check_cl004,
                    check_cl005, check_cl006, check_cl007, check_cl008,
-                   check_cl009, check_cl010, check_cl011]
+                   check_cl009, check_cl010, check_cl011, check_cl012]
 
 
 def run_rules(models: list[FileModel], kb: KnowledgeBase) -> list[Finding]:

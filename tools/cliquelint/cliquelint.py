@@ -39,6 +39,12 @@ regexes fundamentally cannot express:
                         temporaries destroyed at end of full-expression.
   CL010  capture        by-reference lambda captures of loop-local state
                         submitted to util/thread_pool ThreadPool::run.
+  CL011  telemetry      instrument registration only at namespace scope or
+                        in constructors; Counter/Gauge/Histogram mutation
+                        on resolved receivers confined to src/.
+  CL012  telemetry      FlightRecorder::record (event emission) confined
+                        to src/ — tools and benches read dumps, they do
+                        not inject events.
 
 Usage:
   cliquelint.py [PATH ...] [--root DIR] [--frontend internal|clang|auto]

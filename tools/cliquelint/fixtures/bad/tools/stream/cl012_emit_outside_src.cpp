@@ -1,0 +1,20 @@
+// Seeded CL012 violations: a tool injecting events into the flight
+// recorder. Outside src/ the recorder is read-only — the dump is the
+// service's own black box, and a driver writing record() would interleave
+// synthetic entries into it (and break canonical-dump byte-comparison).
+#include <cstdint>
+
+#include "telemetry/flight_recorder.hpp"
+
+namespace ccq {
+
+void forge_flight(telemetry::FlightRecorder& rec) {
+  telemetry::Event begin;
+  begin.kind = telemetry::EventKind::kRequestBegin;
+  rec.record(begin);
+  telemetry::Event end;
+  end.kind = telemetry::EventKind::kRequestEnd;
+  rec.record(end);
+}
+
+}  // namespace ccq

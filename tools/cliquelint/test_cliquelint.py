@@ -60,6 +60,7 @@ EXPECTED_BAD = {
     "src/core/cl010_ref_capture.cpp": ("CL010", 2),
     "src/core/cl011_hot_registration.cpp": ("CL011", 2),
     "tools/stream/cl011_mutation_outside_src.cpp": ("CL011", 3),
+    "tools/stream/cl012_emit_outside_src.cpp": ("CL012", 2),
 }
 # Zero-finding participants of multi-file fixtures (the cycle's anchor
 # convention reports once, on the lexicographically smallest member).

@@ -1,0 +1,463 @@
+// Multi-tenant open-loop load harness for the ConnectivityService.
+//
+// Spawns `--tenants x --streams` concurrent client streams (one thread
+// each), every stream replaying a seeded schedule of queries and edge-churn
+// ingests against one shared service. Tenants rotate through three traffic
+// profiles (read / write / churn); every call carries a RequestContext, so
+// the run exercises the whole request-scoped observability stack end to
+// end: per-tenant instruments, the flight recorder, the bounded slow-op
+// log, and the watchdog's declarative SLO rules.
+//
+// Determinism contract (docs/TELEMETRY.md): the schedule each stream plays
+// is a pure function of (--seed, tenant, stream), so the files meant for
+// byte-comparison — `--canonical-events` (canonical flight-recorder dump)
+// and `--table` (per-tenant SLO table over schedule-driven counters and the
+// request_units cost histogram) — are identical across repeated runs even
+// though the interleaving is not. Wall latencies, QPS, and the slow-op log
+// are real measurements and go to stdout only.
+//
+//   ./tools/loadgen/loadgen [--n N] [--tenants T] [--streams S]
+//       [--requests R] [--seed SEED] [--batch B] [--mode engine|local]
+//       [--threads K] [--events FILE] [--canonical-events FILE]
+//       [--scrapes FILE] [--table FILE] [--dump FILE]
+//       [--slo-fixture TENANT]
+//
+// --slo-fixture TENANT makes that tenant deterministically violate its SLOs
+// (a 1 ns p99 budget plus seeded out-of-range queries that burn its error
+// budget); the run then asserts the watchdog reports DEGRADED naming that
+// tenant and that a flight-recorder dump landed at --dump, and exits
+// non-zero otherwise. Unrecognized flags are rejected with the usage
+// string (exit 2) — a typo like --bacth must never silently run defaults.
+#include <algorithm>
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "service/connectivity_service.hpp"
+#include "service/service_error.hpp"
+#include "telemetry/exposition.hpp"
+#include "telemetry/flight_recorder.hpp"
+#include "telemetry/metrics_registry.hpp"
+#include "telemetry/tenant_metrics.hpp"
+#include "telemetry/watchdog.hpp"
+#include "util/clock.hpp"
+#include "util/random.hpp"
+
+namespace {
+
+void print_usage() {
+  std::fprintf(stderr,
+               "usage: loadgen [--n N] [--tenants T] [--streams S] "
+               "[--requests R] [--seed SEED] [--batch B] "
+               "[--mode engine|local] [--threads K] [--events FILE] "
+               "[--canonical-events FILE] [--scrapes FILE] [--table FILE] "
+               "[--dump FILE] [--slo-fixture TENANT]\n");
+}
+
+struct Options {
+  std::uint32_t n = 64;
+  std::uint32_t tenants = 4;
+  std::uint32_t streams = 2;      // client streams per tenant
+  std::uint64_t requests = 1250;  // requests per stream
+  std::uint64_t seed = 42;
+  std::size_t batch = 8;  // updates per ingest request
+  std::string mode = "local";
+  std::uint32_t threads = 1;  // service tuning threads
+  std::string events_path;
+  std::string canonical_events_path;
+  std::string scrapes_path;
+  std::string table_path;
+  std::string dump_path;
+  std::int64_t slo_fixture = -1;  // tenant forced to violate its SLOs
+};
+
+/// Parse argv strictly (same contract as stream_driver): every --flag must
+/// be known and every value-flag must have a value. Returns false after
+/// printing the usage string (caller exits 2).
+bool parse_args(int argc, char** argv, Options& opt) {
+  const auto fail = [](const std::string& why) {
+    std::fprintf(stderr, "loadgen: %s\n", why.c_str());
+    print_usage();
+    return false;
+  };
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    const auto value = [&]() -> const char* {
+      return i + 1 < argc ? argv[++i] : nullptr;
+    };
+    if (arg == "--n" || arg == "--tenants" || arg == "--streams" ||
+        arg == "--requests" || arg == "--seed" || arg == "--batch" ||
+        arg == "--mode" || arg == "--threads" || arg == "--events" ||
+        arg == "--canonical-events" || arg == "--scrapes" ||
+        arg == "--table" || arg == "--dump" || arg == "--slo-fixture") {
+      const char* v = value();
+      if (!v) return fail("flag '" + arg + "' needs a value");
+      if (arg == "--n")
+        opt.n = static_cast<std::uint32_t>(std::strtoull(v, nullptr, 10));
+      else if (arg == "--tenants")
+        opt.tenants =
+            static_cast<std::uint32_t>(std::strtoull(v, nullptr, 10));
+      else if (arg == "--streams")
+        opt.streams =
+            static_cast<std::uint32_t>(std::strtoull(v, nullptr, 10));
+      else if (arg == "--requests")
+        opt.requests = std::strtoull(v, nullptr, 10);
+      else if (arg == "--seed")
+        opt.seed = std::strtoull(v, nullptr, 10);
+      else if (arg == "--batch")
+        opt.batch = static_cast<std::size_t>(std::strtoull(v, nullptr, 10));
+      else if (arg == "--mode")
+        opt.mode = v;
+      else if (arg == "--threads")
+        opt.threads =
+            static_cast<std::uint32_t>(std::strtoull(v, nullptr, 10));
+      else if (arg == "--events")
+        opt.events_path = v;
+      else if (arg == "--canonical-events")
+        opt.canonical_events_path = v;
+      else if (arg == "--scrapes")
+        opt.scrapes_path = v;
+      else if (arg == "--table")
+        opt.table_path = v;
+      else if (arg == "--dump")
+        opt.dump_path = v;
+      else
+        opt.slo_fixture = std::strtoll(v, nullptr, 10);
+    } else if (!arg.empty() && arg.front() == '-') {
+      return fail("unknown flag '" + arg + "'");
+    } else {
+      return fail("unexpected extra argument '" + arg + "'");
+    }
+  }
+  if (opt.n < 2) return fail("--n must be >= 2");
+  if (opt.tenants == 0) return fail("--tenants must be >= 1");
+  if (opt.streams == 0) return fail("--streams must be >= 1");
+  if (opt.requests == 0) return fail("--requests must be >= 1");
+  if (opt.batch == 0) return fail("--batch must be >= 1");
+  if (opt.mode != "engine" && opt.mode != "local")
+    return fail("--mode must be engine or local");
+  // One flight-recorder thread slot per stream (plus the main thread);
+  // going past the recorder's slot table would silently drop events and
+  // break the canonical-dump determinism this tool promises.
+  if (static_cast<std::uint64_t>(opt.tenants) * opt.streams > 48)
+    return fail("--tenants x --streams must be <= 48 (flight-recorder "
+                "thread slots)");
+  if (opt.slo_fixture >= 0 &&
+      static_cast<std::uint64_t>(opt.slo_fixture) >= opt.tenants)
+    return fail("--slo-fixture tenant out of range");
+  if (opt.slo_fixture >= 0 && opt.dump_path.empty())
+    return fail("--slo-fixture needs --dump FILE for the watchdog dump");
+  return true;
+}
+
+const char* profile_name(std::uint32_t tenant) {
+  switch (tenant % 3) {
+    case 0: return "read";
+    case 1: return "write";
+    default: return "churn";
+  }
+}
+
+/// Ingest cadence per profile: a request ordinal i is an ingest when
+/// i % period == 0 (read-mostly tenants ingest rarely, churn tenants mix
+/// deletes in). Pure function of (tenant, i) — schedule determinism.
+bool is_ingest(std::uint32_t tenant, std::uint64_t i) {
+  switch (tenant % 3) {
+    case 0: return i % 16 == 0;
+    case 1: return i % 2 == 0;
+    default: return i % 4 == 0;
+  }
+}
+
+struct StreamPlan {
+  std::uint32_t tenant{0};
+  std::uint32_t sid{0};  // global stream id: tenant * streams + s
+};
+
+/// Replay one client stream's seeded schedule. `fixture` marks the tenant
+/// that deliberately violates its error budget: every 8th request queries
+/// an out-of-range vertex and swallows the ServiceError the service throws
+/// (after stamping the failure into telemetry).
+void run_stream(ccq::ConnectivityService& service, const Options& opt,
+                StreamPlan plan) {
+  ccq::Rng rng{ccq::mix64(opt.seed ^
+                          (0x9e3779b97f4a7c15ULL * (plan.sid + 1)))};
+  const bool fixture =
+      opt.slo_fixture >= 0 &&
+      static_cast<std::uint32_t>(opt.slo_fixture) == plan.tenant;
+  std::vector<ccq::EdgeUpdate> live;  // this stream's insertions (churn)
+  std::vector<ccq::EdgeUpdate> batch;
+  for (std::uint64_t i = 0; i < opt.requests; ++i) {
+    const ccq::RequestContext ctx{plan.tenant, plan.sid, i + 1};
+    if (fixture && i % 8 == 3) {
+      try {
+        (void)service.connected(opt.n + 1, 0, ctx);  // out of range
+      } catch (const ccq::ServiceError&) {
+        // Expected: the schedule burns this tenant's error budget.
+      }
+      continue;
+    }
+    if (is_ingest(plan.tenant, i)) {
+      batch.clear();
+      const bool churn = plan.tenant % 3 == 2;
+      for (std::size_t b = 0; b < opt.batch; ++b) {
+        if (churn && b % 2 == 1 && !live.empty()) {
+          ccq::EdgeUpdate del = live.back();
+          live.pop_back();
+          del.op = ccq::EdgeOp::kDelete;
+          batch.push_back(del);
+          continue;
+        }
+        const auto u = static_cast<ccq::VertexId>(rng.next_below(opt.n));
+        auto v = static_cast<ccq::VertexId>(rng.next_below(opt.n));
+        if (v == u) v = (v + 1) % opt.n;
+        batch.push_back({u, v, ccq::EdgeOp::kInsert});
+        if (churn) live.push_back(batch.back());
+      }
+      (void)service.apply_batch(batch, ctx);
+      continue;
+    }
+    const auto u = static_cast<ccq::VertexId>(rng.next_below(opt.n));
+    const auto v = static_cast<ccq::VertexId>(rng.next_below(opt.n));
+    switch (i % 3) {
+      case 0: (void)service.connected(u, v, ctx); break;
+      case 1: (void)service.component_of(u, ctx); break;
+      default: (void)service.num_components(ctx); break;
+    }
+  }
+}
+
+const ccq::telemetry::CounterSample* find_counter(
+    const ccq::telemetry::MetricsSnapshot& snap, const std::string& name) {
+  for (const auto& c : snap.counters)
+    if (c.name == name) return &c;
+  return nullptr;
+}
+
+const ccq::telemetry::HistogramSample* find_histogram(
+    const ccq::telemetry::MetricsSnapshot& snap, const std::string& name) {
+  for (const auto& h : snap.histograms)
+    if (h.name == name) return &h;
+  return nullptr;
+}
+
+std::uint64_t counter_value(const ccq::telemetry::MetricsSnapshot& snap,
+                            const std::string& name) {
+  const auto* c = find_counter(snap, name);
+  return c ? c->value : 0;
+}
+
+/// "[lo, hi]" log2-bucket interval for quantile q (docs/TELEMETRY.md).
+std::string quantile_interval(const ccq::telemetry::HistogramData& data,
+                              double q) {
+  std::string out{"["};
+  out += std::to_string(ccq::telemetry::quantile_lower_bound(data, q));
+  out += ", ";
+  out += std::to_string(ccq::telemetry::quantile_upper_bound(data, q));
+  out += "]";
+  return out;
+}
+
+/// The deterministic per-tenant SLO table: schedule-driven counters plus
+/// p50/p99 intervals over the request_units cost histogram (ingest cost =
+/// updates presented, query cost = 1). No wall-clock column on purpose —
+/// this is the splice payload for EXPERIMENTS.md.
+std::string render_table(const ccq::telemetry::MetricsSnapshot& snap,
+                         const Options& opt) {
+  std::string out;
+  out +=
+      "| tenant | profile | streams | requests | queries | ingests | "
+      "errors | units p50 | units p99 |\n";
+  out += "|---:|---|---:|---:|---:|---:|---:|---|---|\n";
+  for (std::uint32_t t = 0; t < opt.tenants; ++t) {
+    const auto name = [&](const char* suffix) {
+      return ccq::telemetry::tenant_instrument_name(t, suffix);
+    };
+    out += "| " + std::to_string(t) + " | " + profile_name(t) + " | ";
+    out += std::to_string(opt.streams) + " | ";
+    out += std::to_string(counter_value(snap, name("requests_total")));
+    out += " | ";
+    out += std::to_string(counter_value(snap, name("queries_total")));
+    out += " | ";
+    out += std::to_string(counter_value(snap, name("ingests_total")));
+    out += " | ";
+    out += std::to_string(counter_value(snap, name("errors_total")));
+    out += " | ";
+    const auto* units = find_histogram(snap, name("request_units"));
+    if (units && units->data.count > 0) {
+      out += quantile_interval(units->data, 0.50) + " | ";
+      out += quantile_interval(units->data, 0.99) + " |\n";
+    } else {
+      out += "- | - |\n";
+    }
+  }
+  return out;
+}
+
+bool write_file(const std::string& path, const std::string& content) {
+  std::ofstream out{path, std::ios::binary | std::ios::trunc};
+  if (!out) return false;
+  out << content;
+  return static_cast<bool>(out);
+}
+
+int run(int argc, char** argv) {
+  Options opt;
+  if (!parse_args(argc, argv, opt)) return 2;
+
+  ccq::ServiceConfig config;
+  config.n = opt.n;
+  config.seed = opt.seed;
+  config.tuning.threads = opt.threads;
+  config.tuning.index_mode = opt.mode == "engine"
+                                 ? ccq::IndexMode::kEngine
+                                 : ccq::IndexMode::kLocal;
+  ccq::ConnectivityService service{config};
+
+  ccq::telemetry::FlightRecorder& recorder =
+      ccq::telemetry::flight_recorder();
+  const bool fixture = opt.slo_fixture >= 0;
+  // Normal runs arm the recorder up front so a ServiceError dumps its
+  // window live. The fixture run arms *after* the workload instead: its
+  // seeded errors would otherwise spend the kMaxAutoDumps budget before
+  // the watchdog fires, and the dump under test is the watchdog's.
+  if (!fixture && !opt.dump_path.empty()) recorder.arm_auto_dump(opt.dump_path);
+
+  // Declarative SLO table: generous default budgets for every tenant; the
+  // fixture tenant gets budgets its seeded schedule must violate.
+  std::vector<ccq::telemetry::TenantSlo> slos;
+  for (std::uint32_t t = 0; t < opt.tenants; ++t) {
+    ccq::telemetry::TenantSlo slo;
+    slo.tenant = t;
+    slo.p99_ns = 60'000'000'000ull;  // 60 s: never fires in a sane run
+    slo.error_per_mille = 500;
+    slo.burn_window = 1;
+    if (fixture && static_cast<std::uint32_t>(opt.slo_fixture) == t) {
+      slo.p99_ns = 1;          // no real request finishes in 1 ns
+      slo.error_per_mille = 50;
+    }
+    slos.push_back(slo);
+  }
+  ccq::telemetry::Watchdog::Config wd_config;
+  wd_config.rules = ccq::telemetry::Watchdog::slo_rules(slos);
+  wd_config.recorder = &recorder;
+  ccq::telemetry::Watchdog watchdog{ccq::telemetry::registry(),
+                                    std::move(wd_config)};
+
+  std::string scrapes;
+  std::uint64_t scrape_ordinal = 0;
+  const auto scrape = [&] {
+    watchdog.scrape_once();
+    scrapes +=
+        ccq::telemetry::to_ndjson(watchdog.latest(), scrape_ordinal++);
+  };
+
+  scrape();  // baseline: the burn-rate rules delta against this
+
+  const std::uint64_t t0 = ccq::monotonic_ns();
+  std::vector<std::thread> workers;
+  for (std::uint32_t t = 0; t < opt.tenants; ++t)
+    for (std::uint32_t s = 0; s < opt.streams; ++s)
+      workers.emplace_back(run_stream, std::ref(service), std::cref(opt),
+                           StreamPlan{t, t * opt.streams + s});
+  for (std::thread& w : workers) w.join();
+  const double elapsed_s =
+      static_cast<double>(ccq::monotonic_ns() - t0) / 1e9;
+
+  if (fixture) recorder.arm_auto_dump(opt.dump_path);
+  scrape();  // post-run: SLO rules evaluate (and dump) here
+  scrape();  // steady-state: burn-rate deltas go quiet again
+
+  // --- Reporting -------------------------------------------------------
+  const auto canonical = ccq::telemetry::registry().snapshot(false);
+  const auto wall = ccq::telemetry::registry().snapshot(true);
+
+  const std::string table = render_table(canonical, opt);
+  std::fputs(table.c_str(), stdout);
+
+  for (std::uint32_t t = 0; t < opt.tenants; ++t) {
+    const auto* lat = find_histogram(
+        wall, ccq::telemetry::tenant_instrument_name(t, "request_ns"));
+    if (!lat || lat->data.count == 0) continue;
+    const double qps =
+        static_cast<double>(lat->data.count) / std::max(elapsed_s, 1e-9);
+    std::printf("tenant %u: wall p50 %s ns, p99 %s ns, %.0f req/s\n", t,
+                quantile_interval(lat->data, 0.50).c_str(),
+                quantile_interval(lat->data, 0.99).c_str(), qps);
+  }
+
+  const std::vector<ccq::SlowOp> slow = service.slow_ops();
+  if (!slow.empty()) {
+    std::printf("slow ops (top %zu):\n", slow.size());
+    for (const ccq::SlowOp& op : slow)
+      std::printf(
+          "  rid=%llu tenant=%u stream=%u seq=%llu op=%s %llu ns "
+          "[events %llu..%llu]\n",
+          static_cast<unsigned long long>(op.rid), op.tenant, op.stream,
+          static_cast<unsigned long long>(op.stream_seq),
+          std::string{ccq::telemetry::op_kind_name(op.op)}.c_str(),
+          static_cast<unsigned long long>(op.latency_ns),
+          static_cast<unsigned long long>(op.seq_begin),
+          static_cast<unsigned long long>(op.seq_end));
+  }
+
+  const ccq::telemetry::HealthReport health = watchdog.report();
+  std::printf("%s\n", health.to_string().c_str());
+
+  if (!opt.events_path.empty() &&
+      !recorder.dump_to_file(opt.events_path, "loadgen", false))
+    throw ccq::ServiceError("loadgen: cannot write " + opt.events_path);
+  if (!opt.canonical_events_path.empty() &&
+      !recorder.dump_to_file(opt.canonical_events_path, "loadgen", true))
+    throw ccq::ServiceError("loadgen: cannot write " +
+                            opt.canonical_events_path);
+  if (!opt.scrapes_path.empty() && !write_file(opt.scrapes_path, scrapes))
+    throw ccq::ServiceError("loadgen: cannot write " + opt.scrapes_path);
+  if (!opt.table_path.empty() && !write_file(opt.table_path, table))
+    throw ccq::ServiceError("loadgen: cannot write " + opt.table_path);
+
+  const std::uint64_t total = static_cast<std::uint64_t>(opt.tenants) *
+                              opt.streams * opt.requests;
+  std::printf("loadgen: done requests=%llu tenants=%u streams=%u "
+              "elapsed=%.3fs recorded=%llu dropped=%llu\n",
+              static_cast<unsigned long long>(total), opt.tenants,
+              opt.streams, elapsed_s,
+              static_cast<unsigned long long>(recorder.recorded()),
+              static_cast<unsigned long long>(recorder.dropped()));
+
+  if (fixture) {
+    const std::string needle =
+        "tenant " + std::to_string(opt.slo_fixture);
+    bool named = false;
+    for (const auto& issue : health.issues)
+      if (issue.message.find(needle) != std::string::npos) named = true;
+    std::ifstream dump{opt.dump_path};
+    const bool dumped = dump.good() && dump.peek() != std::ifstream::traits_type::eof();
+    if (health.healthy || !named || !dumped) {
+      std::fprintf(stderr,
+                   "loadgen: slo-fixture FAILED (healthy=%d named=%d "
+                   "dumped=%d)\n",
+                   health.healthy ? 1 : 0, named ? 1 : 0, dumped ? 1 : 0);
+      return 1;
+    }
+    std::printf("slo-fixture: watchdog DEGRADED, offending tenant %lld, "
+                "dump %s\n",
+                static_cast<long long>(opt.slo_fixture),
+                opt.dump_path.c_str());
+  }
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  try {
+    return run(argc, argv);
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "loadgen: %s\n", e.what());
+    return 1;
+  }
+}

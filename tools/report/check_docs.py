@@ -27,7 +27,15 @@ stale EXPERIMENTS.md tables — is make_experiments.py --check):
     span in docs/TELEMETRY.md — the instrument inventory is the scrape
     contract an operator builds dashboards against;
   - telemetry NDJSON keys: every schema-3 key src/telemetry/exposition.cpp
-    emits must be documented in docs/TELEMETRY.md.
+    emits must be documented in docs/TELEMETRY.md;
+  - flight-recorder keys: every schema-4 key
+    src/telemetry/flight_recorder.cpp emits (flight_event fields and the
+    flight_dump trailer) must be documented in docs/TELEMETRY.md — the
+    dump is what an operator reads during an incident, so an undocumented
+    field is an undocumented clue;
+  - watchdog rule kinds: every HealthRule::Kind enumerator declared in
+    src/telemetry/watchdog.hpp must appear in a code span in
+    docs/TELEMETRY.md (the rule vocabulary is the alerting contract).
 
 Exit status: 0 in sync, 1 undocumented names/fields, 2 usage errors.
 """
@@ -238,10 +246,57 @@ def main() -> int:
               "docs/TELEMETRY.md", file=sys.stderr)
         return 1
 
+    # Flight recorder: the schema-4 dump is the incident-time artifact;
+    # every emitted key must be readable against the TELEMETRY.md legend.
+    flight_exporter = repo / "src" / "telemetry" / "flight_recorder.cpp"
+    flight_keys = set(EXPORT_KEY_RE.findall(
+        flight_exporter.read_text(encoding="utf-8")))
+    if not flight_keys:
+        print("check_docs: no schema-4 keys found in "
+              "telemetry/flight_recorder.cpp (extraction regex broken?)",
+              file=sys.stderr)
+        return 2
+    flight_undocumented = sorted(flight_keys - telemetry_key_docs)
+    if flight_undocumented:
+        print("check_docs: schema-4 NDJSON keys emitted by "
+              "telemetry/flight_recorder.cpp but not documented in "
+              "docs/TELEMETRY.md:", file=sys.stderr)
+        for key in flight_undocumented:
+            print(f"  \"{key}\"", file=sys.stderr)
+        print("document each key in the flight-recorder section of "
+              "docs/TELEMETRY.md", file=sys.stderr)
+        return 1
+
+    # Watchdog rule kinds: the enumerator list in watchdog.hpp is the
+    # full alerting vocabulary; a kind missing from the docs is a rule an
+    # operator cannot write.
+    watchdog_hpp = repo / "src" / "telemetry" / "watchdog.hpp"
+    kind_block = re.search(r"enum class Kind[^{]*\{([^}]*)\}",
+                           watchdog_hpp.read_text(encoding="utf-8"))
+    rule_kinds = (set(re.findall(r"\bk[A-Z]\w*", kind_block.group(1)))
+                  if kind_block else set())
+    if not rule_kinds:
+        print("check_docs: no HealthRule::Kind enumerators found in "
+              "telemetry/watchdog.hpp (extraction regex broken?)",
+              file=sys.stderr)
+        return 2
+    kinds_missing = sorted(rule_kinds - telemetry_documented)
+    if kinds_missing:
+        print("check_docs: HealthRule::Kind enumerator(s) declared in "
+              "telemetry/watchdog.hpp but not documented in "
+              "docs/TELEMETRY.md:", file=sys.stderr)
+        for kind in kinds_missing:
+            print(f"  {kind}", file=sys.stderr)
+        print("add each enumerator (in backticks) to the watchdog "
+              "section of docs/TELEMETRY.md", file=sys.stderr)
+        return 1
+
     print(f"check_docs: {len(names)} trace scope name(s), "
           f"{len(emitted)} NDJSON field(s), {len(registered)} theorem "
-          f"section(s), {len(instruments)} telemetry instrument(s), and "
-          f"{len(telemetry_keys)} schema-3 key(s) all documented")
+          f"section(s), {len(instruments)} telemetry instrument(s), "
+          f"{len(telemetry_keys)} schema-3 key(s), {len(flight_keys)} "
+          f"schema-4 key(s), and {len(rule_kinds)} watchdog rule kind(s) "
+          "all documented")
     return 0
 
 

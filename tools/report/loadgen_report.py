@@ -1,0 +1,177 @@
+#!/usr/bin/env python3
+"""loadgen_report — pin loadgen determinism and splice the SLO table.
+
+docs/TELEMETRY.md promises that the multi-tenant load harness is
+deterministic where it claims to be: two identically-seeded `loadgen` runs
+must produce byte-identical canonical flight-recorder dumps and per-tenant
+SLO tables, even though the thread interleaving (and therefore every wall
+latency) differs. This tool makes that promise a gate and turns the table
+into the "Multi-tenant SLOs" section of EXPERIMENTS.md:
+
+  1. run the pinned workload below twice (4 tenants x 2 streams x 1250
+     requests — the acceptance floor of 10k requests), capturing the
+     canonical events dump, the SLO table, the operational events dump,
+     and the watchdog scrape stream;
+  2. byte-compare the canonical dump and the table across both runs — any
+     diff is a determinism regression (a wall or interleaving-dependent
+     quantity leaking into a canonical artifact);
+  3. validate the dumps against the schema-4 rules and the scrape stream
+     against the schema-3 rules (validate_ndjson);
+  4. splice the table between the GENERATED-LOADGEN markers:
+
+         <!-- BEGIN GENERATED-LOADGEN: loadgen -->
+         ...
+         <!-- END GENERATED-LOADGEN -->
+
+Usage:
+  loadgen_report.py [--build-dir DIR] [--file EXPERIMENTS.md]
+                    [--check] [--determinism-only]
+
+  --build-dir         build tree holding tools/loadgen/loadgen
+                      (default: <repo>/build)
+  --check             do not write; exit 1 if the spliced table differs
+                      from a fresh regeneration (the docs freshness gate)
+  --determinism-only  run steps 1-3 and stop (the ctest determinism pin;
+                      leaves EXPERIMENTS.md untouched)
+
+Exit status: 0 clean/updated, 1 determinism or freshness violation,
+2 usage errors (missing binaries, missing markers).
+"""
+
+from __future__ import annotations
+
+import argparse
+import difflib
+import subprocess
+import sys
+import tempfile
+from pathlib import Path
+
+HERE = Path(__file__).resolve().parent
+sys.path.insert(0, str(HERE))
+
+import validate_ndjson  # noqa: E402
+
+REPO = HERE.parents[1]
+
+# Pinned workload: the acceptance-floor run (>= 4 tenants, >= 2 streams
+# each, >= 10k total requests), small enough for a CI-friendly ctest.
+LOADGEN_ARGS = ["--n", "128", "--tenants", "4", "--streams", "2",
+                "--requests", "1250", "--seed", "42", "--batch", "8"]
+
+BEGIN_MARK = "<!-- BEGIN GENERATED-LOADGEN: loadgen -->"
+END_MARK = "<!-- END GENERATED-LOADGEN -->"
+
+
+def fail(msg: str, code: int = 2) -> None:
+    print(f"loadgen_report: {msg}", file=sys.stderr)
+    sys.exit(code)
+
+
+def run(cmd: list[str]) -> None:
+    result = subprocess.run(cmd, stdout=subprocess.DEVNULL,
+                            stderr=subprocess.PIPE, text=True)
+    if result.returncode != 0:
+        fail(f"{Path(cmd[0]).name} exited {result.returncode}\n"
+             f"{result.stderr}", 1)
+
+
+def run_twice(build_dir: Path, tmp: Path) -> Path:
+    """Run the pinned workload twice, pin byte-equality of the canonical
+    artifacts, validate the NDJSON outputs; return the table path."""
+    loadgen = build_dir / "tools" / "loadgen" / "loadgen"
+    if not loadgen.is_file():
+        fail(f"{loadgen} not found (build the default target first)")
+    outputs = []
+    for tag in ("a", "b"):
+        canon = tmp / f"{tag}.canonical.ndjson"
+        table = tmp / f"{tag}.table.md"
+        events = tmp / f"{tag}.events.ndjson"
+        scrapes = tmp / f"{tag}.scrapes.ndjson"
+        run([str(loadgen), *LOADGEN_ARGS,
+             "--canonical-events", str(canon), "--table", str(table),
+             "--events", str(events), "--scrapes", str(scrapes)])
+        outputs.append((canon, table, events, scrapes))
+    (canon_a, table_a, events_a, scrapes_a), (canon_b, table_b, _, _) = \
+        outputs
+    for first, second, what in (
+            (canon_a, canon_b, "canonical flight-recorder dump"),
+            (table_a, table_b, "per-tenant SLO table")):
+        if first.read_bytes() != second.read_bytes():
+            fail(f"{what} differs between two identical runs — an "
+                 "interleaving-dependent quantity is leaking into a "
+                 "canonical artifact (wall latency, global seq, or a "
+                 "race-dependent result value)", 1)
+    problems = []
+    for path in (canon_a, events_a, scrapes_a):
+        problems.extend(validate_ndjson.validate_file(path))
+    if problems:
+        for p in problems:
+            print(f"loadgen_report: {p}", file=sys.stderr)
+        fail("loadgen output violates the schema rules", 1)
+    return table_a
+
+
+def render_block(table: Path) -> list[str]:
+    n, tenants, streams, requests = (LOADGEN_ARGS[i] for i in (1, 3, 5, 7))
+    total = int(tenants) * int(streams) * int(requests)
+    return [
+        f"Seeded open-loop run: {tenants} tenants x {streams} streams x "
+        f"{requests} requests ({total} total) over n={n}, seed 42; two "
+        "runs byte-identical — DETERMINISTIC. `units` is the "
+        "deterministic request-cost histogram (ingest = updates "
+        "presented, query = 1) as log2-bucket `[lo, hi]` intervals; wall "
+        "p50/p99/QPS are real measurements and stay on loadgen stdout.",
+        "",
+        *table.read_text(encoding="utf-8").splitlines(),
+    ]
+
+
+def splice(path: Path, block: list[str], check: bool) -> int:
+    lines = path.read_text(encoding="utf-8").splitlines()
+    try:
+        begin = lines.index(BEGIN_MARK)
+        end = lines.index(END_MARK, begin)
+    except ValueError:
+        fail(f"{path}: GENERATED-LOADGEN markers not found")
+    current = lines[begin + 1:end]
+    if current == block:
+        print(f"loadgen_report: {path.name} SLO table up to date")
+        return 0
+    if check:
+        print(f"loadgen_report: {path.name} SLO table is stale:",
+              file=sys.stderr)
+        for d in difflib.unified_diff(current, block, "committed", "fresh",
+                                      lineterm=""):
+            print(f"  {d}", file=sys.stderr)
+        print("rerun tools/report/loadgen_report.py to refresh",
+              file=sys.stderr)
+        return 1
+    lines[begin + 1:end] = block
+    path.write_text("\n".join(lines) + "\n", encoding="utf-8")
+    print(f"loadgen_report: updated {path.name}")
+    return 0
+
+
+def main(argv: list[str]) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--build-dir", type=Path, default=REPO / "build")
+    parser.add_argument("--file", type=Path,
+                        default=REPO / "EXPERIMENTS.md")
+    parser.add_argument("--check", action="store_true")
+    parser.add_argument("--determinism-only", action="store_true")
+    args = parser.parse_args(argv)
+
+    with tempfile.TemporaryDirectory() as tmpdir:
+        tmp = Path(tmpdir)
+        table = run_twice(args.build_dir, tmp)
+        if args.determinism_only:
+            print("loadgen_report: two runs byte-identical, schema-3/4 "
+                  "valid (determinism pin holds)")
+            return 0
+        block = render_block(table)
+    return splice(args.file, block, args.check)
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv[1:]))

@@ -14,6 +14,14 @@ counters must be non-negative and non-decreasing across scrapes, and every
 histogram's bucket total must equal its count. Telemetry files stand alone
 — they carry no "trace" header.
 
+Also validates schema-4 flight-recorder dumps (docs/TELEMETRY.md, the
+FlightRecorder exporters and loadgen --events/--canonical-events): every
+"flight_event" must carry a known kind/op token, each dump segment must
+end with a "flight_dump" trailer whose "events" equals the segment's line
+count, operational segments ("canonical":0) must carry strictly
+increasing "seq" on every event, and canonical segments ("canonical":1)
+must omit the non-deterministic seq/rid/latency_ns fields entirely.
+
 Run as a ctest over the golden traces trace_test / load_profile_test dump
 (fixture golden_ndjson) and over every sweep point, so the documented
 schema and the emitted bytes cannot drift apart.
@@ -70,8 +78,16 @@ REQUIRED = {
               "rounds": INT, "messages": INT, "words": INT},
     "telemetry": {"schema": INT, "scrape": INT, "counters": DICT,
                   "gauges": DICT, "histograms": DICT},
+    "flight_event": {"schema": INT, "tenant": INT, "stream": INT,
+                     "request": INT, "kind": STR, "op": STR, "value": INT,
+                     "error": INT},
+    "flight_dump": {"schema": INT, "reason": STR, "events": INT,
+                    "dropped": INT, "canonical": INT},
 }
 OPTIONAL = {
+    # Operational dumps carry the record sequence, request id, and wall
+    # latency; canonical dumps strip all three (docs/TELEMETRY.md).
+    "flight_event": {"seq": INT, "rid": INT, "latency_ns": INT},
     "scope": {"absorbed_rounds": INT, "absorbed_messages": INT,
               "wall_ns": INT},
     "round": {"max_link": INT},
@@ -93,6 +109,10 @@ class FileValidator:
         self.round_lines = 0
         self.telemetry_scrapes = 0
         self.prev_counters: dict[str, int] = {}
+        self.flight_events = 0        # events in the current dump segment
+        self.flight_prev_seq = 0      # last operational seq in the segment
+        self.flight_seen_seq = False  # segment has operational events
+        self.flight_dumps = 0
 
     def problem(self, lineno: int, msg: str) -> None:
         self.problems.append(f"{self.path}:{lineno}: {msg}")
@@ -148,6 +168,9 @@ class FileValidator:
             return
         if rtype == "telemetry":
             self.check_telemetry(lineno, rec)
+            return
+        if rtype in ("flight_event", "flight_dump"):
+            self.check_flight(lineno, rec, rtype)
             return
         if self.header is None:
             self.problem(lineno, f"{rtype} record before the \"trace\" "
@@ -226,12 +249,75 @@ class FileValidator:
                                      f"total {sum(h['buckets'])} != count "
                                      f"{h['count']}")
 
+    FLIGHT_KINDS = {"request_begin", "request_end", "batch_apply",
+                    "recompute", "snapshot", "health_rule"}
+    FLIGHT_OPS = {"none", "connected", "component_of", "num_components",
+                  "component_labels", "ingest"}
+
+    def check_flight(self, lineno: int, rec: dict, rtype: str) -> None:
+        if rec["schema"] != 4:
+            self.problem(lineno, f"{rtype}: unknown schema {rec['schema']} "
+                                 f"(expected 4)")
+        if rtype == "flight_event":
+            if rec["kind"] not in self.FLIGHT_KINDS:
+                self.problem(lineno, f"flight_event: unknown kind "
+                                     f"{rec['kind']!r}")
+            if rec["op"] not in self.FLIGHT_OPS:
+                self.problem(lineno, f"flight_event: unknown op "
+                                     f"{rec['op']!r}")
+            if rec["error"] not in (0, 1):
+                self.problem(lineno, f"flight_event: error must be 0 or 1, "
+                                     f"got {rec['error']!r}")
+            if "seq" in rec:
+                # Operational events: seq/rid/latency_ns travel together
+                # and seq is strictly increasing within a dump segment.
+                for key in ("rid", "latency_ns"):
+                    if key not in rec:
+                        self.problem(lineno, f"flight_event: has seq but "
+                                             f"no {key!r}")
+                if rec["seq"] <= self.flight_prev_seq:
+                    self.problem(lineno, f"flight_event: seq {rec['seq']} "
+                                         f"not increasing (prev "
+                                         f"{self.flight_prev_seq})")
+                self.flight_prev_seq = rec["seq"]
+                self.flight_seen_seq = True
+            else:
+                for key in ("rid", "latency_ns"):
+                    if key in rec:
+                        self.problem(lineno, f"flight_event: canonical "
+                                             f"event carries {key!r}")
+            self.flight_events += 1
+            return
+        # flight_dump: the trailer closing the current segment.
+        if rec["canonical"] not in (0, 1):
+            self.problem(lineno, f"flight_dump: canonical must be 0 or 1, "
+                                 f"got {rec['canonical']!r}")
+        elif self.flight_events:
+            if rec["canonical"] == 1 and self.flight_seen_seq:
+                self.problem(lineno, "flight_dump: canonical trailer but "
+                                     "segment has operational (seq) events")
+            if rec["canonical"] == 0 and not self.flight_seen_seq:
+                self.problem(lineno, "flight_dump: operational trailer but "
+                                     "segment has no seq fields")
+        if rec["events"] != self.flight_events:
+            self.problem(lineno, f"flight_dump: trailer says "
+                                 f"{rec['events']} events but segment has "
+                                 f"{self.flight_events}")
+        self.flight_events = 0
+        self.flight_prev_seq = 0
+        self.flight_seen_seq = False
+        self.flight_dumps += 1
+
     def finish(self) -> None:
+        if self.flight_events:
+            self.problems.append(
+                f"{self.path}: {self.flight_events} flight events after "
+                f"the last \"flight_dump\" trailer (truncated dump?)")
         if self.header is None:
-            # A telemetry scrape stream stands alone; only trace-shaped
-            # records require the header.
-            if self.telemetry_scrapes and not self.scope_seqs \
-                    and not self.round_lines:
+            # Telemetry scrape streams and flight-recorder dumps stand
+            # alone; only trace-shaped records require the header.
+            if (self.telemetry_scrapes or self.flight_dumps) \
+                    and not self.scope_seqs and not self.round_lines:
                 return
             self.problems.append(f"{self.path}: no \"trace\" header")
             return

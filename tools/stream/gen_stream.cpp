@@ -7,6 +7,9 @@
 //
 //   ./tools/stream/gen_stream OUT.stream [--n N] [--initial K]
 //                             [--churn C] [--seed S]
+//
+// Unrecognized flags are rejected with the usage string (exit 2) — a typo
+// like --churm must never silently generate the default workload.
 #include <cstdio>
 #include <cstdlib>
 #include <string>
@@ -15,37 +18,75 @@
 
 namespace {
 
-std::uint64_t flag_u64(int argc, char** argv, const std::string& name,
-                       std::uint64_t fallback) {
-  for (int i = 1; i + 1 < argc; ++i)
-    if (argv[i] == "--" + name) return std::strtoull(argv[i + 1], nullptr, 10);
-  return fallback;
+void print_usage() {
+  std::fprintf(stderr,
+               "usage: gen_stream OUT.stream [--n N] [--initial K] "
+               "[--churn C] [--seed S]\n");
+}
+
+struct Options {
+  std::string out_path;
+  std::uint32_t n = 256;
+  std::size_t initial = 4096;
+  std::size_t churn = 4096;
+  std::uint64_t seed = 42;
+};
+
+/// Parse argv strictly (same contract as stream_driver): every --flag must
+/// be known and every value-flag must have a value; exactly one positional
+/// (the output path) is accepted. Returns false after printing the usage
+/// string (caller exits 2).
+bool parse_args(int argc, char** argv, Options& opt) {
+  const auto fail = [](const std::string& why) {
+    std::fprintf(stderr, "gen_stream: %s\n", why.c_str());
+    print_usage();
+    return false;
+  };
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    const auto value = [&]() -> const char* {
+      return i + 1 < argc ? argv[++i] : nullptr;
+    };
+    if (arg == "--n" || arg == "--initial" || arg == "--churn" ||
+        arg == "--seed") {
+      const char* v = value();
+      if (!v) return fail("flag '" + arg + "' needs a value");
+      if (arg == "--n")
+        opt.n = static_cast<std::uint32_t>(std::strtoull(v, nullptr, 10));
+      else if (arg == "--initial")
+        opt.initial =
+            static_cast<std::size_t>(std::strtoull(v, nullptr, 10));
+      else if (arg == "--churn")
+        opt.churn = static_cast<std::size_t>(std::strtoull(v, nullptr, 10));
+      else
+        opt.seed = std::strtoull(v, nullptr, 10);
+    } else if (!arg.empty() && arg.front() == '-') {
+      return fail("unknown flag '" + arg + "'");
+    } else if (opt.out_path.empty()) {
+      opt.out_path = arg;
+    } else {
+      return fail("unexpected extra argument '" + arg + "'");
+    }
+  }
+  if (opt.out_path.empty()) return fail("missing OUT.stream argument");
+  if (opt.n < 2) return fail("--n must be >= 2");
+  return true;
 }
 
 }  // namespace
 
 int main(int argc, char** argv) {
-  if (argc < 2 || argv[1][0] == '-') {
-    std::fprintf(stderr,
-                 "usage: gen_stream OUT.stream [--n N] [--initial K] "
-                 "[--churn C] [--seed S]\n");
-    return 2;
-  }
-  const std::string out_path = argv[1];
-  const auto n = static_cast<std::uint32_t>(flag_u64(argc, argv, "n", 256));
-  const auto initial =
-      static_cast<std::size_t>(flag_u64(argc, argv, "initial", 4096));
-  const auto churn =
-      static_cast<std::size_t>(flag_u64(argc, argv, "churn", 4096));
-  const std::uint64_t seed = flag_u64(argc, argv, "seed", 42);
+  Options opt;
+  if (!parse_args(argc, argv, opt)) return 2;
   try {
     const ccq::EdgeStream stream =
-        ccq::generate_churn_stream(n, initial, churn, seed);
-    ccq::write_edge_stream_file(out_path, stream);
+        ccq::generate_churn_stream(opt.n, opt.initial, opt.churn, opt.seed);
+    ccq::write_edge_stream_file(opt.out_path, stream);
     std::printf("gen_stream: wrote %zu updates (n=%u, initial=%zu, "
                 "churn=%zu, seed=%llu) to %s\n",
-                stream.updates.size(), n, initial, churn,
-                static_cast<unsigned long long>(seed), out_path.c_str());
+                stream.updates.size(), opt.n, opt.initial, opt.churn,
+                static_cast<unsigned long long>(opt.seed),
+                opt.out_path.c_str());
   } catch (const std::exception& e) {
     std::fprintf(stderr, "gen_stream: %s\n", e.what());
     return 1;
